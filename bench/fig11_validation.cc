@@ -1,0 +1,113 @@
+/// Reproduces Fig. 11: amortized per-transaction validation overhead
+/// (microseconds) for TinySTM and ROCoCoTM on the STAMP workloads.
+///
+/// TinySTM's commit-time validation walks every timestamped object in
+/// the read set, so its overhead grows with read-set size (labyrinth's
+/// huge read sets make it the worst case). ROCoCoTM's validation is a
+/// pipelined offload: per-transaction overhead is the CCI round trip
+/// plus pipeline latency plus queueing — bounded and insensitive to
+/// read-set size. The paper's claim to check: ROCoCoTM stays below one
+/// microsecond everywhere.
+///
+/// Two measurements are reported for ROCoCoTM:
+///   * modelled: the discrete-event simulator's mean offload latency at
+///     14 threads (link + pipeline occupancy + queueing);
+///   * functional engine: actual wall-clock cost of the software
+///     ValidationEngine processing the same requests (sanity check that
+///     the functional model itself is cheap).
+#include <chrono>
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "fpga/validation_engine.h"
+#include "sim/sim_rococo.h"
+#include "sim/stamp_sim.h"
+
+using namespace rococo;
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv, {"scale", "seed", "threads"});
+    stamp::WorkloadParams params;
+    params.scale = static_cast<unsigned>(cli.get_int("scale", 2));
+    params.seed = static_cast<uint64_t>(cli.get_int("seed", 7));
+    const unsigned threads =
+        static_cast<unsigned>(cli.get_int("threads", 14));
+
+    std::printf("Figure 11: amortized per-transaction validation "
+                "overhead in microseconds (%u modelled threads)\n\n",
+                threads);
+
+    const sim::BackendCosts tinystm = sim::tinystm_costs();
+
+    Table table({"workload", "mean |R| (writers)", "TinySTM us",
+                 "ROCoCoTM us (model)", "ROCoCoTM us (engine)"});
+    for (const std::string& workload : stamp::workload_names()) {
+        const stamp::SimTrace trace =
+            sim::capture_workload_trace(workload, params);
+
+        // TinySTM: validate_per_read per read-set entry of every
+        // writing transaction (read-only transactions skip validation
+        // in the commit-time-locking configuration).
+        double reads_sum = 0;
+        uint64_t writers = 0;
+        for (const auto& txn : trace.txns) {
+            if (txn.read_only()) continue;
+            reads_sum += static_cast<double>(txn.reads.size());
+            ++writers;
+        }
+        const double mean_reads =
+            writers ? reads_sum / static_cast<double>(writers) : 0;
+        const double tinystm_us =
+            mean_reads * tinystm.validate_per_read_ns / 1000.0;
+
+        // ROCoCoTM modelled: mean offload latency from the simulator.
+        sim::RococoSimBackend rococo;
+        sim::SimConfig config;
+        config.threads = threads;
+        sim::simulate(trace, rococo, config);
+        const double rococo_model_us =
+            rococo.mean_offload_latency_ns() / 1000.0;
+
+        // ROCoCoTM functional engine wall time per request.
+        fpga::ValidationEngine engine;
+        uint64_t requests = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        uint64_t snapshot = 0;
+        for (const auto& txn : trace.txns) {
+            if (txn.read_only()) continue;
+            fpga::OffloadRequest request{txn.reads, txn.writes,
+                                         engine.next_cid()};
+            (void)snapshot;
+            engine.process(request);
+            ++requests;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        const double engine_us =
+            requests ? std::chrono::duration<double, std::micro>(t1 - t0)
+                               .count() /
+                           static_cast<double>(requests)
+                     : 0;
+
+        table.row()
+            .cell(workload)
+            .num(mean_reads, 1)
+            .num(tinystm_us, 3)
+            .num(rococo_model_us, 3)
+            .num(engine_us, 3);
+    }
+    table.print();
+    std::printf(
+        "\nPaper check: ROCoCoTM's modelled validation overhead stays "
+        "below ~1 us and is insensitive to read-set size, while "
+        "TinySTM's grows linearly with |R| (vacation and yada carry "
+        "the largest read sets in this scaled suite; the paper's "
+        "worst case is labyrinth, whose full-size read sets reach "
+        "thousands of entries). The 'engine' column is the wall-clock "
+        "cost of the bit-accurate software engine on this machine — a "
+        "functional sanity check, naturally slower than the modelled "
+        "hardware.\n");
+    return 0;
+}

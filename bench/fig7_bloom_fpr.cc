@@ -1,0 +1,129 @@
+/// Reproduces Fig. 7: false positivity of (a) membership query and
+/// (b) set intersection for parallel bloom-filter signatures, as a
+/// function of stored elements n, for several (m, k) geometries —
+/// both the analytic model (Jeffrey & Steffan) and a Monte-Carlo
+/// measurement of the actual implementation.
+///
+/// Expected shape: query false positives stay small for small n, but
+/// false set-overlap of intersections rises sharply past ~8 elements —
+/// the observation that leads ROCoCoTM to m = 512 with 8-address
+/// sub-signatures (§5.2).
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "sig/bloom_signature.h"
+#include "sig/signature_model.h"
+
+using namespace rococo;
+
+namespace {
+
+double
+measure_query_fpr(unsigned m, unsigned k, unsigned n, int rounds,
+                  Xoshiro256& rng)
+{
+    auto cfg = std::make_shared<const sig::SignatureConfig>(m, k);
+    int fp = 0, probes = 0;
+    for (int round = 0; round < rounds; ++round) {
+        sig::BloomSignature s(cfg);
+        for (unsigned i = 0; i < n; ++i) s.insert(rng() * 2); // evens
+        for (int p = 0; p < 16; ++p) {
+            ++probes;
+            fp += s.query(rng() * 2 + 1) ? 1 : 0; // odd: never inserted
+        }
+    }
+    return static_cast<double>(fp) / probes;
+}
+
+std::pair<double, double>
+measure_intersect_fpr(unsigned m, unsigned k, unsigned n, int rounds,
+                      Xoshiro256& rng)
+{
+    auto cfg = std::make_shared<const sig::SignatureConfig>(m, k);
+    int any_bit = 0, partitioned = 0;
+    for (int round = 0; round < rounds; ++round) {
+        sig::BloomSignature a(cfg), b(cfg);
+        for (unsigned i = 0; i < n; ++i) {
+            a.insert(rng() * 2);
+            b.insert(rng() * 2 + 1);
+        }
+        any_bit += a.intersects(b) ? 1 : 0;
+        partitioned += a.intersects_all_partitions(b) ? 1 : 0;
+    }
+    return {static_cast<double>(any_bit) / rounds,
+            static_cast<double>(partitioned) / rounds};
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv, {"rounds"});
+    const int rounds = static_cast<int>(cli.get_int("rounds", 1500));
+    Xoshiro256 rng(2024);
+
+    const std::pair<unsigned, unsigned> geometries[] = {
+        {256, 4}, {512, 2}, {512, 4}, {1024, 4}};
+
+    std::printf("Figure 7 (a): query false-positive rate vs stored "
+                "elements (model | measured, %d rounds)\n\n",
+                rounds);
+    {
+        Table table({"n", "m=256,k=4", "m=512,k=2", "m=512,k=4",
+                     "m=1024,k=4"});
+        for (unsigned n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+            Table& row = table.row();
+            row.num(static_cast<int>(n));
+            for (auto [m, k] : geometries) {
+                char buf[48];
+                std::snprintf(
+                    buf, sizeof(buf), "%.4f | %.4f",
+                    sig::query_false_positive({m, k}, n),
+                    measure_query_fpr(m, k, n, rounds / 4, rng));
+                row.cell(buf);
+            }
+        }
+        table.print();
+    }
+
+    std::printf("\nFigure 7 (b): false set-overlap of intersection, two "
+                "disjoint n-element sets.\n"
+                "Each cell: any-bit AND criterion (model | measured), "
+                "then the per-partition criterion (model | measured)\n\n");
+    {
+        Table table({"n", "m=256,k=4", "m=512,k=2", "m=512,k=4",
+                     "m=1024,k=4"});
+        for (unsigned n : {2u, 4u, 8u, 16u, 32u}) {
+            Table& row = table.row();
+            row.num(static_cast<int>(n));
+            for (auto [m, k] : geometries) {
+                const auto [any_bit, partitioned] =
+                    measure_intersect_fpr(m, k, n, rounds, rng);
+                char buf[96];
+                std::snprintf(
+                    buf, sizeof(buf), "%.3f|%.3f  %.3f|%.3f",
+                    sig::intersection_false_overlap({m, k}, n, n),
+                    any_bit,
+                    sig::intersection_false_overlap_all_partitions(
+                        {m, k}, n, n),
+                    partitioned);
+                row.cell(buf);
+            }
+        }
+        table.print();
+    }
+
+    std::printf(
+        "\nFalse set-overlap rises sharply past ~8 elements even for "
+        "m=512 — hence ROCoCoTM only intersects signatures of at most "
+        "8 addresses (one per 512-bit cacheline) and uses the "
+        "per-partition criterion: %.1f%% false overlap at n=8 "
+        "(vs %.1f%% for the naive any-bit AND), §5.2.\n",
+        sig::intersection_false_overlap_all_partitions({512, 4}, 8, 8) *
+            100.0,
+        sig::intersection_false_overlap({512, 4}, 8, 8) * 100.0);
+    return 0;
+}

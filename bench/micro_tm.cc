@@ -1,0 +1,89 @@
+/// google-benchmark micro-benchmarks of the TM runtimes' primitive
+/// operations (single-threaded): transactional read, write and commit
+/// costs per runtime. These are the measured counterparts of the
+/// simulator's cost-model constants (src/sim/cost_model.cc) — absolute
+/// values differ from the paper's Xeon, but the *ratios* between
+/// runtimes (TinySTM's per-access metadata vs ROCoCoTM's signatures vs
+/// raw hardware access) are what the model encodes.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baselines/global_lock_tm.h"
+#include "baselines/htm_tsx.h"
+#include "baselines/sequential_tm.h"
+#include "baselines/tinystm_lsa.h"
+#include "tm/rococo_tm.h"
+
+using namespace rococo;
+
+namespace {
+
+std::unique_ptr<tm::TmRuntime>
+make_runtime(int which)
+{
+    switch (which) {
+      case 0: return std::make_unique<baselines::SequentialTm>();
+      case 1: return std::make_unique<baselines::GlobalLockTm>();
+      case 2: return std::make_unique<baselines::TinyStmLsa>();
+      case 3: return std::make_unique<baselines::HtmTsxSim>();
+      default: return std::make_unique<tm::RococoTm>();
+    }
+}
+
+const char* const kNames[] = {"Sequential", "GlobalLock", "TinySTM",
+                              "HTM-TSX", "ROCoCoTM"};
+
+void
+BM_ReadOnlyTxn(benchmark::State& state)
+{
+    auto rt = make_runtime(static_cast<int>(state.range(0)));
+    tm::TmArray<int64_t> data(256);
+    rt->thread_init(0);
+    const size_t reads = static_cast<size_t>(state.range(1));
+    size_t cursor = 0;
+    for (auto _ : state) {
+        rt->execute([&](tm::Tx& tx) {
+            int64_t sum = 0;
+            for (size_t i = 0; i < reads; ++i) {
+                sum += data.get(tx, (cursor + i) % 256);
+            }
+            benchmark::DoNotOptimize(sum);
+        });
+        ++cursor;
+    }
+    rt->thread_fini();
+    state.SetLabel(kNames[state.range(0)]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadOnlyTxn)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {8}})
+    ->ArgNames({"runtime", "reads"});
+
+void
+BM_ReadWriteTxn(benchmark::State& state)
+{
+    auto rt = make_runtime(static_cast<int>(state.range(0)));
+    tm::TmArray<int64_t> data(256);
+    rt->thread_init(0);
+    size_t cursor = 0;
+    for (auto _ : state) {
+        rt->execute([&](tm::Tx& tx) {
+            for (size_t i = 0; i < 4; ++i) {
+                const size_t idx = (cursor * 4 + i) % 256;
+                data.set(tx, idx, data.get(tx, idx) + 1);
+            }
+        });
+        ++cursor;
+    }
+    rt->thread_fini();
+    state.SetLabel(kNames[state.range(0)]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadWriteTxn)
+    ->ArgsProduct({{0, 1, 2, 3, 4}})
+    ->ArgNames({"runtime"});
+
+} // namespace
+
+BENCHMARK_MAIN();

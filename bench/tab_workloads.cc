@@ -1,0 +1,60 @@
+/// Workload characterization table — the analogue of STAMP's Table 1
+/// and the evidential basis for the Fig. 10 discussion (§6.3): which
+/// workloads have long transactions, large read sets, high contention,
+/// and big read-only fractions. Shapes to check against the paper's
+/// narrative: ssca2 = huge count of tiny low-contention transactions;
+/// labyrinth/yada = long transactions with real conflicts; genome and
+/// intruder = large read-only fractions; kmeans = short transactions
+/// on a hot set.
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "sim/stamp_sim.h"
+#include "sim/trace_stats.h"
+
+using namespace rococo;
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv, {"scale", "seed", "contention"});
+    stamp::WorkloadParams params;
+    params.scale = static_cast<unsigned>(cli.get_int("scale", 2));
+    params.seed = static_cast<uint64_t>(cli.get_int("seed", 7));
+    params.high_contention = cli.get("contention", "high") != "low";
+
+    std::printf("Workload characterization (STAMP Table-1 analogue, "
+                "scale=%u, %s contention inputs)\n\n",
+                params.scale,
+                params.high_contention ? "high" : "low");
+
+    Table table({"workload", "txns", "ro %", "|R| mean/p95/max",
+                 "|W| mean/p95/max", "pair conflict", "length",
+                 "contention"});
+    for (const std::string& workload : stamp::workload_names()) {
+        const stamp::SimTrace trace =
+            sim::capture_workload_trace(workload, params);
+        const sim::TraceCharacterization c = sim::characterize(trace);
+        char reads[48], writes[48];
+        std::snprintf(reads, sizeof(reads), "%.1f / %llu / %llu",
+                      c.reads.mean,
+                      static_cast<unsigned long long>(c.reads.p95),
+                      static_cast<unsigned long long>(c.reads.max));
+        std::snprintf(writes, sizeof(writes), "%.1f / %llu / %llu",
+                      c.writes.mean,
+                      static_cast<unsigned long long>(c.writes.p95),
+                      static_cast<unsigned long long>(c.writes.max));
+        table.row()
+            .cell(workload)
+            .num(c.txns)
+            .num(c.read_only_fraction * 100.0, 0)
+            .cell(reads)
+            .cell(writes)
+            .num(c.pairwise_conflict, 4)
+            .cell(c.length_class)
+            .cell(c.contention_class);
+    }
+    table.print();
+    return 0;
+}

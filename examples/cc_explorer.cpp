@@ -1,0 +1,117 @@
+/// Concurrency-control explorer: generate a synthetic transaction
+/// trace, replay it under 2PL, TOCC, SI and ROCoCo, check
+/// serializability with the oracle, and demonstrate the phantom
+/// ordering of §3.1 on a concrete three-transaction history.
+///
+///   ./build/examples/cc_explorer [--txns=500] [--accesses=12]
+///                                [--threads=8] [--skew=0]
+#include <cstdio>
+
+#include "cc/replay.h"
+#include "cc/rococo_cc.h"
+#include "cc/snapshot_isolation.h"
+#include "cc/tocc.h"
+#include "cc/trace_generator.h"
+#include "cc/two_phase_locking.h"
+#include "common/cli.h"
+#include "common/table.h"
+
+using namespace rococo;
+
+namespace {
+
+void
+phantom_ordering_demo()
+{
+    std::printf("--- Phantom ordering (Fig. 2 (b)) ---\n");
+    std::printf("t2 writes x; t3 (snapshot older than t2) reads the old "
+                "x and writes w; t1 reads both.\n");
+
+    cc::Trace trace;
+    trace.num_locations = 8;
+    trace.txns.push_back({{}, {0}});     // t2: W(x)
+    trace.txns.push_back({{0, 2}, {3}}); // t3: R(x old) R(z) W(w)
+    trace.txns.push_back({{3}, {4}});    // t1: R(w) W(v)
+    trace.normalize();
+
+    cc::Tocc tocc;
+    const auto tocc_result = cc::replay(tocc, trace, 2);
+    cc::RococoCc rococo(64);
+    const auto rococo_result = cc::replay(rococo, trace, 2);
+
+    std::printf("TOCC   commits: t2=%d t3=%d t1=%d  (timestamps forbid "
+                "ordering t3 before the already-committed t2)\n",
+                tocc_result.committed[0], tocc_result.committed[1],
+                tocc_result.committed[2]);
+    std::printf("ROCoCo commits: t2=%d t3=%d t1=%d\n",
+                rococo_result.committed[0], rococo_result.committed[1],
+                rococo_result.committed[2]);
+
+    const auto check = cc::check_history(trace, rococo_result.committed, 2);
+    std::printf("ROCoCo history serializable: %s; witness serial order:",
+                check.serializable ? "yes" : "NO");
+    for (size_t v : check.witness_order) {
+        if (rococo_result.committed[v]) {
+            std::printf(" t%d", v == 0 ? 2 : (v == 1 ? 3 : 1));
+        }
+    }
+    std::printf("  <- t3 is serialized BEFORE t2 although it committed "
+                "later: the reordering TOCC's phantom ordering forbids.\n\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv, {"txns", "accesses", "threads", "skew", "seed"});
+    cc::Trace trace;
+    const int threads = static_cast<int>(cli.get_int("threads", 8));
+    const double skew = cli.get_double("skew", 0.0);
+    if (skew > 0) {
+        cc::SkewedTraceParams params;
+        params.txns = static_cast<size_t>(cli.get_int("txns", 500));
+        params.accesses = static_cast<unsigned>(cli.get_int("accesses", 12));
+        params.theta = skew;
+        params.seed = static_cast<uint64_t>(cli.get_int("seed", 1));
+        trace = cc::generate_skewed_trace(params);
+    } else {
+        cc::UniformTraceParams params;
+        params.txns = static_cast<size_t>(cli.get_int("txns", 500));
+        params.accesses = static_cast<unsigned>(cli.get_int("accesses", 12));
+        params.seed = static_cast<uint64_t>(cli.get_int("seed", 1));
+        trace = cc::generate_uniform_trace(params);
+    }
+
+    phantom_ordering_demo();
+
+    std::printf("--- Replay of %zu transactions, %d-way concurrency ---\n",
+                trace.size(), threads);
+    Table table({"algorithm", "commits", "aborts", "abort rate",
+                 "serializable"});
+
+    cc::TwoPhaseLocking tpl;
+    cc::Tocc tocc;
+    cc::SnapshotIsolation si;
+    cc::RococoCc rococo(64);
+    for (cc::CcAlgorithm* algorithm :
+         std::initializer_list<cc::CcAlgorithm*>{&tpl, &tocc, &si,
+                                                 &rococo}) {
+        const auto result = cc::replay(*algorithm, trace, threads);
+        const auto check =
+            cc::check_history(trace, result.committed, threads);
+        table.row()
+            .cell(algorithm->name())
+            .num(result.commit_count)
+            .num(result.abort_count)
+            .num(result.abort_rate(), 3)
+            .cell(check.serializable ? "yes" : "NO (anomaly admitted)");
+    }
+    table.print();
+    std::printf(
+        "\nROCoCo aborts the least (Fig. 9) — often even less than SI, "
+        "which needlessly aborts write-write conflicts "
+        "(first-committer-wins) yet still admits the write-skew "
+        "anomaly the oracle flags above.\n");
+    return 0;
+}

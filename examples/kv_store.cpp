@@ -1,0 +1,126 @@
+/// A transactional key-value store exercised on every runtime in the
+/// library: ROCoCoTM, the TinySTM-like LSA baseline, the simulated
+/// TSX HTM, and the global-lock reference.
+///
+/// Demonstrates: transactional containers (TxMap), multi-key
+/// transactions (atomic multi-put / consistent multi-get), runtime
+/// interchangeability behind the TmRuntime interface, and per-runtime
+/// statistics. On this container's single core the wall-clock numbers
+/// are not a scalability statement — see bench/fig10_stamp for
+/// modelled scaling.
+///
+///   ./build/examples/kv_store [--threads=4] [--ops=3000]
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/global_lock_tm.h"
+#include "baselines/htm_tsx.h"
+#include "baselines/tinystm_lsa.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "stamp/containers/tx_map.h"
+#include "tm/rococo_tm.h"
+
+using namespace rococo;
+
+namespace {
+
+struct RunStats
+{
+    double seconds = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    bool consistent = false;
+};
+
+/// Each operation touches two keys atomically: a "document" and its
+/// reverse-index entry must always agree.
+RunStats
+run_store(tm::TmRuntime& runtime, unsigned threads, int ops_per_thread,
+          uint64_t keys)
+{
+    stamp::TxMap documents(keys * 4 + 1024);
+    stamp::TxMap index(keys * 4 + 1024);
+
+    std::vector<std::thread> workers;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        workers.emplace_back([&, tid] {
+            runtime.thread_init(tid);
+            Xoshiro256 rng(99 + tid);
+            for (int i = 0; i < ops_per_thread; ++i) {
+                const uint64_t key = rng.below(keys);
+                const uint64_t version = rng();
+                if (rng.chance(0.5)) {
+                    // Atomic two-table upsert.
+                    runtime.execute([&](tm::Tx& tx) {
+                        documents.put(tx, key, version);
+                        index.put(tx, version % keys, key);
+                    });
+                } else {
+                    // Consistent read of both tables.
+                    runtime.execute([&](tm::Tx& tx) {
+                        auto doc = documents.find(tx, key);
+                        if (doc) index.find(tx, *doc % keys);
+                    });
+                }
+            }
+            runtime.thread_fini();
+        });
+    }
+    for (auto& worker : workers) worker.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunStats out;
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.commits = runtime.stats().get("commits");
+    out.aborts = runtime.stats().get("aborts");
+    // Consistency: every document's index entry exists.
+    out.consistent = true;
+    documents.unsafe_for_each([&](uint64_t, uint64_t version) {
+        bool found = false;
+        index.unsafe_for_each([&](uint64_t ikey, uint64_t) {
+            found |= ikey == version % keys;
+        });
+        out.consistent &= found;
+    });
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv, {"threads", "ops", "keys"});
+    const unsigned threads = static_cast<unsigned>(cli.get_int("threads", 4));
+    const int ops = static_cast<int>(cli.get_int("ops", 1500));
+    const uint64_t keys = static_cast<uint64_t>(cli.get_int("keys", 256));
+
+    Table table({"runtime", "seconds", "commits", "aborts", "consistent"});
+    for (const char* which : {"rococo", "tinystm", "htm", "lock"}) {
+        std::unique_ptr<tm::TmRuntime> runtime;
+        if (std::string(which) == "rococo") {
+            runtime = std::make_unique<tm::RococoTm>();
+        } else if (std::string(which) == "tinystm") {
+            runtime = std::make_unique<baselines::TinyStmLsa>();
+        } else if (std::string(which) == "htm") {
+            runtime = std::make_unique<baselines::HtmTsxSim>();
+        } else {
+            runtime = std::make_unique<baselines::GlobalLockTm>();
+        }
+        const RunStats stats = run_store(*runtime, threads, ops, keys);
+        table.row()
+            .cell(runtime->name())
+            .num(stats.seconds, 3)
+            .num(stats.commits)
+            .num(stats.aborts)
+            .cell(stats.consistent ? "yes" : "NO");
+    }
+    table.print();
+    return 0;
+}

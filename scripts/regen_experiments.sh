@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Rebuild and regenerate every paper figure/table plus the ablations,
+# collecting outputs under results/. Used to refresh EXPERIMENTS.md.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/*; do
+    name="$(basename "$bench")"
+    echo "=== $name ==="
+    "$bench" | tee "results/$name.txt"
+done
+echo "outputs written to results/"

@@ -1,0 +1,42 @@
+#include "baselines/global_lock_tm.h"
+
+namespace rococo::baselines {
+
+class GlobalLockTm::DirectTx final : public tm::Tx
+{
+  public:
+    tm::Word
+    load(const tm::TmCell& cell) override
+    {
+        return cell.value.load(std::memory_order_acquire);
+    }
+
+    void
+    store(tm::TmCell& cell, tm::Word value) override
+    {
+        cell.value.store(value, std::memory_order_release);
+    }
+
+    [[noreturn]] void
+    retry() override
+    {
+        throw tm::TxAbortException{};
+    }
+};
+
+bool
+GlobalLockTm::try_execute(const std::function<void(tm::Tx&)>& body)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    DirectTx tx;
+    try {
+        body(tx);
+    } catch (const tm::TxAbortException&) {
+        stats_.bump(tm::stat::kAborts);
+        return false;
+    }
+    stats_.bump(tm::stat::kCommits);
+    return true;
+}
+
+} // namespace rococo::baselines

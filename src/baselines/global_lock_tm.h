@@ -1,0 +1,40 @@
+/// @file
+/// Single-global-lock TM: every transaction runs under one mutex.
+/// Serves as the correctness reference (trivially serializable), the
+/// fallback semantics model, and the denominator-style baseline for
+/// speedup tables.
+#pragma once
+
+#include <mutex>
+
+#include "common/stats.h"
+#include "tm/tm.h"
+
+namespace rococo::baselines {
+
+class GlobalLockTm final : public tm::TmRuntime
+{
+  public:
+    std::string name() const override { return "GlobalLock"; }
+
+    void thread_init(unsigned) override {}
+    void thread_fini() override {}
+
+    CounterBag
+    stats() const override
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+  protected:
+    bool try_execute(const std::function<void(tm::Tx&)>& body) override;
+
+  private:
+    class DirectTx;
+
+    mutable std::mutex mutex_;
+    CounterBag stats_;
+};
+
+} // namespace rococo::baselines

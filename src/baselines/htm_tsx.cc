@@ -1,0 +1,315 @@
+#include "baselines/htm_tsx.h"
+
+#include <bit>
+#include <thread>
+
+#include "common/check.h"
+
+namespace rococo::baselines {
+namespace {
+
+thread_local unsigned tls_thread_id = ~0u;
+
+} // namespace
+
+struct HtmTsxSim::Descriptor
+{
+    explicit Descriptor(unsigned tid)
+        : thread_id(tid)
+    {
+    }
+
+    unsigned thread_id;
+    unsigned failed_attempts = 0;
+    std::vector<size_t> read_stripes;  ///< stripes with our reader bit
+    std::vector<size_t> write_stripes; ///< stripes we own as writer
+    tm::RedoLog redo;
+    size_t accesses = 0;
+    CounterBag stats;
+
+    void
+    reset()
+    {
+        read_stripes.clear();
+        write_stripes.clear();
+        redo.clear();
+        accesses = 0;
+    }
+};
+
+class HtmTsxSim::TxImpl final : public tm::Tx
+{
+  public:
+    TxImpl(HtmTsxSim& rt, Descriptor& d)
+        : rt_(rt), d_(d)
+    {
+    }
+
+    tm::Word
+    load(const tm::TmCell& cell) override
+    {
+        check_doom_and_capacity();
+
+        const size_t idx = rt_.stripe_index(&cell);
+        Stripe& stripe = rt_.stripes_[idx];
+
+        tm::Word value;
+        if (!d_.redo.empty() && d_.redo.get(&cell, value)) return value;
+
+        // Acquire shared ownership; a foreign writer loses (requester
+        // wins, as when a load forces the writer's M-state line out of
+        // its cache).
+        const uint32_t writer = stripe.writer.load(std::memory_order_acquire);
+        if (writer != 0 && writer != d_.thread_id + 1) {
+            rt_.doom(writer - 1);
+        }
+        const uint64_t my_bit = uint64_t{1} << (d_.thread_id & 63);
+        if (!(stripe.readers.load(std::memory_order_relaxed) & my_bit)) {
+            stripe.readers.fetch_or(my_bit, std::memory_order_acq_rel);
+            d_.read_stripes.push_back(idx);
+        }
+        ++d_.accesses;
+        return cell.value.load(std::memory_order_acquire);
+    }
+
+    void
+    store(tm::TmCell& cell, tm::Word value) override
+    {
+        check_doom_and_capacity();
+
+        const size_t idx = rt_.stripe_index(&cell);
+        Stripe& stripe = rt_.stripes_[idx];
+
+        // Exclusive ownership: doom every foreign reader and writer
+        // (the store invalidates their lines).
+        const uint32_t me = d_.thread_id + 1;
+        uint32_t writer = stripe.writer.load(std::memory_order_acquire);
+        if (writer != me) {
+            if (writer != 0) rt_.doom(writer - 1);
+            stripe.writer.store(me, std::memory_order_release);
+            d_.write_stripes.push_back(idx);
+        }
+        const uint64_t my_bit = uint64_t{1} << (d_.thread_id & 63);
+        uint64_t readers =
+            stripe.readers.load(std::memory_order_acquire) & ~my_bit;
+        while (readers != 0) {
+            const unsigned victim = std::countr_zero(readers);
+            rt_.doom(victim);
+            readers &= readers - 1;
+        }
+        d_.redo.put(&cell, value);
+        ++d_.accesses;
+        if (d_.write_stripes.size() > rt_.config_.write_capacity) {
+            capacity_abort();
+        }
+    }
+
+    [[noreturn]] void
+    retry() override
+    {
+        d_.stats.bump(tm::stat::kEagerAborts);
+        throw tm::TxAbortException{};
+    }
+
+  private:
+    void
+    check_doom_and_capacity()
+    {
+        if (rt_.doomed_[d_.thread_id].load(std::memory_order_acquire) ||
+            rt_.fallback_active_.load(std::memory_order_acquire)) {
+            d_.stats.bump(tm::stat::kConflictAborts);
+            throw tm::TxAbortException{};
+        }
+        if (d_.accesses > rt_.config_.read_capacity) capacity_abort();
+    }
+
+    [[noreturn]] void
+    capacity_abort()
+    {
+        d_.stats.bump(tm::stat::kCapacityAborts);
+        throw tm::TxAbortException{};
+    }
+
+    HtmTsxSim& rt_;
+    Descriptor& d_;
+};
+
+HtmTsxSim::HtmTsxSim(const HtmConfig& config)
+    : config_(config), stripes_(config.stripes),
+      doomed_(std::make_unique<std::atomic<uint32_t>[]>(config.max_threads)),
+      descriptors_(config.max_threads)
+{
+    ROCOCO_CHECK(std::has_single_bit(config.stripes));
+    ROCOCO_CHECK(config.max_threads <= 64);
+    for (unsigned i = 0; i < config.max_threads; ++i) {
+        doomed_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+HtmTsxSim::~HtmTsxSim() = default;
+
+void
+HtmTsxSim::thread_init(unsigned thread_id)
+{
+    ROCOCO_CHECK(thread_id < config_.max_threads);
+    if (!descriptors_[thread_id]) {
+        descriptors_[thread_id] = std::make_unique<Descriptor>(thread_id);
+    }
+    tls_thread_id = thread_id;
+}
+
+void
+HtmTsxSim::thread_fini()
+{
+    ROCOCO_CHECK(tls_thread_id != ~0u);
+    Descriptor& d = *descriptors_[tls_thread_id];
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.add(d.stats);
+    }
+    d.stats = CounterBag();
+    tls_thread_id = ~0u;
+}
+
+HtmTsxSim::Descriptor&
+HtmTsxSim::descriptor()
+{
+    ROCOCO_CHECK(tls_thread_id != ~0u);
+    return *descriptors_[tls_thread_id];
+}
+
+void
+HtmTsxSim::doom(unsigned victim)
+{
+    doomed_[victim].store(1, std::memory_order_release);
+}
+
+void
+HtmTsxSim::release_footprint(Descriptor& d)
+{
+    const uint64_t my_bit = uint64_t{1} << (d.thread_id & 63);
+    for (size_t idx : d.read_stripes) {
+        stripes_[idx].readers.fetch_and(~my_bit, std::memory_order_acq_rel);
+    }
+    const uint32_t me = d.thread_id + 1;
+    for (size_t idx : d.write_stripes) {
+        uint32_t expected = me;
+        stripes_[idx].writer.compare_exchange_strong(
+            expected, 0, std::memory_order_acq_rel);
+    }
+}
+
+bool
+HtmTsxSim::speculative_attempt(const std::function<void(tm::Tx&)>& body,
+                               Descriptor& d)
+{
+    while (fallback_active_.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+    }
+    d.reset();
+    doomed_[d.thread_id].store(0, std::memory_order_release);
+    TxImpl tx(*this, d);
+
+    bool committed = false;
+    try {
+        body(tx);
+        // Commit decision is serialized against doom() effects and the
+        // fallback barrier.
+        std::lock_guard<std::mutex> lock(commit_mutex_);
+        if (!doomed_[d.thread_id].load(std::memory_order_acquire) &&
+            !fallback_active_.load(std::memory_order_acquire)) {
+            d.redo.apply();
+            committed = true;
+        } else {
+            d.stats.bump(tm::stat::kConflictAborts);
+        }
+    } catch (const tm::TxAbortException&) {
+        // Doom/capacity/user abort: counters were bumped at the throw
+        // site.
+    }
+    release_footprint(d);
+    return committed;
+}
+
+void
+HtmTsxSim::fallback_execute(const std::function<void(tm::Tx&)>& body,
+                            Descriptor& d)
+{
+    // Global-lock fallback: exclusive, non-speculative execution.
+    std::lock_guard<std::mutex> serial(fallback_mutex_);
+    fallback_active_.store(1, std::memory_order_release);
+    {
+        // Barrier: wait out any in-flight speculative commit.
+        std::lock_guard<std::mutex> barrier(commit_mutex_);
+    }
+
+    /// Direct-access Tx handle used only under the fallback lock.
+    class DirectTx final : public tm::Tx
+    {
+      public:
+        tm::Word
+        load(const tm::TmCell& cell) override
+        {
+            return cell.value.load(std::memory_order_acquire);
+        }
+        void
+        store(tm::TmCell& cell, tm::Word value) override
+        {
+            cell.value.store(value, std::memory_order_release);
+        }
+        [[noreturn]] void
+        retry() override
+        {
+            throw tm::TxAbortException{};
+        }
+    } tx;
+
+    try {
+        body(tx);
+    } catch (const tm::TxAbortException&) {
+        // A retry() under the fallback lock cannot make progress by
+        // waiting (we are serial); surface it as a commit of a no-op
+        // retry loop by re-running the body until it succeeds.
+        fallback_active_.store(0, std::memory_order_release);
+        throw;
+    }
+    fallback_active_.store(0, std::memory_order_release);
+    d.stats.bump(tm::stat::kFallbackCommits);
+    d.stats.bump(tm::stat::kCommits);
+}
+
+bool
+HtmTsxSim::try_execute(const std::function<void(tm::Tx&)>& body)
+{
+    Descriptor& d = descriptor();
+    if (d.failed_attempts > config_.retries) {
+        try {
+            fallback_execute(body, d);
+            d.failed_attempts = 0;
+            return true;
+        } catch (const tm::TxAbortException&) {
+            // retry() under the fallback lock: go back to speculation so
+            // other threads can change the awaited state.
+            d.failed_attempts = 0;
+            d.stats.bump(tm::stat::kAborts);
+            return false;
+        }
+    }
+    if (speculative_attempt(body, d)) {
+        d.failed_attempts = 0;
+        d.stats.bump(tm::stat::kCommits);
+        return true;
+    }
+    ++d.failed_attempts;
+    d.stats.bump(tm::stat::kAborts);
+    return false;
+}
+
+CounterBag
+HtmTsxSim::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+} // namespace rococo::baselines

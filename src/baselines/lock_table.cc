@@ -1,0 +1,19 @@
+#include "baselines/lock_table.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace rococo::baselines {
+
+LockTable::LockTable(size_t stripes)
+    : stripes_(stripes),
+      locks_(std::make_unique<std::atomic<uint64_t>[]>(stripes))
+{
+    ROCOCO_CHECK(std::has_single_bit(stripes));
+    for (size_t i = 0; i < stripes; ++i) {
+        locks_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace rococo::baselines

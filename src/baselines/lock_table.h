@@ -1,0 +1,49 @@
+/// @file
+/// Striped versioned-lock table, the per-location metadata of the
+/// TinySTM-style baseline (and the ownership table of the simulated
+/// HTM). Each shared cell hashes to one of 2^n stripes; a stripe's
+/// 64-bit word encodes either an unlocked version (version << 1) or a
+/// locked owner (owner << 1 | 1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace rococo::baselines {
+
+class LockTable
+{
+  public:
+    explicit LockTable(size_t stripes = size_t{1} << 20);
+
+    size_t stripes() const { return stripes_; }
+
+    std::atomic<uint64_t>&
+    lock_for(const void* addr)
+    {
+        return locks_[index_of(addr)];
+    }
+
+    size_t
+    index_of(const void* addr) const
+    {
+        auto x = reinterpret_cast<uintptr_t>(addr);
+        x ^= x >> 33;
+        x *= 0xff51afd7ed558ccdULL;
+        x ^= x >> 29;
+        return static_cast<size_t>(x) & (stripes_ - 1);
+    }
+
+    static bool is_locked(uint64_t word) { return word & 1; }
+    static uint64_t version_of(uint64_t word) { return word >> 1; }
+    static uint64_t owner_of(uint64_t word) { return word >> 1; }
+    static uint64_t make_version(uint64_t version) { return version << 1; }
+    static uint64_t make_locked(uint64_t owner) { return (owner << 1) | 1; }
+
+  private:
+    size_t stripes_;
+    std::unique_ptr<std::atomic<uint64_t>[]> locks_;
+};
+
+} // namespace rococo::baselines

@@ -1,0 +1,44 @@
+#include "baselines/sequential_tm.h"
+
+namespace rococo::baselines {
+namespace {
+
+class DirectTx final : public tm::Tx
+{
+  public:
+    tm::Word
+    load(const tm::TmCell& cell) override
+    {
+        return cell.value.load(std::memory_order_relaxed);
+    }
+
+    void
+    store(tm::TmCell& cell, tm::Word value) override
+    {
+        cell.value.store(value, std::memory_order_relaxed);
+    }
+
+    [[noreturn]] void
+    retry() override
+    {
+        throw tm::TxAbortException{};
+    }
+};
+
+} // namespace
+
+bool
+SequentialTm::try_execute(const std::function<void(tm::Tx&)>& body)
+{
+    DirectTx tx;
+    try {
+        body(tx);
+    } catch (const tm::TxAbortException&) {
+        stats_.bump(tm::stat::kAborts);
+        return false;
+    }
+    stats_.bump(tm::stat::kCommits);
+    return true;
+}
+
+} // namespace rococo::baselines

@@ -1,0 +1,34 @@
+/// @file
+/// Sequential (no-instrumentation) TM for single-threaded use: the
+/// "sequential execution" every Fig. 10 speedup is measured against.
+/// Accesses go straight to memory; there is no rollback, so bodies run
+/// at native speed exactly like STAMP's sequential build.
+#pragma once
+
+#include "common/stats.h"
+#include "tm/tm.h"
+
+namespace rococo::baselines {
+
+class SequentialTm final : public tm::TmRuntime
+{
+  public:
+    std::string name() const override { return "Sequential"; }
+
+    void thread_init(unsigned) override {}
+    void thread_fini() override {}
+
+    CounterBag
+    stats() const override
+    {
+        return stats_;
+    }
+
+  protected:
+    bool try_execute(const std::function<void(tm::Tx&)>& body) override;
+
+  private:
+    CounterBag stats_;
+};
+
+} // namespace rococo::baselines

@@ -1,0 +1,76 @@
+/// @file
+/// A from-scratch word-based STM in the TinySTM/LSA family — the STM
+/// baseline of the paper's evaluation (§6.2): time-based lazy snapshot
+/// algorithm, per-stripe versioned locks, and the configuration the
+/// paper benchmarks — commit-time locking (lazy conflict detection)
+/// with write-back of tentative state on commit (lazy version
+/// management).
+///
+/// A transaction keeps a snapshot timestamp; reads are valid while
+/// every read stripe's version is <= snapshot. Reading a newer version
+/// triggers LSA snapshot extension: the snapshot can slide forward to
+/// the current clock iff all previous reads are still valid (opacity
+/// preserved). Writers acquire their stripes at commit, take a commit
+/// timestamp from the global clock, re-validate, write back and
+/// release with the new version.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "baselines/lock_table.h"
+#include "common/stats.h"
+#include "tm/redo_log.h"
+#include "tm/tm.h"
+
+namespace rococo::baselines {
+
+struct TinyStmConfig
+{
+    size_t stripes = size_t{1} << 20;
+    unsigned max_threads = 64;
+    /// Bounded spin on a locked stripe before giving up and aborting.
+    unsigned read_lock_spins = 64;
+};
+
+class TinyStmLsa final : public tm::TmRuntime
+{
+  public:
+    ~TinyStmLsa() override;
+
+    explicit TinyStmLsa(const TinyStmConfig& config = {});
+
+    std::string name() const override { return "TinySTM-LSA"; }
+
+    void thread_init(unsigned thread_id) override;
+    void thread_fini() override;
+
+    CounterBag stats() const override;
+
+  protected:
+    bool try_execute(const std::function<void(tm::Tx&)>& body) override;
+
+  private:
+    class TxImpl;
+    struct Descriptor;
+
+    Descriptor& descriptor();
+
+    /// Restore the first @p count acquired stripes to their saved
+    /// versions (abort path) .
+    static void release_locks(
+        const std::vector<std::atomic<uint64_t>*>& locks,
+        const std::vector<uint64_t>& versions, size_t count);
+
+    TinyStmConfig config_;
+    LockTable locks_;
+    std::atomic<uint64_t> clock_{0};
+
+    mutable std::mutex stats_mutex_;
+    CounterBag stats_;
+    std::vector<std::unique_ptr<Descriptor>> descriptors_;
+};
+
+} // namespace rococo::baselines

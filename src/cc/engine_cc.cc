@@ -1,0 +1,33 @@
+#include "cc/engine_cc.h"
+
+namespace rococo::cc {
+
+EngineCc::EngineCc(fpga::EngineConfig config)
+    : config_(config)
+{
+    // Replay counts every commit as a cid, so read-only transactions
+    // must be validated strictly for the accounting to stay aligned.
+    config_.strict_read_only = true;
+}
+
+void
+EngineCc::reset(const ReplayContext& context)
+{
+    engine_ = std::make_unique<fpga::ValidationEngine>(config_);
+    cid_prefix_.assign(context.trace().size() + 1, 0);
+}
+
+bool
+EngineCc::decide(const ReplayContext& context, size_t i)
+{
+    const TraceTxn& txn = context.trace().txns[i];
+    fpga::OffloadRequest request;
+    request.reads = txn.reads;
+    request.writes = txn.writes;
+    request.snapshot_cid = cid_prefix_[context.first_concurrent(i)];
+    const auto result = engine_->process(request);
+    cid_prefix_[i + 1] = engine_->next_cid();
+    return result.verdict == core::Verdict::kCommit;
+}
+
+} // namespace rococo::cc

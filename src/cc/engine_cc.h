@@ -1,0 +1,34 @@
+/// @file
+/// Trace-replay adapter driving the *signature-based* validation
+/// engine (Detector + Manager, the exact FPGA data path) instead of
+/// the precise-set validator. Bloom false positives make it
+/// conservative: it may abort more than RococoCc but never decides a
+/// real dependency away — with near-collision-free signatures its
+/// decisions coincide with the exact validator (property-tested).
+#pragma once
+
+#include <memory>
+
+#include "cc/replay.h"
+#include "fpga/validation_engine.h"
+
+namespace rococo::cc {
+
+class EngineCc final : public CcAlgorithm
+{
+  public:
+    explicit EngineCc(fpga::EngineConfig config = {});
+
+    std::string name() const override { return "ROCoCo-sig"; }
+    void reset(const ReplayContext& context) override;
+    bool decide(const ReplayContext& context, size_t i) override;
+
+    const fpga::ValidationEngine& engine() const { return *engine_; }
+
+  private:
+    fpga::EngineConfig config_;
+    std::unique_ptr<fpga::ValidationEngine> engine_;
+    std::vector<uint64_t> cid_prefix_;
+};
+
+} // namespace rococo::cc

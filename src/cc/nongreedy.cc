@@ -1,0 +1,109 @@
+#include "cc/nongreedy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rococo::cc {
+namespace {
+
+/// Rehearse validating the batch members in @p order on a copy of
+/// @p validator; returns true iff every member commits.
+bool
+rehearse(core::ExactRococoValidator validator, // by value: a copy
+         const Trace& trace, const std::vector<size_t>& order,
+         const std::vector<uint64_t>& snapshots, size_t batch_start)
+{
+    for (size_t index : order) {
+        const TraceTxn& txn = trace.txns[index];
+        const auto result = validator.validate(
+            txn.reads, txn.writes, snapshots[index - batch_start]);
+        if (result.verdict != core::Verdict::kCommit) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+BatchReplayResult
+batch_replay(const Trace& trace, int concurrency, size_t batch_size,
+             size_t window)
+{
+    ROCOCO_CHECK(concurrency >= 1);
+    ROCOCO_CHECK(batch_size >= 1 && batch_size <= 6);
+
+    core::ExactRococoValidator validator(window,
+                                         /*strict_read_only=*/true);
+    BatchReplayResult result;
+    result.committed.assign(trace.size(), 0);
+    result.commit_seq.assign(trace.size(), 0);
+    // commit_prefix[i] = commits among transactions [0, i).
+    std::vector<uint64_t> commit_prefix(trace.size() + 1, 0);
+
+    const size_t t_window = static_cast<size_t>(concurrency);
+
+    for (size_t batch_start = 0; batch_start < trace.size();
+         batch_start += batch_size) {
+        const size_t batch_end =
+            std::min(batch_start + batch_size, trace.size());
+        const size_t count = batch_end - batch_start;
+
+        // Snapshots: commits visible to each member. Decisions inside
+        // the batch are simultaneous, so visibility is clamped to the
+        // batch boundary.
+        std::vector<uint64_t> snapshots(count);
+        for (size_t i = batch_start; i < batch_end; ++i) {
+            const size_t first_concurrent =
+                i >= t_window ? i - t_window : 0;
+            const size_t visible = std::min(first_concurrent, batch_start);
+            snapshots[i - batch_start] = commit_prefix[visible];
+        }
+
+        // Exhaustive ordered-subset search for the max-commit schedule.
+        std::vector<size_t> best_order;
+        for (unsigned mask = 1; mask < (1u << count); ++mask) {
+            std::vector<size_t> members;
+            for (size_t j = 0; j < count; ++j) {
+                if (mask & (1u << j)) members.push_back(batch_start + j);
+            }
+            if (members.size() <= best_order.size()) continue;
+            std::sort(members.begin(), members.end());
+            do {
+                if (rehearse(validator, trace, members, snapshots,
+                             batch_start)) {
+                    best_order = members;
+                    break;
+                }
+            } while (std::next_permutation(members.begin(), members.end()));
+        }
+
+        // Apply the chosen schedule for real.
+        for (size_t index : best_order) {
+            const TraceTxn& txn = trace.txns[index];
+            const auto verdict = validator.validate(
+                txn.reads, txn.writes, snapshots[index - batch_start]);
+            ROCOCO_CHECK(verdict.verdict == core::Verdict::kCommit);
+            result.committed[index] = 1;
+            result.commit_seq[index] = verdict.cid;
+        }
+        result.commit_count += best_order.size();
+        result.abort_count += count - best_order.size();
+
+        // Count deliberate sacrifices: members outside the schedule
+        // that would have committed individually at this point.
+        for (size_t i = batch_start; i < batch_end; ++i) {
+            if (result.committed[i]) continue;
+            if (rehearse(validator, trace, {i}, snapshots, batch_start)) {
+                ++result.sacrificed;
+            }
+        }
+
+        for (size_t i = batch_start; i < batch_end; ++i) {
+            commit_prefix[i + 1] =
+                commit_prefix[i] + (result.committed[i] ? 1 : 0);
+        }
+    }
+    return result;
+}
+
+} // namespace rococo::cc

@@ -1,0 +1,63 @@
+/// @file
+/// Non-greedy ROCoCo (the paper's §4.1/§7 future-work direction).
+///
+/// Greedy ROCoCo commits any transaction that does not close a cycle
+/// "without considering future transactions. There exists cases in
+/// which committing a transaction may cause more future transactions
+/// to abort." This module adds a batched validator with a global view
+/// over a small decision window: it buffers B validation requests and
+/// picks the commit subset and order that maximizes commits
+/// (exhaustive search over ordered subsets — B is small, as a hardware
+/// reorder window would be), sacrificing a transaction when that saves
+/// several others.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/replay.h"
+#include "cc/trace.h"
+#include "common/stats.h"
+#include "core/rococo_validator.h"
+
+namespace rococo::cc {
+
+/// Result of a batched replay.
+struct BatchReplayResult
+{
+    std::vector<char> committed;
+    /// Commit sequence number (cid) per transaction; undefined for
+    /// aborted ones. Needed by the serializability oracle because the
+    /// batch may commit out of arrival order.
+    std::vector<uint64_t> commit_seq;
+    uint64_t commit_count = 0;
+    uint64_t abort_count = 0;
+    /// Transactions deliberately sacrificed although individually
+    /// committable (the non-greedy choices).
+    uint64_t sacrificed = 0;
+
+    double
+    abort_rate() const
+    {
+        const uint64_t total = commit_count + abort_count;
+        return total ? static_cast<double>(abort_count) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/// Replay @p trace under the non-greedy batched ROCoCo validator.
+///
+/// Transactions are processed in batches of @p batch_size; within a
+/// batch the validator rehearses every ordered subset on a copy of its
+/// state and commits the subset with the most commits (ties: earliest
+/// in arrival order). Snapshots follow the same concurrency-T
+/// semantics as cc::replay. batch_size = 1 degenerates to greedy
+/// ROCoCo.
+///
+/// Complexity per batch is sum_k C(B,k) k! (65 rehearsals at B = 4),
+/// the price of the "global view" §4.1 alludes to.
+BatchReplayResult batch_replay(const Trace& trace, int concurrency,
+                               size_t batch_size, size_t window = 64);
+
+} // namespace rococo::cc

@@ -1,0 +1,190 @@
+#include "cc/replay.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace rococo::cc {
+
+ReplayContext::ReplayContext(const Trace& trace, int concurrency)
+    : trace_(&trace), concurrency_(concurrency),
+      committed_(trace.size(), 0), commit_prefix_(trace.size() + 1, 0)
+{
+    ROCOCO_CHECK(concurrency >= 1);
+}
+
+size_t
+ReplayContext::first_concurrent(size_t i) const
+{
+    const size_t window = static_cast<size_t>(concurrency_);
+    return i >= window ? i - window : 0;
+}
+
+uint64_t
+ReplayContext::snapshot_cid(size_t i) const
+{
+    return commit_prefix_[first_concurrent(i)];
+}
+
+struct ReplayDriver
+{
+    static ReplayResult
+    run(CcAlgorithm& algorithm, const Trace& trace, int concurrency)
+    {
+        ReplayContext context(trace, concurrency);
+        algorithm.reset(context);
+
+        ReplayResult result;
+        result.committed.resize(trace.size(), 0);
+        for (size_t i = 0; i < trace.size(); ++i) {
+            const bool commit = algorithm.decide(context, i);
+            context.committed_[i] = commit;
+            context.commit_prefix_[i + 1] =
+                context.commit_prefix_[i] + (commit ? 1 : 0);
+            result.committed[i] = commit;
+            if (commit) {
+                ++result.commit_count;
+            } else {
+                ++result.abort_count;
+            }
+        }
+        return result;
+    }
+};
+
+ReplayResult
+replay(CcAlgorithm& algorithm, const Trace& trace, int concurrency)
+{
+    return ReplayDriver::run(algorithm, trace, concurrency);
+}
+
+graph::DependencyGraph
+build_rw_graph(const Trace& trace, const std::vector<char>& committed,
+               int concurrency)
+{
+    ROCOCO_CHECK(committed.size() == trace.size());
+    graph::DependencyGraph g(trace.size());
+    const size_t window = static_cast<size_t>(concurrency);
+
+    // Committed writers per address in commit (index) order.
+    std::map<uint64_t, std::vector<size_t>> writers;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (!committed[i]) continue;
+        for (uint64_t addr : trace.txns[i].writes) {
+            writers[addr].push_back(i);
+        }
+    }
+
+    // WAW: the version order chains committed writers of each address.
+    for (const auto& [addr, list] : writers) {
+        for (size_t v = 1; v < list.size(); ++v) {
+            g.add_edge(list[v - 1], list[v]);
+        }
+    }
+
+    // RAW / WAR: each committed reader observes the newest committed
+    // writer outside its concurrent window and precedes every later
+    // version's writer.
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (!committed[i]) continue;
+        const size_t visible_end = i >= window ? i - window : 0;
+        for (uint64_t addr : trace.txns[i].reads) {
+            auto it = writers.find(addr);
+            if (it == writers.end()) continue;
+            const auto& list = it->second;
+            // Last committed writer with index < visible_end.
+            auto first_invisible = std::lower_bound(list.begin(), list.end(),
+                                                    visible_end);
+            if (first_invisible != list.begin()) {
+                const size_t observed = *(first_invisible - 1);
+                if (observed != i) g.add_edge(observed, i); // RAW
+            }
+            // The reader precedes every writer of a later version.
+            for (auto later = first_invisible; later != list.end(); ++later) {
+                if (*later != i) g.add_edge(i, *later); // WAR
+            }
+        }
+    }
+    return g;
+}
+
+graph::SerializabilityResult
+check_history(const Trace& trace, const std::vector<char>& committed,
+              int concurrency)
+{
+    return graph::check_serializability(
+        build_rw_graph(trace, committed, concurrency));
+}
+
+graph::DependencyGraph
+build_rw_graph_ordered(const Trace& trace,
+                       const std::vector<char>& committed, int concurrency,
+                       const std::vector<uint64_t>& commit_seq)
+{
+    ROCOCO_CHECK(committed.size() == trace.size());
+    ROCOCO_CHECK(commit_seq.size() == trace.size());
+    graph::DependencyGraph g(trace.size());
+    const size_t window = static_cast<size_t>(concurrency);
+
+    // Committed writers per address in WRITE-BACK (commit-seq) order.
+    std::map<uint64_t, std::vector<size_t>> writers;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (!committed[i]) continue;
+        for (uint64_t addr : trace.txns[i].writes) {
+            writers[addr].push_back(i);
+        }
+    }
+    for (auto& [addr, list] : writers) {
+        std::sort(list.begin(), list.end(), [&](size_t a, size_t b) {
+            return commit_seq[a] < commit_seq[b];
+        });
+        // WAW: versions chain in write-back order.
+        for (size_t v = 1; v < list.size(); ++v) {
+            g.add_edge(list[v - 1], list[v]);
+        }
+    }
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        if (!committed[i]) continue;
+        const size_t visible_end = i >= window ? i - window : 0;
+        for (uint64_t addr : trace.txns[i].reads) {
+            auto it = writers.find(addr);
+            if (it == writers.end()) continue;
+            const auto& list = it->second;
+            // Observed version: among visible writers (arrival index <
+            // visible_end), the one written back last.
+            size_t observed = SIZE_MAX;
+            for (size_t w : list) {
+                if (w < visible_end &&
+                    (observed == SIZE_MAX ||
+                     commit_seq[w] > commit_seq[observed])) {
+                    observed = w;
+                }
+            }
+            if (observed != SIZE_MAX && observed != i) {
+                g.add_edge(observed, i); // RAW
+            }
+            // The reader precedes every later version's writer.
+            for (size_t w : list) {
+                if (w == i || w == observed) continue;
+                const bool later_version =
+                    observed == SIZE_MAX ||
+                    commit_seq[w] > commit_seq[observed];
+                if (later_version) g.add_edge(i, w); // WAR
+            }
+        }
+    }
+    return g;
+}
+
+graph::SerializabilityResult
+check_history_ordered(const Trace& trace,
+                      const std::vector<char>& committed, int concurrency,
+                      const std::vector<uint64_t>& commit_seq)
+{
+    return graph::check_serializability(build_rw_graph_ordered(
+        trace, committed, concurrency, commit_seq));
+}
+
+} // namespace rococo::cc

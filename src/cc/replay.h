@@ -1,0 +1,121 @@
+/// @file
+/// Trace replay driver for concurrency-control algorithms and the
+/// serializability oracle the committed histories are checked against.
+///
+/// Replay processes transactions in trace order. Transaction i is
+/// concurrent with the T-1 transactions preceding it; its snapshot
+/// contains exactly the committed transactions with index < i - T
+/// (§6.1). Each algorithm decides commit/abort per transaction; the
+/// driver records decisions and statistics.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/trace.h"
+#include "common/stats.h"
+#include "graph/dependency_graph.h"
+#include "graph/serializability.h"
+
+namespace rococo::cc {
+
+/// Read-only view the algorithms get of the replay-in-progress.
+class ReplayContext
+{
+  public:
+    ReplayContext(const Trace& trace, int concurrency);
+
+    const Trace& trace() const { return *trace_; }
+    int concurrency() const { return concurrency_; }
+
+    /// Decisions for transactions processed so far.
+    bool committed(size_t i) const { return committed_[i]; }
+
+    /// First index of the concurrent window of transaction @p i
+    /// (transactions [first_concurrent(i), i) are concurrent with i).
+    size_t first_concurrent(size_t i) const;
+
+    /// Number of commits visible to transaction @p i, i.e. commits among
+    /// transactions with index < first_concurrent(i). Doubles as the
+    /// snapshot cid for cid-counting validators.
+    uint64_t snapshot_cid(size_t i) const;
+
+    /// Total commits among transactions [0, i).
+    uint64_t commits_before(size_t i) const { return commit_prefix_[i]; }
+
+  private:
+    friend struct ReplayDriver;
+    const Trace* trace_;
+    int concurrency_;
+    std::vector<char> committed_;
+    std::vector<uint64_t> commit_prefix_; ///< commit_prefix_[i] = commits in [0,i)
+};
+
+/// A concurrency-control algorithm replayable over traces.
+class CcAlgorithm
+{
+  public:
+    virtual ~CcAlgorithm() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Called once before a replay; reset internal state.
+    virtual void reset(const ReplayContext& context) = 0;
+
+    /// Decide commit (true) or abort (false) for transaction @p i. The
+    /// context exposes all decisions for j < i.
+    virtual bool decide(const ReplayContext& context, size_t i) = 0;
+};
+
+/// Result of replaying one trace.
+struct ReplayResult
+{
+    std::vector<char> committed;
+    uint64_t commit_count = 0;
+    uint64_t abort_count = 0;
+    CounterBag stats;
+
+    double
+    abort_rate() const
+    {
+        const uint64_t total = commit_count + abort_count;
+        return total ? static_cast<double>(abort_count) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/// Replay @p trace with @p algorithm at the given concurrency level.
+ReplayResult replay(CcAlgorithm& algorithm, const Trace& trace,
+                    int concurrency);
+
+/// Build the multiversion ->rw dependency graph of a committed history:
+/// the version order of each address is the commit (index) order of its
+/// committed writers; readers observe the last committed writer visible
+/// in their snapshot. Vertices are trace indices; edges only involve
+/// committed transactions.
+graph::DependencyGraph build_rw_graph(const Trace& trace,
+                                      const std::vector<char>& committed,
+                                      int concurrency);
+
+/// Oracle: is the committed history serializable (acyclic ->rw)?
+graph::SerializabilityResult check_history(const Trace& trace,
+                                           const std::vector<char>& committed,
+                                           int concurrency);
+
+/// Variant for validators that may commit out of arrival order (the
+/// non-greedy batch validator): the version order of each address is
+/// the WRITE-BACK order given by @p commit_seq (commit_seq[i] is the
+/// commit sequence number of transaction i, ignored for aborted
+/// transactions). Readers observe the newest visible version by
+/// commit order.
+graph::DependencyGraph build_rw_graph_ordered(
+    const Trace& trace, const std::vector<char>& committed,
+    int concurrency, const std::vector<uint64_t>& commit_seq);
+
+graph::SerializabilityResult check_history_ordered(
+    const Trace& trace, const std::vector<char>& committed,
+    int concurrency, const std::vector<uint64_t>& commit_seq);
+
+} // namespace rococo::cc

@@ -1,0 +1,39 @@
+#include "cc/rococo_cc.h"
+
+#include "common/check.h"
+
+namespace rococo::cc {
+
+RococoCc::RococoCc(size_t window, bool strict_read_only)
+    : window_(window), strict_read_only_(strict_read_only)
+{
+}
+
+void
+RococoCc::reset(const ReplayContext& context)
+{
+    validator_ = std::make_unique<core::ExactRococoValidator>(
+        window_, strict_read_only_);
+    verdicts_ = CounterBag();
+    // cid_prefix_[i] = validator cids consumed by transactions [0, i).
+    // In non-strict mode read-only commits do not consume cids, so this
+    // can lag the replay's own commit count; snapshots must be expressed
+    // in the validator's cid space.
+    cid_prefix_.assign(context.trace().size() + 1, 0);
+}
+
+bool
+RococoCc::decide(const ReplayContext& context, size_t i)
+{
+    const TraceTxn& txn = context.trace().txns[i];
+    const uint64_t snapshot = cid_prefix_[context.first_concurrent(i)];
+    ROCOCO_DCHECK(validator_->next_cid() == cid_prefix_[i]);
+
+    const core::ValidationResult result = validator_->validate(
+        txn.reads, txn.writes, snapshot);
+    verdicts_.bump(core::to_string(result.verdict));
+    cid_prefix_[i + 1] = validator_->next_cid();
+    return result.verdict == core::Verdict::kCommit;
+}
+
+} // namespace rococo::cc

@@ -1,0 +1,37 @@
+/// @file
+/// ROCoCo over traces: the reachability-based validator driven by the
+/// trace replay, completing the Fig. 9 trio (2PL / TOCC / ROCoCo).
+#pragma once
+
+#include <memory>
+
+#include "cc/replay.h"
+#include "core/rococo_validator.h"
+
+namespace rococo::cc {
+
+class RococoCc final : public CcAlgorithm
+{
+  public:
+    /// @param window sliding-window size W (paper: 64)
+    /// @param strict_read_only validate read-only transactions through
+    ///     the full cycle check (see core/rococo_validator.h)
+    explicit RococoCc(size_t window = 64, bool strict_read_only = true);
+
+    std::string name() const override { return "ROCoCo"; }
+    void reset(const ReplayContext& context) override;
+    bool decide(const ReplayContext& context, size_t i) override;
+
+    /// Cumulative verdict counters (abort-cycle vs window-overflow)
+    /// since the last reset.
+    const CounterBag& verdicts() const { return verdicts_; }
+
+  private:
+    size_t window_;
+    bool strict_read_only_;
+    std::unique_ptr<core::ExactRococoValidator> validator_;
+    CounterBag verdicts_;
+    std::vector<uint64_t> cid_prefix_;
+};
+
+} // namespace rococo::cc

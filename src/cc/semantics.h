@@ -1,0 +1,77 @@
+/// @file
+/// History-level checkers for the axiom-based semantics of §3
+/// (Fig. 3 (a)): snapshot isolation, serializability and strict
+/// serializability over replayed histories.
+///
+/// In the replay model, transaction j's concurrent window is
+/// [j - T, j): it overlaps i iff |i - j| <= T, and i precedes j in
+/// real time iff j - i > T. Strict serializability therefore adds the
+/// real-time edges {i -> j : j - i > T} to the ->rw graph; the
+/// paper's §3.2 argument that real-time precedence forms an interval
+/// order (and hence forces phantom orderings on any timestamp scheme)
+/// is property-tested in tests/semantics_test.cc.
+///
+/// Note the lattice shape the checkers expose: SI and serializability
+/// are *incomparable* strengthenings of atomicity+isolation — a
+/// serializable ROCoCo history may violate SI's first-committer-wins
+/// axiom (two concurrent blind writers both commit), while an SI
+/// history may be non-serializable (write skew).
+#pragma once
+
+#include <vector>
+
+#include "cc/trace.h"
+#include "graph/serializability.h"
+
+namespace rococo::cc {
+
+/// Result of a snapshot-isolation check.
+struct SiCheckResult
+{
+    bool holds = true;
+    /// First violating pair (concurrent committed writers of one
+    /// address) when !holds.
+    size_t txn_a = 0;
+    size_t txn_b = 0;
+};
+
+/// Does the committed history satisfy snapshot isolation's
+/// first-committer-wins axiom (no two concurrent committed
+/// transactions write the same address)? Read consistency is implied
+/// by the replay model (every reader sees the committed-before-snapshot
+/// state).
+SiCheckResult check_snapshot_isolation(const Trace& trace,
+                                       const std::vector<char>& committed,
+                                       int concurrency);
+
+/// Is the committed history strict serializable: does a witness serial
+/// order exist that both respects ->rw and never reorders
+/// non-overlapping transactions? Equivalent to acyclicity of
+/// rw ∪ real-time.
+graph::SerializabilityResult check_strict_serializability(
+    const Trace& trace, const std::vector<char>& committed,
+    int concurrency);
+
+/// The real-time precedence relation of the replay model as a graph
+/// over committed transactions (i -> j iff j - i > T). Exposed so
+/// tests can verify it is an interval order (§3.2).
+graph::DependencyGraph real_time_graph(const Trace& trace,
+                                       const std::vector<char>& committed,
+                                       int concurrency);
+
+/// Per-object projection of a history: the ->rw graph restricted to
+/// accesses of one address — the "each object enforces S" side of the
+/// compositionality definition (§2.2).
+graph::DependencyGraph per_object_rw_graph(
+    const Trace& trace, const std::vector<char>& committed,
+    int concurrency, uint64_t address);
+
+/// Is every single-object projection serializable? Serializability is
+/// NOT compositional (§2.2): this can hold while the whole history is
+/// cyclic — Fig. 1 (b)'s write skew is the canonical witness
+/// (tests/order_theory_test.cc).
+bool per_object_serializable(const Trace& trace,
+                             const std::vector<char>& committed,
+                             int concurrency);
+
+} // namespace rococo::cc

@@ -1,0 +1,24 @@
+#include "cc/snapshot_isolation.h"
+
+namespace rococo::cc {
+
+void
+SnapshotIsolation::reset(const ReplayContext&)
+{
+}
+
+bool
+SnapshotIsolation::decide(const ReplayContext& context, size_t i)
+{
+    const Trace& trace = context.trace();
+    const TraceTxn& txn = trace.txns[i];
+    // First committer wins: only concurrent committed writers of the
+    // same objects force an abort.
+    for (size_t j = context.first_concurrent(i); j < i; ++j) {
+        if (!context.committed(j)) continue;
+        if (Trace::overlaps(txn.writes, trace.txns[j].writes)) return false;
+    }
+    return true;
+}
+
+} // namespace rococo::cc

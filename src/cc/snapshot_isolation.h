@@ -1,0 +1,24 @@
+/// @file
+/// Snapshot isolation over traces.
+///
+/// First-committer-wins SI: a transaction aborts only on a write-write
+/// conflict with a concurrent committed transaction. SI is the
+/// compositional semantic of Fig. 3 (a); it admits the write-skew
+/// anomaly of Fig. 1, so SI histories are NOT always serializable —
+/// the property tests use this algorithm as a negative control for the
+/// serializability oracle.
+#pragma once
+
+#include "cc/replay.h"
+
+namespace rococo::cc {
+
+class SnapshotIsolation final : public CcAlgorithm
+{
+  public:
+    std::string name() const override { return "SI"; }
+    void reset(const ReplayContext& context) override;
+    bool decide(const ReplayContext& context, size_t i) override;
+};
+
+} // namespace rococo::cc

@@ -1,0 +1,25 @@
+#include "cc/tocc.h"
+
+namespace rococo::cc {
+
+void
+Tocc::reset(const ReplayContext&)
+{
+}
+
+bool
+Tocc::decide(const ReplayContext& context, size_t i)
+{
+    const Trace& trace = context.trace();
+    const TraceTxn& txn = trace.txns[i];
+    // Abort iff some committed concurrent transaction invalidated the
+    // read set: the transaction read a version older than that commit,
+    // which would require serializing before an earlier timestamp.
+    for (size_t j = context.first_concurrent(i); j < i; ++j) {
+        if (!context.committed(j)) continue;
+        if (Trace::overlaps(txn.reads, trace.txns[j].writes)) return false;
+    }
+    return true;
+}
+
+} // namespace rococo::cc

@@ -1,0 +1,24 @@
+/// @file
+/// Timestamped OCC over traces (the OCC baseline of Fig. 9).
+///
+/// TOCC with commit-time timestamps (the LSA configuration of
+/// TinySTM): a transaction is serialized at its commit timestamp and
+/// must abort if any object it read was overwritten by a transaction
+/// that committed after its snapshot — reordering "into the past" is
+/// forbidden by the total timestamp order, which is exactly the phantom
+/// ordering restriction ROCoCo removes (§3.1).
+#pragma once
+
+#include "cc/replay.h"
+
+namespace rococo::cc {
+
+class Tocc final : public CcAlgorithm
+{
+  public:
+    std::string name() const override { return "TOCC"; }
+    void reset(const ReplayContext& context) override;
+    bool decide(const ReplayContext& context, size_t i) override;
+};
+
+} // namespace rococo::cc

@@ -1,0 +1,36 @@
+#include "cc/trace.h"
+
+#include <algorithm>
+
+namespace rococo::cc {
+
+void
+Trace::normalize()
+{
+    for (auto& txn : txns) {
+        std::sort(txn.reads.begin(), txn.reads.end());
+        txn.reads.erase(std::unique(txn.reads.begin(), txn.reads.end()),
+                        txn.reads.end());
+        std::sort(txn.writes.begin(), txn.writes.end());
+        txn.writes.erase(std::unique(txn.writes.begin(), txn.writes.end()),
+                         txn.writes.end());
+    }
+}
+
+bool
+Trace::overlaps(const std::vector<uint64_t>& a, const std::vector<uint64_t>& b)
+{
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (a[i] > b[j]) {
+            ++j;
+        } else {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace rococo::cc

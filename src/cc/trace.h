@@ -1,0 +1,44 @@
+/// @file
+/// Memory-trace model for concurrency-control replay (§6.1).
+///
+/// A trace is an ordered sequence of transactions, each with the set of
+/// locations it reads and writes. Replaying a trace with concurrency T
+/// follows the paper's micro-benchmark semantics: the tentative updates
+/// of the last T transactions, committed or not, are not visible to the
+/// current one, i.e. transaction i observes exactly the writes of
+/// committed transactions with index < i - T.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rococo::cc {
+
+/// One transaction of a trace. Address vectors are kept sorted and
+/// deduplicated (see Trace::normalize).
+struct TraceTxn
+{
+    std::vector<uint64_t> reads;
+    std::vector<uint64_t> writes;
+
+    bool read_only() const { return writes.empty(); }
+};
+
+/// An ordered transaction trace over an address space.
+struct Trace
+{
+    std::vector<TraceTxn> txns;
+    uint64_t num_locations = 0;
+
+    size_t size() const { return txns.size(); }
+
+    /// Sort and deduplicate every transaction's address vectors.
+    void normalize();
+
+    /// Sorted-vector overlap test used throughout replay.
+    static bool overlaps(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b);
+};
+
+} // namespace rococo::cc

@@ -1,0 +1,180 @@
+#include "cc/trace_generator.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rococo::cc {
+namespace {
+
+/// Draw @p count distinct slots from [0, locations) and split them into
+/// reads and writes.
+TraceTxn
+make_txn(Xoshiro256& rng, uint64_t locations, unsigned count,
+         double read_fraction)
+{
+    ROCOCO_CHECK(count <= locations);
+    std::unordered_set<uint64_t> picked;
+    TraceTxn txn;
+    const auto reads = static_cast<unsigned>(
+        std::lround(static_cast<double>(count) * read_fraction));
+    while (picked.size() < count) {
+        const uint64_t slot = rng.below(locations);
+        if (!picked.insert(slot).second) continue;
+        if (picked.size() <= reads) {
+            txn.reads.push_back(slot);
+        } else {
+            txn.writes.push_back(slot);
+        }
+    }
+    return txn;
+}
+
+/// Zipf sampler over [0, n) with exponent theta via inverse-CDF on a
+/// precomputed table.
+class ZipfSampler
+{
+  public:
+    ZipfSampler(uint64_t n, double theta)
+        : cdf_(n)
+    {
+        double sum = 0.0;
+        for (uint64_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+            cdf_[i] = sum;
+        }
+        for (auto& c : cdf_) c /= sum;
+    }
+
+    uint64_t
+    sample(Xoshiro256& rng) const
+    {
+        const double u = rng.uniform();
+        // Binary search the CDF.
+        size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            const size_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace
+
+Trace
+generate_uniform_trace(const UniformTraceParams& params)
+{
+    Xoshiro256 rng(params.seed);
+    Trace trace;
+    trace.num_locations = params.locations;
+    trace.txns.reserve(params.txns);
+    for (size_t i = 0; i < params.txns; ++i) {
+        trace.txns.push_back(make_txn(rng, params.locations, params.accesses,
+                                      params.read_fraction));
+    }
+    trace.normalize();
+    return trace;
+}
+
+double
+uniform_collision_rate(uint64_t locations, unsigned accesses)
+{
+    const double miss = 1.0 - static_cast<double>(accesses) /
+                                  static_cast<double>(locations);
+    return 1.0 - std::pow(miss, accesses);
+}
+
+Trace
+generate_skewed_trace(const SkewedTraceParams& params)
+{
+    Xoshiro256 rng(params.seed);
+    ZipfSampler zipf(params.locations, params.theta);
+    Trace trace;
+    trace.num_locations = params.locations;
+    trace.txns.reserve(params.txns);
+    for (size_t i = 0; i < params.txns; ++i) {
+        std::unordered_set<uint64_t> picked;
+        TraceTxn txn;
+        const auto reads = static_cast<unsigned>(std::lround(
+            static_cast<double>(params.accesses) * params.read_fraction));
+        while (picked.size() < params.accesses) {
+            const uint64_t slot = zipf.sample(rng);
+            if (!picked.insert(slot).second) continue;
+            if (picked.size() <= reads) {
+                txn.reads.push_back(slot);
+            } else {
+                txn.writes.push_back(slot);
+            }
+        }
+        trace.txns.push_back(std::move(txn));
+    }
+    trace.normalize();
+    return trace;
+}
+
+Trace
+generate_mixed_trace(const MixedTraceParams& params)
+{
+    Xoshiro256 rng(params.seed);
+    Trace trace;
+    trace.num_locations = params.locations;
+    trace.txns.reserve(params.txns);
+    for (size_t i = 0; i < params.txns; ++i) {
+        const unsigned count = rng.chance(params.long_fraction)
+                                   ? params.long_accesses
+                                   : params.short_accesses;
+        trace.txns.push_back(make_txn(rng, params.locations, count,
+                                      params.read_fraction));
+    }
+    trace.normalize();
+    return trace;
+}
+
+Trace
+generate_eigenbench_trace(const EigenBenchParams& params)
+{
+    Xoshiro256 rng(params.seed);
+    Trace trace;
+    // Address spaces are disjoint: hot, then mild, then cold.
+    const uint64_t mild_base = params.hot_locations;
+    const uint64_t cold_base = mild_base + params.mild_locations;
+    trace.num_locations = cold_base + params.cold_locations;
+    trace.txns.reserve(params.txns);
+
+    auto draw = [&](TraceTxn& txn, uint64_t base, uint64_t locations,
+                    unsigned count, double read_fraction) {
+        for (unsigned i = 0; i < count; ++i) {
+            const uint64_t addr = base + rng.below(locations);
+            if (rng.chance(read_fraction)) {
+                txn.reads.push_back(addr);
+            } else {
+                txn.writes.push_back(addr);
+            }
+        }
+    };
+
+    for (size_t i = 0; i < params.txns; ++i) {
+        TraceTxn txn;
+        draw(txn, 0, params.hot_locations, params.hot_accesses,
+             params.hot_read_fraction);
+        draw(txn, mild_base, params.mild_locations, params.mild_accesses,
+             params.mild_read_fraction);
+        draw(txn, cold_base, params.cold_locations, params.cold_accesses,
+             params.cold_read_fraction);
+        trace.txns.push_back(std::move(txn));
+    }
+    trace.normalize();
+    return trace;
+}
+
+} // namespace rococo::cc

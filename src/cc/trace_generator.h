@@ -1,0 +1,94 @@
+/// @file
+/// Synthetic trace generators.
+///
+/// The primary generator reproduces the paper's EigenBench-like
+/// micro-benchmark (§6.1): an array of `locations` memory slots; each
+/// transaction accesses `accesses` distinct random slots, a fraction of
+/// them reads and the rest writes. With N accesses out of L locations
+/// the probability that two transactions collide on at least one slot
+/// is approximately 1 - (1 - N/L)^N, the "collision rate" of Fig. 9.
+///
+/// Additional generators produce skewed (zipf-like) and read-mostly
+/// traces for the ablation benches and property tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cc/trace.h"
+
+namespace rococo::cc {
+
+/// Parameters of the uniform micro-benchmark generator.
+struct UniformTraceParams
+{
+    uint64_t locations = 1024; ///< array size (paper: 1024)
+    unsigned accesses = 8;     ///< distinct slots per transaction N
+    double read_fraction = 0.5;
+    size_t txns = 1000;
+    uint64_t seed = 1;
+};
+
+/// Generate a uniform random-access trace (paper §6.1 micro-benchmark).
+Trace generate_uniform_trace(const UniformTraceParams& params);
+
+/// Analytic pairwise collision probability 1 - (1 - N/L)^N for the
+/// uniform generator (the x-axis of Fig. 9).
+double uniform_collision_rate(uint64_t locations, unsigned accesses);
+
+/// Parameters of the skewed generator: slot popularity follows a
+/// discrete zipf(theta) distribution, modelling hot-spot contention.
+struct SkewedTraceParams
+{
+    uint64_t locations = 1024;
+    unsigned accesses = 8;
+    double read_fraction = 0.5;
+    double theta = 0.8; ///< zipf skew; 0 = uniform
+    size_t txns = 1000;
+    uint64_t seed = 1;
+};
+
+/// Generate a zipf-skewed trace.
+Trace generate_skewed_trace(const SkewedTraceParams& params);
+
+/// A mixed trace interleaving long transactions among short ones, the
+/// livelock-prone shape discussed in §5.1.
+struct MixedTraceParams
+{
+    uint64_t locations = 1024;
+    unsigned short_accesses = 4;
+    unsigned long_accesses = 64;
+    double long_fraction = 0.05;
+    double read_fraction = 0.5;
+    size_t txns = 1000;
+    uint64_t seed = 1;
+};
+
+Trace generate_mixed_trace(const MixedTraceParams& params);
+
+/// EigenBench-style generator (Hong et al., IISWC'10 — the tool the
+/// paper's micro-benchmark imitates): three arrays with orthogonal
+/// sharing characteristics — a small *hot* array every transaction
+/// contends on, a *mild* array with medium sharing, and a large
+/// *cold* array of effectively private accesses — with per-array
+/// access counts and read fractions. This exposes the orthogonal TM
+/// characteristics (contention, working set, tx length) as independent
+/// knobs.
+struct EigenBenchParams
+{
+    uint64_t hot_locations = 64;
+    uint64_t mild_locations = 4096;
+    uint64_t cold_locations = 1 << 20;
+    unsigned hot_accesses = 2;
+    unsigned mild_accesses = 6;
+    unsigned cold_accesses = 8;
+    double hot_read_fraction = 0.5;
+    double mild_read_fraction = 0.75;
+    double cold_read_fraction = 0.9;
+    size_t txns = 1000;
+    uint64_t seed = 1;
+};
+
+Trace generate_eigenbench_trace(const EigenBenchParams& params);
+
+} // namespace rococo::cc

@@ -1,0 +1,87 @@
+#include "cc/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace rococo::cc {
+
+bool
+save_trace(std::ostream& out, const Trace& trace)
+{
+    out << "trace v1 " << trace.num_locations << "\n";
+    for (const TraceTxn& txn : trace.txns) {
+        out << "txn R";
+        for (uint64_t addr : txn.reads) out << ' ' << addr;
+        out << " W";
+        for (uint64_t addr : txn.writes) out << ' ' << addr;
+        out << "\n";
+    }
+    return static_cast<bool>(out);
+}
+
+std::optional<Trace>
+load_trace(std::istream& in)
+{
+    Trace trace;
+    std::string line;
+    bool header_seen = false;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream fields(line);
+        std::string tag;
+        fields >> tag;
+        if (!header_seen) {
+            std::string version;
+            if (tag != "trace" || !(fields >> version) ||
+                version != "v1" || !(fields >> trace.num_locations)) {
+                return std::nullopt;
+            }
+            header_seen = true;
+            continue;
+        }
+        if (tag != "txn") return std::nullopt;
+        std::string section;
+        if (!(fields >> section) || section != "R") return std::nullopt;
+        TraceTxn txn;
+        std::string token;
+        bool in_writes = false;
+        while (fields >> token) {
+            if (token == "W") {
+                if (in_writes) return std::nullopt;
+                in_writes = true;
+                continue;
+            }
+            uint64_t addr = 0;
+            try {
+                size_t consumed = 0;
+                addr = std::stoull(token, &consumed);
+                if (consumed != token.size()) return std::nullopt;
+            } catch (...) {
+                return std::nullopt;
+            }
+            (in_writes ? txn.writes : txn.reads).push_back(addr);
+        }
+        if (!in_writes) return std::nullopt; // missing W section
+        trace.txns.push_back(std::move(txn));
+    }
+    if (!header_seen) return std::nullopt;
+    trace.normalize();
+    return trace;
+}
+
+bool
+save_trace_file(const std::string& path, const Trace& trace)
+{
+    std::ofstream out(path);
+    return out && save_trace(out, trace);
+}
+
+std::optional<Trace>
+load_trace_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    return load_trace(in);
+}
+
+} // namespace rococo::cc

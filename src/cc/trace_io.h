@@ -1,0 +1,32 @@
+/// @file
+/// Plain-text serialization for transaction traces, so captured or
+/// generated workloads can be saved, exchanged and replayed
+/// deterministically (e.g. to compare CC algorithms offline or to file
+/// a reproducer for an abort-rate regression).
+///
+/// Format (line oriented, '#' comments allowed):
+///   trace v1 <num_locations>
+///   txn R <addr> <addr> ... W <addr> ...
+///   ...
+/// Addresses are decimal 64-bit; R/W sections may be empty.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "cc/trace.h"
+
+namespace rococo::cc {
+
+/// Write @p trace to @p out. Returns false on stream failure.
+bool save_trace(std::ostream& out, const Trace& trace);
+
+/// Parse a trace from @p in; nullopt on malformed input.
+std::optional<Trace> load_trace(std::istream& in);
+
+/// File-path conveniences.
+bool save_trace_file(const std::string& path, const Trace& trace);
+std::optional<Trace> load_trace_file(const std::string& path);
+
+} // namespace rococo::cc

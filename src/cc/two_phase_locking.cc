@@ -1,0 +1,29 @@
+#include "cc/two_phase_locking.h"
+
+namespace rococo::cc {
+
+void
+TwoPhaseLocking::reset(const ReplayContext&)
+{
+}
+
+bool
+TwoPhaseLocking::decide(const ReplayContext& context, size_t i)
+{
+    const Trace& trace = context.trace();
+    const TraceTxn& txn = trace.txns[i];
+    // Conflict with any concurrent transaction that kept its locks
+    // (i.e. was not itself aborted) forces an abort: the later
+    // transaction loses in no-wait 2PL.
+    for (size_t j = context.first_concurrent(i); j < i; ++j) {
+        if (!context.committed(j)) continue;
+        const TraceTxn& other = trace.txns[j];
+        const bool conflict = Trace::overlaps(txn.reads, other.writes) ||
+                              Trace::overlaps(txn.writes, other.reads) ||
+                              Trace::overlaps(txn.writes, other.writes);
+        if (conflict) return false;
+    }
+    return true;
+}
+
+} // namespace rococo::cc

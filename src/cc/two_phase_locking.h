@@ -1,0 +1,25 @@
+/// @file
+/// No-wait two-phase locking over traces (the PCC baseline of Fig. 9).
+///
+/// Under 2PL an object locked during a transaction's execution phase
+/// cannot be accessed by a concurrent transaction until the commit
+/// phase releases it (§2.2). In the trace model a transaction therefore
+/// aborts iff its footprint conflicts (R-W, W-R or W-W) with any
+/// concurrent transaction that holds its locks to commit; we use the
+/// no-wait variant (conflict => abort) which is deadlock-free and the
+/// standard spelling for HTM-like eager systems.
+#pragma once
+
+#include "cc/replay.h"
+
+namespace rococo::cc {
+
+class TwoPhaseLocking final : public CcAlgorithm
+{
+  public:
+    std::string name() const override { return "2PL"; }
+    void reset(const ReplayContext& context) override;
+    bool decide(const ReplayContext& context, size_t i) override;
+};
+
+} // namespace rococo::cc

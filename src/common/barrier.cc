@@ -1,0 +1,27 @@
+#include "common/barrier.h"
+
+#include "common/check.h"
+
+namespace rococo {
+
+Barrier::Barrier(size_t parties)
+    : parties_(parties)
+{
+    ROCOCO_CHECK(parties > 0);
+}
+
+void
+Barrier::arrive_and_wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    const size_t gen = generation_;
+    if (++waiting_ == parties_) {
+        ++generation_;
+        waiting_ = 0;
+        cv_.notify_all();
+        return;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+}
+
+} // namespace rococo

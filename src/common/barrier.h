@@ -1,0 +1,33 @@
+/// @file
+/// Reusable thread barrier.
+///
+/// The paper (footnote 9) replaces STAMP's log2 barrier with a pthread
+/// barrier to run 14/28 threads; our real-thread harness uses this
+/// condition-variable barrier for the same purpose.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace rococo {
+
+/// A cyclic barrier for a fixed number of participants.
+class Barrier
+{
+  public:
+    explicit Barrier(size_t parties);
+
+    /// Block until all parties have arrived; then all are released and the
+    /// barrier resets for the next phase.
+    void arrive_and_wait();
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    size_t parties_;
+    size_t waiting_ = 0;
+    size_t generation_ = 0;
+};
+
+} // namespace rococo

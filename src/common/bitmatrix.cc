@@ -1,0 +1,51 @@
+#include "common/bitmatrix.h"
+
+namespace rococo {
+
+BitMatrix::BitMatrix(size_t n)
+{
+    rows_.reserve(n);
+    for (size_t i = 0; i < n; ++i) rows_.emplace_back(n);
+}
+
+BitVector
+BitMatrix::column(size_t c) const
+{
+    BitVector out(size());
+    for (size_t r = 0; r < size(); ++r) {
+        if (rows_[r].test(c)) out.set(r);
+    }
+    return out;
+}
+
+void
+BitMatrix::set_diagonal()
+{
+    for (size_t i = 0; i < size(); ++i) rows_[i].set(i);
+}
+
+BitMatrix
+BitMatrix::transposed() const
+{
+    BitMatrix out(size());
+    for (size_t r = 0; r < size(); ++r) {
+        for (size_t c = rows_[r].find_first(); c < size();
+             c = rows_[r].find_next(c)) {
+            out.set(c, r);
+        }
+    }
+    return out;
+}
+
+std::string
+BitMatrix::to_string() const
+{
+    std::string out;
+    for (const auto& row : rows_) {
+        out += row.to_string();
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace rococo

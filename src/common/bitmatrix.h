@@ -1,0 +1,50 @@
+/// @file
+/// Square bit matrix used for transitive-closure computations
+/// (graph/transitive_closure.h) and as the reference model the
+/// hardware-shaped reachability matrix is checked against in tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+
+namespace rococo {
+
+/// An n x n matrix of bits stored as n BitVector rows.
+class BitMatrix
+{
+  public:
+    BitMatrix() = default;
+
+    /// Construct an @p n x @p n zero matrix.
+    explicit BitMatrix(size_t n);
+
+    size_t size() const { return rows_.size(); }
+
+    bool test(size_t row, size_t col) const { return rows_[row].test(col); }
+    void set(size_t row, size_t col, bool v = true) { rows_[row].set(col, v); }
+
+    BitVector& row(size_t r) { return rows_[r]; }
+    const BitVector& row(size_t r) const { return rows_[r]; }
+
+    /// Column @p c materialized as a BitVector (O(n)).
+    BitVector column(size_t c) const;
+
+    /// Set every bit on the main diagonal (reflexive closure).
+    void set_diagonal();
+
+    /// Matrix transpose (O(n^2)).
+    BitMatrix transposed() const;
+
+    bool operator==(const BitMatrix& other) const = default;
+
+    /// Multi-line "0101\n..." rendering for test failure messages.
+    std::string to_string() const;
+
+  private:
+    std::vector<BitVector> rows_;
+};
+
+} // namespace rococo

@@ -1,0 +1,95 @@
+#include "common/bitvector.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace rococo {
+
+void
+BitVector::clear()
+{
+    for (auto& word : words_) word = 0;
+}
+
+bool
+BitVector::none() const
+{
+    for (auto word : words_) {
+        if (word != 0) return false;
+    }
+    return true;
+}
+
+size_t
+BitVector::count() const
+{
+    size_t total = 0;
+    for (auto word : words_) total += std::popcount(word);
+    return total;
+}
+
+BitVector&
+BitVector::operator|=(const BitVector& other)
+{
+    ROCOCO_CHECK(size_ == other.size_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+    return *this;
+}
+
+BitVector&
+BitVector::operator&=(const BitVector& other)
+{
+    ROCOCO_CHECK(size_ == other.size_);
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+    return *this;
+}
+
+bool
+BitVector::intersects(const BitVector& other) const
+{
+    ROCOCO_CHECK(size_ == other.size_);
+    for (size_t w = 0; w < words_.size(); ++w) {
+        if (words_[w] & other.words_[w]) return true;
+    }
+    return false;
+}
+
+size_t
+BitVector::find_first() const
+{
+    for (size_t w = 0; w < words_.size(); ++w) {
+        if (words_[w] != 0) {
+            return w * 64 + std::countr_zero(words_[w]);
+        }
+    }
+    return size_;
+}
+
+size_t
+BitVector::find_next(size_t i) const
+{
+    ++i;
+    if (i >= size_) return size_;
+    size_t w = i >> 6;
+    uint64_t masked = words_[w] & (~uint64_t{0} << (i & 63));
+    while (true) {
+        if (masked != 0) {
+            const size_t bit = w * 64 + std::countr_zero(masked);
+            return bit < size_ ? bit : size_;
+        }
+        if (++w == words_.size()) return size_;
+        masked = words_[w];
+    }
+}
+
+std::string
+BitVector::to_string() const
+{
+    std::string out;
+    out.reserve(size_);
+    for (size_t i = 0; i < size_; ++i) out.push_back(test(i) ? '1' : '0');
+    return out;
+}
+
+} // namespace rococo

@@ -1,0 +1,31 @@
+/// @file
+/// Lightweight runtime-check macros used across the library.
+///
+/// ROCOCO_CHECK is always on (cheap invariants on hot-but-not-critical
+/// paths); ROCOCO_DCHECK compiles out in NDEBUG builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rococo {
+
+[[noreturn]] inline void
+check_failed(const char* file, int line, const char* expr)
+{
+    std::fprintf(stderr, "%s:%d: check failed: %s\n", file, line, expr);
+    std::abort();
+}
+
+} // namespace rococo
+
+#define ROCOCO_CHECK(expr)                                                   \
+    do {                                                                     \
+        if (!(expr)) ::rococo::check_failed(__FILE__, __LINE__, #expr);      \
+    } while (0)
+
+#ifdef NDEBUG
+#define ROCOCO_DCHECK(expr) ((void)0)
+#else
+#define ROCOCO_DCHECK(expr) ROCOCO_CHECK(expr)
+#endif

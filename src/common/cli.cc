@@ -1,0 +1,97 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rococo {
+
+Cli::Cli(int argc, char** argv, const std::vector<std::string>& known)
+{
+    auto is_known = [&](const std::string& name) {
+        return std::find(known.begin(), known.end(), name) != known.end();
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            std::fprintf(stderr, "unexpected positional argument: %s\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+        arg = arg.substr(2);
+        std::string name, value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        } else {
+            name = arg;
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        if (!is_known(name)) {
+            std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+            std::exit(2);
+        }
+        values_[name] = value;
+    }
+}
+
+bool
+Cli::has(const std::string& name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Cli::get(const std::string& name, const std::string& def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+}
+
+int64_t
+Cli::get_int(const std::string& name, int64_t def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtoll(it->second.c_str(),
+                                                    nullptr, 10);
+}
+
+double
+Cli::get_double(const std::string& name, double def) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+Cli::get_bool(const std::string& name, bool def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<int>
+Cli::get_int_list(const std::string& name, const std::vector<int>& def) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    std::vector<int> out;
+    const std::string& text = it->second;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t comma = text.find(',', pos);
+        if (comma == std::string::npos) comma = text.size();
+        out.push_back(std::atoi(text.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace rococo

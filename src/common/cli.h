@@ -1,0 +1,37 @@
+/// @file
+/// Minimal command-line flag parser for bench/example binaries.
+/// Flags have the form --name=value or --name value; unknown flags are a
+/// hard error so typos in sweep scripts don't silently run defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rococo {
+
+/// Parses argv into a flag map and exposes typed accessors with defaults.
+class Cli
+{
+  public:
+    /// @param argc,argv as passed to main
+    /// @param known the set of accepted flag names (without "--")
+    Cli(int argc, char** argv, const std::vector<std::string>& known);
+
+    bool has(const std::string& name) const;
+
+    std::string get(const std::string& name, const std::string& def) const;
+    int64_t get_int(const std::string& name, int64_t def) const;
+    double get_double(const std::string& name, double def) const;
+    bool get_bool(const std::string& name, bool def) const;
+
+    /// Comma-separated integer list, e.g. --threads=1,4,8.
+    std::vector<int> get_int_list(const std::string& name,
+                                  const std::vector<int>& def) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace rococo

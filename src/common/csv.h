@@ -1,0 +1,58 @@
+/// @file
+/// Minimal CSV writer so bench binaries can emit machine-readable
+/// series (--csv=<path>) next to their human-readable tables — the
+/// file format downstream plotting scripts consume.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rococo {
+
+/// Append-style CSV writer with a fixed header.
+class CsvWriter
+{
+  public:
+    /// Opens @p path for writing and emits the header row. A failed
+    /// open leaves ok() false and turns writes into no-ops.
+    CsvWriter(const std::string& path, std::vector<std::string> header)
+        : out_(path), columns_(header.size())
+    {
+        if (!out_) return;
+        write_row(std::vector<std::string>(header.begin(), header.end()));
+    }
+
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /// Write one row; the cell count must match the header.
+    void
+    write_row(const std::vector<std::string>& cells)
+    {
+        if (!out_ || cells.size() != columns_) return;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i) out_ << ',';
+            out_ << escape(cells[i]);
+        }
+        out_ << '\n';
+    }
+
+  private:
+    static std::string
+    escape(const std::string& cell)
+    {
+        if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            if (c == '"') quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    }
+
+    std::ofstream out_;
+    size_t columns_;
+};
+
+} // namespace rococo

@@ -1,0 +1,91 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace rococo {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets + 2, 0)
+{
+    ROCOCO_CHECK(hi > lo);
+    ROCOCO_CHECK(buckets > 0);
+}
+
+void
+Histogram::add(double x)
+{
+    size_t idx;
+    if (x < lo_) {
+        idx = 0;
+    } else if (x >= hi_) {
+        idx = counts_.size() - 1;
+    } else {
+        idx = 1 + static_cast<size_t>((x - lo_) / width_);
+        idx = std::min(idx, counts_.size() - 2);
+    }
+    ++counts_[idx];
+    ++total_;
+    sum_ += x;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0) return lo_;
+    const double target = q * static_cast<double>(total_);
+    double seen = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        const double next = seen + static_cast<double>(counts_[i]);
+        if (next >= target && counts_[i] > 0) {
+            if (i == 0) return lo_;
+            if (i == counts_.size() - 1) return hi_;
+            const double frac = (target - seen) / static_cast<double>(counts_[i]);
+            return lo_ + width_ * (static_cast<double>(i - 1) + frac);
+        }
+        seen = next;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::to_string(size_t max_bar) const
+{
+    uint64_t peak = 1;
+    for (auto c : counts_) peak = std::max(peak, c);
+
+    std::string out;
+    char line[160];
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double b_lo, b_hi;
+        const char* tag = "";
+        if (i == 0) {
+            if (counts_[i] == 0) continue;
+            b_lo = b_hi = lo_;
+            tag = "<";
+        } else if (i == counts_.size() - 1) {
+            if (counts_[i] == 0) continue;
+            b_lo = b_hi = hi_;
+            tag = ">=";
+        } else {
+            b_lo = lo_ + width_ * static_cast<double>(i - 1);
+            b_hi = b_lo + width_;
+        }
+        const size_t bar =
+            static_cast<size_t>(static_cast<double>(counts_[i]) /
+                                static_cast<double>(peak) *
+                                static_cast<double>(max_bar));
+        std::snprintf(line, sizeof(line), "%2s[%10.4g, %10.4g) %8llu |", tag,
+                      b_lo, b_hi,
+                      static_cast<unsigned long long>(counts_[i]));
+        out += line;
+        out.append(bar, '#');
+        out.push_back('\n');
+    }
+    return out;
+}
+
+} // namespace rococo

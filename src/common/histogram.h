@@ -1,0 +1,43 @@
+/// @file
+/// Fixed-bucket histogram used to report latency distributions
+/// (e.g. per-transaction validation time in bench/fig11_validation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rococo {
+
+/// Linear-bucket histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram
+{
+  public:
+    /// @param lo lower bound of the first bucket
+    /// @param hi upper bound of the last bucket
+    /// @param buckets number of equal-width buckets between lo and hi
+    Histogram(double lo, double hi, size_t buckets);
+
+    void add(double x);
+
+    uint64_t total() const { return total_; }
+
+    /// Value below which @p q (in [0,1]) of samples fall, estimated by
+    /// linear interpolation within the containing bucket.
+    double quantile(double q) const;
+
+    double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
+
+    /// Multi-line ASCII rendering, one bucket per line with a '#' bar.
+    std::string to_string(size_t max_bar = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_; // [underflow, b0..bn-1, overflow]
+    uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace rococo

@@ -1,0 +1,106 @@
+/// @file
+/// Bounded blocking queues used as the software stand-in for the
+/// pull/push message queues between CPU and FPGA (Fig. 6).
+///
+/// The real HARP2 queues are lock-free rings over the CCI link; for the
+/// software model a mutex-based MPMC queue is sufficient — the *latency*
+/// of the link is modelled separately by fpga/cci_link.h, not by queue
+/// contention.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace rococo {
+
+/// Bounded multi-producer multi-consumer blocking queue.
+template <typename T>
+class BlockingQueue
+{
+  public:
+    explicit BlockingQueue(size_t capacity = SIZE_MAX)
+        : capacity_(capacity)
+    {
+    }
+
+    /// Block until space is available, then enqueue. Returns false if the
+    /// queue was closed.
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock,
+                       [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Enqueue without blocking; returns false if full or closed.
+    bool
+    try_push(T item)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || items_.size() >= capacity_) return false;
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Block until an item is available or the queue is closed and
+    /// drained; nullopt means closed-and-empty.
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Dequeue without blocking.
+    std::optional<T>
+    try_pop()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Close the queue: pending pops drain remaining items then return
+    /// nullopt; pushes fail.
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace rococo

@@ -1,0 +1,68 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace rococo {
+
+void
+RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty()) return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+uint64_t
+CounterBag::get(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+CounterBag::add(const CounterBag& other)
+{
+    for (const auto& [name, value] : other.counters_) counters_[name] += value;
+}
+
+std::string
+CounterBag::to_string() const
+{
+    std::string out;
+    for (const auto& [name, value] : counters_) {
+        if (!out.empty()) out.push_back(' ');
+        out += name + "=" + std::to_string(value);
+    }
+    return out;
+}
+
+} // namespace rococo

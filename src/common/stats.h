@@ -1,0 +1,61 @@
+/// @file
+/// Small statistics helpers shared by the benchmark harnesses:
+/// running mean/variance, geometric mean, and a named-counter bag used to
+/// report TM-runtime statistics (commits, aborts, abort causes...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rococo {
+
+/// Welford running mean / variance accumulator.
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+    double variance() const;
+    double stddev() const;
+
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values; returns 0 on empty input.
+double geomean(const std::vector<double>& values);
+
+/// A bag of named monotonically increasing counters. Not thread-safe;
+/// per-thread instances are merged with add().
+class CounterBag
+{
+  public:
+    void bump(const std::string& name, uint64_t by = 1) { counters_[name] += by; }
+    uint64_t get(const std::string& name) const;
+
+    /// Merge another bag into this one.
+    void add(const CounterBag& other);
+
+    const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+    /// "name=value name=value ..." rendering.
+    std::string to_string() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace rococo

@@ -1,0 +1,95 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace rococo {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+}
+
+Table&
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table&
+Table::cell(const std::string& text)
+{
+    ROCOCO_CHECK(!rows_.empty());
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table&
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(buf);
+}
+
+Table&
+Table::num(uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table&
+Table::num(int value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::to_string() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    auto render_row = [&](const std::vector<std::string>& row) {
+        std::string line;
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string& text = c < row.size() ? row[c] : std::string();
+            line += text;
+            if (c + 1 < widths.size()) {
+                line.append(widths[c] - text.size() + 2, ' ');
+            }
+        }
+        line.push_back('\n');
+        return line;
+    };
+
+    std::string out = render_row(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out.append(total, '-');
+    out.push_back('\n');
+    for (const auto& row : rows_) out += render_row(row);
+    return out;
+}
+
+void
+Table::print() const
+{
+    const std::string text = to_string();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace rococo

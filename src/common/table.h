@@ -1,0 +1,37 @@
+/// @file
+/// ASCII table renderer. Every bench binary prints its figure/table as an
+/// aligned text table so outputs are diffable and greppable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rococo {
+
+/// Column-aligned text table with a header row.
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Begin a new row; fill it with cell()/num() calls.
+    Table& row();
+
+    Table& cell(const std::string& text);
+    Table& num(double value, int precision = 3);
+    Table& num(uint64_t value);
+    Table& num(int value);
+
+    /// Render with 2-space column padding and a separator under the header.
+    std::string to_string() const;
+
+    /// Render and write to stdout.
+    void print() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace rococo

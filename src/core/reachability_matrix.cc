@@ -1,0 +1,164 @@
+#include "core/reachability_matrix.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace rococo::core {
+
+ReachabilityMatrix::ReachabilityMatrix(size_t window)
+    : occupied_(window), reaches_evicted_(window)
+{
+    ROCOCO_CHECK(window > 0);
+    reach_.reserve(window);
+    reached_.reserve(window);
+    for (size_t i = 0; i < window; ++i) {
+        reach_.emplace_back(window);
+        reached_.emplace_back(window);
+    }
+}
+
+bool
+ReachabilityMatrix::reaches(size_t i, size_t j) const
+{
+    ROCOCO_DCHECK(occupied_.test(i) && occupied_.test(j));
+    return reach_[i].test(j);
+}
+
+ProbeResult
+ReachabilityMatrix::probe(const BitVector& f, const BitVector& b) const
+{
+    ROCOCO_DCHECK(f.size() == window() && b.size() == window());
+
+    ProbeResult result;
+    result.proceeding = f;
+    result.succeeding = b;
+
+    // p = f | R^T f : union the reach-rows of every direct successor.
+    for (size_t j = f.find_first(); j < window(); j = f.find_next(j)) {
+        ROCOCO_DCHECK(occupied_.test(j));
+        result.proceeding |= reach_[j];
+    }
+    // s = b | R b : union the reached-from rows of every direct
+    // predecessor.
+    for (size_t j = b.find_first(); j < window(); j = b.find_next(j)) {
+        ROCOCO_DCHECK(occupied_.test(j));
+        result.succeeding |= reached_[j];
+    }
+
+    // A cycle exists iff some committed transaction both precedes and is
+    // preceded by the incoming one. Reaching a slot that precedes an
+    // already-evicted transaction is also a cycle: evicted transactions
+    // are serialized before everything that validates from now on.
+    result.cyclic = result.proceeding.intersects(result.succeeding) ||
+                    result.proceeding.intersects(reaches_evicted_);
+    return result;
+}
+
+void
+ReachabilityMatrix::insert(size_t slot, const ProbeResult& probe)
+{
+    ROCOCO_CHECK(!occupied_.test(slot));
+    ROCOCO_CHECK(!probe.cyclic);
+    const BitVector& p = probe.proceeding;
+    const BitVector& s = probe.succeeding;
+
+    // Transitivity through the new vertex: r[i][j] |= s[i] & p[j].
+    for (size_t i = s.find_first(); i < window(); i = s.find_next(i)) {
+        reach_[i] |= p;
+        reach_[i].set(slot);
+    }
+    for (size_t j = p.find_first(); j < window(); j = p.find_next(j)) {
+        reached_[j] |= s;
+        reached_[j].set(slot);
+    }
+
+    // Install the new vertex's row and column (reflexive).
+    reach_[slot] = p;
+    reach_[slot].set(slot);
+    reached_[slot] = s;
+    reached_[slot].set(slot);
+    occupied_.set(slot);
+
+    // Evictions that happened between this transaction's probe and its
+    // insert (its own commit evicting the oldest window entry) may have
+    // grown reaches_evicted_; if the new transaction reaches any such
+    // slot it transitively precedes an evicted transaction too.
+    if (p.intersects(reaches_evicted_)) reaches_evicted_.set(slot);
+}
+
+void
+ReachabilityMatrix::mark_reaches_evicted(size_t slot)
+{
+    ROCOCO_CHECK(occupied_.test(slot));
+    reaches_evicted_.set(slot);
+}
+
+void
+ReachabilityMatrix::clear_slot(size_t slot)
+{
+    ROCOCO_CHECK(occupied_.test(slot));
+
+    // Remember who still precedes the transaction being evicted.
+    BitVector precedes_evicted = reached_[slot];
+    precedes_evicted.reset(slot);
+    precedes_evicted &= occupied_;
+    reaches_evicted_ |= precedes_evicted;
+
+    // Zero the row and column.
+    for (size_t i = 0; i < window(); ++i) {
+        reach_[i].reset(slot);
+        reached_[i].reset(slot);
+    }
+    reach_[slot].clear();
+    reached_[slot].clear();
+    occupied_.reset(slot);
+    reaches_evicted_.reset(slot);
+}
+
+std::string
+ReachabilityMatrix::debug_dump() const
+{
+    std::string out = "reachability matrix (W=" +
+                      std::to_string(window()) + ")\n";
+    out += "occupied:        " + occupied_.to_string() + "\n";
+    out += "reaches_evicted: " + reaches_evicted_.to_string() + "\n";
+    for (size_t i = 0; i < window(); ++i) {
+        if (!occupied_.test(i)) continue;
+        out += "  slot " + std::to_string(i) + " reaches " +
+               reach_[i].to_string() + "\n";
+    }
+    return out;
+}
+
+bool
+ReachabilityMatrix::check_invariants() const
+{
+    const size_t n = window();
+    for (size_t i = 0; i < n; ++i) {
+        if (!occupied_.test(i)) {
+            if (reach_[i].any() || reached_[i].any()) return false;
+            continue;
+        }
+        if (!reach_[i].test(i) || !reached_[i].test(i)) return false;
+        for (size_t j = 0; j < n; ++j) {
+            // Transpose coherence.
+            if (reach_[i].test(j) != reached_[j].test(i)) return false;
+            // Entries only between occupied slots.
+            if (reach_[i].test(j) && !occupied_.test(j)) return false;
+        }
+    }
+    // Transitivity: i |> j and j |> k implies i |> k.
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = reach_[i].find_first(); j < n;
+             j = reach_[i].find_next(j)) {
+            for (size_t k = reach_[j].find_first(); k < n;
+                 k = reach_[j].find_next(k)) {
+                if (!reach_[i].test(k)) return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace rococo::core

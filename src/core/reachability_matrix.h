@@ -1,0 +1,106 @@
+/// @file
+/// The reachability matrix at the heart of the ROCoCo algorithm (§4.1).
+///
+/// The matrix R over W transaction slots stores the transitive closure
+/// of the committed-transaction DAG: r[i][j] = 1 iff t_i can reach
+/// (precedes) t_j. Validating an incoming transaction t with direct
+/// forward edges f (t -> t_i) and backward edges b (t_i -> t) amounts
+/// to two matrix-vector products on boolean algebra:
+///
+///     p = f  OR  R^T f   (everything t reaches)
+///     s = b  OR  R  b    (everything that reaches t)
+///
+/// and t closes a cycle iff p AND s != 0. On the FPGA these are W-wide
+/// wired-OR reductions finishing in one cycle; in software we keep both
+/// R and its transpose up to date so neither product needs the matrix
+/// transposition the paper calls out as the CPU bottleneck (§4.2).
+///
+/// Slots are a fixed pool; the sliding-window policy (which slot holds
+/// which commit) lives in core/sliding_window.h.
+#pragma once
+
+#include <cstddef>
+
+#include "common/bitvector.h"
+
+namespace rococo::core {
+
+/// Result of probing the matrix with an incoming transaction's direct
+/// dependency vectors.
+struct ProbeResult
+{
+    bool cyclic = false;
+    BitVector proceeding; ///< p: slots the transaction precedes
+    BitVector succeeding; ///< s: slots that precede the transaction
+};
+
+/// Transitive-closure matrix over a fixed number of slots, maintained
+/// incrementally as transactions commit and are evicted.
+class ReachabilityMatrix
+{
+  public:
+    explicit ReachabilityMatrix(size_t window);
+
+    size_t window() const { return reach_.size(); }
+
+    /// Occupied slots (those currently holding a committed transaction).
+    const BitVector& occupied() const { return occupied_; }
+
+    /// Does t_i reach t_j? Both slots must be occupied. Reflexive:
+    /// reaches(i, i) is true for occupied i.
+    bool reaches(size_t i, size_t j) const;
+
+    /// Compute p/s for a transaction with direct forward edges @p f and
+    /// backward edges @p b (bit per slot; bits may only be set for
+    /// occupied slots) and detect cycles. Does not modify the matrix.
+    ProbeResult probe(const BitVector& f, const BitVector& b) const;
+
+    /// Commit the probed transaction into @p slot (must be free):
+    /// updates all closure entries (r[i][j] |= s[i] & p[j]) and installs
+    /// p/s as the new slot's row/column.
+    void insert(size_t slot, const ProbeResult& probe);
+
+    /// Evict the transaction in @p slot. Remaining slots that could
+    /// reach the evicted transaction are accumulated into
+    /// reaches_evicted(): a future transaction that reaches any of them
+    /// would transitively precede an evicted (hence
+    /// serialized-before-everything-future) transaction, closing an
+    /// invisible cycle, and must abort. This sticky vector is the
+    /// soundness companion of the paper's "transactions that neglect
+    /// updates of t_{k-W} abort" rule.
+    void clear_slot(size_t slot);
+
+    /// Slots whose transaction precedes some already-evicted
+    /// transaction (see clear_slot()).
+    const BitVector& reaches_evicted() const { return reaches_evicted_; }
+
+    /// Explicitly flag @p slot as preceding an evicted transaction.
+    /// Needed when a commit both evicts its slot's previous occupant and
+    /// preceded that occupant (the probe ran while the occupant was
+    /// still in the window, so insert() cannot see the edge).
+    void mark_reaches_evicted(size_t slot);
+
+    /// Row i of the closure: all slots t_i reaches.
+    const BitVector& row(size_t i) const { return reach_[i]; }
+
+    /// Column j of the closure (maintained as the transpose row): all
+    /// slots reaching t_j.
+    const BitVector& column(size_t j) const { return reached_[j]; }
+
+    /// Expensive internal consistency check (transpose coherence,
+    /// transitivity); used by tests and ROCOCO_DCHECK-heavy paths.
+    bool check_invariants() const;
+
+    /// Multi-line human-readable dump of the matrix state (occupied
+    /// slots, closure rows, reaches-evicted flags) for debugging and
+    /// teaching material.
+    std::string debug_dump() const;
+
+  private:
+    std::vector<BitVector> reach_;   ///< reach_[i] = {j : t_i |> t_j}
+    std::vector<BitVector> reached_; ///< reached_[j] = {i : t_i |> t_j}
+    BitVector occupied_;
+    BitVector reaches_evicted_;
+};
+
+} // namespace rococo::core

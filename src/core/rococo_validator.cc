@@ -1,0 +1,91 @@
+#include "core/rococo_validator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rococo::core {
+
+ExactRococoValidator::ExactRococoValidator(size_t window,
+                                           bool strict_read_only)
+    : validator_(window), strict_read_only_(strict_read_only)
+{
+}
+
+bool
+ExactRococoValidator::overlaps(std::span<const uint64_t> sorted_a,
+                               std::span<const uint64_t> sorted_b)
+{
+    size_t i = 0, j = 0;
+    while (i < sorted_a.size() && j < sorted_b.size()) {
+        if (sorted_a[i] < sorted_b[j]) {
+            ++i;
+        } else if (sorted_a[i] > sorted_b[j]) {
+            ++j;
+        } else {
+            return true;
+        }
+    }
+    return false;
+}
+
+ValidationRequest
+ExactRococoValidator::classify(std::span<const uint64_t> reads,
+                               std::span<const uint64_t> writes,
+                               uint64_t snapshot_cid) const
+{
+    ROCOCO_DCHECK(std::is_sorted(reads.begin(), reads.end()));
+    ROCOCO_DCHECK(std::is_sorted(writes.begin(), writes.end()));
+
+    ValidationRequest request;
+    for (const Committed& c : history_) {
+        const bool waw = overlaps(c.writes, writes);
+        const bool war = overlaps(c.reads, writes);
+        const bool read_overlap = overlaps(c.writes, reads);
+        if (c.cid >= snapshot_cid && read_overlap) {
+            // t read the pre-c version: t must be serialized before c.
+            request.forward.push_back(c.cid);
+        }
+        if (waw || war || (c.cid < snapshot_cid && read_overlap)) {
+            // c's effects precede t's commit.
+            request.backward.push_back(c.cid);
+        }
+    }
+    return request;
+}
+
+ValidationResult
+ExactRococoValidator::validate(std::span<const uint64_t> reads,
+                               std::span<const uint64_t> writes,
+                               uint64_t snapshot_cid)
+{
+    std::vector<uint64_t> r(reads.begin(), reads.end());
+    std::vector<uint64_t> w(writes.begin(), writes.end());
+    std::sort(r.begin(), r.end());
+    r.erase(std::unique(r.begin(), r.end()), r.end());
+    std::sort(w.begin(), w.end());
+    w.erase(std::unique(w.begin(), w.end()), w.end());
+
+    if (w.empty() && !strict_read_only_) {
+        // Paper fast path: read-only transactions commit directly on the
+        // CPU (their snapshot was kept consistent by eager detection).
+        return {Verdict::kCommit, 0};
+    }
+
+    if (snapshot_cid < validator_.window_start() && !r.empty()) {
+        // The transaction may have neglected updates of an evicted
+        // commit; its reads cannot be checked any more.
+        return {Verdict::kWindowOverflow, 0};
+    }
+
+    const ValidationRequest request = classify(r, w, snapshot_cid);
+    const ValidationResult result = validator_.validate_and_commit(request);
+    if (result.verdict == Verdict::kCommit) {
+        history_.push_back({result.cid, std::move(r), std::move(w)});
+        if (history_.size() > validator_.window()) history_.pop_front();
+        ROCOCO_DCHECK(history_.size() == validator_.occupancy());
+    }
+    return result;
+}
+
+} // namespace rococo::core

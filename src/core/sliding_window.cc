@@ -1,0 +1,106 @@
+#include "core/sliding_window.h"
+
+#include "common/check.h"
+
+namespace rococo::core {
+
+const char*
+to_string(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::kCommit: return "commit";
+      case Verdict::kAbortCycle: return "abort-cycle";
+      case Verdict::kWindowOverflow: return "window-overflow";
+    }
+    return "?";
+}
+
+SlidingWindowValidator::SlidingWindowValidator(size_t window)
+    : matrix_(window)
+{
+}
+
+uint64_t
+SlidingWindowValidator::window_start() const
+{
+    const uint64_t held = matrix_.occupied().count();
+    return next_cid_ - held;
+}
+
+size_t
+SlidingWindowValidator::occupancy() const
+{
+    return matrix_.occupied().count();
+}
+
+bool
+SlidingWindowValidator::build_vectors(const ValidationRequest& request,
+                                      BitVector& f, BitVector& b) const
+{
+    const uint64_t start = window_start();
+    for (uint64_t cid : request.forward) {
+        ROCOCO_CHECK(cid < next_cid_);
+        if (cid < start) return false;
+        f.set(cid % window());
+    }
+    for (uint64_t cid : request.backward) {
+        ROCOCO_CHECK(cid < next_cid_);
+        if (cid < start) return false;
+        b.set(cid % window());
+    }
+    return true;
+}
+
+ValidationResult
+SlidingWindowValidator::validate_and_commit(const ValidationRequest& request)
+{
+    BitVector f(window()), b(window());
+    if (!build_vectors(request, f, b)) {
+        return {Verdict::kWindowOverflow, 0};
+    }
+
+    ProbeResult probe = matrix_.probe(f, b);
+    if (probe.cyclic) {
+        return {Verdict::kAbortCycle, 0};
+    }
+
+    const uint64_t cid = next_cid_++;
+    const size_t slot = cid % window();
+    bool preceded_evictee = false;
+    if (matrix_.occupied().test(slot)) {
+        // Slot holds cid - W: the window is full, evict the oldest.
+        // The probe legitimately ran against the full window (the
+        // hardware detector compares against h_63 before the shift), so
+        // p/s may reference the evictee's slot; drop those bits before
+        // reusing the slot for the new commit, and remember a
+        // t |> evictee edge so future transactions reaching t abort.
+        preceded_evictee = probe.proceeding.test(slot);
+        matrix_.clear_slot(slot);
+        probe.proceeding.reset(slot);
+        probe.succeeding.reset(slot);
+    }
+    matrix_.insert(slot, probe);
+    if (preceded_evictee) matrix_.mark_reaches_evicted(slot);
+    return {Verdict::kCommit, cid};
+}
+
+Verdict
+SlidingWindowValidator::validate_only(const ValidationRequest& request) const
+{
+    BitVector f(window()), b(window());
+    if (!build_vectors(request, f, b)) {
+        return Verdict::kWindowOverflow;
+    }
+    return matrix_.probe(f, b).cyclic ? Verdict::kAbortCycle
+                                      : Verdict::kCommit;
+}
+
+bool
+SlidingWindowValidator::reaches(uint64_t a, uint64_t b) const
+{
+    ROCOCO_CHECK(a >= window_start() && a < next_cid_);
+    ROCOCO_CHECK(b >= window_start() && b < next_cid_);
+    return matrix_.reaches(a % window(), b % window());
+}
+
+} // namespace rococo::core

@@ -1,0 +1,96 @@
+/// @file
+/// Sliding-window ROCoCo validator (§4.2).
+///
+/// Hardware resources are bounded, so the FPGA keeps closure state for
+/// only the last W committed transactions. Commits are numbered by a
+/// monotonically increasing commit id (cid); cid c lives in slot c % W,
+/// and committing cid c evicts cid c - W. A validating transaction that
+/// depends on an evicted commit — i.e. one that "neglects updates of
+/// t_{k-W}" — aborts with kWindowOverflow.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "core/reachability_matrix.h"
+
+namespace rococo::core {
+
+/// Why a transaction was admitted or rejected by the validator.
+enum class Verdict : uint8_t
+{
+    kCommit,         ///< no cycle; transaction committed and got a cid
+    kAbortCycle,     ///< would close a ->rw cycle
+    kWindowOverflow, ///< depends on a commit already evicted from the window
+};
+
+const char* to_string(Verdict verdict);
+
+/// A validation request expressed in commit ids: the incoming
+/// transaction's direct R/W dependencies to already-committed
+/// transactions.
+struct ValidationRequest
+{
+    /// Commits the transaction must precede (t ->rw t_c): it read a
+    /// version older than c's write.
+    std::vector<uint64_t> forward;
+    /// Commits that must precede the transaction (t_c ->rw t): RAW, WAR
+    /// and WAW dependencies on c.
+    std::vector<uint64_t> backward;
+};
+
+/// Outcome of a validation.
+struct ValidationResult
+{
+    Verdict verdict = Verdict::kAbortCycle;
+    /// The commit id assigned on kCommit (undefined otherwise).
+    uint64_t cid = 0;
+};
+
+/// cid-addressed wrapper around ReachabilityMatrix implementing the
+/// sliding-window policy. Single-threaded: concurrency is provided by
+/// the pipeline around it (fpga/validation_pipeline.h), matching the
+/// centralized Manager of the paper.
+class SlidingWindowValidator
+{
+  public:
+    explicit SlidingWindowValidator(size_t window);
+
+    size_t window() const { return matrix_.window(); }
+
+    /// cid that would be assigned to the next commit. cids start at 0.
+    uint64_t next_cid() const { return next_cid_; }
+
+    /// Oldest cid still present in the window (== next_cid() when the
+    /// window is empty).
+    uint64_t window_start() const;
+
+    /// Number of commits currently tracked.
+    size_t occupancy() const;
+
+    /// Validate the request; on kCommit the transaction is atomically
+    /// added to the window (evicting the oldest entry if full).
+    ValidationResult validate_and_commit(const ValidationRequest& request);
+
+    /// Validate without committing (used for what-if analysis and
+    /// read-only transactions that still want a serializability check).
+    Verdict validate_only(const ValidationRequest& request) const;
+
+    /// Does committed cid @p a reach committed cid @p b? Both must be in
+    /// the window. Exposed for tests and diagnostics.
+    bool reaches(uint64_t a, uint64_t b) const;
+
+    const ReachabilityMatrix& matrix() const { return matrix_; }
+
+  private:
+    /// Translate a cid-based request into slot vectors; returns false if
+    /// any cid is already evicted.
+    bool build_vectors(const ValidationRequest& request, BitVector& f,
+                       BitVector& b) const;
+
+    ReachabilityMatrix matrix_;
+    uint64_t next_cid_ = 0;
+};
+
+} // namespace rococo::core

@@ -1,0 +1,56 @@
+#include "fpga/cci_link.h"
+
+#include <algorithm>
+
+namespace rococo::fpga {
+
+CciLinkModel::CciLinkModel(const LinkParams& params)
+    : params_(params)
+{
+}
+
+uint64_t
+CciLinkModel::request_cachelines(uint64_t reads, uint64_t writes) const
+{
+    const uint64_t words = reads + writes;
+    const uint64_t per_line = params_.words_per_cacheline;
+    return (words + per_line - 1) / per_line + 1; // +1 header/ValidTS line
+}
+
+uint64_t
+CciLinkModel::occupancy_cycles(uint64_t reads, uint64_t writes) const
+{
+    // One cacheline (words_per_cacheline addresses, hashed by parallel
+    // lanes) per cycle; at least one cycle per request.
+    const uint64_t words = reads + writes;
+    const uint64_t lanes = params_.words_per_cacheline;
+    return words > 0 ? (words + lanes - 1) / lanes : 1;
+}
+
+double
+CciLinkModel::pipeline_latency_ns(uint64_t reads, uint64_t writes) const
+{
+    return (static_cast<double>(params_.pipeline_depth) +
+            static_cast<double>(occupancy_cycles(reads, writes))) *
+           clock_period_ns();
+}
+
+double
+CciLinkModel::isolated_latency_ns(uint64_t reads, uint64_t writes) const
+{
+    return round_trip_ns() + pipeline_latency_ns(reads, writes);
+}
+
+double
+CciLinkModel::service_interval_ns(uint64_t reads, uint64_t writes) const
+{
+    // The engine ingests one address per cycle, but a request cannot be
+    // served faster than its cachelines cross the link.
+    const uint64_t stream_cycles = occupancy_cycles(reads, writes);
+    const uint64_t line_cycles =
+        request_cachelines(reads, writes) * params_.cycles_per_cacheline;
+    return static_cast<double>(std::max(stream_cycles, line_cycles)) *
+           clock_period_ns();
+}
+
+} // namespace rococo::fpga

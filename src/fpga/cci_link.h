@@ -1,0 +1,74 @@
+/// @file
+/// Timing model of the HARP2 CPU-FPGA interconnect and of the pipelined
+/// validation engine (§6.2, Fig. 6).
+///
+/// The paper measures a sub-600 ns cacheline round trip over the
+/// CCI/QPI low-latency channel (~200 ns FPGA read hit to the shared
+/// LLC, <400 ns write back) and clocks the engine at 200 MHz. This
+/// model turns those constants into the per-request latency/throughput
+/// figures the discrete-event simulator and the Fig. 6/Fig. 11 benches
+/// need. It is a *model*: no hardware is required, and every constant
+/// can be overridden to explore other platforms (e.g. PCIe-attached
+/// FPGAs with >1 us round trips, footnote 8).
+#pragma once
+
+#include <cstdint>
+
+namespace rococo::fpga {
+
+/// Link and pipeline timing parameters. Defaults reproduce HARP2.
+struct LinkParams
+{
+    double read_hit_ns = 200.0;   ///< FPGA read hit to shared LLC
+    double write_back_ns = 400.0; ///< FPGA write back to LLC
+    double clock_mhz = 200.0;     ///< validation engine clock
+    unsigned pipeline_depth = 24; ///< detector+manager stages
+    /// Addresses (64-bit words) carried per cacheline message.
+    unsigned words_per_cacheline = 8;
+    /// Link cycles to transfer/arbitrate one cacheline; bounds the
+    /// request service rate (out-of-core bandwidth, the ssca2
+    /// bottleneck of §6.3).
+    unsigned cycles_per_cacheline = 2;
+};
+
+/// Derived timing of one offloaded validation request.
+class CciLinkModel
+{
+  public:
+    explicit CciLinkModel(const LinkParams& params = {});
+
+    const LinkParams& params() const { return params_; }
+
+    double clock_period_ns() const { return 1000.0 / params_.clock_mhz; }
+
+    /// CPU-to-FPGA-to-CPU message latency excluding pipeline occupancy.
+    double round_trip_ns() const
+    {
+        return params_.read_hit_ns + params_.write_back_ns;
+    }
+
+    /// Cachelines needed to ship a request of @p reads + @p writes
+    /// addresses (one verdict line comes back).
+    uint64_t request_cachelines(uint64_t reads, uint64_t writes) const;
+
+    /// Cycles the request occupies the address stream of the pipeline:
+    /// the detector ingests one cacheline — words_per_cacheline
+    /// addresses hashed in parallel lanes — per cycle (hence the
+    /// lanes x hashes DSP multipliers of the resource model).
+    uint64_t occupancy_cycles(uint64_t reads, uint64_t writes) const;
+
+    /// Latency through the pipeline (depth + occupancy), in ns.
+    double pipeline_latency_ns(uint64_t reads, uint64_t writes) const;
+
+    /// End-to-end validation latency of an isolated request, in ns.
+    double isolated_latency_ns(uint64_t reads, uint64_t writes) const;
+
+    /// Fully-pipelined service interval: a new request can be accepted
+    /// once the previous one's addresses have streamed in, in ns.
+    double service_interval_ns(uint64_t reads, uint64_t writes) const;
+
+  private:
+    LinkParams params_;
+};
+
+} // namespace rococo::fpga

@@ -1,0 +1,63 @@
+#include "fpga/detector.h"
+
+#include "common/check.h"
+
+namespace rococo::fpga {
+namespace {
+
+bool
+any_query(const sig::BloomSignature& signature,
+          std::span<const uint64_t> addrs)
+{
+    for (uint64_t addr : addrs) {
+        if (signature.query(addr)) return true;
+    }
+    return false;
+}
+
+} // namespace
+
+ConflictDetector::ConflictDetector(
+    size_t window, std::shared_ptr<const sig::SignatureConfig> config)
+    : window_(window), config_(std::move(config))
+{
+    ROCOCO_CHECK(window_ > 0);
+}
+
+core::ValidationRequest
+ConflictDetector::classify(const OffloadRequest& request) const
+{
+    core::ValidationRequest out;
+    for (const Entry& entry : history_) {
+        const bool read_overlap = any_query(entry.write_sig, request.reads);
+        const bool waw = any_query(entry.write_sig, request.writes);
+        const bool war = any_query(entry.read_sig, request.writes);
+        if (entry.cid >= request.snapshot_cid && read_overlap) {
+            out.forward.push_back(entry.cid);
+        }
+        if (waw || war || (entry.cid < request.snapshot_cid && read_overlap)) {
+            out.backward.push_back(entry.cid);
+        }
+    }
+    return out;
+}
+
+void
+ConflictDetector::record_commit(uint64_t cid, const OffloadRequest& request)
+{
+    Entry entry{cid, sig::BloomSignature(config_),
+                sig::BloomSignature(config_)};
+    for (uint64_t addr : request.reads) entry.read_sig.insert(addr);
+    for (uint64_t addr : request.writes) entry.write_sig.insert(addr);
+    ROCOCO_DCHECK(history_.empty() || history_.back().cid < cid);
+    history_.push_back(std::move(entry));
+    if (history_.size() > window_) history_.pop_front();
+}
+
+uint64_t
+ConflictDetector::history_start() const
+{
+    return history_.empty() ? 0 : history_.front().cid;
+}
+
+} // namespace rococo::fpga

@@ -1,0 +1,78 @@
+/// @file
+/// The conflict Detector of the FPGA pipeline (Fig. 5, left).
+///
+/// The detector keeps, for each of the last W committed transactions,
+/// a pair of bloom-filter signatures (read set, write set) — the
+/// bookkeeping h_0..h_{W-1} — and classifies an incoming transaction's
+/// addresses against them into forward/backward dependency vectors for
+/// the Manager. Addresses arrive as plain 64-bit words (the paper ships
+/// addresses, not signatures, so the more precise per-address *query*
+/// operation can be used, §5.3).
+///
+/// Bloom false positives can only add spurious edges, i.e. make the
+/// detector conservative: it may abort more than the exact classifier
+/// (core/rococo_validator.h) but never misses a real dependency — a
+/// property the test suite checks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+
+#include "core/sliding_window.h"
+#include "sig/bloom_signature.h"
+
+namespace rococo::fpga {
+
+/// An offloaded validation request: what the CPU ships over the pull
+/// queue (§5.3).
+struct OffloadRequest
+{
+    std::vector<uint64_t> reads;
+    std::vector<uint64_t> writes;
+    /// The transaction observed exactly commits with cid < snapshot_cid
+    /// (its ValidTS).
+    uint64_t snapshot_cid = 0;
+};
+
+/// Sliding history of per-commit signatures plus edge classification.
+class ConflictDetector
+{
+  public:
+    /// @param window W, must match the Manager's window
+    /// @param config signature geometry shared with the CPU side
+    ConflictDetector(size_t window,
+                     std::shared_ptr<const sig::SignatureConfig> config);
+
+    size_t window() const { return window_; }
+
+    /// Classify @p request against the current history into a
+    /// cid-addressed ValidationRequest. @p next_cid is the cid the
+    /// transaction would commit as (history entries hold cids in
+    /// [next_cid - size, next_cid)).
+    core::ValidationRequest classify(const OffloadRequest& request) const;
+
+    /// Record the signatures of a transaction that just committed with
+    /// @p cid; evicts the oldest entry when the window is full.
+    void record_commit(uint64_t cid, const OffloadRequest& request);
+
+    /// Oldest cid still tracked (== next expected cid when empty).
+    uint64_t history_start() const;
+
+    size_t history_size() const { return history_.size(); }
+
+  private:
+    struct Entry
+    {
+        uint64_t cid;
+        sig::BloomSignature read_sig;
+        sig::BloomSignature write_sig;
+    };
+
+    size_t window_;
+    std::shared_ptr<const sig::SignatureConfig> config_;
+    std::deque<Entry> history_; ///< oldest first
+};
+
+} // namespace rococo::fpga

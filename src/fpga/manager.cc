@@ -1,0 +1,19 @@
+#include "fpga/manager.h"
+
+namespace rococo::fpga {
+
+Manager::Manager(size_t window)
+    : validator_(window)
+{
+}
+
+core::ValidationResult
+Manager::decide(const core::ValidationRequest& request)
+{
+    const core::ValidationResult result =
+        validator_.validate_and_commit(request);
+    stats_.bump(core::to_string(result.verdict));
+    return result;
+}
+
+} // namespace rococo::fpga

@@ -1,0 +1,39 @@
+/// @file
+/// The Manager of the FPGA pipeline (Fig. 5, right): the reachability
+/// matrix held in 2D registers plus the commit/evict control. A thin,
+/// statistics-carrying wrapper around the sliding-window validator —
+/// the bit-parallel data path itself lives in
+/// core/reachability_matrix.h.
+#pragma once
+
+#include "common/stats.h"
+#include "core/sliding_window.h"
+
+namespace rococo::fpga {
+
+class Manager
+{
+  public:
+    explicit Manager(size_t window);
+
+    size_t window() const { return validator_.window(); }
+    uint64_t next_cid() const { return validator_.next_cid(); }
+    uint64_t window_start() const { return validator_.window_start(); }
+
+    /// Validate-and-commit one classified request (one pipeline beat).
+    core::ValidationResult decide(const core::ValidationRequest& request);
+
+    /// Verdict counters since construction.
+    const CounterBag& stats() const { return stats_; }
+
+    const core::SlidingWindowValidator& validator() const
+    {
+        return validator_;
+    }
+
+  private:
+    core::SlidingWindowValidator validator_;
+    CounterBag stats_;
+};
+
+} // namespace rococo::fpga

@@ -1,0 +1,90 @@
+#include "fpga/resource_model.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rococo::fpga {
+namespace {
+
+// Cost coefficients, calibrated at (W=64, m=512, k=4, lanes=8); see the
+// header comment. Each term names the hardware structure it accounts
+// for.
+
+// Registers: fixed CCI-P shim + queue control, the 2 x W x W matrix
+// (R and its transpose network), m-bit signature pipeline stages and
+// per-window-slot control state.
+constexpr uint64_t kRegFixed = 59981;
+constexpr uint64_t kRegPerMatrixBit = 2;
+constexpr uint64_t kRegPerSigBit = 80;
+constexpr uint64_t kRegPerSlot = 68;
+
+// ALMs: fixed shim, matrix update logic, per-signature-bit OR/AND
+// reduction trees, per-slot comparators.
+constexpr uint64_t kAlmFixed = 62818;
+constexpr uint64_t kAlmPerMatrixBit = 4;
+constexpr uint64_t kAlmPerSigBit = 320;
+constexpr uint64_t kAlmPerSlot = 100;
+
+// DSPs: multiply-shift hash units, one multiplier chain per (address
+// lane x hash function), plus a fixed block for the CCI-P shim.
+constexpr uint64_t kDspFixed = 31;
+constexpr uint64_t kDspPerHashLane = 6;
+
+// BRAM bits: platform buffers, pull/push queue rings (2 x 1024 lines x
+// 512 bits) and the signature history (2 signatures per window slot).
+constexpr uint64_t kBramFixed = 941690;
+constexpr uint64_t kBramQueues = 2ull * 1024 * 512;
+
+} // namespace
+
+ResourceEstimate
+estimate_resources(const ResourceParams& params, const DeviceCapacity& device)
+{
+    const uint64_t w = params.window;
+    const uint64_t m = params.signature_bits;
+    const uint64_t k = params.signature_hashes;
+
+    ResourceEstimate out;
+    out.registers = kRegFixed + kRegPerMatrixBit * w * w +
+                    kRegPerSigBit * m + kRegPerSlot * w;
+    out.alms = kAlmFixed + kAlmPerMatrixBit * w * w + kAlmPerSigBit * m +
+               kAlmPerSlot * w;
+    out.dsps = kDspFixed + kDspPerHashLane * params.address_lanes * k;
+    out.bram_bits = kBramFixed + kBramQueues + 2ull * w * m;
+
+    // The m-bit bloom reduction is the critical path at the reference
+    // point (200 MHz at m=512); wider signatures and larger windows
+    // deepen the reduction trees logarithmically.
+    double clock = 200.0;
+    if (m > 512) clock /= 1.0 + 0.25 * std::log2(static_cast<double>(m) / 512.0);
+    if (m < 512) clock *= 1.0 + 0.10 * std::log2(512.0 / static_cast<double>(m));
+    if (w > 64) clock /= 1.0 + 0.10 * std::log2(static_cast<double>(w) / 64.0);
+    out.clock_mhz = clock;
+
+    auto pct = [](uint64_t used, uint64_t total) {
+        return 100.0 * static_cast<double>(used) / static_cast<double>(total);
+    };
+    out.registers_pct = pct(out.registers, device.registers);
+    out.alms_pct = pct(out.alms, device.alms);
+    out.dsps_pct = pct(out.dsps, device.dsps);
+    out.bram_pct = pct(out.bram_bits, device.bram_bits);
+    return out;
+}
+
+std::string
+to_string(const ResourceEstimate& e)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%llu (%.1f%%) registers, %llu (%.2f%%) ALMs, "
+                  "%llu (%.1f%%) DSPs, %llu (%.1f%%) BRAM bits @ %.0f MHz",
+                  static_cast<unsigned long long>(e.registers),
+                  e.registers_pct,
+                  static_cast<unsigned long long>(e.alms), e.alms_pct,
+                  static_cast<unsigned long long>(e.dsps), e.dsps_pct,
+                  static_cast<unsigned long long>(e.bram_bits), e.bram_pct,
+                  e.clock_mhz);
+    return buf;
+}
+
+} // namespace rococo::fpga

@@ -1,0 +1,64 @@
+/// @file
+/// First-order FPGA area/frequency model of the validation engine,
+/// reproducing the resource table of §6.5.
+///
+/// The model decomposes the design into the structures the paper
+/// describes — the W x W reachability matrix in 2D registers (plus its
+/// transpose network), the m-bit bloom data path, the multiply-shift
+/// hash units on DSPs, the signature history in BRAM, and the fixed
+/// CCI-P shim/queue overhead — with per-structure cost coefficients
+/// calibrated so that the paper's configuration (W = 64, m = 512,
+/// k = 4 on an Arria 10 10AX115) lands on the published counts:
+/// 113485 registers, 249442 ALMs, 223 DSPs, 2055802 BRAM bits at
+/// 200 MHz. Sweeping W or m then gives self-consistent what-if numbers
+/// for the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rococo::fpga {
+
+/// Design parameters of the engine instance being estimated.
+struct ResourceParams
+{
+    unsigned window = 64;         ///< W
+    unsigned signature_bits = 512;///< m
+    unsigned signature_hashes = 4;///< k
+    unsigned address_lanes = 8;   ///< addresses ingested per cycle
+};
+
+/// Estimated consumption and achievable clock.
+struct ResourceEstimate
+{
+    uint64_t registers = 0;
+    uint64_t alms = 0;
+    uint64_t dsps = 0;
+    uint64_t bram_bits = 0;
+    double clock_mhz = 0.0;
+
+    double registers_pct = 0.0;
+    double alms_pct = 0.0;
+    double dsps_pct = 0.0;
+    double bram_pct = 0.0;
+};
+
+/// Device capacity used for utilization percentages. Defaults follow
+/// the ratios implied by the paper's table for the Arria 10
+/// 10AX115U3F45E2SGE3.
+struct DeviceCapacity
+{
+    uint64_t registers = 180421;
+    uint64_t alms = 427200;
+    uint64_t dsps = 1518;
+    uint64_t bram_bits = 55562240;
+};
+
+/// Estimate resources and clock for @p params on @p device.
+ResourceEstimate estimate_resources(const ResourceParams& params,
+                                    const DeviceCapacity& device = {});
+
+/// Render an estimate as the §6.5-style summary line.
+std::string to_string(const ResourceEstimate& estimate);
+
+} // namespace rococo::fpga

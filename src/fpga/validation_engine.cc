@@ -1,0 +1,44 @@
+#include "fpga/validation_engine.h"
+
+namespace rococo::fpga {
+
+ValidationEngine::ValidationEngine(const EngineConfig& config)
+    : config_(config), link_(config.link),
+      sig_config_(std::make_shared<const sig::SignatureConfig>(
+          config.signature_bits, config.signature_hashes, config.hash_seed)),
+      detector_(config.window, sig_config_), manager_(config.window)
+{
+}
+
+core::ValidationResult
+ValidationEngine::process(const OffloadRequest& request)
+{
+    if (request.writes.empty() && !config_.strict_read_only) {
+        // Read-only fast path: committed directly on the CPU (§5.3);
+        // requests should normally not even reach the engine.
+        return {core::Verdict::kCommit, 0};
+    }
+
+    if (request.snapshot_cid < manager_.window_start() &&
+        !request.reads.empty()) {
+        // The snapshot predates the window: updates of evicted commits
+        // may have been neglected (§4.2).
+        return {core::Verdict::kWindowOverflow, 0};
+    }
+
+    const core::ValidationRequest classified = detector_.classify(request);
+    const core::ValidationResult result = manager_.decide(classified);
+    if (result.verdict == core::Verdict::kCommit) {
+        detector_.record_commit(result.cid, request);
+    }
+    return result;
+}
+
+double
+ValidationEngine::isolated_latency_ns(const OffloadRequest& request) const
+{
+    return link_.isolated_latency_ns(request.reads.size(),
+                                     request.writes.size());
+}
+
+} // namespace rococo::fpga

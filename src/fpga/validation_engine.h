@@ -1,0 +1,74 @@
+/// @file
+/// The complete FPGA validation engine: Detector + Manager in lockstep
+/// (Fig. 5), plus the link timing model. This is the functional model —
+/// call process() per request, in commit-arrival order. Concurrency and
+/// queueing live one level up (ValidationPipeline for real threads, the
+/// discrete-event simulator for modelled time).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.h"
+#include "fpga/cci_link.h"
+#include "fpga/detector.h"
+#include "fpga/manager.h"
+
+namespace rococo::fpga {
+
+/// Engine configuration; defaults reproduce the paper's deployment
+/// (W = 64, 512-bit signatures, HARP2 link timings).
+struct EngineConfig
+{
+    size_t window = 64;
+    unsigned signature_bits = 512;
+    unsigned signature_hashes = 4;
+    uint64_t hash_seed = 42;
+    /// Validate read-only transactions through the full cycle check
+    /// instead of the paper's direct-commit fast path.
+    bool strict_read_only = false;
+    LinkParams link;
+};
+
+/// Functional + timing model of the offloaded validation phase.
+class ValidationEngine
+{
+  public:
+    explicit ValidationEngine(const EngineConfig& config = {});
+
+    const EngineConfig& config() const { return config_; }
+    const CciLinkModel& link() const { return link_; }
+
+    /// Signature geometry shared with CPU-side eager detection.
+    const std::shared_ptr<const sig::SignatureConfig>& signature_config()
+        const
+    {
+        return sig_config_;
+    }
+
+    /// Process one validation request (classification + reachability
+    /// check + bookkeeping on commit).
+    core::ValidationResult process(const OffloadRequest& request);
+
+    /// Modelled end-to-end latency of @p request when the pipeline is
+    /// otherwise idle, in ns.
+    double isolated_latency_ns(const OffloadRequest& request) const;
+
+    uint64_t next_cid() const { return manager_.next_cid(); }
+    uint64_t window_start() const { return manager_.window_start(); }
+
+    /// Verdict counters.
+    const CounterBag& stats() const { return manager_.stats(); }
+
+    const ConflictDetector& detector() const { return detector_; }
+    const Manager& manager() const { return manager_; }
+
+  private:
+    EngineConfig config_;
+    CciLinkModel link_;
+    std::shared_ptr<const sig::SignatureConfig> sig_config_;
+    ConflictDetector detector_;
+    Manager manager_;
+};
+
+} // namespace rococo::fpga

@@ -1,0 +1,83 @@
+#include "fpga/validation_pipeline.h"
+
+namespace rococo::fpga {
+
+ValidationPipeline::ValidationPipeline(const EngineConfig& config)
+    : config_(config), engine_(config)
+{
+    worker_ = std::thread([this] { worker_loop(); });
+}
+
+ValidationPipeline::~ValidationPipeline()
+{
+    stop();
+}
+
+void
+ValidationPipeline::worker_loop()
+{
+    while (auto item = queue_.pop()) {
+        core::ValidationResult result;
+        {
+            std::lock_guard<std::mutex> lock(engine_mutex_);
+            result = engine_.process(item->request);
+        }
+        item->promise.set_value(result);
+    }
+}
+
+std::future<core::ValidationResult>
+ValidationPipeline::submit(OffloadRequest request)
+{
+    Item item{std::move(request), {}};
+    std::future<core::ValidationResult> future = item.promise.get_future();
+    // Track occupancy before the push; the +1 below accounts for the
+    // request being enqueued.
+    const size_t depth = queue_.size() + 1;
+    size_t seen = high_water_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !high_water_.compare_exchange_weak(seen, depth)) {
+    }
+    if (!queue_.push(std::move(item))) {
+        // Pipeline stopped: treat as a window overflow so callers retry
+        // or fall back rather than hang.
+        std::promise<core::ValidationResult> dead;
+        dead.set_value({core::Verdict::kWindowOverflow, 0});
+        return dead.get_future();
+    }
+    return future;
+}
+
+core::ValidationResult
+ValidationPipeline::validate(OffloadRequest request)
+{
+    return submit(std::move(request)).get();
+}
+
+CounterBag
+ValidationPipeline::stats() const
+{
+    CounterBag bag;
+    {
+        std::lock_guard<std::mutex> lock(engine_mutex_);
+        bag = engine_.stats();
+    }
+    bag.bump("queue_high_water",
+             high_water_.load(std::memory_order_relaxed));
+    return bag;
+}
+
+std::shared_ptr<const sig::SignatureConfig>
+ValidationPipeline::signature_config() const
+{
+    return engine_.signature_config();
+}
+
+void
+ValidationPipeline::stop()
+{
+    queue_.close();
+    if (worker_.joinable()) worker_.join();
+}
+
+} // namespace rococo::fpga

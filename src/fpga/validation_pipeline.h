@@ -1,0 +1,70 @@
+/// @file
+/// Real-thread validation pipeline: the software stand-in for the FPGA
+/// in the live ROCoCoTM runtime.
+///
+/// A dedicated worker thread owns a ValidationEngine and drains the
+/// pull queue in arrival order, exactly like the hardware pipeline
+/// drains cachelines (Fig. 6 (b)). Executing threads submit requests
+/// and block on the verdict. Unlike the hardware, the worker shares the
+/// CPU with the executors, so its *throughput* is not representative —
+/// the paper-shaped timing figures come from the discrete-event
+/// simulator (src/sim); this class provides the *functional* offload
+/// for the real runtime and its tests.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+
+#include "common/queue.h"
+#include "fpga/validation_engine.h"
+
+namespace rococo::fpga {
+
+class ValidationPipeline
+{
+  public:
+    explicit ValidationPipeline(const EngineConfig& config = {});
+    ~ValidationPipeline();
+
+    ValidationPipeline(const ValidationPipeline&) = delete;
+    ValidationPipeline& operator=(const ValidationPipeline&) = delete;
+
+    /// Enqueue a request; the future resolves when the engine has
+    /// decided.
+    std::future<core::ValidationResult> submit(OffloadRequest request);
+
+    /// submit() + wait.
+    core::ValidationResult validate(OffloadRequest request);
+
+    /// Snapshot of the engine's verdict counters (thread-safe),
+    /// including the queue's observed high-water mark
+    /// ("queue_high_water") — the back-pressure the paper avoids by
+    /// keeping the pipeline free of stalls (§5.1).
+    CounterBag stats() const;
+
+    /// Signature geometry shared with CPU-side eager detection.
+    std::shared_ptr<const sig::SignatureConfig> signature_config() const;
+
+    /// Stop the worker; pending requests are drained first. Idempotent.
+    void stop();
+
+  private:
+    struct Item
+    {
+        OffloadRequest request;
+        std::promise<core::ValidationResult> promise;
+    };
+
+    void worker_loop();
+
+    EngineConfig config_;
+    std::atomic<size_t> high_water_{0};
+    mutable std::mutex engine_mutex_;
+    ValidationEngine engine_;
+    BlockingQueue<Item> queue_;
+    std::thread worker_;
+};
+
+} // namespace rococo::fpga

@@ -1,0 +1,61 @@
+#include "graph/cycle.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace rococo::graph {
+namespace {
+
+enum class Color : unsigned char { kWhite, kGray, kBlack };
+
+} // namespace
+
+std::optional<std::vector<size_t>>
+find_cycle(const DependencyGraph& g)
+{
+    const size_t n = g.vertex_count();
+    std::vector<Color> color(n, Color::kWhite);
+    std::vector<size_t> parent(n, SIZE_MAX);
+
+    for (size_t root = 0; root < n; ++root) {
+        if (color[root] != Color::kWhite) continue;
+        // Iterative DFS with an explicit (vertex, next-child) stack to
+        // stay safe on deep graphs.
+        std::vector<std::pair<size_t, size_t>> stack{{root, 0}};
+        color[root] = Color::kGray;
+        while (!stack.empty()) {
+            auto& [v, child] = stack.back();
+            const auto& succ = g.successors(v);
+            if (child < succ.size()) {
+                const size_t s = succ[child++];
+                if (color[s] == Color::kGray) {
+                    // Back edge v -> s closes a cycle; walk parents back.
+                    std::vector<size_t> cycle{s};
+                    for (size_t u = v; u != s; u = parent[u]) {
+                        cycle.push_back(u);
+                    }
+                    cycle.push_back(s);
+                    std::reverse(cycle.begin() + 1, cycle.end() - 1);
+                    return cycle;
+                }
+                if (color[s] == Color::kWhite) {
+                    color[s] = Color::kGray;
+                    parent[s] = v;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                color[v] = Color::kBlack;
+                stack.pop_back();
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+has_cycle(const DependencyGraph& g)
+{
+    return find_cycle(g).has_value();
+}
+
+} // namespace rococo::graph

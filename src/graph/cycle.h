@@ -1,0 +1,21 @@
+/// @file
+/// Cycle detection oracle (iterative DFS). Acyclicity of ->rw is the
+/// if-and-only-if condition for serializability (§3.2), so this oracle
+/// is the ground truth every CC algorithm in the repo is tested against.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+
+namespace rococo::graph {
+
+/// True iff @p g contains a directed cycle.
+bool has_cycle(const DependencyGraph& g);
+
+/// A directed cycle of @p g as a vertex sequence (first == last), or
+/// nullopt if acyclic. Useful in test failure messages.
+std::optional<std::vector<size_t>> find_cycle(const DependencyGraph& g);
+
+} // namespace rococo::graph

@@ -1,0 +1,49 @@
+#include "graph/dependency_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rococo::graph {
+
+DependencyGraph::DependencyGraph(size_t vertices)
+    : successors_(vertices), predecessors_(vertices)
+{
+}
+
+size_t
+DependencyGraph::add_vertex()
+{
+    successors_.emplace_back();
+    predecessors_.emplace_back();
+    return successors_.size() - 1;
+}
+
+void
+DependencyGraph::add_edge(size_t from, size_t to)
+{
+    ROCOCO_CHECK(from < vertex_count() && to < vertex_count());
+    successors_[from].push_back(to);
+    predecessors_[to].push_back(from);
+    ++edge_count_;
+}
+
+bool
+DependencyGraph::has_edge(size_t from, size_t to) const
+{
+    const auto& succ = successors_[from];
+    return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+std::vector<std::pair<size_t, size_t>>
+DependencyGraph::edges() const
+{
+    std::vector<std::pair<size_t, size_t>> out;
+    out.reserve(edge_count_);
+    for (size_t v = 0; v < vertex_count(); ++v) {
+        for (size_t s : successors_[v]) out.emplace_back(v, s);
+    }
+    return out;
+}
+
+} // namespace rococo::graph

@@ -1,0 +1,51 @@
+/// @file
+/// Directed graph over transaction indices, the (T, ->rw) relation of
+/// the paper's formalization (§3). Used by the order-theory utilities,
+/// the serializability oracle and as the reference model for the
+/// hardware reachability matrix.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace rococo::graph {
+
+/// A simple directed graph with a fixed vertex count and adjacency
+/// lists. Parallel edges are tolerated (they do not affect reachability
+/// or cycle questions).
+class DependencyGraph
+{
+  public:
+    explicit DependencyGraph(size_t vertices = 0);
+
+    size_t vertex_count() const { return successors_.size(); }
+    size_t edge_count() const { return edge_count_; }
+
+    /// Add vertex and return its index.
+    size_t add_vertex();
+
+    /// Add edge @p from -> @p to (from happens-before to).
+    void add_edge(size_t from, size_t to);
+
+    bool has_edge(size_t from, size_t to) const;
+
+    const std::vector<size_t>& successors(size_t v) const
+    {
+        return successors_[v];
+    }
+    const std::vector<size_t>& predecessors(size_t v) const
+    {
+        return predecessors_[v];
+    }
+
+    /// All edges as (from, to) pairs.
+    std::vector<std::pair<size_t, size_t>> edges() const;
+
+  private:
+    std::vector<std::vector<size_t>> successors_;
+    std::vector<std::vector<size_t>> predecessors_;
+    size_t edge_count_ = 0;
+};
+
+} // namespace rococo::graph

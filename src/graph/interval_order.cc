@@ -1,0 +1,37 @@
+#include "graph/interval_order.h"
+
+#include "graph/transitive_closure.h"
+
+namespace rococo::graph {
+
+std::optional<TwoPlusTwo>
+find_two_plus_two(const BitMatrix& reach)
+{
+    const size_t n = reach.size();
+    // Collect related pairs, then test pairs of pairs. O(E^2) with E the
+    // number of related pairs; fine for analysis-sized orders.
+    std::vector<std::pair<size_t, size_t>> pairs;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            if (i != j && reach.test(i, j)) pairs.emplace_back(i, j);
+        }
+    }
+    for (const auto& [a, b] : pairs) {
+        for (const auto& [c, d] : pairs) {
+            if (a == c || a == d || b == c || b == d) continue;
+            if (!reach.test(a, d) && !reach.test(c, b)) {
+                return TwoPlusTwo{a, b, c, d};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+is_interval_order(const DependencyGraph& g)
+{
+    const BitMatrix reach = warshall_closure(g, /*reflexive=*/false);
+    return !find_two_plus_two(reach).has_value();
+}
+
+} // namespace rococo::graph

@@ -1,0 +1,36 @@
+/// @file
+/// Interval-order checking (§3.2).
+///
+/// A strict partial order is an interval order iff it contains no
+/// "2+2" sub-order — two disjoint related pairs t1 -> t2, t3 -> t4 with
+/// neither t1 -> t4 nor t3 -> t2 (Fishburn). The paper uses this to
+/// show that any timestamp-based OCC (whose real-time order is an
+/// interval order) must impose phantom orderings, i.e. TOCC is
+/// sufficient but NOT necessary for serializability.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/bitmatrix.h"
+#include "graph/dependency_graph.h"
+
+namespace rococo::graph {
+
+/// Witness of a 2+2 pattern: related pairs (a -> b) and (c -> d) with
+/// a !-> d and c !-> b.
+struct TwoPlusTwo
+{
+    size_t a, b, c, d;
+};
+
+/// Find a 2+2 pattern in the strict partial order given by closure
+/// matrix @p reach (reach[i][j] = i precedes j; the diagonal is
+/// ignored). Returns nullopt iff the order is an interval order.
+std::optional<TwoPlusTwo> find_two_plus_two(const BitMatrix& reach);
+
+/// Convenience: is the transitive closure of @p g an interval order?
+/// @pre g is acyclic.
+bool is_interval_order(const DependencyGraph& g);
+
+} // namespace rococo::graph

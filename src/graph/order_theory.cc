@@ -1,0 +1,83 @@
+#include "graph/order_theory.h"
+
+#include "graph/topo_sort.h"
+
+namespace rococo::graph {
+namespace {
+
+/// Backtracking enumeration of linear extensions (Varol-Rotem style
+/// simple recursion over minimal elements).
+struct Enumerator
+{
+    const DependencyGraph& g;
+    size_t limit;
+    std::vector<size_t> in_degree;
+    std::vector<char> placed;
+    std::vector<size_t> current;
+    std::vector<std::vector<size_t>>* out; ///< nullptr: count only
+    size_t count = 0;
+
+    void
+    recurse()
+    {
+        if (count >= limit) return;
+        if (current.size() == g.vertex_count()) {
+            ++count;
+            if (out) out->push_back(current);
+            return;
+        }
+        for (size_t v = 0; v < g.vertex_count(); ++v) {
+            if (placed[v] || in_degree[v] != 0) continue;
+            placed[v] = 1;
+            current.push_back(v);
+            for (size_t s : g.successors(v)) --in_degree[s];
+            recurse();
+            for (size_t s : g.successors(v)) ++in_degree[s];
+            current.pop_back();
+            placed[v] = 0;
+            if (count >= limit) return;
+        }
+    }
+};
+
+Enumerator
+make_enumerator(const DependencyGraph& g, size_t limit,
+                std::vector<std::vector<size_t>>* out)
+{
+    Enumerator e{g, limit, {}, {}, {}, out, 0};
+    e.in_degree.assign(g.vertex_count(), 0);
+    for (size_t v = 0; v < g.vertex_count(); ++v) {
+        e.in_degree[v] = g.predecessors(v).size();
+    }
+    e.placed.assign(g.vertex_count(), 0);
+    return e;
+}
+
+} // namespace
+
+std::vector<std::vector<size_t>>
+linear_extensions(const DependencyGraph& g, size_t limit)
+{
+    std::vector<std::vector<size_t>> out;
+    if (!topological_sort(g)) return out; // cyclic: no extensions
+    Enumerator e = make_enumerator(g, limit, &out);
+    e.recurse();
+    return out;
+}
+
+size_t
+count_linear_extensions(const DependencyGraph& g, size_t limit)
+{
+    if (!topological_sort(g)) return 0;
+    Enumerator e = make_enumerator(g, limit, nullptr);
+    e.recurse();
+    return e.count;
+}
+
+std::optional<std::vector<size_t>>
+order_extension(const DependencyGraph& g)
+{
+    return topological_sort(g);
+}
+
+} // namespace rococo::graph

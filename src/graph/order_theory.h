@@ -1,0 +1,34 @@
+/// @file
+/// Order-theory utilities backing the paper's formalization (§2-3):
+/// linear extensions and the order-extension principle. The
+/// compositionality analysis built on top of these lives with the
+/// history checkers in cc/semantics.h.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+
+namespace rococo::graph {
+
+/// All linear extensions of the strict partial order induced by @p g's
+/// reachability, capped at @p limit results (the count grows
+/// factorially). @pre g is acyclic; returns empty if it is not.
+std::vector<std::vector<size_t>>
+linear_extensions(const DependencyGraph& g, size_t limit = 1000);
+
+/// Count of linear extensions, capped at @p limit. The count is the
+/// "slack" a CC algorithm has: TOCC commits exactly one extension (the
+/// timestamp order); ROCoCo keeps the whole set alive (§3.2).
+size_t count_linear_extensions(const DependencyGraph& g,
+                               size_t limit = 1000);
+
+/// Order-extension principle, constructively: any acyclic relation
+/// extends to a linear order (§3.2 footnote 2). Returns nullopt iff
+/// @p g is cyclic. (Semantically identical to topological_sort; named
+/// for the theory it instantiates.)
+std::optional<std::vector<size_t>> order_extension(const DependencyGraph& g);
+
+} // namespace rococo::graph

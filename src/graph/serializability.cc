@@ -1,0 +1,44 @@
+#include "graph/serializability.h"
+
+#include "graph/cycle.h"
+#include "graph/topo_sort.h"
+
+namespace rococo::graph {
+
+SerializabilityResult
+check_serializability(const DependencyGraph& rw)
+{
+    SerializabilityResult result;
+    auto order = topological_sort(rw);
+    if (order) {
+        result.serializable = true;
+        result.witness_order = std::move(*order);
+    } else {
+        auto cycle = find_cycle(rw);
+        if (cycle) result.cycle = std::move(*cycle);
+    }
+    return result;
+}
+
+bool
+respects_real_time(const std::vector<size_t>& order,
+                   const std::vector<TxInterval>& intervals)
+{
+    // order[i] must not be required to precede order[j] for j < i:
+    // whenever a's interval ends before b's begins, a must appear first.
+    std::vector<size_t> position(intervals.size(), SIZE_MAX);
+    for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+    for (size_t a = 0; a < intervals.size(); ++a) {
+        for (size_t b = 0; b < intervals.size(); ++b) {
+            if (a == b) continue;
+            if (intervals[a].end <= intervals[b].start &&
+                position[a] != SIZE_MAX && position[b] != SIZE_MAX &&
+                position[a] > position[b]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace rococo::graph

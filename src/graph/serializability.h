@@ -1,0 +1,44 @@
+/// @file
+/// Serializability utilities built on the axiom of §3.2: a set of
+/// committed transactions is serializable iff its ->rw relation is
+/// acyclic, in which case any topological order is a witness serial
+/// execution.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include <cstdint>
+
+#include "graph/dependency_graph.h"
+
+namespace rococo::graph {
+
+/// Result of checking a committed history.
+struct SerializabilityResult
+{
+    bool serializable = false;
+    /// A witness serial order (vertex indices) when serializable.
+    std::vector<size_t> witness_order;
+    /// A cycle (first == last) when not serializable.
+    std::vector<size_t> cycle;
+};
+
+/// Decide serializability of a ->rw graph over committed transactions
+/// and produce a witness (serial order or cycle).
+SerializabilityResult check_serializability(const DependencyGraph& rw);
+
+/// Real-time order check: given per-transaction [start, end) intervals,
+/// is @p order consistent with the interval precedence (t1 before t2
+/// whenever t1.end <= t2.start)? Strict serializability = serializable
+/// with a witness passing this check.
+struct TxInterval
+{
+    uint64_t start;
+    uint64_t end;
+};
+
+bool respects_real_time(const std::vector<size_t>& order,
+                        const std::vector<TxInterval>& intervals);
+
+} // namespace rococo::graph

@@ -1,0 +1,54 @@
+#include "graph/topo_sort.h"
+
+#include <cstdint>
+#include <queue>
+
+namespace rococo::graph {
+
+std::optional<std::vector<size_t>>
+topological_sort(const DependencyGraph& g)
+{
+    const size_t n = g.vertex_count();
+    std::vector<size_t> in_degree(n, 0);
+    for (size_t v = 0; v < n; ++v) {
+        in_degree[v] = g.predecessors(v).size();
+    }
+
+    // Min-heap over ready vertices for deterministic tie-breaking.
+    std::priority_queue<size_t, std::vector<size_t>, std::greater<>> ready;
+    for (size_t v = 0; v < n; ++v) {
+        if (in_degree[v] == 0) ready.push(v);
+    }
+
+    std::vector<size_t> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const size_t v = ready.top();
+        ready.pop();
+        order.push_back(v);
+        for (size_t s : g.successors(v)) {
+            if (--in_degree[s] == 0) ready.push(s);
+        }
+    }
+    if (order.size() != n) return std::nullopt; // leftover vertices: cycle
+    return order;
+}
+
+bool
+is_topological_order(const DependencyGraph& g,
+                     const std::vector<size_t>& order)
+{
+    const size_t n = g.vertex_count();
+    if (order.size() != n) return false;
+    std::vector<size_t> position(n, SIZE_MAX);
+    for (size_t i = 0; i < n; ++i) {
+        if (order[i] >= n || position[order[i]] != SIZE_MAX) return false;
+        position[order[i]] = i;
+    }
+    for (const auto& [from, to] : g.edges()) {
+        if (position[from] >= position[to]) return false;
+    }
+    return true;
+}
+
+} // namespace rococo::graph

@@ -1,0 +1,26 @@
+/// @file
+/// Kahn's topological sort (Kahn 1962). The paper contrasts ROCoCo with
+/// Kahn-style validation, which "presumes a linear order on a DAG during
+/// its traversal" and therefore suffers the phantom ordering (§4.1); we
+/// keep it both as the linear-order constructor of the serializability
+/// proof and as a comparison point.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/dependency_graph.h"
+
+namespace rococo::graph {
+
+/// Topological order of @p g (every edge goes left-to-right in the
+/// returned sequence), or nullopt if the graph is cyclic. Ties are
+/// broken by smallest vertex index, so the result is deterministic.
+std::optional<std::vector<size_t>> topological_sort(const DependencyGraph& g);
+
+/// True iff @p order is a permutation of the vertices of @p g that
+/// respects every edge. Used to validate witness serial orders.
+bool is_topological_order(const DependencyGraph& g,
+                          const std::vector<size_t>& order);
+
+} // namespace rococo::graph

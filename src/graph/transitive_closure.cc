@@ -1,0 +1,52 @@
+#include "graph/transitive_closure.h"
+
+#include "common/check.h"
+
+namespace rococo::graph {
+
+BitMatrix
+adjacency_matrix(const DependencyGraph& g)
+{
+    BitMatrix a(g.vertex_count());
+    for (size_t v = 0; v < g.vertex_count(); ++v) {
+        for (size_t s : g.successors(v)) a.set(v, s);
+    }
+    return a;
+}
+
+BitMatrix
+warshall_closure(const DependencyGraph& g, bool reflexive)
+{
+    BitMatrix r = adjacency_matrix(g);
+    const size_t n = r.size();
+    // r[i] |= r[k] whenever i reaches k: after processing pivot k, r
+    // captures all paths whose intermediate vertices are <= k.
+    for (size_t k = 0; k < n; ++k) {
+        for (size_t i = 0; i < n; ++i) {
+            if (r.test(i, k)) r.row(i) |= r.row(k);
+        }
+    }
+    if (reflexive) r.set_diagonal();
+    return r;
+}
+
+void
+closure_extend_vectors(const BitMatrix& r, const BitVector& f,
+                       const BitVector& b, BitVector& p, BitVector& s)
+{
+    const size_t n = r.size();
+    ROCOCO_CHECK(f.size() == n && b.size() == n);
+    p = f;
+    s = b;
+    for (size_t j = 0; j < n; ++j) {
+        // p[i] |= f[j] & r[j][i]  (reach i through direct successor j)
+        if (f.test(j)) p |= r.row(j);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (s.test(i)) continue;
+        // s[i] |= b[j] & r[i][j]  (i reaches the new vertex through j)
+        if (r.row(i).intersects(b)) s.set(i);
+    }
+}
+
+} // namespace rococo::graph

@@ -1,0 +1,35 @@
+/// @file
+/// Transitive-closure computation.
+///
+/// warshall_closure is the classic O(n^3) algorithm (Warshall 1962) the
+/// paper cites as the starting point of ROCoCo; it serves as the
+/// reference implementation the incremental hardware-shaped
+/// ReachabilityMatrix is property-tested against.
+#pragma once
+
+#include "common/bitmatrix.h"
+#include "graph/dependency_graph.h"
+
+namespace rococo::graph {
+
+/// Adjacency matrix of @p g (a[i][j] = 1 iff edge i -> j).
+BitMatrix adjacency_matrix(const DependencyGraph& g);
+
+/// Transitive closure of @p g by Warshall's algorithm. If @p reflexive
+/// is true, the result includes the diagonal (every vertex reaches
+/// itself), matching the convention of the paper's reachability matrix
+/// ("a vertex can always reach itself", §4.1).
+BitMatrix warshall_closure(const DependencyGraph& g, bool reflexive = true);
+
+/// Incremental closure: given the closure @p r of a DAG over vertices
+/// [0, n) and a new vertex with direct forward edges @p f (new -> i) and
+/// backward edges @p b (i -> new), compute the reach ("proceeding") and
+/// reached-from ("succeeding") vectors of the new vertex:
+///   p[i] = f[i] or exists j: f[j] and r[j][i]
+///   s[i] = b[i] or exists j: b[j] and r[i][j]
+/// This mirrors Warshall's fact and its dual (§4.1); exposed here so
+/// tests can check the O(n) hardware path against this O(n^2) spelling.
+void closure_extend_vectors(const BitMatrix& r, const BitVector& f,
+                            const BitVector& b, BitVector& p, BitVector& s);
+
+} // namespace rococo::graph

@@ -1,0 +1,118 @@
+#include "sig/bloom_signature.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace rococo::sig {
+
+SignatureConfig::SignatureConfig(unsigned m, unsigned k, uint64_t seed)
+    : m_(m), k_(k), hasher_(k, m / k, seed)
+{
+    ROCOCO_CHECK(m >= 64 && std::has_single_bit(m));
+    ROCOCO_CHECK(k >= 1 && m % k == 0);
+    ROCOCO_CHECK(std::has_single_bit(m / k));
+}
+
+BloomSignature::BloomSignature(std::shared_ptr<const SignatureConfig> config)
+    : config_(std::move(config)), words_(config_->words(), 0)
+{
+}
+
+void
+BloomSignature::insert(uint64_t key)
+{
+    for (unsigned i = 0; i < config_->k(); ++i) {
+        const uint64_t bit = config_->bit_index(key, i);
+        words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+    }
+}
+
+bool
+BloomSignature::query(uint64_t key) const
+{
+    for (unsigned i = 0; i < config_->k(); ++i) {
+        const uint64_t bit = config_->bit_index(key, i);
+        if (!((words_[bit >> 6] >> (bit & 63)) & 1)) return false;
+    }
+    return true;
+}
+
+bool
+BloomSignature::empty() const
+{
+    for (auto word : words_) {
+        if (word != 0) return false;
+    }
+    return true;
+}
+
+void
+BloomSignature::clear()
+{
+    for (auto& word : words_) word = 0;
+}
+
+void
+BloomSignature::unite(const BloomSignature& other)
+{
+    ROCOCO_DCHECK(config_.get() == other.config_.get());
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+}
+
+void
+BloomSignature::unite_raw(const uint64_t* raw_words, size_t count)
+{
+    ROCOCO_DCHECK(count == words_.size());
+    for (size_t w = 0; w < count; ++w) words_[w] |= raw_words[w];
+}
+
+bool
+BloomSignature::intersects(const BloomSignature& other) const
+{
+    ROCOCO_DCHECK(config_.get() == other.config_.get());
+    for (size_t w = 0; w < words_.size(); ++w) {
+        if (words_[w] & other.words_[w]) return true;
+    }
+    return false;
+}
+
+bool
+BloomSignature::intersects_all_partitions(const BloomSignature& other) const
+{
+    ROCOCO_DCHECK(config_.get() == other.config_.get());
+    const unsigned words_per_partition = config_->partition_bits() / 64;
+    if (words_per_partition == 0) {
+        // Partitions smaller than a word: fall back to per-bit scan.
+        const unsigned bits = config_->partition_bits();
+        for (unsigned p = 0; p < config_->k(); ++p) {
+            bool hit = false;
+            for (unsigned b = 0; b < bits && !hit; ++b) {
+                const uint64_t bit = static_cast<uint64_t>(p) * bits + b;
+                const uint64_t mask = uint64_t{1} << (bit & 63);
+                hit = (words_[bit >> 6] & other.words_[bit >> 6] & mask) != 0;
+            }
+            if (!hit) return false;
+        }
+        return true;
+    }
+    for (unsigned p = 0; p < config_->k(); ++p) {
+        uint64_t acc = 0;
+        for (unsigned w = 0; w < words_per_partition; ++w) {
+            const size_t idx = static_cast<size_t>(p) * words_per_partition + w;
+            acc |= words_[idx] & other.words_[idx];
+        }
+        if (acc == 0) return false;
+    }
+    return true;
+}
+
+unsigned
+BloomSignature::popcount() const
+{
+    unsigned total = 0;
+    for (auto word : words_) total += std::popcount(word);
+    return total;
+}
+
+} // namespace rococo::sig

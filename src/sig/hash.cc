@@ -1,0 +1,23 @@
+#include "sig/hash.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace rococo::sig {
+
+MultiplyShiftHasher::MultiplyShiftHasher(unsigned k, uint64_t buckets,
+                                         uint64_t seed)
+{
+    ROCOCO_CHECK(k > 0);
+    ROCOCO_CHECK(buckets >= 2 && std::has_single_bit(buckets));
+    log_buckets_ = static_cast<unsigned>(std::countr_zero(buckets));
+
+    Xoshiro256 rng(seed);
+    multipliers_.reserve(k);
+    for (unsigned i = 0; i < k; ++i) {
+        multipliers_.push_back(rng() | 1); // multiplier must be odd
+    }
+}
+
+} // namespace rococo::sig

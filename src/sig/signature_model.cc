@@ -1,0 +1,53 @@
+#include "sig/signature_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rococo::sig {
+
+double
+partition_bit_set_probability(SignatureGeometry g, unsigned n)
+{
+    ROCOCO_CHECK(g.k > 0 && g.m % g.k == 0);
+    const double bits = static_cast<double>(g.m) / g.k;
+    // One hash per partition per element; each insert leaves a given bit
+    // clear with probability (1 - 1/B).
+    return 1.0 - std::pow(1.0 - 1.0 / bits, n);
+}
+
+double
+query_false_positive(SignatureGeometry g, unsigned n)
+{
+    // A false positive needs the queried key's bit set in all k
+    // partitions.
+    return std::pow(partition_bit_set_probability(g, n), g.k);
+}
+
+double
+intersection_false_overlap(SignatureGeometry g, unsigned n1, unsigned n2)
+{
+    const double bits = static_cast<double>(g.m) / g.k;
+    const double p1 = partition_bit_set_probability(g, n1);
+    const double p2 = partition_bit_set_probability(g, n2);
+    // Independence approximation per bit: a given bit of the AND is set
+    // with probability p1*p2; the AND is non-zero if any of the m bits
+    // is.
+    (void)bits;
+    return 1.0 - std::pow(1.0 - p1 * p2, g.m);
+}
+
+double
+intersection_false_overlap_all_partitions(SignatureGeometry g, unsigned n1,
+                                          unsigned n2)
+{
+    const double bits = static_cast<double>(g.m) / g.k;
+    const double p1 = partition_bit_set_probability(g, n1);
+    const double p2 = partition_bit_set_probability(g, n2);
+    // Each partition's AND is non-zero with probability
+    // 1 - (1 - p1 p2)^B; all k partitions must be non-zero.
+    const double per_partition = 1.0 - std::pow(1.0 - p1 * p2, bits);
+    return std::pow(per_partition, g.k);
+}
+
+} // namespace rococo::sig

@@ -1,0 +1,40 @@
+/// @file
+/// Analytic false-positivity model for parallel bloom-filter signatures,
+/// following the probabilistic treatment of Jeffrey & Steffan
+/// ("Understanding bloom filter intersection for lazy address-set
+/// disambiguation", SPAA'11), which the paper uses to size ROCoCoTM's
+/// signatures (Fig. 7, §5.2).
+///
+/// All formulas assume a partitioned filter with m total bits, k
+/// partitions of B = m/k bits and one ideal hash per partition.
+#pragma once
+
+namespace rococo::sig {
+
+/// Inputs of the model: signature geometry.
+struct SignatureGeometry
+{
+    unsigned m; ///< total bits
+    unsigned k; ///< partitions (hash functions)
+};
+
+/// Probability that a given bit of one partition is set after inserting
+/// @p n distinct elements.
+double partition_bit_set_probability(SignatureGeometry g, unsigned n);
+
+/// False-positive probability of a membership query against a signature
+/// holding @p n elements (queried key not in the set).
+double query_false_positive(SignatureGeometry g, unsigned n);
+
+/// False set-overlap probability of the any-bit intersection test
+/// between signatures of two disjoint sets with @p n1 and @p n2
+/// elements: P(bitwise AND != 0).
+double intersection_false_overlap(SignatureGeometry g, unsigned n1,
+                                  unsigned n2);
+
+/// False set-overlap probability of the all-partitions intersection
+/// test: P(every partition of the AND is non-zero).
+double intersection_false_overlap_all_partitions(SignatureGeometry g,
+                                                 unsigned n1, unsigned n2);
+
+} // namespace rococo::sig

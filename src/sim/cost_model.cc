@@ -1,0 +1,82 @@
+#include "sim/cost_model.h"
+
+namespace rococo::sim {
+
+BackendCosts
+sequential_costs()
+{
+    BackendCosts c;
+    c.begin_ns = 0;
+    c.read_ns = 1.5;
+    c.write_ns = 1.5;
+    c.commit_fixed_ns = 0;
+    c.commit_per_write_ns = 0;
+    c.abort_penalty_ns = 0;
+    c.metadata_sensitivity = 1.0;
+    return c;
+}
+
+BackendCosts
+global_lock_costs()
+{
+    BackendCosts c;
+    c.begin_ns = 40; // lock acquisition under contention handled by queueing
+    c.read_ns = 1.5;
+    c.write_ns = 1.5;
+    c.commit_fixed_ns = 20;
+    c.metadata_sensitivity = 1.0;
+    return c;
+}
+
+BackendCosts
+tinystm_costs()
+{
+    BackendCosts c;
+    c.begin_ns = 15;
+    // Two lock-word loads + version compare per read; redo-log insert
+    // per write.
+    c.read_ns = 9;
+    c.write_ns = 7;
+    c.commit_fixed_ns = 40;
+    c.commit_per_write_ns = 18; // CAS per write stripe
+    c.validate_per_read_ns = 12; // commit-time read-set validation walk
+    c.abort_penalty_ns = 120;
+    // Per-location lock table: large metadata footprint.
+    c.metadata_sensitivity = 2.0;
+    return c;
+}
+
+BackendCosts
+htm_costs()
+{
+    BackendCosts c;
+    // Hardware-speed accesses; begin/commit are the XBEGIN/XEND costs.
+    c.begin_ns = 45;
+    c.read_ns = 1.8;
+    c.write_ns = 1.8;
+    c.commit_fixed_ns = 35;
+    c.commit_per_write_ns = 0;
+    c.abort_penalty_ns = 150;
+    c.metadata_sensitivity = 1.3; // txn footprint pinned in private cache
+    return c;
+}
+
+BackendCosts
+rococo_costs()
+{
+    BackendCosts c;
+    c.begin_ns = 15;
+    // Update-set query (a few loads) + signature insert per read;
+    // signature + redo insert per write. No per-location metadata.
+    c.read_ns = 7;
+    c.write_ns = 6;
+    c.commit_fixed_ns = 25;       // request marshalling
+    c.commit_per_write_ns = 6;    // write-back
+    c.validate_per_read_ns = 0;   // validation offloaded (Fig. 11)
+    c.abort_penalty_ns = 100;
+    // Global signatures only: small metadata footprint.
+    c.metadata_sensitivity = 1.15;
+    return c;
+}
+
+} // namespace rococo::sim

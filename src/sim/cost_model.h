@@ -1,0 +1,87 @@
+/// @file
+/// Cost and machine models for the trace-driven simulator.
+///
+/// Per-operation costs are first-order constants chosen to match the
+/// relative overheads reported for each system class (raw hardware
+/// speed for HTM, per-access lock/metadata costs for the STM, bloom
+/// costs + offload latency for ROCoCoTM — §6.2-6.4); the machine model
+/// reproduces the HARP2 topology: 14 physical cores, hyper-threading
+/// up to 28 with a cache-thrashing penalty that hits
+/// metadata-heavy runtimes harder (the paper's explanation for
+/// TinySTM's 14 -> 28 behaviour, §6.3).
+#pragma once
+
+#include <cstdint>
+
+namespace rococo::sim {
+
+/// Per-operation costs (ns) of one TM backend.
+struct BackendCosts
+{
+    double begin_ns = 10;
+    double read_ns = 4;
+    double write_ns = 4;
+    /// Computation per traced op (identical across backends).
+    double work_per_op_ns = 6;
+    double commit_fixed_ns = 20;
+    double commit_per_write_ns = 5;
+    /// Commit-time validation per read-set entry (the Fig. 11 term).
+    double validate_per_read_ns = 0;
+    double abort_penalty_ns = 80;
+    /// How strongly hyper-threaded cache thrashing inflates this
+    /// backend's per-access costs (1 = baseline memory footprint).
+    double metadata_sensitivity = 1.0;
+};
+
+/// Execution platform model (defaults: HARP2's Xeon).
+struct MachineModel
+{
+    unsigned physical_cores = 14;
+    unsigned hyper_threads = 28;
+    /// Per-access inflation when all threads share a physical core's
+    /// resources (threads > physical_cores).
+    double ht_base_penalty = 1.25;
+    /// Additional inflation per unit of metadata_sensitivity above 1.
+    double ht_metadata_penalty = 0.35;
+    /// Per-core coherence cost of shared per-location metadata: every
+    /// additional active core bouncing lock-table lines inflates a
+    /// metadata-heavy runtime's accesses (ROCoCoTM's global signatures
+    /// avoid this — "fast paths ... without any atomic operation",
+    /// §5.1).
+    double coherence_penalty = 0.045;
+
+    /// Cost multiplier at @p threads for a backend with sensitivity
+    /// @p metadata_sensitivity.
+    double
+    inflation(unsigned threads, double metadata_sensitivity) const
+    {
+        const double active =
+            threads < physical_cores ? threads : physical_cores;
+        const double sens =
+            metadata_sensitivity > 1.0 ? metadata_sensitivity - 1.0 : 0.0;
+        const double coherence =
+            1.0 + coherence_penalty * sens * (active - 1.0);
+        if (threads <= physical_cores) return coherence;
+        const double ht = ht_base_penalty + ht_metadata_penalty * sens;
+        return coherence * ht;
+    }
+
+    /// Effective parallelism: hyper-threads beyond the physical cores
+    /// only contribute partially.
+    double
+    effective_cores(unsigned threads) const
+    {
+        if (threads <= physical_cores) return threads;
+        const double ht = threads - physical_cores;
+        return physical_cores + 0.6 * ht;
+    }
+};
+
+/// Reference cost sets per backend family.
+BackendCosts sequential_costs();
+BackendCosts global_lock_costs();
+BackendCosts tinystm_costs();
+BackendCosts htm_costs();
+BackendCosts rococo_costs();
+
+} // namespace rococo::sim

@@ -1,0 +1,148 @@
+#include "sim/event_sim.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace rococo::sim {
+namespace {
+
+struct ThreadState
+{
+    size_t txn_index = SIZE_MAX; ///< current transaction, SIZE_MAX = none
+    unsigned attempt = 0;
+    double start_time = 0;
+    std::vector<double> read_times;
+};
+
+struct CommitEvent
+{
+    double time;
+    unsigned thread;
+    bool operator>(const CommitEvent& other) const
+    {
+        return time > other.time;
+    }
+};
+
+} // namespace
+
+SimResult
+simulate(const stamp::SimTrace& trace, SimBackend& backend,
+         const SimConfig& config)
+{
+    ROCOCO_CHECK(config.threads >= 1);
+    backend.reset(config.threads);
+
+    const BackendCosts costs = backend.costs();
+    const double inflation =
+        config.machine.inflation(config.threads, costs.metadata_sensitivity) *
+        (config.threads > config.machine.physical_cores
+             ? static_cast<double>(config.threads) /
+                   config.machine.effective_cores(config.threads)
+             : 1.0);
+
+    auto execution_span = [&](const stamp::SimTxn& txn) {
+        const double body =
+            costs.read_ns * static_cast<double>(txn.reads.size()) +
+            costs.write_ns * static_cast<double>(txn.writes.size()) +
+            costs.work_per_op_ns * static_cast<double>(txn.ops);
+        return (costs.begin_ns + body) * inflation;
+    };
+    auto commit_cost = [&](const stamp::SimTxn& txn) {
+        return (costs.commit_fixed_ns +
+                costs.commit_per_write_ns *
+                    static_cast<double>(txn.writes.size()) +
+                costs.validate_per_read_ns *
+                    static_cast<double>(txn.reads.size())) *
+               inflation;
+    };
+
+    SimResult result;
+    if (trace.txns.empty()) return result;
+
+    std::vector<ThreadState> threads(config.threads);
+    std::priority_queue<CommitEvent, std::vector<CommitEvent>,
+                        std::greater<CommitEvent>>
+        events;
+
+    size_t next_txn = 0;
+    uint64_t total_attempts = 0;
+    const double attempt_budget =
+        config.max_attempt_factor * static_cast<double>(trace.txns.size());
+    double makespan = 0;
+
+    // Begin an attempt of thread t at ready_time; pushes its commit
+    // event. Returns false if no work is left.
+    auto start_attempt = [&](unsigned t, double ready_time) {
+        ThreadState& ts = threads[t];
+        if (ts.txn_index == SIZE_MAX) {
+            if (next_txn >= trace.txns.size()) return false;
+            ts.txn_index = next_txn++;
+            ts.attempt = 0;
+        }
+        const stamp::SimTxn& txn = trace.txns[ts.txn_index];
+        const double span = execution_span(txn);
+        ts.start_time =
+            backend.acquire_start(t, ready_time, span + commit_cost(txn));
+        ts.read_times.assign(txn.reads.size(), 0);
+        for (size_t i = 0; i < txn.reads.size(); ++i) {
+            ts.read_times[i] =
+                ts.start_time + span * static_cast<double>(i + 1) /
+                                    static_cast<double>(txn.reads.size() + 1);
+        }
+        events.push({ts.start_time + span, t});
+        ++total_attempts;
+        return true;
+    };
+
+    for (unsigned t = 0; t < config.threads; ++t) {
+        if (!start_attempt(t, 0.0)) break;
+    }
+
+    while (!events.empty()) {
+        const CommitEvent event = events.top();
+        events.pop();
+        ThreadState& ts = threads[event.thread];
+        const stamp::SimTxn& txn = trace.txns[ts.txn_index];
+
+        AttemptInfo info;
+        info.txn = &txn;
+        info.thread = event.thread;
+        info.start_time = ts.start_time;
+        info.commit_time = event.time;
+        info.read_times = &ts.read_times;
+        info.attempt = ts.attempt;
+
+        const SimDecision decision = backend.decide(info);
+        double free_at;
+        if (decision.commit) {
+            ++result.commits;
+            free_at =
+                event.time + commit_cost(txn) + decision.commit_extra_ns;
+            ts.txn_index = SIZE_MAX;
+        } else {
+            ++result.aborts;
+            if (decision.offload_abort) ++result.offload_aborts;
+            if (decision.abort_kind) result.detail.bump(decision.abort_kind);
+            const double noticed =
+                decision.abort_time > 0 ? decision.abort_time : event.time;
+            free_at = noticed + decision.commit_extra_ns +
+                      costs.abort_penalty_ns * inflation;
+            ++ts.attempt;
+        }
+        makespan = std::max(makespan, free_at);
+
+        if (static_cast<double>(total_attempts) > attempt_budget) {
+            result.livelocked = true;
+            break;
+        }
+        start_attempt(event.thread, free_at);
+    }
+
+    result.seconds = makespan * 1e-9;
+    result.detail.add(backend.detail());
+    return result;
+}
+
+} // namespace rococo::sim

@@ -1,0 +1,51 @@
+/// @file
+/// Discrete-event trace-replay engine.
+///
+/// Transactions are pulled from a shared queue by T modelled threads
+/// (dynamic load balance, like the workloads' own work distribution).
+/// A thread's attempt occupies [start, commit]; commit requests are
+/// processed in global time order; an aborted attempt retries after
+/// the backend's abort penalty. Hyper-threading inflation and
+/// effective-core scaling come from the machine model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "sim/sim_backend.h"
+
+namespace rococo::sim {
+
+struct SimConfig
+{
+    unsigned threads = 1;
+    MachineModel machine;
+    /// Abort a run that exceeds this many attempts per transaction on
+    /// average (livelock guard).
+    double max_attempt_factor = 200.0;
+};
+
+struct SimResult
+{
+    double seconds = 0.0; ///< modelled makespan
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t offload_aborts = 0; ///< decided by the validation engine
+    CounterBag detail;
+    bool livelocked = false;
+
+    double
+    abort_rate() const
+    {
+        const uint64_t total = commits + aborts;
+        return total ? static_cast<double>(aborts) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/// Replay @p trace on @p backend with @p config.
+SimResult simulate(const stamp::SimTrace& trace, SimBackend& backend,
+                   const SimConfig& config);
+
+} // namespace rococo::sim

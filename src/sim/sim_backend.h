@@ -1,0 +1,85 @@
+/// @file
+/// Backend interface of the discrete-event TM simulator.
+///
+/// The engine (event_sim.h) replays a captured trace on T modelled
+/// threads: each thread executes its transaction (execution time from
+/// the cost model), then asks the backend for a commit decision at its
+/// commit instant. Decisions are requested in global commit-time order,
+/// so a backend sees a linear history of decision points — exactly the
+/// vantage of a centralized validator — and keeps whatever version /
+/// footprint bookkeeping its concurrency control needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/cost_model.h"
+#include "stamp/trace_capture.h"
+
+namespace rococo::sim {
+
+/// Everything the backend may need about the attempt being decided.
+struct AttemptInfo
+{
+    const stamp::SimTxn* txn = nullptr;
+    unsigned thread = 0;
+    double start_time = 0;  ///< ns, begin of this attempt
+    double commit_time = 0; ///< ns, instant of the commit request
+    /// Modelled time of each read (parallel to txn->reads).
+    const std::vector<double>* read_times = nullptr;
+    /// Retry number of this transaction on this thread (0 = first).
+    unsigned attempt = 0;
+};
+
+/// Backend verdict for one attempt.
+struct SimDecision
+{
+    bool commit = true;
+    /// When aborting: the time at which the thread notices (eager
+    /// detection can be earlier than commit_time; must be >= start and
+    /// <= commit_time).
+    double abort_time = 0;
+    /// Extra latency charged on the commit path (e.g. FPGA round trip,
+    /// lock queueing); thread resumes at commit_time + commit_extra_ns.
+    double commit_extra_ns = 0;
+    /// Counter key describing the abort cause (nullptr = generic).
+    const char* abort_kind = nullptr;
+    /// True when the abort was decided by the offload engine rather
+    /// than CPU-side eager detection (the dotted line of Fig. 10).
+    bool offload_abort = false;
+};
+
+class SimBackend
+{
+  public:
+    virtual ~SimBackend() = default;
+
+    virtual std::string name() const = 0;
+    virtual BackendCosts costs() const = 0;
+
+    /// Reset all state for a fresh run with @p threads threads.
+    virtual void reset(unsigned threads) = 0;
+
+    /// Adjust the start of an attempt for backends that serialize
+    /// execution (global lock); default: no delay. @p duration_hint is
+    /// the modelled execution+commit span of the attempt, so a
+    /// serializing backend can reserve its resource.
+    virtual double
+    acquire_start(unsigned thread, double ready_time, double duration_hint)
+    {
+        (void)thread;
+        (void)duration_hint;
+        return ready_time;
+    }
+
+    /// Decide the attempt; on commit the backend records the
+    /// transaction's footprint in its version tables.
+    virtual SimDecision decide(const AttemptInfo& info) = 0;
+
+    /// Backend-specific counters accumulated during the run.
+    virtual CounterBag detail() const { return {}; }
+};
+
+} // namespace rococo::sim

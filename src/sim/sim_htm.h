@@ -1,0 +1,189 @@
+/// @file
+/// Simulated-TSX backend for the trace simulator: eager (2PL-like)
+/// conflict detection against concurrently committed transactions,
+/// capacity aborts, and the 4-retry global-lock fallback that gives
+/// the 83.3% abort-rate ceiling (footnote 10). Eager detection makes
+/// any R-W / W-R / W-W overlap with a concurrent committer fatal —
+/// the root of the abort avalanche the paper observes at high thread
+/// counts (§6.3).
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "sim/sim_backend.h"
+
+namespace rococo::sim {
+
+class HtmSimBackend final : public SimBackend
+{
+  public:
+    /// @param retries speculative attempts before the lock fallback
+    /// @param capacity footprint limit in accessed locations
+    explicit HtmSimBackend(unsigned retries = 4, size_t capacity = 2048)
+        : retries_(retries), capacity_(capacity)
+    {
+    }
+
+    std::string name() const override { return "TSX"; }
+    BackendCosts costs() const override { return htm_costs(); }
+
+    /// Spurious-abort probability per speculative attempt once
+    /// hyper-threading shares the private caches (threads > physical
+    /// cores): sibling evictions kill transactional lines regardless of
+    /// true conflicts. This drives the paper's 28-thread TSX collapse,
+    /// "especially for 28-thread ssca2" (§6.3).
+    static constexpr unsigned kPhysicalCores = 14;
+    static constexpr double kHtSpuriousAbort = 0.45;
+
+    void
+    reset(unsigned threads) override
+    {
+        threads_ = threads;
+        pending_fallback_.assign(threads, false);
+        last_write_.clear();
+        last_read_commit_.clear();
+        aborted_write_.clear();
+        aborted_access_.clear();
+        fallback_lock_free_ = 0;
+        last_fallback_commit_ = 0;
+        rng_ = Xoshiro256(0xcafef00d);
+    }
+
+    double
+    acquire_start(unsigned thread, double ready_time,
+                  double duration_hint) override
+    {
+        if (!pending_fallback_[thread]) return ready_time;
+        // Fallback attempts serialize on the global lock.
+        const double start = std::max(ready_time, fallback_lock_free_);
+        fallback_lock_free_ = start + duration_hint;
+        return start;
+    }
+
+    SimDecision
+    decide(const AttemptInfo& info) override
+    {
+        const auto& txn = *info.txn;
+        const bool fallback = info.attempt > retries_;
+        pending_fallback_[info.thread] = info.attempt + 1 > retries_;
+
+        if (!fallback) {
+            // Micro-architectural (spurious) aborts: cache-set
+            // aliasing, interrupts and shared-cache evictions kill a
+            // best-effort transaction with a probability that grows
+            // with its footprint and with system activity; with
+            // hyper-threading the sibling shares the L1 and the rate
+            // jumps (the paper's "various indeterministic
+            // micro-architectural conditions", §6.2, and the 28-thread
+            // avalanche of §6.3).
+            const double footprint = static_cast<double>(
+                txn.reads.size() + txn.writes.size());
+            double spurious =
+                std::min(0.8, 0.0009 * threads_ * footprint);
+            if (threads_ > kPhysicalCores) {
+                const double footprint_factor =
+                    std::min(1.0, footprint / 16.0 + 0.25);
+                spurious = std::min(
+                    0.9, spurious + kHtSpuriousAbort * footprint_factor);
+            }
+            if (rng_.chance(spurious)) {
+                return abort_at(info.commit_time, "spurious");
+            }
+            // Doomed by a fallback transaction that ran during us.
+            if (info.start_time < last_fallback_commit_) {
+                return abort_at(
+                    std::min(last_fallback_commit_, info.commit_time),
+                    "fallback_doomed");
+            }
+            // Capacity: the footprint exceeds the private cache.
+            const size_t cap_footprint =
+                txn.reads.size() + txn.writes.size();
+            if (cap_footprint > capacity_) {
+                const double frac = static_cast<double>(capacity_) /
+                                    static_cast<double>(cap_footprint);
+                const double t = info.start_time +
+                                 (info.commit_time - info.start_time) * frac;
+                return abort_at(t, "capacity");
+            }
+            // Eager conflicts with concurrently committed transactions:
+            // any overlap aborts, noticed at the conflicting commit.
+            double conflict_time = -1;
+            auto check = [&](const std::unordered_map<uint64_t, double>& tab,
+                             uint64_t addr) {
+                auto it = tab.find(addr);
+                if (it != tab.end() && it->second > info.start_time) {
+                    conflict_time = conflict_time < 0
+                                        ? it->second
+                                        : std::min(conflict_time,
+                                                   it->second);
+                }
+            };
+            for (uint64_t a : txn.reads) {
+                check(last_write_, a);
+                check(aborted_write_, a);
+            }
+            for (uint64_t a : txn.writes) {
+                check(last_write_, a);
+                check(last_read_commit_, a);
+                check(aborted_access_, a);
+            }
+            if (conflict_time >= 0) {
+                // Chain effect: this doomed attempt was itself holding
+                // cache lines that invalidate others — record its
+                // footprint so concurrent transactions see the abort
+                // cascade ("an aborted transaction will cause more
+                // transactions to abort in a chain", §6.3).
+                const double t = std::min(conflict_time, info.commit_time);
+                for (uint64_t a : txn.writes) {
+                    aborted_write_[a] = t;
+                    aborted_access_[a] = t;
+                }
+                for (uint64_t a : txn.reads) aborted_access_[a] = t;
+                return abort_at(t, "conflict");
+            }
+        }
+
+        // Commit (speculative or fallback).
+        for (uint64_t a : txn.writes) last_write_[a] = info.commit_time;
+        for (uint64_t a : txn.reads) {
+            last_read_commit_[a] = info.commit_time;
+        }
+        if (fallback) {
+            last_fallback_commit_ = info.commit_time;
+            fallbacks_.bump("fallback_commits");
+        }
+        pending_fallback_[info.thread] = false;
+        return {};
+    }
+
+    CounterBag detail() const override { return fallbacks_; }
+
+  private:
+    static SimDecision
+    abort_at(double time, const char* kind)
+    {
+        SimDecision d;
+        d.commit = false;
+        d.abort_time = time;
+        d.abort_kind = kind;
+        return d;
+    }
+
+    unsigned retries_;
+    size_t capacity_;
+    std::unordered_map<uint64_t, double> last_write_;
+    std::unordered_map<uint64_t, double> last_read_commit_;
+    /// Footprints of aborted speculative attempts (chain-abort model).
+    std::unordered_map<uint64_t, double> aborted_write_;
+    std::unordered_map<uint64_t, double> aborted_access_;
+    double fallback_lock_free_ = 0;
+    double last_fallback_commit_ = 0;
+    unsigned threads_ = 1;
+    Xoshiro256 rng_{0xcafef00d};
+    std::vector<bool> pending_fallback_;
+    CounterBag fallbacks_;
+};
+
+} // namespace rococo::sim

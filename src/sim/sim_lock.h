@@ -1,0 +1,57 @@
+/// @file
+/// Trivial simulator backends: the always-commit sequential reference
+/// and the single-global-lock TM (execution fully serialized).
+#pragma once
+
+#include "sim/sim_backend.h"
+
+namespace rococo::sim {
+
+/// Always commits, no serialization: pair with threads=1 for the
+/// sequential baseline every speedup is measured against.
+class SequentialSimBackend final : public SimBackend
+{
+  public:
+    std::string name() const override { return "Sequential"; }
+    BackendCosts costs() const override { return sequential_costs(); }
+    void reset(unsigned) override {}
+    SimDecision
+    decide(const AttemptInfo&) override
+    {
+        return {};
+    }
+};
+
+/// Global-lock TM: attempts queue on one lock; never aborts.
+class GlobalLockSimBackend final : public SimBackend
+{
+  public:
+    std::string name() const override { return "GlobalLock"; }
+    BackendCosts costs() const override { return global_lock_costs(); }
+
+    void
+    reset(unsigned) override
+    {
+        lock_free_ = 0;
+    }
+
+    double
+    acquire_start(unsigned, double ready_time, double duration_hint) override
+    {
+        const double start =
+            ready_time > lock_free_ ? ready_time : lock_free_;
+        lock_free_ = start + duration_hint;
+        return start;
+    }
+
+    SimDecision
+    decide(const AttemptInfo&) override
+    {
+        return {};
+    }
+
+  private:
+    double lock_free_ = 0;
+};
+
+} // namespace rococo::sim

@@ -1,0 +1,216 @@
+/// @file
+/// ROCoCoTM simulator backend: eager CPU-side detection + real ROCoCo
+/// validation offloaded to the FPGA timing model.
+///
+/// The commit decision path runs the *actual* sliding-window
+/// reachability algorithm (core/rococo_validator.h) — the simulator
+/// models timing, not the algorithm. Per attempt:
+///  1. LSA snapshot: if no read was invalidated, ValidTS is the current
+///     commit count and validation sees no forward edges.
+///  2. If reads were invalidated, ValidTS freezes at the first
+///     invalidating commit; reading a *newer* version after that point
+///     is the MissSet abort — eager, CPU-side, before any offload
+///     (the fast-fail path of §5.1).
+///  3. Otherwise the read/write sets + ValidTS go to the modelled FPGA
+///     pipeline: CCI round trip + pipeline occupancy queueing, verdict
+///     by the exact ROCoCo validator (commit / cycle / window
+///     overflow).
+/// Read-only transactions commit directly on the CPU (§5.3).
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "core/rococo_validator.h"
+#include "fpga/cci_link.h"
+#include "sim/sim_backend.h"
+
+namespace rococo::sim {
+
+class RococoSimBackend final : public SimBackend
+{
+  public:
+    /// @param pipelined true models the fully-pipelined FPGA engine
+    ///     (Fig. 6 (d)): a request only occupies the address stream.
+    ///     false models centralized validation on an exclusive core
+    ///     (Fig. 6 (c)): the validator is busy for the whole request
+    ///     latency, serializing validations.
+    explicit RococoSimBackend(size_t window = 64,
+                              fpga::LinkParams link = {},
+                              bool pipelined = true)
+        : window_(window), link_(link), pipelined_(pipelined),
+          name_("ROCoCoTM"), costs_(rococo_costs())
+    {
+    }
+
+    /// Fully parameterized variant, used to model other deployments of
+    /// the ROCoCo validator (e.g. a directory-based HTM, §7).
+    RococoSimBackend(std::string name, BackendCosts costs, size_t window,
+                     fpga::LinkParams link, bool pipelined = true)
+        : window_(window), link_(link), pipelined_(pipelined),
+          name_(std::move(name)), costs_(costs)
+    {
+    }
+
+    std::string name() const override { return name_; }
+    BackendCosts costs() const override { return costs_; }
+
+    void
+    reset(unsigned threads) override
+    {
+        verdict_due_.assign(threads, 0.0);
+        validator_ = std::make_unique<core::ExactRococoValidator>(
+            window_, /*strict_read_only=*/false);
+        versions_.clear();
+        fpga_free_ = 0;
+        counters_ = CounterBag();
+        total_offload_ns_ = 0;
+        offload_requests_ = 0;
+    }
+
+    SimDecision
+    decide(const AttemptInfo& info) override
+    {
+        const auto& txn = *info.txn;
+
+        // 1-2: LSA snapshot reconstruction from the version table.
+        uint64_t valid_ts = validator_->next_cid();
+        double freeze_time = -1;
+        for (size_t i = 0; i < txn.reads.size(); ++i) {
+            auto it = versions_.find(txn.reads[i]);
+            if (it == versions_.end()) continue;
+            const Version& v = it->second;
+            if (v.time > (*info.read_times)[i]) {
+                // Read the pre-v version: snapshot must predate v.
+                if (v.cid < valid_ts) {
+                    valid_ts = v.cid;
+                    freeze_time = v.time;
+                }
+            }
+        }
+        if (freeze_time >= 0) {
+            // MissSet check: a read of a version committed at/after the
+            // frozen snapshot cannot be serialized — eager abort at
+            // that read.
+            double miss_time = -1;
+            for (size_t i = 0; i < txn.reads.size(); ++i) {
+                auto it = versions_.find(txn.reads[i]);
+                if (it == versions_.end()) continue;
+                const Version& v = it->second;
+                if (v.cid >= valid_ts &&
+                    v.time <= (*info.read_times)[i]) {
+                    miss_time = miss_time < 0
+                                    ? (*info.read_times)[i]
+                                    : std::min(miss_time,
+                                               (*info.read_times)[i]);
+                }
+            }
+            if (miss_time >= 0) {
+                SimDecision d;
+                d.commit = false;
+                d.abort_time = std::max(miss_time, info.start_time);
+                d.abort_kind = "eager_miss";
+                counters_.bump("cpu_eager_aborts");
+                return d;
+            }
+        }
+
+        // Read-only fast path.
+        if (txn.writes.empty()) {
+            counters_.bump("read_only_commits");
+            return {};
+        }
+
+        // 3: offload through the meta-pipeline (Fig. 6): the executor
+        // overlaps the previous transaction's validation with this
+        // transaction's execution, so the thread only stalls if it
+        // finishes executing before the previous verdict returned
+        // (depth-1 software pipelining; the paper's "communication
+        // latency amortized by overlapped transactions", §5.1).
+        const double submit =
+            std::max(info.commit_time, verdict_due_[info.thread]);
+        const double submit_wait = submit - info.commit_time;
+
+        const double half_link = link_.round_trip_ns() / 2.0;
+        const double arrive = submit + half_link;
+        const double service_start = std::max(arrive, fpga_free_);
+        const double occupancy =
+            pipelined_
+                ? link_.service_interval_ns(txn.reads.size(),
+                                            txn.writes.size())
+                : link_.pipeline_latency_ns(txn.reads.size(),
+                                            txn.writes.size());
+        fpga_free_ = service_start + occupancy;
+        const double verdict_at =
+            service_start +
+            link_.pipeline_latency_ns(txn.reads.size(),
+                                      txn.writes.size()) +
+            half_link;
+        verdict_due_[info.thread] = verdict_at;
+        total_offload_ns_ += verdict_at - submit;
+        ++offload_requests_;
+
+        const core::ValidationResult verdict =
+            validator_->validate(txn.reads, txn.writes, valid_ts);
+        if (verdict.verdict != core::Verdict::kCommit) {
+            // An aborted transaction cannot be overlapped: the thread
+            // must learn the verdict before re-executing.
+            SimDecision d;
+            d.commit = false;
+            d.abort_time = info.commit_time;
+            d.commit_extra_ns = verdict_at - info.commit_time;
+            d.offload_abort = true;
+            d.abort_kind = verdict.verdict == core::Verdict::kAbortCycle
+                               ? "fpga_cycle"
+                               : "fpga_overflow";
+            return d;
+        }
+
+        for (uint64_t addr : txn.writes) {
+            // Visibility at the decision instant: the FPGA serializes
+            // decisions, and a reader hitting the not-yet-written-back
+            // address stalls on the update set (Algorithm 1 line 5)
+            // and then observes the new version — the in-flight window
+            // causes waits, not stale reads.
+            versions_[addr] = Version{info.commit_time, verdict.cid};
+        }
+        SimDecision d;
+        d.commit_extra_ns = submit_wait;
+        return d;
+    }
+
+    CounterBag detail() const override { return counters_; }
+
+    /// Mean end-to-end offload latency per validated request (ns),
+    /// including pipeline queueing — the ROCoCoTM series of Fig. 11.
+    double
+    mean_offload_latency_ns() const
+    {
+        return offload_requests_
+                   ? total_offload_ns_ / static_cast<double>(offload_requests_)
+                   : 0.0;
+    }
+
+  private:
+    struct Version
+    {
+        double time = 0; ///< when the write became visible
+        uint64_t cid = 0;
+    };
+
+    size_t window_;
+    fpga::CciLinkModel link_;
+    bool pipelined_;
+    std::string name_;
+    BackendCosts costs_;
+    std::unique_ptr<core::ExactRococoValidator> validator_;
+    std::unordered_map<uint64_t, Version> versions_;
+    double fpga_free_ = 0;
+    std::vector<double> verdict_due_; ///< per-thread pending verdict
+    CounterBag counters_;
+    double total_offload_ns_ = 0;
+    uint64_t offload_requests_ = 0;
+};
+
+} // namespace rococo::sim

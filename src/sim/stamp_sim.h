@@ -1,0 +1,48 @@
+/// @file
+/// Glue between the STAMP workloads and the trace simulator: capture a
+/// workload's trace, build backends by name, and run the full Fig. 10
+/// grid (workload x backend x thread count).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.h"
+#include "stamp/harness.h"
+#include "stamp/trace_capture.h"
+
+namespace rococo::sim {
+
+/// Run @p workload once single-threaded under the recording runtime
+/// and return its transaction trace.
+stamp::SimTrace capture_workload_trace(const std::string& workload,
+                                       const stamp::WorkloadParams& params);
+
+/// Backend factory. Names: "seq", "lock", "tinystm", "tsx", "rococo",
+/// "htm-rococo" (the §7 directory-HTM deployment of the validator).
+std::unique_ptr<SimBackend> make_backend(const std::string& name);
+
+/// One cell of the Fig. 10 grid.
+struct StampSimRow
+{
+    std::string workload;
+    std::string backend;
+    unsigned threads = 1;
+    double seconds = 0;
+    double speedup = 0; ///< vs the 1-thread sequential baseline
+    double abort_rate = 0;
+    double offload_abort_rate = 0; ///< FPGA-side aborts / all attempts
+    bool livelocked = false;
+};
+
+/// Simulate @p trace under @p backend_name at every thread count; the
+/// speedup baseline is the sequential backend at 1 thread on the same
+/// trace.
+std::vector<StampSimRow> simulate_grid(const std::string& workload,
+                                       const stamp::SimTrace& trace,
+                                       const std::vector<std::string>& backends,
+                                       const std::vector<int>& thread_counts,
+                                       const MachineModel& machine = {});
+
+} // namespace rococo::sim

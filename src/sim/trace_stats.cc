@@ -1,0 +1,100 @@
+#include "sim/trace_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rococo::sim {
+namespace {
+
+SetSizeStats
+summarize(std::vector<uint64_t> sizes)
+{
+    SetSizeStats out;
+    if (sizes.empty()) return out;
+    uint64_t total = 0;
+    for (uint64_t s : sizes) total += s;
+    out.mean = static_cast<double>(total) /
+               static_cast<double>(sizes.size());
+    std::sort(sizes.begin(), sizes.end());
+    out.p50 = sizes[sizes.size() / 2];
+    out.p95 = sizes[std::min(sizes.size() - 1,
+                             sizes.size() * 95 / 100)];
+    out.max = sizes.back();
+    return out;
+}
+
+bool
+sorted_overlap(const std::vector<uint64_t>& a,
+               const std::vector<uint64_t>& b)
+{
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+            ++i;
+        } else if (a[i] > b[j]) {
+            ++j;
+        } else {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+conflicts(const stamp::SimTxn& a, const stamp::SimTxn& b)
+{
+    return sorted_overlap(a.reads, b.writes) ||
+           sorted_overlap(a.writes, b.reads) ||
+           sorted_overlap(a.writes, b.writes);
+}
+
+} // namespace
+
+TraceCharacterization
+characterize(const stamp::SimTrace& trace, size_t sample_pairs,
+             uint64_t seed)
+{
+    TraceCharacterization out;
+    out.txns = trace.txns.size();
+    if (trace.txns.empty()) return out;
+
+    std::vector<uint64_t> read_sizes, write_sizes;
+    read_sizes.reserve(out.txns);
+    write_sizes.reserve(out.txns);
+    uint64_t read_only = 0;
+    for (const auto& txn : trace.txns) {
+        read_sizes.push_back(txn.reads.size());
+        write_sizes.push_back(txn.writes.size());
+        read_only += txn.read_only() ? 1 : 0;
+    }
+    out.reads = summarize(std::move(read_sizes));
+    out.writes = summarize(std::move(write_sizes));
+    out.read_only_fraction =
+        static_cast<double>(read_only) / static_cast<double>(out.txns);
+
+    Xoshiro256 rng(seed);
+    uint64_t hits = 0;
+    const size_t pairs = trace.txns.size() < 2 ? 0 : sample_pairs;
+    for (size_t p = 0; p < pairs; ++p) {
+        const size_t a = rng.below(trace.txns.size());
+        size_t b = rng.below(trace.txns.size());
+        if (a == b) b = (b + 1) % trace.txns.size();
+        hits += conflicts(trace.txns[a], trace.txns[b]) ? 1 : 0;
+    }
+    out.pairwise_conflict =
+        pairs ? static_cast<double>(hits) / static_cast<double>(pairs)
+              : 0.0;
+
+    const double footprint = out.reads.mean + out.writes.mean;
+    out.length_class =
+        footprint < 8 ? "short" : (footprint < 32 ? "medium" : "long");
+    out.contention_class = out.pairwise_conflict < 0.01
+                               ? "low"
+                               : (out.pairwise_conflict < 0.10 ? "medium"
+                                                               : "high");
+    return out;
+}
+
+} // namespace rococo::sim

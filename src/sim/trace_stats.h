@@ -1,0 +1,51 @@
+/// @file
+/// Workload characterization from captured traces — the analogue of
+/// STAMP's Table 1 ("qualitative summary of each application's
+/// runtime transactional characteristics"): transaction counts,
+/// read/write-set size distributions, read-only fraction, and an
+/// estimated pairwise conflict probability, per workload. Printed by
+/// bench/tab_workloads; also the sanity layer the Fig. 10 calibration
+/// rests on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "stamp/trace_capture.h"
+
+namespace rococo::sim {
+
+/// Distribution summary of one per-transaction quantity.
+struct SetSizeStats
+{
+    double mean = 0;
+    uint64_t p50 = 0;
+    uint64_t p95 = 0;
+    uint64_t max = 0;
+};
+
+/// The characterization row for one workload trace.
+struct TraceCharacterization
+{
+    uint64_t txns = 0;
+    double read_only_fraction = 0;
+    SetSizeStats reads;
+    SetSizeStats writes;
+    /// Estimated probability that two random transactions of the trace
+    /// conflict (R-W or W-W overlap), from a bounded sample of pairs.
+    double pairwise_conflict = 0;
+    /// Length class per STAMP's taxonomy, derived from mean footprint:
+    /// "short" (< 8), "medium" (< 32) or "long".
+    std::string length_class;
+    /// Contention class from the pairwise conflict estimate:
+    /// "low" (< 1%), "medium" (< 10%) or "high".
+    std::string contention_class;
+};
+
+/// Characterize @p trace; @p sample_pairs bounds the conflict
+/// estimation work.
+TraceCharacterization characterize(const stamp::SimTrace& trace,
+                                   size_t sample_pairs = 20000,
+                                   uint64_t seed = 1);
+
+} // namespace rococo::sim

@@ -1,0 +1,76 @@
+/// @file
+/// Fixed-capacity node pool backing the transactional containers.
+///
+/// Allocation is a non-transactional atomic bump: a node index handed
+/// out inside a transaction that later aborts is simply leaked (the
+/// commit-deferred allocation strategy documented in DESIGN.md — the
+/// same simplification STAMP's tm_malloc pools make in practice).
+/// Nodes are never physically reclaimed; removed nodes are unlinked
+/// only, so pools must be sized for the total allocation volume of a
+/// run. Index 0 is the null sentinel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "tm/tm.h"
+
+namespace rococo::stamp {
+
+/// Null link value used by all containers.
+inline constexpr uint64_t kNullNode = 0;
+
+/// Pool of nodes with @p Fields transactional word fields each.
+template <unsigned Fields>
+class NodePool
+{
+  public:
+    explicit NodePool(size_t capacity)
+        : cells_(capacity * Fields)
+    {
+        ROCOCO_CHECK(capacity >= 2);
+    }
+
+    size_t capacity() const { return cells_.size() / Fields; }
+
+    /// Allocate a fresh node index (never 0). Aborted transactions leak
+    /// their allocations.
+    uint64_t
+    alloc()
+    {
+        const uint64_t index =
+            next_.fetch_add(1, std::memory_order_relaxed);
+        ROCOCO_CHECK(index < capacity());
+        return index;
+    }
+
+    /// Field @p f of node @p index.
+    tm::TmCell&
+    field(uint64_t index, unsigned f)
+    {
+        ROCOCO_DCHECK(index != kNullNode && index < capacity());
+        ROCOCO_DCHECK(f < Fields);
+        return cells_[index * Fields + f];
+    }
+
+    const tm::TmCell&
+    field(uint64_t index, unsigned f) const
+    {
+        ROCOCO_DCHECK(index != kNullNode && index < capacity());
+        return cells_[index * Fields + f];
+    }
+
+    /// Nodes handed out so far (diagnostics).
+    uint64_t allocated() const
+    {
+        return next_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<tm::TmCell> cells_;
+    std::atomic<uint64_t> next_{1}; // 0 is the null sentinel
+};
+
+} // namespace rococo::stamp

@@ -1,0 +1,50 @@
+#include "stamp/containers/tx_bitmap.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace rococo::stamp {
+
+TxBitmap::TxBitmap(size_t bits)
+    : bits_(bits), words_((bits + 63) / 64)
+{
+}
+
+bool
+TxBitmap::test(tm::Tx& tx, uint64_t bit) const
+{
+    ROCOCO_DCHECK(bit < bits_);
+    return (tx.load(words_[bit >> 6]) >> (bit & 63)) & 1;
+}
+
+bool
+TxBitmap::set(tm::Tx& tx, uint64_t bit)
+{
+    ROCOCO_DCHECK(bit < bits_);
+    const uint64_t word = tx.load(words_[bit >> 6]);
+    const uint64_t mask = uint64_t{1} << (bit & 63);
+    if (word & mask) return false;
+    tx.store(words_[bit >> 6], word | mask);
+    return true;
+}
+
+void
+TxBitmap::clear(tm::Tx& tx, uint64_t bit)
+{
+    ROCOCO_DCHECK(bit < bits_);
+    const uint64_t word = tx.load(words_[bit >> 6]);
+    tx.store(words_[bit >> 6], word & ~(uint64_t{1} << (bit & 63)));
+}
+
+uint64_t
+TxBitmap::unsafe_count() const
+{
+    uint64_t count = 0;
+    for (const auto& cell : words_) {
+        count += std::popcount(cell.unsafe_load());
+    }
+    return count;
+}
+
+} // namespace rococo::stamp

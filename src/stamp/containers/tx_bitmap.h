@@ -1,0 +1,35 @@
+/// @file
+/// Transactional bitmap (STAMP lib/bitmap analogue), bit-per-entry over
+/// word cells. Conflicts are word-granular, as in the original.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tm/tm.h"
+
+namespace rococo::stamp {
+
+class TxBitmap
+{
+  public:
+    explicit TxBitmap(size_t bits);
+
+    size_t size() const { return bits_; }
+
+    bool test(tm::Tx& tx, uint64_t bit) const;
+
+    /// Set @p bit; returns false if it was already set.
+    bool set(tm::Tx& tx, uint64_t bit);
+
+    void clear(tm::Tx& tx, uint64_t bit);
+
+    /// Non-transactional popcount for verification.
+    uint64_t unsafe_count() const;
+
+  private:
+    size_t bits_;
+    mutable std::vector<tm::TmCell> words_;
+};
+
+} // namespace rococo::stamp

@@ -1,0 +1,60 @@
+#include "stamp/containers/tx_hashtable.h"
+
+#include <bit>
+
+namespace rococo::stamp {
+
+TxHashTable::TxHashTable(size_t buckets, size_t capacity)
+    : pool_(std::make_unique<TxList::Pool>(capacity))
+{
+    const size_t rounded = std::bit_ceil(buckets);
+    mask_ = rounded - 1;
+    for (size_t b = 0; b < rounded; ++b) buckets_.emplace_back(*pool_);
+}
+
+bool
+TxHashTable::insert(tm::Tx& tx, uint64_t key, uint64_t value)
+{
+    return bucket_for(key).insert(tx, key, value);
+}
+
+bool
+TxHashTable::remove(tm::Tx& tx, uint64_t key)
+{
+    return bucket_for(key).remove(tx, key);
+}
+
+std::optional<uint64_t>
+TxHashTable::find(tm::Tx& tx, uint64_t key) const
+{
+    return bucket_for(key).find(tx, key);
+}
+
+bool
+TxHashTable::contains(tm::Tx& tx, uint64_t key) const
+{
+    return bucket_for(key).contains(tx, key);
+}
+
+bool
+TxHashTable::update(tm::Tx& tx, uint64_t key, uint64_t value)
+{
+    return bucket_for(key).update(tx, key, value);
+}
+
+void
+TxHashTable::unsafe_for_each(
+    const std::function<void(uint64_t, uint64_t)>& fn) const
+{
+    for (const TxList& bucket : buckets_) bucket.unsafe_for_each(fn);
+}
+
+uint64_t
+TxHashTable::unsafe_size() const
+{
+    uint64_t count = 0;
+    unsafe_for_each([&](uint64_t, uint64_t) { ++count; });
+    return count;
+}
+
+} // namespace rococo::stamp

@@ -1,0 +1,57 @@
+/// @file
+/// Transactional chained hash table (STAMP lib/hashtable analogue):
+/// a fixed array of sorted-list buckets over one shared node pool.
+/// Fixed bucket count — no transactional resize — matching STAMP's
+/// usage where tables are pre-sized for the workload.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "stamp/containers/tx_list.h"
+
+namespace rococo::stamp {
+
+class TxHashTable
+{
+  public:
+    /// @param buckets bucket count (rounded up to a power of two)
+    /// @param capacity node-pool capacity (total insertions)
+    TxHashTable(size_t buckets, size_t capacity);
+
+    bool insert(tm::Tx& tx, uint64_t key, uint64_t value);
+    bool remove(tm::Tx& tx, uint64_t key);
+    std::optional<uint64_t> find(tm::Tx& tx, uint64_t key) const;
+    bool contains(tm::Tx& tx, uint64_t key) const;
+    bool update(tm::Tx& tx, uint64_t key, uint64_t value);
+
+    size_t bucket_count() const { return buckets_.size(); }
+
+    /// Non-transactional traversal for post-run verification.
+    void unsafe_for_each(
+        const std::function<void(uint64_t key, uint64_t value)>& fn) const;
+
+    /// Non-transactional total size.
+    uint64_t unsafe_size() const;
+
+  private:
+    TxList&
+    bucket_for(uint64_t key) const
+    {
+        uint64_t h = key;
+        h ^= h >> 33;
+        h *= 0x9e3779b97f4a7c15ULL;
+        h ^= h >> 29;
+        return const_cast<TxList&>(buckets_[h & mask_]);
+    }
+
+    std::unique_ptr<TxList::Pool> pool_;
+    std::deque<TxList> buckets_;
+    uint64_t mask_;
+};
+
+} // namespace rococo::stamp

@@ -1,0 +1,61 @@
+#include "stamp/containers/tx_heap.h"
+
+namespace rococo::stamp {
+
+TxHeap::TxHeap(size_t capacity)
+    : slots_(capacity)
+{
+}
+
+bool
+TxHeap::push(tm::Tx& tx, uint64_t key)
+{
+    uint64_t n = tx.load(size_);
+    if (n >= slots_.size()) return false;
+    // Sift up.
+    uint64_t i = n;
+    while (i > 0) {
+        const uint64_t parent = (i - 1) / 2;
+        const uint64_t pv = get(tx, parent);
+        if (pv <= key) break;
+        set(tx, i, pv);
+        i = parent;
+    }
+    set(tx, i, key);
+    tx.store(size_, n + 1);
+    return true;
+}
+
+std::optional<uint64_t>
+TxHeap::pop(tm::Tx& tx)
+{
+    const uint64_t n = tx.load(size_);
+    if (n == 0) return std::nullopt;
+    const uint64_t top = get(tx, 0);
+    const uint64_t last = get(tx, n - 1);
+    tx.store(size_, n - 1);
+    // Sift the former last element down from the root.
+    uint64_t i = 0;
+    const uint64_t count = n - 1;
+    while (true) {
+        const uint64_t left = 2 * i + 1;
+        if (left >= count) break;
+        uint64_t smallest = left;
+        uint64_t smallest_val = get(tx, left);
+        const uint64_t right = left + 1;
+        if (right < count) {
+            const uint64_t rv = get(tx, right);
+            if (rv < smallest_val) {
+                smallest = right;
+                smallest_val = rv;
+            }
+        }
+        if (smallest_val >= last) break;
+        set(tx, i, smallest_val);
+        i = smallest;
+    }
+    if (count > 0) set(tx, i, last);
+    return top;
+}
+
+} // namespace rococo::stamp

@@ -1,0 +1,42 @@
+/// @file
+/// Transactional array-backed min-heap (STAMP lib/heap analogue), used
+/// as yada's shared work queue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tm/tm.h"
+
+namespace rococo::stamp {
+
+class TxHeap
+{
+  public:
+    explicit TxHeap(size_t capacity);
+
+    /// Push @p key (priority == key). Returns false when full.
+    bool push(tm::Tx& tx, uint64_t key);
+
+    /// Pop the minimum key, or nullopt when empty.
+    std::optional<uint64_t> pop(tm::Tx& tx);
+
+    uint64_t size(tm::Tx& tx) const { return tx.load(size_); }
+    uint64_t unsafe_size() const { return size_.unsafe_load(); }
+
+  private:
+    uint64_t get(tm::Tx& tx, uint64_t i) const
+    {
+        return tx.load(slots_[i]);
+    }
+    void set(tm::Tx& tx, uint64_t i, uint64_t v)
+    {
+        tx.store(slots_[i], v);
+    }
+
+    std::vector<tm::TmCell> slots_;
+    mutable tm::TmCell size_;
+};
+
+} // namespace rococo::stamp

@@ -1,0 +1,90 @@
+#include "stamp/containers/tx_list.h"
+
+namespace rococo::stamp {
+
+std::pair<uint64_t, uint64_t>
+TxList::locate(tm::Tx& tx, uint64_t key) const
+{
+    uint64_t prev = kHead;
+    uint64_t curr = next_of(tx, prev);
+    while (curr != kNullNode) {
+        const uint64_t curr_key = tx.load(pool_->field(curr, kKey));
+        if (curr_key >= key) break;
+        prev = curr;
+        curr = next_of(tx, curr);
+    }
+    return {prev, curr};
+}
+
+bool
+TxList::insert(tm::Tx& tx, uint64_t key, uint64_t value)
+{
+    auto [prev, curr] = locate(tx, key);
+    if (curr != kNullNode && tx.load(pool_->field(curr, kKey)) == key) {
+        return false;
+    }
+    const uint64_t node = pool_->alloc();
+    tx.store(pool_->field(node, kKey), key);
+    tx.store(pool_->field(node, kValue), value);
+    tx.store(pool_->field(node, kNext), curr);
+    set_next(tx, prev, node);
+    return true;
+}
+
+bool
+TxList::remove(tm::Tx& tx, uint64_t key)
+{
+    auto [prev, curr] = locate(tx, key);
+    if (curr == kNullNode || tx.load(pool_->field(curr, kKey)) != key) {
+        return false;
+    }
+    set_next(tx, prev, next_of(tx, curr));
+    return true;
+}
+
+std::optional<uint64_t>
+TxList::find(tm::Tx& tx, uint64_t key) const
+{
+    auto [prev, curr] = locate(tx, key);
+    (void)prev;
+    if (curr == kNullNode || tx.load(pool_->field(curr, kKey)) != key) {
+        return std::nullopt;
+    }
+    return tx.load(pool_->field(curr, kValue));
+}
+
+bool
+TxList::update(tm::Tx& tx, uint64_t key, uint64_t value)
+{
+    auto [prev, curr] = locate(tx, key);
+    (void)prev;
+    if (curr == kNullNode || tx.load(pool_->field(curr, kKey)) != key) {
+        return false;
+    }
+    tx.store(pool_->field(curr, kValue), value);
+    return true;
+}
+
+uint64_t
+TxList::size(tm::Tx& tx) const
+{
+    uint64_t count = 0;
+    for (uint64_t node = next_of(tx, kHead); node != kNullNode;
+         node = next_of(tx, node)) {
+        ++count;
+    }
+    return count;
+}
+
+void
+TxList::unsafe_for_each(
+    const std::function<void(uint64_t, uint64_t)>& fn) const
+{
+    for (uint64_t node = head_.unsafe_load(); node != kNullNode;
+         node = pool_->field(node, kNext).unsafe_load()) {
+        fn(pool_->field(node, kKey).unsafe_load(),
+           pool_->field(node, kValue).unsafe_load());
+    }
+}
+
+} // namespace rococo::stamp

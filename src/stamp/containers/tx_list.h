@@ -1,0 +1,83 @@
+/// @file
+/// Transactional sorted singly-linked list map (STAMP lib/list
+/// analogue). Keys are unique; each node carries one value word.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "stamp/containers/node_pool.h"
+
+namespace rococo::stamp {
+
+/// A sorted list rooted at an owned head cell, drawing nodes from a
+/// shared pool. Multiple lists (e.g. hash buckets) can share one pool.
+class TxList
+{
+  public:
+    /// Node layout in the pool.
+    enum Field : unsigned { kKey = 0, kValue = 1, kNext = 2 };
+    static constexpr unsigned kFields = 3;
+    using Pool = NodePool<kFields>;
+
+    explicit TxList(Pool& pool)
+        : pool_(&pool)
+    {
+    }
+
+    /// Insert (key, value); returns false if the key already exists.
+    bool insert(tm::Tx& tx, uint64_t key, uint64_t value);
+
+    /// Remove key; returns false if absent. The node is unlinked, not
+    /// reclaimed.
+    bool remove(tm::Tx& tx, uint64_t key);
+
+    /// Value for key, or nullopt.
+    std::optional<uint64_t> find(tm::Tx& tx, uint64_t key) const;
+
+    bool contains(tm::Tx& tx, uint64_t key) const
+    {
+        return find(tx, key).has_value();
+    }
+
+    /// Update the value of an existing key; returns false if absent.
+    bool update(tm::Tx& tx, uint64_t key, uint64_t value);
+
+    /// Transactional length (walks the list).
+    uint64_t size(tm::Tx& tx) const;
+
+    /// Non-transactional traversal for post-run verification.
+    void unsafe_for_each(
+        const std::function<void(uint64_t key, uint64_t value)>& fn) const;
+
+  private:
+    /// Find predecessor of the first node with node.key >= key.
+    /// Returns (prev, curr) node indices; curr may be kNullNode.
+    std::pair<uint64_t, uint64_t> locate(tm::Tx& tx, uint64_t key) const;
+
+    uint64_t
+    next_of(tm::Tx& tx, uint64_t node) const
+    {
+        return node == kHead ? tx.load(head_)
+                             : tx.load(pool_->field(node, kNext));
+    }
+
+    void
+    set_next(tm::Tx& tx, uint64_t node, uint64_t next) const
+    {
+        if (node == kHead) {
+            tx.store(head_, next);
+        } else {
+            tx.store(pool_->field(node, kNext), next);
+        }
+    }
+
+    /// Sentinel pseudo-index for the head link.
+    static constexpr uint64_t kHead = ~uint64_t{0};
+
+    Pool* pool_;
+    mutable tm::TmCell head_;
+};
+
+} // namespace rococo::stamp

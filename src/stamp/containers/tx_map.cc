@@ -1,0 +1,160 @@
+#include "stamp/containers/tx_map.h"
+
+#include <vector>
+
+namespace rococo::stamp {
+
+TxMap::TxMap(size_t capacity)
+    : pool_(capacity)
+{
+}
+
+TxMap::Locate
+TxMap::locate(tm::Tx& tx, uint64_t key) const
+{
+    uint64_t parent = kRootParent;
+    bool is_left = false;
+    uint64_t node = tx.load(root_);
+    while (node != kNullNode) {
+        const uint64_t node_key = tx.load(pool_.field(node, kKey));
+        if (node_key == key) break;
+        parent = node;
+        is_left = key < node_key;
+        node = child(tx, node, is_left ? kLeft : kRight);
+    }
+    return {parent, node, is_left};
+}
+
+void
+TxMap::replace_child(tm::Tx& tx, uint64_t parent, bool is_left,
+                     uint64_t new_child) const
+{
+    if (parent == kRootParent) {
+        tx.store(root_, new_child);
+    } else {
+        tx.store(pool_.field(parent, is_left ? kLeft : kRight), new_child);
+    }
+}
+
+bool
+TxMap::insert(tm::Tx& tx, uint64_t key, uint64_t value)
+{
+    const Locate at = locate(tx, key);
+    if (at.node != kNullNode) return false;
+    const uint64_t node = pool_.alloc();
+    tx.store(pool_.field(node, kKey), key);
+    tx.store(pool_.field(node, kValue), value);
+    tx.store(pool_.field(node, kLeft), kNullNode);
+    tx.store(pool_.field(node, kRight), kNullNode);
+    replace_child(tx, at.parent, at.is_left, node);
+    return true;
+}
+
+bool
+TxMap::remove(tm::Tx& tx, uint64_t key)
+{
+    const Locate at = locate(tx, key);
+    if (at.node == kNullNode) return false;
+    const uint64_t left = child(tx, at.node, kLeft);
+    const uint64_t right = child(tx, at.node, kRight);
+
+    if (left == kNullNode || right == kNullNode) {
+        // Zero or one child: splice.
+        replace_child(tx, at.parent, at.is_left,
+                      left != kNullNode ? left : right);
+        return true;
+    }
+
+    // Two children: find the in-order successor (leftmost of the right
+    // subtree), splice it out and move its payload into our node.
+    uint64_t succ_parent = at.node;
+    bool succ_is_left = false;
+    uint64_t succ = right;
+    for (uint64_t next = child(tx, succ, kLeft); next != kNullNode;
+         next = child(tx, succ, kLeft)) {
+        succ_parent = succ;
+        succ_is_left = true;
+        succ = next;
+    }
+    replace_child(tx, succ_parent, succ_is_left, child(tx, succ, kRight));
+    tx.store(pool_.field(at.node, kKey), tx.load(pool_.field(succ, kKey)));
+    tx.store(pool_.field(at.node, kValue),
+             tx.load(pool_.field(succ, kValue)));
+    return true;
+}
+
+std::optional<uint64_t>
+TxMap::find(tm::Tx& tx, uint64_t key) const
+{
+    const Locate at = locate(tx, key);
+    if (at.node == kNullNode) return std::nullopt;
+    return tx.load(pool_.field(at.node, kValue));
+}
+
+bool
+TxMap::update(tm::Tx& tx, uint64_t key, uint64_t value)
+{
+    const Locate at = locate(tx, key);
+    if (at.node == kNullNode) return false;
+    tx.store(pool_.field(at.node, kValue), value);
+    return true;
+}
+
+void
+TxMap::put(tm::Tx& tx, uint64_t key, uint64_t value)
+{
+    if (!update(tx, key, value)) insert(tx, key, value);
+}
+
+std::optional<std::pair<uint64_t, uint64_t>>
+TxMap::lower_bound(tm::Tx& tx, uint64_t key) const
+{
+    uint64_t best = kNullNode;
+    uint64_t node = tx.load(root_);
+    while (node != kNullNode) {
+        const uint64_t node_key = tx.load(pool_.field(node, kKey));
+        if (node_key == key) {
+            best = node;
+            break;
+        }
+        if (node_key > key) {
+            best = node;
+            node = child(tx, node, kLeft);
+        } else {
+            node = child(tx, node, kRight);
+        }
+    }
+    if (best == kNullNode) return std::nullopt;
+    return std::make_pair(tx.load(pool_.field(best, kKey)),
+                          tx.load(pool_.field(best, kValue)));
+}
+
+void
+TxMap::unsafe_for_each(
+    const std::function<void(uint64_t, uint64_t)>& fn) const
+{
+    // Iterative in-order traversal on raw cell values.
+    std::vector<uint64_t> stack;
+    uint64_t node = root_.unsafe_load();
+    while (node != kNullNode || !stack.empty()) {
+        while (node != kNullNode) {
+            stack.push_back(node);
+            node = pool_.field(node, kLeft).unsafe_load();
+        }
+        node = stack.back();
+        stack.pop_back();
+        fn(pool_.field(node, kKey).unsafe_load(),
+           pool_.field(node, kValue).unsafe_load());
+        node = pool_.field(node, kRight).unsafe_load();
+    }
+}
+
+uint64_t
+TxMap::unsafe_size() const
+{
+    uint64_t count = 0;
+    unsafe_for_each([&](uint64_t, uint64_t) { ++count; });
+    return count;
+}
+
+} // namespace rococo::stamp

@@ -1,0 +1,79 @@
+/// @file
+/// Transactional ordered map (STAMP lib/rbtree analogue).
+///
+/// Implemented as an unbalanced binary search tree rather than a
+/// red-black tree: STAMP's map keys are uniformly random, so the BST
+/// stays O(log n) in expectation while keeping transactional *write*
+/// sets minimal (no rebalancing rotations), which is the
+/// representative behaviour for conflict studies — rotations would
+/// only add artificial WAW conflicts that the original rbtree avoids
+/// via its own tricks. Documented as a substitution in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "stamp/containers/node_pool.h"
+
+namespace rococo::stamp {
+
+class TxMap
+{
+  public:
+    enum Field : unsigned { kKey = 0, kValue = 1, kLeft = 2, kRight = 3 };
+    static constexpr unsigned kFields = 4;
+    using Pool = NodePool<kFields>;
+
+    /// @param capacity maximum number of insertions over the map's life
+    explicit TxMap(size_t capacity);
+
+    bool insert(tm::Tx& tx, uint64_t key, uint64_t value);
+    bool remove(tm::Tx& tx, uint64_t key);
+    std::optional<uint64_t> find(tm::Tx& tx, uint64_t key) const;
+    bool contains(tm::Tx& tx, uint64_t key) const
+    {
+        return find(tx, key).has_value();
+    }
+    bool update(tm::Tx& tx, uint64_t key, uint64_t value);
+
+    /// Insert or update.
+    void put(tm::Tx& tx, uint64_t key, uint64_t value);
+
+    /// Smallest key >= @p key with its value, or nullopt.
+    std::optional<std::pair<uint64_t, uint64_t>>
+    lower_bound(tm::Tx& tx, uint64_t key) const;
+
+    /// Non-transactional in-order traversal for verification.
+    void unsafe_for_each(
+        const std::function<void(uint64_t key, uint64_t value)>& fn) const;
+
+    uint64_t unsafe_size() const;
+
+  private:
+    /// (parent, node, node_is_left_child); node == kNullNode if absent.
+    struct Locate
+    {
+        uint64_t parent;
+        uint64_t node;
+        bool is_left;
+    };
+    Locate locate(tm::Tx& tx, uint64_t key) const;
+
+    uint64_t
+    child(tm::Tx& tx, uint64_t node, Field side) const
+    {
+        return tx.load(pool_.field(node, side));
+    }
+
+    void replace_child(tm::Tx& tx, uint64_t parent, bool is_left,
+                       uint64_t child) const;
+
+    mutable Pool pool_;
+    mutable tm::TmCell root_;
+
+    /// Pseudo parent index meaning "the root link".
+    static constexpr uint64_t kRootParent = ~uint64_t{0};
+};
+
+} // namespace rococo::stamp

@@ -1,0 +1,55 @@
+#include "stamp/containers/tx_queue.h"
+
+namespace rococo::stamp {
+
+TxQueue::TxQueue(size_t capacity)
+    : slots_(capacity)
+{
+}
+
+bool
+TxQueue::push(tm::Tx& tx, uint64_t value)
+{
+    const uint64_t head = tx.load(head_);
+    const uint64_t tail = tx.load(tail_);
+    if (tail - head >= slots_.size()) return false;
+    tx.store(slots_[tail % slots_.size()], value);
+    tx.store(tail_, tail + 1);
+    return true;
+}
+
+std::optional<uint64_t>
+TxQueue::pop(tm::Tx& tx)
+{
+    const uint64_t head = tx.load(head_);
+    const uint64_t tail = tx.load(tail_);
+    if (head == tail) return std::nullopt;
+    const uint64_t value = tx.load(slots_[head % slots_.size()]);
+    tx.store(head_, head + 1);
+    return value;
+}
+
+uint64_t
+TxQueue::size(tm::Tx& tx) const
+{
+    return tx.load(tail_) - tx.load(head_);
+}
+
+bool
+TxQueue::unsafe_push(uint64_t value)
+{
+    const uint64_t head = head_.unsafe_load();
+    const uint64_t tail = tail_.unsafe_load();
+    if (tail - head >= slots_.size()) return false;
+    slots_[tail % slots_.size()].unsafe_store(value);
+    tail_.unsafe_store(tail + 1);
+    return true;
+}
+
+uint64_t
+TxQueue::unsafe_size() const
+{
+    return tail_.unsafe_load() - head_.unsafe_load();
+}
+
+} // namespace rococo::stamp

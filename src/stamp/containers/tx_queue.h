@@ -1,0 +1,37 @@
+/// @file
+/// Transactional bounded FIFO queue (STAMP lib/queue analogue), used by
+/// intruder as the shared packet queue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "tm/tm.h"
+
+namespace rococo::stamp {
+
+class TxQueue
+{
+  public:
+    explicit TxQueue(size_t capacity);
+
+    /// Enqueue; returns false when full.
+    bool push(tm::Tx& tx, uint64_t value);
+
+    /// Dequeue, or nullopt when empty.
+    std::optional<uint64_t> pop(tm::Tx& tx);
+
+    uint64_t size(tm::Tx& tx) const;
+
+    /// Non-transactional push for single-threaded setup.
+    bool unsafe_push(uint64_t value);
+    uint64_t unsafe_size() const;
+
+  private:
+    std::vector<tm::TmCell> slots_;
+    mutable tm::TmCell head_; ///< next index to pop
+    mutable tm::TmCell tail_; ///< next index to push
+};
+
+} // namespace rococo::stamp

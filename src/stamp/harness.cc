@@ -1,0 +1,65 @@
+#include "stamp/harness.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/barrier.h"
+#include "common/check.h"
+#include "stamp/workloads/workloads.h"
+
+namespace rococo::stamp {
+
+RunResult
+run_workload(Workload& workload, tm::TmRuntime& runtime, unsigned threads)
+{
+    ROCOCO_CHECK(threads >= 1);
+    workload.setup();
+    workload.prepare_run(threads);
+
+    Barrier start_barrier(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        workers.emplace_back([&, tid] {
+            runtime.thread_init(tid);
+            start_barrier.arrive_and_wait();
+            workload.worker(runtime, tid, threads);
+            runtime.thread_fini();
+        });
+    }
+    for (auto& worker : workers) worker.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunResult result;
+    result.seconds = std::chrono::duration<double>(t1 - t0).count();
+    result.verified = workload.verify();
+    result.tm_stats = runtime.stats();
+    result.workload_stats = workload.workload_stats();
+    return result;
+}
+
+std::vector<std::string>
+workload_names()
+{
+    return {"genome", "intruder", "kmeans",    "labyrinth",
+            "ssca2",  "vacation", "yada"};
+}
+
+std::unique_ptr<Workload>
+make_workload(const std::string& name, const WorkloadParams& params)
+{
+    if (name == "vacation") return make_vacation(params);
+    if (name == "kmeans") return make_kmeans(params);
+    if (name == "genome") return make_genome(params);
+    if (name == "intruder") return make_intruder(params);
+    if (name == "ssca2") return make_ssca2(params);
+    if (name == "labyrinth") return make_labyrinth(params);
+    if (name == "yada") return make_yada(params);
+    if (name == "bayes") return make_bayes(params); // excluded from names()
+    ROCOCO_CHECK(false && "unknown workload");
+    return nullptr;
+}
+
+} // namespace rococo::stamp

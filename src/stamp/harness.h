@@ -1,0 +1,88 @@
+/// @file
+/// Workload harness for the STAMP-like suite: a Workload interface, a
+/// real-thread driver (used by tests and examples) and a by-name
+/// factory (used by the benches). Thread counts follow the paper's
+/// sweep {1, 4, 8, 14, 28}; on this 1-core reproduction the timed
+/// scalability numbers come from the trace-driven simulator (src/sim),
+/// while this driver provides functional runs and verification.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "tm/tm.h"
+
+namespace rococo::stamp {
+
+/// Workload sizing/seed knobs. scale=1 is test-sized; benches use
+/// larger scales.
+struct WorkloadParams
+{
+    unsigned scale = 1;
+    uint64_t seed = 7;
+    /// STAMP ships low- and high-contention inputs for several
+    /// benchmarks (kmeans-low/high, vacation-low/high, ...); the flag
+    /// widens or concentrates each workload's shared hot sets.
+    bool high_contention = true;
+};
+
+/// A STAMP-style workload: shared state + a per-thread transaction
+/// loop + a post-run invariant check.
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Build/reset the shared state (called once before a run).
+    virtual void setup() = 0;
+
+    /// Hook called after setup() with the actual thread count (e.g. to
+    /// size internal barriers).
+    virtual void prepare_run(unsigned threads) { (void)threads; }
+
+    /// The per-thread transaction loop.
+    virtual void worker(tm::TmRuntime& rt, unsigned tid,
+                        unsigned threads) = 0;
+
+    /// Check the shared state's invariants after all workers joined.
+    virtual bool verify() const = 0;
+
+    /// Workload-level counters (completed work items etc.).
+    virtual CounterBag workload_stats() const { return {}; }
+};
+
+/// Result of one run.
+struct RunResult
+{
+    double seconds = 0.0;
+    bool verified = false;
+    CounterBag tm_stats;
+    CounterBag workload_stats;
+
+    double
+    abort_rate() const
+    {
+        const double commits =
+            static_cast<double>(tm_stats.get("commits"));
+        const double aborts = static_cast<double>(tm_stats.get("aborts"));
+        return commits + aborts > 0 ? aborts / (commits + aborts) : 0.0;
+    }
+};
+
+/// setup + spawn @p threads workers + verify. The runtime must be
+/// freshly constructed per run (stats accumulate).
+RunResult run_workload(Workload& workload, tm::TmRuntime& runtime,
+                       unsigned threads);
+
+/// Names of all workloads in the suite (paper order, bayes excluded).
+std::vector<std::string> workload_names();
+
+/// Construct a workload by name; aborts on unknown names.
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const WorkloadParams& params);
+
+} // namespace rococo::stamp

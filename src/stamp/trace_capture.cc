@@ -1,0 +1,112 @@
+#include "stamp/trace_capture.h"
+
+#include <algorithm>
+
+namespace rococo::stamp {
+
+uint64_t
+SimTrace::total_ops() const
+{
+    uint64_t total = 0;
+    for (const auto& txn : txns) total += txn.ops;
+    return total;
+}
+
+double
+SimTrace::mean_read_set() const
+{
+    if (txns.empty()) return 0.0;
+    uint64_t total = 0;
+    for (const auto& txn : txns) total += txn.reads.size();
+    return static_cast<double>(total) / static_cast<double>(txns.size());
+}
+
+double
+SimTrace::mean_write_set() const
+{
+    if (txns.empty()) return 0.0;
+    uint64_t total = 0;
+    for (const auto& txn : txns) total += txn.writes.size();
+    return static_cast<double>(total) / static_cast<double>(txns.size());
+}
+
+double
+SimTrace::read_only_fraction() const
+{
+    if (txns.empty()) return 0.0;
+    uint64_t ro = 0;
+    for (const auto& txn : txns) ro += txn.read_only() ? 1 : 0;
+    return static_cast<double>(ro) / static_cast<double>(txns.size());
+}
+
+class TraceCaptureTm::RecordingTx final : public tm::Tx
+{
+  public:
+    explicit RecordingTx(SimTxn& txn)
+        : txn_(txn)
+    {
+    }
+
+    tm::Word
+    load(const tm::TmCell& cell) override
+    {
+        const auto key =
+            static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&cell));
+        // A location written earlier in the transaction is served from
+        // the (conceptual) redo log, not the shared state: don't count
+        // it as a shared read.
+        if (!std::binary_search(written_sorted_.begin(),
+                                written_sorted_.end(), key)) {
+            txn_.reads.push_back(key);
+        }
+        ++txn_.ops;
+        return cell.value.load(std::memory_order_relaxed);
+    }
+
+    void
+    store(tm::TmCell& cell, tm::Word value) override
+    {
+        const auto key =
+            static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&cell));
+        txn_.writes.push_back(key);
+        const auto pos = std::lower_bound(written_sorted_.begin(),
+                                          written_sorted_.end(), key);
+        if (pos == written_sorted_.end() || *pos != key) {
+            written_sorted_.insert(pos, key);
+        }
+        ++txn_.ops;
+        cell.value.store(value, std::memory_order_relaxed);
+    }
+
+    [[noreturn]] void
+    retry() override
+    {
+        throw tm::TxAbortException{};
+    }
+
+  private:
+    SimTxn& txn_;
+    std::vector<uint64_t> written_sorted_;
+};
+
+bool
+TraceCaptureTm::try_execute(const std::function<void(tm::Tx&)>& body)
+{
+    SimTxn txn;
+    RecordingTx tx(txn);
+    try {
+        body(tx);
+    } catch (const tm::TxAbortException&) {
+        return false;
+    }
+    auto dedup = [](std::vector<uint64_t>& v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    dedup(txn.reads);
+    dedup(txn.writes);
+    trace_.txns.push_back(std::move(txn));
+    return true;
+}
+
+} // namespace rococo::stamp

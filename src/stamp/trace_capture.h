@@ -1,0 +1,72 @@
+/// @file
+/// Trace capture: run a workload once, single-threaded, and record
+/// every transaction's read/write address sets. The discrete-event
+/// simulator (src/sim) replays these traces on modelled threads under
+/// each TM backend — the methodology of the paper's §6.1, extended to
+/// the STAMP suite because this reproduction runs on one physical core
+/// (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "tm/tm.h"
+
+namespace rococo::stamp {
+
+/// One captured transaction.
+struct SimTxn
+{
+    std::vector<uint64_t> reads;  ///< sorted, deduplicated cell keys
+    std::vector<uint64_t> writes; ///< sorted, deduplicated cell keys
+    /// Access count before dedup — a proxy for the computation the
+    /// transaction performs (the cost model charges per operation).
+    uint64_t ops = 0;
+    bool read_only() const { return writes.empty(); }
+};
+
+/// A captured run.
+struct SimTrace
+{
+    std::vector<SimTxn> txns;
+
+    uint64_t total_ops() const;
+    double mean_read_set() const;
+    double mean_write_set() const;
+    double read_only_fraction() const;
+};
+
+/// A recording TmRuntime: executes bodies directly (sequentially) and
+/// captures their access sets. Single-threaded use only.
+class TraceCaptureTm final : public tm::TmRuntime
+{
+  public:
+    std::string name() const override { return "TraceCapture"; }
+
+    void thread_init(unsigned) override {}
+    void thread_fini() override {}
+
+    CounterBag
+    stats() const override
+    {
+        CounterBag bag;
+        bag.bump("commits", trace_.txns.size());
+        return bag;
+    }
+
+    /// Move the captured trace out.
+    SimTrace take_trace() { return std::move(trace_); }
+
+    const SimTrace& trace() const { return trace_; }
+
+  protected:
+    bool try_execute(const std::function<void(tm::Tx&)>& body) override;
+
+  private:
+    class RecordingTx;
+
+    SimTrace trace_;
+};
+
+} // namespace rococo::stamp

@@ -1,0 +1,137 @@
+/// @file
+/// bayes analogue: Bayesian network structure learning (STAMP's
+/// bayes). Hill-climbing over a shared directed graph of variables:
+/// each transaction evaluates a candidate edge operation (score reads
+/// over the adjacency row and per-variable statistics) and applies it
+/// if it improves the local score. Characteristics preserved: long,
+/// highly variable transactions with read sets that depend on the
+/// evolving structure — the variability that made the paper EXCLUDE
+/// bayes from its Fig. 10 evaluation (§6.3). It is therefore built and
+/// tested here but not part of stamp::workload_names(); use
+/// make_workload("bayes", ...) explicitly.
+#include "stamp/workloads/workloads.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/rng.h"
+#include "stamp/containers/tx_bitmap.h"
+
+namespace rococo::stamp {
+namespace {
+
+class Bayes final : public Workload
+{
+  public:
+    explicit Bayes(const WorkloadParams& params)
+        : params_(params), variables_(32 * params.scale),
+          operations_(400 * params.scale)
+    {
+    }
+
+    std::string name() const override { return "bayes"; }
+
+    void
+    setup() override
+    {
+        Xoshiro256 rng(params_.seed);
+        adjacency_ = std::make_unique<TxBitmap>(variables_ * variables_);
+        scores_ = std::make_unique<tm::TmCell[]>(variables_);
+        parent_count_ = std::make_unique<tm::TmCell[]>(variables_);
+        for (uint64_t v = 0; v < variables_; ++v) {
+            scores_[v].unsafe_store(1000 + rng.below(1000));
+            parent_count_[v].unsafe_store(0);
+        }
+        applied_.store(0);
+        rejected_.store(0);
+        edges_.store(0);
+    }
+
+    void
+    worker(tm::TmRuntime& rt, unsigned tid, unsigned threads) override
+    {
+        Xoshiro256 rng(params_.seed ^ (0xbeef + tid));
+        const uint64_t my_ops = operations_ / threads +
+                                (tid < operations_ % threads ? 1 : 0);
+        for (uint64_t n = 0; n < my_ops; ++n) {
+            const uint64_t from = rng.below(variables_);
+            const uint64_t to = rng.below(variables_);
+            if (from == to) continue;
+            bool applied = false;
+            rt.execute([&](tm::Tx& tx) {
+                applied = false;
+                // Score the candidate parent set: read the target's
+                // current parents (a whole adjacency row — long,
+                // structure-dependent read set).
+                uint64_t parents = tx.load(parent_count_[to]);
+                if (parents >= kMaxParents) return;
+                uint64_t row_score = 0;
+                for (uint64_t p = 0; p < variables_; ++p) {
+                    if (adjacency_->test(tx, p * variables_ + to)) {
+                        row_score += tx.load(scores_[p]);
+                    }
+                }
+                const uint64_t gain = tx.load(scores_[from]);
+                // Greedy acceptance: adding this parent must improve
+                // the mean parent score.
+                if (parents > 0 && gain * parents <= row_score) return;
+                if (!adjacency_->set(tx, from * variables_ + to)) return;
+                tx.store(parent_count_[to], parents + 1);
+                // Deterministic local score update.
+                tx.store(scores_[to],
+                         tx.load(scores_[to]) + gain / (parents + 1));
+                applied = true;
+            });
+            (applied ? applied_ : rejected_).fetch_add(1);
+            if (applied) edges_.fetch_add(1);
+        }
+    }
+
+    bool
+    verify() const override
+    {
+        // Structural accounting: edge bits == sum of parent counts ==
+        // accepted operations.
+        uint64_t parents_total = 0;
+        for (uint64_t v = 0; v < variables_; ++v) {
+            parents_total += parent_count_[v].unsafe_load();
+            if (parent_count_[v].unsafe_load() > kMaxParents) return false;
+        }
+        return adjacency_->unsafe_count() == edges_.load() &&
+               parents_total == edges_.load() &&
+               applied_.load() + rejected_.load() <= operations_;
+    }
+
+    CounterBag
+    workload_stats() const override
+    {
+        CounterBag bag;
+        bag.bump("edges_learned", edges_.load());
+        bag.bump("rejected", rejected_.load());
+        return bag;
+    }
+
+  private:
+    static constexpr uint64_t kMaxParents = 4;
+
+    WorkloadParams params_;
+    uint64_t variables_;
+    uint64_t operations_;
+
+    std::unique_ptr<TxBitmap> adjacency_;
+    std::unique_ptr<tm::TmCell[]> scores_;
+    std::unique_ptr<tm::TmCell[]> parent_count_;
+    std::atomic<uint64_t> applied_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> edges_{0};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+make_bayes(const WorkloadParams& params)
+{
+    return std::make_unique<Bayes>(params);
+}
+
+} // namespace rococo::stamp

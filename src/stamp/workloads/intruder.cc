@@ -1,0 +1,164 @@
+/// @file
+/// intruder analogue: network intrusion detection (STAMP's intruder).
+/// Stage 1 (capture): threads pull packet fragments off one shared
+/// transactional queue — short, highly contended transactions. Stage 2
+/// (reassembly): fragments are inserted into a per-flow table; the
+/// thread completing a flow claims it. Stage 3 (detection) runs
+/// outside any transaction, as in the original. Characteristics
+/// preserved: a hot shared queue plus medium map transactions and a
+/// large fraction of small transactions.
+#include "stamp/workloads/workloads.h"
+
+#include <atomic>
+
+#include "common/rng.h"
+#include "stamp/containers/tx_hashtable.h"
+#include "stamp/containers/tx_queue.h"
+
+namespace rococo::stamp {
+namespace {
+
+/// Fragment encoding: flow id * 16 + fragment index, count in high bits.
+uint64_t
+pack_fragment(uint64_t flow, uint64_t index, uint64_t count)
+{
+    return flow << 16 | index << 8 | count;
+}
+uint64_t frag_flow(uint64_t f) { return f >> 16; }
+uint64_t frag_index(uint64_t f) { return (f >> 8) & 0xff; }
+uint64_t frag_count(uint64_t f) { return f & 0xff; }
+
+class Intruder final : public Workload
+{
+  public:
+    explicit Intruder(const WorkloadParams& params)
+        : params_(params),
+          flows_((params.high_contention ? 512 : 1024) * params.scale)
+    {
+    }
+
+    std::string name() const override { return "intruder"; }
+
+    void
+    setup() override
+    {
+        Xoshiro256 rng(params_.seed);
+        // Build fragments: each flow has 1..4 fragments, shuffled
+        // globally to emulate interleaved arrival.
+        std::vector<uint64_t> fragments;
+        total_fragments_ = 0;
+        for (uint64_t flow = 0; flow < flows_; ++flow) {
+            const uint64_t count = 1 + rng.below(4);
+            for (uint64_t idx = 0; idx < count; ++idx) {
+                fragments.push_back(pack_fragment(flow, idx, count));
+            }
+            total_fragments_ += count;
+        }
+        for (size_t i = fragments.size(); i > 1; --i) {
+            std::swap(fragments[i - 1], fragments[rng.below(i)]);
+        }
+
+        queue_ = std::make_unique<TxQueue>(fragments.size() + 1);
+        for (uint64_t f : fragments) queue_->unsafe_push(f);
+
+        // Per-flow fragment table: key = flow*16 + index; plus a
+        // per-flow arrival counter at key = flow*16 + 15.
+        table_ = std::make_unique<TxHashTable>(
+            flows_, 2 * (total_fragments_ + flows_) + 64);
+        completed_.store(0);
+        processed_.store(0);
+    }
+
+    void
+    worker(tm::TmRuntime& rt, unsigned tid, unsigned threads) override
+    {
+        (void)tid;
+        (void)threads;
+        for (;;) {
+            // Stage 1: grab a fragment (short hot transaction).
+            uint64_t fragment = 0;
+            bool have = false;
+            rt.execute([&](tm::Tx& tx) {
+                auto f = queue_->pop(tx);
+                have = f.has_value();
+                fragment = have ? *f : 0;
+            });
+            if (!have) break;
+
+            // Stage 2: insert into the flow's reassembly slots and
+            // count arrivals; the arrival completing the flow claims it.
+            const uint64_t flow = frag_flow(fragment);
+            const uint64_t count = frag_count(fragment);
+            bool completed = false;
+            rt.execute([&](tm::Tx& tx) {
+                completed = false;
+                table_->insert(tx, flow * 16 + frag_index(fragment),
+                               fragment);
+                const uint64_t counter_key = flow * 16 + 15;
+                auto arrived = table_->find(tx, counter_key);
+                const uint64_t now = arrived ? *arrived + 1 : 1;
+                if (arrived) {
+                    table_->update(tx, counter_key, now);
+                } else {
+                    table_->insert(tx, counter_key, now);
+                }
+                completed = now == count;
+            });
+            processed_.fetch_add(1);
+
+            // Stage 3: detection. The completing thread re-reads the
+            // reassembled flow transactionally (a read-only
+            // transaction — intruder's large empty-write-set fraction,
+            // §6.3) and then "detects" outside the transaction.
+            if (completed) {
+                uint64_t checksum = 0;
+                rt.execute([&](tm::Tx& tx) {
+                    checksum = 0;
+                    for (uint64_t idx = 0; idx < count; ++idx) {
+                        auto f = table_->find(tx, flow * 16 + idx);
+                        if (f) checksum ^= *f;
+                    }
+                });
+                (void)checksum;
+                completed_.fetch_add(1);
+            }
+        }
+    }
+
+    bool
+    verify() const override
+    {
+        return processed_.load() == total_fragments_ &&
+               completed_.load() == flows_ &&
+               queue_->unsafe_size() == 0;
+    }
+
+    CounterBag
+    workload_stats() const override
+    {
+        CounterBag bag;
+        bag.bump("fragments", processed_.load());
+        bag.bump("flows_completed", completed_.load());
+        return bag;
+    }
+
+  private:
+    WorkloadParams params_;
+    uint64_t flows_;
+    uint64_t total_fragments_ = 0;
+
+    std::unique_ptr<TxQueue> queue_;
+    std::unique_ptr<TxHashTable> table_;
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> processed_{0};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+make_intruder(const WorkloadParams& params)
+{
+    return std::make_unique<Intruder>(params);
+}
+
+} // namespace rococo::stamp

@@ -1,0 +1,179 @@
+/// @file
+/// kmeans analogue: iterative K-means clustering (STAMP's
+/// high-contention data-mining workload). Points are partitioned
+/// across threads; each point's assignment reads the previous
+/// iteration's centers non-transactionally (double buffering, as in
+/// STAMP) and updates the shared next-iteration accumulators in one
+/// short transaction. Characteristics preserved: very short
+/// transactions, high contention on K accumulator records.
+#include "stamp/workloads/workloads.h"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+
+#include "common/barrier.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rococo::stamp {
+namespace {
+
+constexpr unsigned kDims = 4;
+
+class Kmeans final : public Workload
+{
+  public:
+    explicit Kmeans(const WorkloadParams& params)
+        : params_(params), points_(1024 * params.scale),
+          clusters_(params.high_contention ? 8 : 32), iterations_(4)
+    {
+    }
+
+    std::string name() const override { return "kmeans"; }
+
+    void
+    setup() override
+    {
+        Xoshiro256 rng(params_.seed);
+        coords_.assign(points_ * kDims, 0);
+        for (auto& c : coords_) {
+            c = static_cast<int64_t>(rng.below(1000));
+        }
+        centers_.assign(clusters_ * kDims, 0);
+        for (unsigned k = 0; k < clusters_; ++k) {
+            for (unsigned d = 0; d < kDims; ++d) {
+                centers_[k * kDims + d] = coords_[k * kDims + d];
+            }
+        }
+        // Shared accumulators: per cluster, kDims sums + one count.
+        sums_ = std::make_unique<tm::TmCell[]>(clusters_ * kDims);
+        counts_ = std::make_unique<tm::TmCell[]>(clusters_);
+        assigned_total_.store(0);
+    }
+
+    void
+    prepare_run(unsigned threads) override
+    {
+        barrier_ = std::make_unique<Barrier>(threads);
+    }
+
+    void
+    worker(tm::TmRuntime& rt, unsigned tid, unsigned threads) override
+    {
+        const uint64_t begin = points_ * tid / threads;
+        const uint64_t end = points_ * (tid + 1) / threads;
+
+        for (unsigned iter = 0; iter < iterations_; ++iter) {
+            if (tid == 0) reset_accumulators();
+            barrier_->arrive_and_wait();
+
+            for (uint64_t p = begin; p < end; ++p) {
+                const unsigned k = nearest_center(p);
+                rt.execute([&](tm::Tx& tx) {
+                    for (unsigned d = 0; d < kDims; ++d) {
+                        tm::TmCell& cell = sums_[k * kDims + d];
+                        tx.store(cell,
+                                 tx.load(cell) +
+                                     static_cast<uint64_t>(
+                                         coords_[p * kDims + d]));
+                    }
+                    tx.store(counts_[k], tx.load(counts_[k]) + 1);
+                });
+            }
+            assigned_total_.fetch_add(end - begin);
+            barrier_->arrive_and_wait();
+
+            if (tid == 0) recompute_centers();
+            barrier_->arrive_and_wait();
+        }
+    }
+
+    bool
+    verify() const override
+    {
+        // Last iteration's accumulators must account for every point
+        // exactly once, and the total assignments for all iterations.
+        uint64_t assigned = 0;
+        for (unsigned k = 0; k < clusters_; ++k) {
+            assigned += counts_[k].unsafe_load();
+        }
+        return assigned == points_ &&
+               assigned_total_.load() == points_ * iterations_;
+    }
+
+    CounterBag
+    workload_stats() const override
+    {
+        CounterBag bag;
+        bag.bump("points_assigned", assigned_total_.load());
+        return bag;
+    }
+
+  private:
+    unsigned
+    nearest_center(uint64_t p) const
+    {
+        unsigned best = 0;
+        int64_t best_dist = -1;
+        for (unsigned k = 0; k < clusters_; ++k) {
+            int64_t dist = 0;
+            for (unsigned d = 0; d < kDims; ++d) {
+                const int64_t delta =
+                    coords_[p * kDims + d] - centers_[k * kDims + d];
+                dist += delta * delta;
+            }
+            if (best_dist < 0 || dist < best_dist) {
+                best_dist = dist;
+                best = k;
+            }
+        }
+        return best;
+    }
+
+    void
+    reset_accumulators()
+    {
+        for (unsigned i = 0; i < clusters_ * kDims; ++i) {
+            sums_[i].unsafe_store(0);
+        }
+        for (unsigned k = 0; k < clusters_; ++k) {
+            counts_[k].unsafe_store(0);
+        }
+    }
+
+    void
+    recompute_centers()
+    {
+        for (unsigned k = 0; k < clusters_; ++k) {
+            const uint64_t count = counts_[k].unsafe_load();
+            if (count == 0) continue;
+            for (unsigned d = 0; d < kDims; ++d) {
+                centers_[k * kDims + d] = static_cast<int64_t>(
+                    sums_[k * kDims + d].unsafe_load() / count);
+            }
+        }
+    }
+
+    WorkloadParams params_;
+    uint64_t points_;
+    unsigned clusters_;
+    unsigned iterations_;
+
+    std::vector<int64_t> coords_;  ///< read-only point data
+    std::vector<int64_t> centers_; ///< previous-iteration centers
+    std::unique_ptr<tm::TmCell[]> sums_;
+    std::unique_ptr<tm::TmCell[]> counts_;
+    std::unique_ptr<Barrier> barrier_;
+    std::atomic<uint64_t> assigned_total_{0};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+make_kmeans(const WorkloadParams& params)
+{
+    return std::make_unique<Kmeans>(params);
+}
+
+} // namespace rococo::stamp

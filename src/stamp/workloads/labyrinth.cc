@@ -1,0 +1,187 @@
+/// @file
+/// labyrinth analogue: transactional maze routing (Lee's algorithm in
+/// STAMP). Threads pull (source, destination) pairs from a shared
+/// queue and claim an L-shaped path through a 2D grid in a single long
+/// transaction: every cell on the candidate path is read, and if the
+/// whole path is free it is written with the route's id.
+/// Characteristics preserved: long transactions with large read/write
+/// sets and non-negligible true conflicts on shared grid cells — the
+/// transaction-friendly, pointer-chasing-style workload where the
+/// paper reports ROCoCoTM's largest abort-rate advantage (§6.3).
+#include "stamp/workloads/workloads.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/rng.h"
+#include "stamp/containers/tx_queue.h"
+
+namespace rococo::stamp {
+namespace {
+
+class Labyrinth final : public Workload
+{
+  public:
+    explicit Labyrinth(const WorkloadParams& params)
+        : params_(params), side_(64 * params.scale),
+          routes_(params.high_contention ? side_ * 2 : side_)
+    {
+    }
+
+    std::string name() const override { return "labyrinth"; }
+
+    void
+    setup() override
+    {
+        Xoshiro256 rng(params_.seed);
+        grid_ = std::make_unique<tm::TmCell[]>(side_ * side_);
+        queue_ = std::make_unique<TxQueue>(routes_ + 1);
+        for (uint64_t r = 0; r < routes_; ++r) {
+            const uint64_t sx = rng.below(side_), sy = rng.below(side_);
+            const uint64_t dx = rng.below(side_), dy = rng.below(side_);
+            queue_->unsafe_push(sx << 48 | sy << 32 | dx << 16 | dy);
+        }
+        routed_.store(0);
+        blocked_.store(0);
+        claimed_cells_.store(0);
+    }
+
+    void
+    worker(tm::TmRuntime& rt, unsigned tid, unsigned threads) override
+    {
+        (void)tid;
+        (void)threads;
+        for (;;) {
+            uint64_t work = 0;
+            bool have = false;
+            rt.execute([&](tm::Tx& tx) {
+                auto w = queue_->pop(tx);
+                have = w.has_value();
+                work = have ? *w : 0;
+            });
+            if (!have) break;
+
+            const uint64_t sx = work >> 48 & 0xffff, sy = work >> 32 & 0xffff;
+            const uint64_t dx = work >> 16 & 0xffff, dy = work & 0xffff;
+            const uint64_t route_id = work | (uint64_t{1} << 63);
+
+            bool ok = false;
+            uint64_t cells = 0;
+            rt.execute([&](tm::Tx& tx) {
+                // Try horizontal-then-vertical; fall back to
+                // vertical-then-horizontal. Both legs are validated by
+                // transactional reads before any write.
+                ok = try_route(tx, sx, sy, dx, dy, route_id,
+                               /*horizontal_first=*/true, cells) ||
+                     try_route(tx, sx, sy, dx, dy, route_id,
+                               /*horizontal_first=*/false, cells);
+            });
+            if (ok) {
+                routed_.fetch_add(1);
+                claimed_cells_.fetch_add(cells);
+            } else {
+                blocked_.fetch_add(1);
+            }
+        }
+    }
+
+    bool
+    verify() const override
+    {
+        // Every claimed cell carries exactly one route id; total
+        // claimed cells must match the accumulated path lengths, and
+        // all routes must have been decided one way or the other.
+        uint64_t marked = 0;
+        for (uint64_t i = 0; i < side_ * side_; ++i) {
+            if (grid_[i].unsafe_load() != 0) ++marked;
+        }
+        return marked == claimed_cells_.load() &&
+               routed_.load() + blocked_.load() == routes_;
+    }
+
+    CounterBag
+    workload_stats() const override
+    {
+        CounterBag bag;
+        bag.bump("routed", routed_.load());
+        bag.bump("blocked", blocked_.load());
+        bag.bump("cells", claimed_cells_.load());
+        return bag;
+    }
+
+  private:
+    /// Walk the L-path; returns false (without writing) if any cell is
+    /// taken by another route. @p cells returns the path length.
+    bool
+    try_route(tm::Tx& tx, uint64_t sx, uint64_t sy, uint64_t dx,
+              uint64_t dy, uint64_t route_id, bool horizontal_first,
+              uint64_t& cells)
+    {
+        path_scratch_.clear();
+        const uint64_t mid_x = horizontal_first ? dx : sx;
+        const uint64_t mid_y = horizontal_first ? sy : dy;
+
+        auto walk = [&](uint64_t x0, uint64_t y0, uint64_t x1, uint64_t y1,
+                        bool skip_first) {
+            // Straight segment (one of x or y fixed).
+            const int64_t step_x = x0 == x1 ? 0 : (x1 > x0 ? 1 : -1);
+            const int64_t step_y = y0 == y1 ? 0 : (y1 > y0 ? 1 : -1);
+            int64_t x = static_cast<int64_t>(x0);
+            int64_t y = static_cast<int64_t>(y0);
+            bool skip = skip_first;
+            while (true) {
+                if (!skip) {
+                    path_scratch_.push_back(
+                        static_cast<uint64_t>(y) * side_ +
+                        static_cast<uint64_t>(x));
+                }
+                skip = false;
+                if (x == static_cast<int64_t>(x1) &&
+                    y == static_cast<int64_t>(y1)) {
+                    break;
+                }
+                x += step_x;
+                y += step_y;
+            }
+        };
+        walk(sx, sy, mid_x, mid_y, /*skip_first=*/false);
+        // The corner cell was already recorded by the first leg.
+        walk(mid_x, mid_y, dx, dy, /*skip_first=*/true);
+
+        // Validate: all cells free or already ours (start==end overlap).
+        for (uint64_t cell : path_scratch_) {
+            const uint64_t owner = tx.load(grid_[cell]);
+            if (owner != 0) return false;
+        }
+        // Claim.
+        for (uint64_t cell : path_scratch_) {
+            tx.store(grid_[cell], route_id);
+        }
+        cells = path_scratch_.size();
+        return true;
+    }
+
+    WorkloadParams params_;
+    uint64_t side_;
+    uint64_t routes_;
+
+    std::unique_ptr<tm::TmCell[]> grid_;
+    std::unique_ptr<TxQueue> queue_;
+    std::atomic<uint64_t> routed_{0};
+    std::atomic<uint64_t> blocked_{0};
+    std::atomic<uint64_t> claimed_cells_{0};
+
+    static thread_local std::vector<uint64_t> path_scratch_;
+};
+
+thread_local std::vector<uint64_t> Labyrinth::path_scratch_;
+
+} // namespace
+
+std::unique_ptr<Workload>
+make_labyrinth(const WorkloadParams& params)
+{
+    return std::make_unique<Labyrinth>(params);
+}
+
+} // namespace rococo::stamp

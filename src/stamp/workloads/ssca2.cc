@@ -1,0 +1,112 @@
+/// @file
+/// ssca2 analogue: kernel 1 of the SSCA2 graph benchmark — parallel
+/// construction of a large sparse graph's adjacency structure.
+/// Characteristics preserved: an enormous number of tiny transactions
+/// (append one edge: read a degree counter, write a slot, bump the
+/// counter) with low contention because vertices vastly outnumber
+/// threads; scalability is bounded by per-transaction overhead, which
+/// is exactly why ssca2 scales poorly on ROCoCoTM (§6.3).
+#include "stamp/workloads/workloads.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace rococo::stamp {
+namespace {
+
+class Ssca2 final : public Workload
+{
+  public:
+    explicit Ssca2(const WorkloadParams& params)
+        : params_(params),
+          vertices_((params.high_contention ? 1024 : 4096) * params.scale),
+          edges_(8 * vertices_), max_degree_(64)
+    {
+    }
+
+    std::string name() const override { return "ssca2"; }
+
+    void
+    setup() override
+    {
+        Xoshiro256 rng(params_.seed);
+        edge_list_.resize(edges_);
+        for (auto& e : edge_list_) {
+            e = {rng.below(vertices_), rng.below(vertices_)};
+        }
+        degree_ = std::make_unique<tm::TmCell[]>(vertices_);
+        adjacency_ =
+            std::make_unique<tm::TmCell[]>(vertices_ * max_degree_);
+        added_.store(0);
+        dropped_.store(0);
+    }
+
+    void
+    worker(tm::TmRuntime& rt, unsigned tid, unsigned threads) override
+    {
+        const size_t begin = edge_list_.size() * tid / threads;
+        const size_t end = edge_list_.size() * (tid + 1) / threads;
+        uint64_t added = 0, dropped = 0;
+        for (size_t i = begin; i < end; ++i) {
+            const auto [u, v] = edge_list_[i];
+            bool ok = false;
+            rt.execute([&](tm::Tx& tx) {
+                const uint64_t d = tx.load(degree_[u]);
+                if (d >= max_degree_) {
+                    ok = false;
+                    return; // degree-capped: read-only transaction
+                }
+                tx.store(adjacency_[u * max_degree_ + d], v);
+                tx.store(degree_[u], d + 1);
+                ok = true;
+            });
+            (ok ? added : dropped) += 1;
+        }
+        added_.fetch_add(added);
+        dropped_.fetch_add(dropped);
+    }
+
+    bool
+    verify() const override
+    {
+        uint64_t total_degree = 0;
+        for (uint64_t v = 0; v < vertices_; ++v) {
+            total_degree += degree_[v].unsafe_load();
+        }
+        return total_degree == added_.load() &&
+               added_.load() + dropped_.load() == edges_;
+    }
+
+    CounterBag
+    workload_stats() const override
+    {
+        CounterBag bag;
+        bag.bump("edges_added", added_.load());
+        bag.bump("edges_dropped", dropped_.load());
+        return bag;
+    }
+
+  private:
+    WorkloadParams params_;
+    uint64_t vertices_;
+    uint64_t edges_;
+    uint64_t max_degree_;
+
+    std::vector<std::pair<uint64_t, uint64_t>> edge_list_;
+    std::unique_ptr<tm::TmCell[]> degree_;
+    std::unique_ptr<tm::TmCell[]> adjacency_;
+    std::atomic<uint64_t> added_{0};
+    std::atomic<uint64_t> dropped_{0};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+make_ssca2(const WorkloadParams& params)
+{
+    return std::make_unique<Ssca2>(params);
+}
+
+} // namespace rococo::stamp

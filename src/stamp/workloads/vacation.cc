@@ -1,0 +1,246 @@
+/// @file
+/// vacation analogue: an online travel reservation system (STAMP's
+/// emulated OLTP workload). Three relations (cars, flights, rooms) and
+/// a customer table, all transactional maps. Clients issue reservation
+/// transactions (query a handful of items, book the cheapest
+/// available), table updates and customer deletions. Characteristics
+/// preserved: medium-length transactions over tree-shaped structures,
+/// low-to-medium contention.
+#include "stamp/workloads/workloads.h"
+
+#include <array>
+#include <atomic>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "stamp/containers/tx_map.h"
+
+namespace rococo::stamp {
+namespace {
+
+/// Pack (free units, price, used units) into one value word.
+uint64_t
+pack_item(uint64_t free, uint64_t price, uint64_t used)
+{
+    return (free & 0xffff) | ((price & 0xffff) << 16) |
+           ((used & 0xffff) << 32);
+}
+uint64_t item_free(uint64_t v) { return v & 0xffff; }
+uint64_t item_price(uint64_t v) { return (v >> 16) & 0xffff; }
+uint64_t item_used(uint64_t v) { return (v >> 32) & 0xffff; }
+
+class Vacation final : public Workload
+{
+  public:
+    explicit Vacation(const WorkloadParams& params)
+        : params_(params),
+          relations_per_table_((params.high_contention ? 256 : 1024) *
+                               params.scale),
+          txns_total_(2000 * params.scale),
+          customers_(relations_per_table_)
+    {
+    }
+
+    std::string name() const override { return "vacation"; }
+
+    void
+    setup() override
+    {
+        Xoshiro256 rng(params_.seed);
+        for (auto& table : tables_) {
+            table = std::make_unique<TxMap>(relations_per_table_ + 64);
+        }
+        customer_bills_ =
+            std::make_unique<TxMap>(customers_ + 64);
+        refunds_.unsafe_store(0);
+
+        // Populate tables and customers non-transactionally via the
+        // map's own API with a direct Tx: use a tiny inline runtime.
+        struct DirectTx final : tm::Tx
+        {
+            tm::Word load(const tm::TmCell& c) override
+            {
+                return c.unsafe_load();
+            }
+            void store(tm::TmCell& c, tm::Word v) override
+            {
+                c.unsafe_store(v);
+            }
+            [[noreturn]] void retry() override
+            {
+                throw tm::TxAbortException{};
+            }
+        } tx;
+
+        // Insert ids in shuffled order so the BST-based maps stay
+        // balanced (sequential insertion would degenerate them).
+        std::vector<uint64_t> ids(relations_per_table_);
+        for (uint64_t id = 0; id < relations_per_table_; ++id) ids[id] = id;
+        for (size_t i = ids.size(); i > 1; --i) {
+            std::swap(ids[i - 1], ids[rng.below(i)]);
+        }
+        for (auto& table : tables_) {
+            for (uint64_t id : ids) {
+                const uint64_t cap = 5 + rng.below(10);
+                const uint64_t price = 50 + rng.below(450);
+                table->insert(tx, id, pack_item(cap, price, 0));
+                initial_capacity_ += cap;
+            }
+        }
+        for (uint64_t id : ids) {
+            customer_bills_->insert(tx, id, 0);
+        }
+        done_.store(0);
+    }
+
+    void
+    worker(tm::TmRuntime& rt, unsigned tid, unsigned threads) override
+    {
+        Xoshiro256 rng(params_.seed ^ (0x1234567 + tid));
+        const uint64_t my_txns = txns_total_ / threads +
+                                 (tid < txns_total_ % threads ? 1 : 0);
+        for (uint64_t n = 0; n < my_txns; ++n) {
+            const uint64_t dice = rng.below(100);
+            if (dice < 90) {
+                reserve(rt, rng);
+            } else if (dice < 95) {
+                delete_customer(rt, rng);
+            } else {
+                update_tables(rt, rng);
+            }
+        }
+        done_.fetch_add(my_txns);
+    }
+
+    bool
+    verify() const override
+    {
+        // Per-item accounting: used + free == capacity is implied by
+        // construction (we move units between the two fields in one
+        // word). Check the money invariant instead: every reservation
+        // moved `price` into some bill, deletions moved bills into
+        // refunds, so bills + refunds == sum(used * price).
+        uint64_t owed = 0;
+        for (const auto& table : tables_) {
+            table->unsafe_for_each([&](uint64_t, uint64_t v) {
+                owed += item_used(v) * item_price(v);
+            });
+        }
+        uint64_t bills = 0;
+        customer_bills_->unsafe_for_each(
+            [&](uint64_t, uint64_t bill) { bills += bill; });
+        const uint64_t refunds = refunds_.unsafe_load();
+        return bills + refunds == owed &&
+               done_.load() == txns_total_;
+    }
+
+    CounterBag
+    workload_stats() const override
+    {
+        CounterBag bag;
+        bag.bump("transactions", done_.load());
+        return bag;
+    }
+
+  private:
+    void
+    reserve(tm::TmRuntime& rt, Xoshiro256& rng)
+    {
+        // STAMP's MakeReservation: one client transaction queries a few
+        // candidates in EACH of the three tables (car, flight, room)
+        // and books the cheapest available per table, all atomically
+        // with the customer's bill update.
+        const uint64_t customer = rng.below(customers_);
+        std::array<std::array<uint64_t, 2>, 3> candidates;
+        for (auto& per_table : candidates) {
+            for (auto& c : per_table) c = rng.below(relations_per_table_);
+        }
+
+        rt.execute([&](tm::Tx& tx) {
+            uint64_t total_price = 0;
+            for (unsigned table = 0; table < 3; ++table) {
+                uint64_t best_id = ~uint64_t{0};
+                uint64_t best_val = 0;
+                for (uint64_t id : candidates[table]) {
+                    auto v = tables_[table]->find(tx, id);
+                    if (!v) continue;
+                    if (item_free(*v) == 0) continue;
+                    if (best_id == ~uint64_t{0} ||
+                        item_price(*v) < item_price(best_val)) {
+                        best_id = id;
+                        best_val = *v;
+                    }
+                }
+                if (best_id == ~uint64_t{0}) continue; // table booked out
+                tables_[table]->update(
+                    tx, best_id,
+                    pack_item(item_free(best_val) - 1,
+                              item_price(best_val),
+                              item_used(best_val) + 1));
+                total_price += item_price(best_val);
+            }
+            if (total_price == 0) return; // nothing booked: read-only
+            auto bill = customer_bills_->find(tx, customer);
+            if (bill) {
+                customer_bills_->update(tx, customer,
+                                        *bill + total_price);
+            } else {
+                // Customer was deleted: re-create with this bill.
+                customer_bills_->insert(tx, customer, total_price);
+            }
+        });
+    }
+
+    void
+    delete_customer(tm::TmRuntime& rt, Xoshiro256& rng)
+    {
+        const uint64_t customer = rng.below(customers_);
+        rt.execute([&](tm::Tx& tx) {
+            auto bill = customer_bills_->find(tx, customer);
+            if (!bill || *bill == 0) return;
+            tm::Word refunds = tx.load(refunds_);
+            tx.store(refunds_, refunds + *bill);
+            customer_bills_->update(tx, customer, 0);
+        });
+    }
+
+    void
+    update_tables(tm::TmRuntime& rt, Xoshiro256& rng)
+    {
+        const unsigned table = static_cast<unsigned>(rng.below(3));
+        std::array<uint64_t, 2> ids;
+        for (auto& id : ids) id = rng.below(relations_per_table_);
+        rt.execute([&](tm::Tx& tx) {
+            for (uint64_t id : ids) {
+                auto v = tables_[table]->find(tx, id);
+                if (!v) continue;
+                // Add one unit of capacity.
+                tables_[table]->update(
+                    tx, id,
+                    pack_item(item_free(*v) + 1, item_price(*v),
+                              item_used(*v)));
+            }
+        });
+    }
+
+    WorkloadParams params_;
+    uint64_t relations_per_table_;
+    uint64_t txns_total_;
+    uint64_t customers_;
+    uint64_t initial_capacity_ = 0;
+
+    std::array<std::unique_ptr<TxMap>, 3> tables_;
+    std::unique_ptr<TxMap> customer_bills_;
+    mutable tm::TmCell refunds_;
+    std::atomic<uint64_t> done_{0};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+make_vacation(const WorkloadParams& params)
+{
+    return std::make_unique<Vacation>(params);
+}
+
+} // namespace rococo::stamp

@@ -1,0 +1,27 @@
+/// @file
+/// Factories for the seven STAMP-like workloads (bayes excluded, as in
+/// the paper's evaluation §6.3). Each is a behaviour-matched analogue
+/// of its STAMP namesake, written against the word-based TM API; see
+/// each .cc for the characteristics it preserves.
+#pragma once
+
+#include <memory>
+
+#include "stamp/harness.h"
+
+namespace rococo::stamp {
+
+std::unique_ptr<Workload> make_vacation(const WorkloadParams& params);
+std::unique_ptr<Workload> make_kmeans(const WorkloadParams& params);
+std::unique_ptr<Workload> make_genome(const WorkloadParams& params);
+std::unique_ptr<Workload> make_intruder(const WorkloadParams& params);
+std::unique_ptr<Workload> make_ssca2(const WorkloadParams& params);
+std::unique_ptr<Workload> make_labyrinth(const WorkloadParams& params);
+std::unique_ptr<Workload> make_yada(const WorkloadParams& params);
+
+/// bayes is implemented for completeness but EXCLUDED from
+/// workload_names(), exactly as the paper excludes it from Fig. 10
+/// "due [to] its high variability" (§6.3).
+std::unique_ptr<Workload> make_bayes(const WorkloadParams& params);
+
+} // namespace rococo::stamp

@@ -1,0 +1,167 @@
+/// @file
+/// yada analogue: Delaunay mesh refinement (STAMP's yada). A shared
+/// transactional min-heap holds "bad" elements; a worker pops one,
+/// reads its cavity (a neighbourhood of mesh cells), re-triangulates
+/// (rewrites the cavity) and may enqueue newly created bad elements.
+/// Characteristics preserved: medium-to-long transactions with
+/// variable footprints, a shared work heap, and cascading work
+/// generation — the second workload where the paper highlights
+/// ROCoCoTM's abort-rate advantage (§6.3).
+#include "stamp/workloads/workloads.h"
+
+#include <atomic>
+#include <memory>
+
+#include "common/rng.h"
+#include "stamp/containers/tx_heap.h"
+
+namespace rococo::stamp {
+namespace {
+
+constexpr uint64_t kQualityThreshold = 100;
+constexpr uint64_t kCavity = 4; ///< cells on each side of the element
+
+class Yada final : public Workload
+{
+  public:
+    explicit Yada(const WorkloadParams& params)
+        : params_(params), elements_(1024 * params.scale),
+          initial_bad_(elements_ / (params.high_contention ? 8 : 32))
+    {
+    }
+
+    std::string name() const override { return "yada"; }
+
+    void
+    setup() override
+    {
+        Xoshiro256 rng(params_.seed);
+        quality_ = std::make_unique<tm::TmCell[]>(elements_);
+        for (uint64_t e = 0; e < elements_; ++e) {
+            quality_[e].unsafe_store(kQualityThreshold +
+                                     rng.below(100));
+        }
+        // Heap sized for the worst-case cascade volume.
+        heap_ = std::make_unique<TxHeap>(elements_ * 4);
+        struct DirectTx final : tm::Tx
+        {
+            tm::Word load(const tm::TmCell& c) override
+            {
+                return c.unsafe_load();
+            }
+            void store(tm::TmCell& c, tm::Word v) override
+            {
+                c.unsafe_store(v);
+            }
+            [[noreturn]] void retry() override
+            {
+                throw tm::TxAbortException{};
+            }
+        } tx;
+        // Seed the bad-element queue and degrade those elements.
+        for (uint64_t i = 0; i < initial_bad_; ++i) {
+            const uint64_t e = rng.below(elements_);
+            if (quality_[e].unsafe_load() < kQualityThreshold) continue;
+            quality_[e].unsafe_store(rng.below(kQualityThreshold));
+            heap_->push(tx, e);
+        }
+        refined_.store(0);
+        cascaded_.store(0);
+    }
+
+    void
+    worker(tm::TmRuntime& rt, unsigned tid, unsigned threads) override
+    {
+        (void)tid;
+        (void)threads;
+        Xoshiro256 rng(params_.seed ^ (0xfeed + tid));
+        for (;;) {
+            bool have = false;
+            uint64_t element = 0;
+            uint64_t cascades = 0;
+            rt.execute([&](tm::Tx& tx) {
+                cascades = 0;
+                auto top = heap_->pop(tx);
+                have = top.has_value();
+                if (!have) return;
+                element = *top;
+
+                // The element may have been fixed by an overlapping
+                // earlier refinement.
+                const uint64_t q = tx.load(quality_[element]);
+                if (q >= kQualityThreshold) return;
+
+                // Read the cavity, fix the element, perturb neighbours;
+                // a perturbed neighbour that drops below the threshold
+                // becomes new work (cascade).
+                const uint64_t lo =
+                    element > kCavity ? element - kCavity : 0;
+                const uint64_t hi =
+                    std::min(element + kCavity, elements_ - 1);
+                tx.store(quality_[element],
+                         kQualityThreshold + 50 + element % 50);
+                for (uint64_t n = lo; n <= hi; ++n) {
+                    if (n == element) continue;
+                    const uint64_t nq = tx.load(quality_[n]);
+                    if (nq < kQualityThreshold) continue; // already queued
+                    // Deterministic perturbation of a few *higher*
+                    // neighbours (upward-only propagation keeps the
+                    // cascade finite — no refinement ping-pong).
+                    if (n > element &&
+                        (n * 2654435761u + element) % 16 == 0) {
+                        if (heap_->push(tx, n)) {
+                            tx.store(quality_[n], nq % kQualityThreshold);
+                            ++cascades;
+                        }
+                    }
+                }
+            });
+            if (!have) break;
+            refined_.fetch_add(1);
+            cascaded_.fetch_add(cascades);
+        }
+    }
+
+    bool
+    verify() const override
+    {
+        // Refinement must terminate with an empty heap and no element
+        // below the quality threshold.
+        if (heap_->unsafe_size() != 0) return false;
+        for (uint64_t e = 0; e < elements_; ++e) {
+            if (quality_[e].unsafe_load() < kQualityThreshold) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    CounterBag
+    workload_stats() const override
+    {
+        CounterBag bag;
+        bag.bump("refined", refined_.load());
+        bag.bump("cascaded", cascaded_.load());
+        return bag;
+    }
+
+  private:
+    WorkloadParams params_;
+    uint64_t elements_;
+    uint64_t initial_bad_;
+
+    std::unique_ptr<tm::TmCell[]> quality_;
+    std::unique_ptr<TxHeap> heap_;
+    std::atomic<uint64_t> refined_{0};
+    std::atomic<uint64_t> cascaded_{0};
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+make_yada(const WorkloadParams& params)
+{
+    return std::make_unique<Yada>(params);
+}
+
+} // namespace rococo::stamp

@@ -1,0 +1,54 @@
+#include "tm/access_set.h"
+
+namespace rococo::tm {
+
+AccessSet::AccessSet(std::shared_ptr<const sig::SignatureConfig> config)
+    : config_(config), whole_(config)
+{
+}
+
+void
+AccessSet::insert(uintptr_t addr)
+{
+    if (addrs_.size() % kSubsetSize == 0) {
+        subs_.emplace_back(config_);
+    }
+    addrs_.push_back(addr);
+    whole_.insert(addr);
+    subs_.back().insert(addr);
+}
+
+bool
+AccessSet::may_intersect(const sig::BloomSignature& other) const
+{
+    // Per-partition intersection: a real common element sets one bit
+    // in every partition, and the partitioned test has a far lower
+    // false-overlap rate than the any-bit AND (Fig. 7 (b)).
+    return whole_.intersects_all_partitions(other);
+}
+
+bool
+AccessSet::confirmed_intersect(const sig::BloomSignature& other) const
+{
+    // Walk sub-signatures first (cheap dismissal of whole groups), then
+    // per-address membership queries inside matching groups.
+    for (size_t g = 0; g < subs_.size(); ++g) {
+        if (!subs_[g].intersects(other)) continue;
+        const size_t begin = g * kSubsetSize;
+        const size_t end = std::min(begin + kSubsetSize, addrs_.size());
+        for (size_t i = begin; i < end; ++i) {
+            if (other.query(addrs_[i])) return true;
+        }
+    }
+    return false;
+}
+
+void
+AccessSet::clear()
+{
+    addrs_.clear();
+    whole_.clear();
+    subs_.clear();
+}
+
+} // namespace rococo::tm

@@ -1,0 +1,63 @@
+/// @file
+/// Read/write set bookkeeping for ROCoCoTM's CPU side (§5.2-5.3).
+///
+/// The read set keeps the exact address list (shipped to the FPGA for
+/// precise per-address queries), a whole-set signature for the O(1)
+/// fast path of the eager conflict check, and one sub-signature per
+/// group of eight addresses — the paper's refinement that keeps false
+/// positivity of set intersection low, since intersections are only
+/// meaningful on signatures of at most eight elements (Fig. 7, §5.3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sig/bloom_signature.h"
+
+namespace rococo::tm {
+
+/// An address set with layered signatures.
+class AccessSet
+{
+  public:
+    /// Paper: a sub-signature summarizes every eight addresses.
+    static constexpr size_t kSubsetSize = 8;
+
+    explicit AccessSet(std::shared_ptr<const sig::SignatureConfig> config);
+
+    void insert(uintptr_t addr);
+
+    bool empty() const { return addrs_.empty(); }
+    size_t size() const { return addrs_.size(); }
+
+    const std::vector<uintptr_t>& addresses() const { return addrs_; }
+    const sig::BloomSignature& signature() const { return whole_; }
+
+    /// Does the whole-set signature intersect @p other? O(1), may be a
+    /// false positive.
+    bool may_intersect(const sig::BloomSignature& other) const;
+
+    /// Refined check: test each address against @p other's membership
+    /// query (O(size), only run after may_intersect fires). Still
+    /// conservative — @p other is itself a bloom filter — but much
+    /// tighter than signature intersection.
+    bool confirmed_intersect(const sig::BloomSignature& other) const;
+
+    /// Sub-signatures (one per eight inserted addresses), exposed for
+    /// tests of the layered scheme.
+    const std::vector<sig::BloomSignature>& sub_signatures() const
+    {
+        return subs_;
+    }
+
+    void clear();
+
+  private:
+    std::shared_ptr<const sig::SignatureConfig> config_;
+    std::vector<uintptr_t> addrs_;
+    sig::BloomSignature whole_;
+    std::vector<sig::BloomSignature> subs_;
+};
+
+} // namespace rococo::tm

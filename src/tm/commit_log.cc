@@ -1,0 +1,72 @@
+#include "tm/commit_log.h"
+
+#include <bit>
+#include <thread>
+
+#include "common/check.h"
+
+namespace rococo::tm {
+
+CommitLog::CommitLog(std::shared_ptr<const sig::SignatureConfig> config,
+                     size_t capacity)
+    : config_(std::move(config)), entries_(capacity)
+{
+    ROCOCO_CHECK(capacity >= 2 && std::has_single_bit(capacity));
+    for (auto& entry : entries_) {
+        entry.words = std::vector<std::atomic<uint64_t>>(config_->words());
+    }
+}
+
+void
+CommitLog::publish(uint64_t cid, const sig::BloomSignature& write_sig)
+{
+    Entry& entry = entries_[cid & (entries_.size() - 1)];
+    // Seqlock-style publication: mark busy, write payload, set the tag.
+    // Full fences keep it simple — this runs once per commit.
+    entry.tag.store(kEmpty, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const auto& words = write_sig.words();
+    for (size_t w = 0; w < words.size(); ++w) {
+        entry.words[w].store(words[w], std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    entry.tag.store(cid, std::memory_order_seq_cst);
+}
+
+void
+CommitLog::wait_turn(uint64_t cid) const
+{
+    while (global_ts_.load(std::memory_order_acquire) != cid) {
+        std::this_thread::yield();
+    }
+}
+
+void
+CommitLog::advance(uint64_t cid)
+{
+    ROCOCO_DCHECK(global_ts_.load(std::memory_order_relaxed) == cid);
+    global_ts_.store(cid + 1, std::memory_order_release);
+}
+
+bool
+CommitLog::collect(uint64_t from, uint64_t to,
+                   sig::BloomSignature& out) const
+{
+    ROCOCO_DCHECK(out.config().words() == config_->words());
+    // Union one entry at a time with a seqlock read per entry.
+    std::vector<uint64_t> scratch(config_->words());
+    for (uint64_t ts = from; ts < to; ++ts) {
+        const Entry& entry = entries_[ts & (entries_.size() - 1)];
+        if (entry.tag.load(std::memory_order_seq_cst) != ts) return false;
+        for (size_t w = 0; w < scratch.size(); ++w) {
+            scratch[w] = entry.words[w].load(std::memory_order_relaxed);
+        }
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (entry.tag.load(std::memory_order_seq_cst) != ts) return false;
+        // The snapshot is consistent; fold it into the output.
+        out.unite_raw(scratch.data(), scratch.size());
+    }
+    return true;
+}
+
+} // namespace rococo::tm

@@ -1,0 +1,70 @@
+/// @file
+/// The global commit log of ROCoCoTM's CPU side (Fig. 8): a monotonic
+/// GlobalTS plus a ring of write-set signatures indexed by timestamp
+/// (the CommitQueue of Algorithm 1). Executing transactions scan the
+/// entries between their LocalTS and the current GlobalTS to extend
+/// their snapshot; committers publish their write signature and bump
+/// GlobalTS in cid order, which keeps the CPU-side timestamp space
+/// identical to the FPGA's commit-id space.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sig/bloom_signature.h"
+
+namespace rococo::tm {
+
+class CommitLog
+{
+  public:
+    /// @param config signature geometry
+    /// @param capacity ring capacity (power of two). A reader lagging
+    ///     more than @p capacity commits behind finds its entries
+    ///     overwritten and must abort (kStale).
+    CommitLog(std::shared_ptr<const sig::SignatureConfig> config,
+              size_t capacity = 1 << 14);
+
+    /// Current GlobalTS: number of fully committed write transactions.
+    uint64_t
+    global_ts() const
+    {
+        return global_ts_.load(std::memory_order_acquire);
+    }
+
+    /// Store the write signature of commit @p cid into the ring.
+    /// Call before advance(cid).
+    void publish(uint64_t cid, const sig::BloomSignature& write_sig);
+
+    /// Block (yielding) until GlobalTS == @p cid, i.e. all earlier
+    /// commits have fully written back.
+    void wait_turn(uint64_t cid) const;
+
+    /// GlobalTS := cid + 1 (release). Call after write-back completes.
+    void advance(uint64_t cid);
+
+    /// Union the signatures of commits [from, to) into @p out.
+    /// Returns false if any entry was already overwritten (reader too
+    /// stale) — the caller must abort.
+    bool collect(uint64_t from, uint64_t to,
+                 sig::BloomSignature& out) const;
+
+    size_t capacity() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        /// cid stored in this ring slot; kEmpty until first use.
+        std::atomic<uint64_t> tag{kEmpty};
+        std::vector<std::atomic<uint64_t>> words;
+    };
+    static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+    std::shared_ptr<const sig::SignatureConfig> config_;
+    std::vector<Entry> entries_;
+    std::atomic<uint64_t> global_ts_{0};
+};
+
+} // namespace rococo::tm

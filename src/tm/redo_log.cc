@@ -1,0 +1,85 @@
+#include "tm/redo_log.h"
+
+#include "common/check.h"
+
+namespace rococo::tm {
+namespace {
+
+size_t
+hash_cell(const TmCell* cell)
+{
+    auto x = reinterpret_cast<uintptr_t>(cell);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+}
+
+} // namespace
+
+RedoLog::RedoLog()
+{
+    rehash(64);
+}
+
+void
+RedoLog::rehash(size_t buckets)
+{
+    index_.assign(buckets, 0);
+    mask_ = buckets - 1;
+    for (uint32_t i = 0; i < entries_.size(); ++i) {
+        size_t slot = hash_cell(entries_[i].cell) & mask_;
+        while (index_[slot] != 0) slot = (slot + 1) & mask_;
+        index_[slot] = i + 1;
+    }
+}
+
+size_t
+RedoLog::find_slot(const TmCell* cell) const
+{
+    size_t slot = hash_cell(cell) & mask_;
+    while (index_[slot] != 0 && entries_[index_[slot] - 1].cell != cell) {
+        slot = (slot + 1) & mask_;
+    }
+    return slot;
+}
+
+void
+RedoLog::put(TmCell* cell, Word value)
+{
+    const size_t slot = find_slot(cell);
+    if (index_[slot] != 0) {
+        entries_[index_[slot] - 1].value = value;
+        return;
+    }
+    entries_.push_back({cell, value});
+    index_[slot] = static_cast<uint32_t>(entries_.size());
+    if (entries_.size() * 2 > index_.size()) rehash(index_.size() * 2);
+}
+
+bool
+RedoLog::get(const TmCell* cell, Word& value) const
+{
+    const size_t slot = find_slot(cell);
+    if (index_[slot] == 0) return false;
+    value = entries_[index_[slot] - 1].value;
+    return true;
+}
+
+void
+RedoLog::apply() const
+{
+    for (const Entry& entry : entries_) {
+        entry.cell->value.store(entry.value, std::memory_order_release);
+    }
+}
+
+void
+RedoLog::clear()
+{
+    entries_.clear();
+    // Keep capacity; just reset the index.
+    std::fill(index_.begin(), index_.end(), 0);
+}
+
+} // namespace rococo::tm

@@ -1,0 +1,56 @@
+/// @file
+/// Redo log: the lazy version management of ROCoCoTM (§5.1). Tentative
+/// writes are buffered here during execution and written back to the
+/// actual locations by the Committer after the FPGA approves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tm/tm.h"
+
+namespace rococo::tm {
+
+/// Insertion-ordered address -> value buffer with O(1) lookup via a
+/// small open-addressing index. Cleared (not freed) between attempts so
+/// steady-state transactions allocate nothing.
+class RedoLog
+{
+  public:
+    RedoLog();
+
+    size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /// Insert or overwrite the buffered value for @p cell.
+    void put(TmCell* cell, Word value);
+
+    /// Fetch the buffered value; returns false if @p cell was never
+    /// written this transaction.
+    bool get(const TmCell* cell, Word& value) const;
+
+    /// Write every buffered value to its cell (release order), in
+    /// insertion order.
+    void apply() const;
+
+    void clear();
+
+    /// Written cells in insertion order (for building write sets).
+    struct Entry
+    {
+        TmCell* cell;
+        Word value;
+    };
+    const std::vector<Entry>& entries() const { return entries_; }
+
+  private:
+    void rehash(size_t buckets);
+    size_t find_slot(const TmCell* cell) const;
+
+    std::vector<Entry> entries_;
+    /// Open-addressing index: bucket -> entry index + 1, 0 = empty.
+    std::vector<uint32_t> index_;
+    size_t mask_ = 0;
+};
+
+} // namespace rococo::tm

@@ -1,0 +1,264 @@
+#include "tm/rococo_tm.h"
+
+#include <thread>
+
+#include "common/check.h"
+
+namespace rococo::tm {
+namespace {
+
+/// Per-thread binding of this runtime's descriptor index.
+thread_local unsigned tls_thread_id = ~0u;
+
+uint64_t
+cell_key(const TmCell& cell)
+{
+    return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&cell));
+}
+
+} // namespace
+
+/// The Tx handle: Algorithm 1's TM_READ / TM_WRITE.
+class RococoTm::TxImpl final : public Tx
+{
+  public:
+    TxImpl(RococoTm& rt, TxDescriptor& d)
+        : rt_(rt), d_(d)
+    {
+    }
+
+    Word
+    load(const TmCell& cell) override
+    {
+        // Read-after-write: serve from the redo log (lines 1-4).
+        Word value;
+        if (!d_.redo.empty() && d_.redo.get(&cell, value)) return value;
+
+        const uint64_t addr = cell_key(cell);
+        for (unsigned spin = 0;; ++spin) {
+            value = cell.value.load(std::memory_order_acquire);
+
+            // Commit-time lock check AFTER the speculative load: if no
+            // committer holds addr now, either the value predates any
+            // in-flight commit of it, or that commit already advanced
+            // GlobalTS and the snapshot scan below will catch it
+            // (line 5).
+            if (rt_.update_set_.query(addr)) {
+                if (d_.miss_active) abort_tx(stat::kEagerAborts);
+                std::this_thread::yield();
+                continue;
+            }
+
+            const uint64_t gts = rt_.commit_log_.global_ts();
+            if (d_.local_ts < gts) {
+                // Snapshot extension (lines 9-13): union the write
+                // signatures of commits [LocalTS, GlobalTS).
+                d_.temp_set.clear();
+                if (!rt_.commit_log_.collect(d_.local_ts, gts,
+                                             d_.temp_set)) {
+                    abort_tx(stat::kStaleAborts);
+                }
+                d_.local_ts = gts;
+
+                // Lines 14-19: if a previous read may have been
+                // invalidated, the snapshot cannot be extended — fold
+                // the missed updates into MissSet.
+                const bool read_conflict =
+                    d_.read_set.may_intersect(d_.temp_set) &&
+                    d_.read_set.confirmed_intersect(d_.temp_set);
+                if (d_.miss_active || read_conflict) {
+                    d_.miss_set.unite(d_.temp_set);
+                    d_.miss_active = true;
+                } else {
+                    d_.valid_ts = gts;
+                }
+                if (d_.temp_set.query(addr)) {
+                    // addr itself was just updated: the loaded value's
+                    // vintage is ambiguous; re-read with the advanced
+                    // snapshot (or abort if the snapshot is broken).
+                    if (d_.miss_active && d_.miss_set.query(addr)) {
+                        abort_tx(stat::kEagerAborts);
+                    }
+                    continue;
+                }
+            }
+            if (d_.miss_active && d_.miss_set.query(addr)) {
+                // Reading an address in the miss set: no consistent
+                // snapshot exists (Fig. 8 (d)).
+                abort_tx(stat::kEagerAborts);
+            }
+            break;
+        }
+        d_.read_set.insert(addr);
+        return value;
+    }
+
+    void
+    store(TmCell& cell, Word value) override
+    {
+        // Lines 21-22: buffer the tentative write.
+        d_.write_sig.insert(cell_key(cell));
+        d_.redo.put(&cell, value);
+    }
+
+    [[noreturn]] void
+    retry() override
+    {
+        d_.user_retry = true;
+        abort_tx(stat::kEagerAborts);
+    }
+
+  private:
+    [[noreturn]] void
+    abort_tx(const char* reason)
+    {
+        d_.stats.bump(reason);
+        throw TxAbortException{};
+    }
+
+    RococoTm& rt_;
+    TxDescriptor& d_;
+};
+
+RococoTm::RococoTm(const RococoTmConfig& config)
+    : config_(config), pipeline_(config.engine),
+      sig_config_(pipeline_.signature_config()),
+      commit_log_(sig_config_, config.commit_log_capacity),
+      update_set_(sig_config_, config.max_threads),
+      descriptors_(config.max_threads)
+{
+}
+
+RococoTm::~RococoTm()
+{
+    pipeline_.stop();
+}
+
+void
+RococoTm::thread_init(unsigned thread_id)
+{
+    ROCOCO_CHECK(thread_id < config_.max_threads);
+    if (!descriptors_[thread_id]) {
+        descriptors_[thread_id] =
+            std::make_unique<TxDescriptor>(sig_config_, thread_id);
+    }
+    tls_thread_id = thread_id;
+}
+
+void
+RococoTm::thread_fini()
+{
+    ROCOCO_CHECK(tls_thread_id != ~0u);
+    TxDescriptor& d = *descriptors_[tls_thread_id];
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.add(d.stats);
+    }
+    d.stats = CounterBag();
+    tls_thread_id = ~0u;
+}
+
+TxDescriptor&
+RococoTm::descriptor()
+{
+    ROCOCO_CHECK(tls_thread_id != ~0u);
+    return *descriptors_[tls_thread_id];
+}
+
+bool
+RococoTm::try_execute(const std::function<void(Tx&)>& body)
+{
+    TxDescriptor& d = descriptor();
+
+    if (config_.irrevocable_after != 0 &&
+        d.consecutive_aborts >= config_.irrevocable_after) {
+        // Starvation escape hatch (§4.2): drain all concurrent
+        // transactions and run alone. With no concurrency the snapshot
+        // stays current, no forward edges arise, and validation cannot
+        // fail — the attempt below must commit.
+        std::unique_lock<std::shared_mutex> exclusive(gate_);
+        const bool committed = attempt(body, d);
+        if (!committed) {
+            // Only a body-requested retry() can fail here: running
+            // alone, validation cannot. The awaited condition can only
+            // be satisfied by other transactions, so fall back to
+            // optimistic mode and let them run.
+            ROCOCO_CHECK(d.user_retry &&
+                         "irrevocable attempt must commit");
+            d.consecutive_aborts = 0;
+            return false;
+        }
+        d.consecutive_aborts = 0;
+        d.stats.bump("irrevocable_commits");
+        return true;
+    }
+
+    std::shared_lock<std::shared_mutex> shared(gate_);
+    const bool committed = attempt(body, d);
+    d.consecutive_aborts = committed ? 0 : d.consecutive_aborts + 1;
+    return committed;
+}
+
+bool
+RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
+{
+    d.reset(commit_log_.global_ts());
+    TxImpl tx(*this, d);
+
+    try {
+        body(tx);
+    } catch (const TxAbortException&) {
+        d.stats.bump(stat::kAborts);
+        return false;
+    }
+
+    if (d.redo.empty()) {
+        // Read-only fast path: the snapshot stayed consistent at
+        // valid_ts, commit directly on the CPU (§5.3).
+        d.stats.bump(stat::kCommits);
+        d.stats.bump(stat::kReadOnlyCommits);
+        return true;
+    }
+
+    // Ship R/W sets and ValidTS to the validation pipeline and wait
+    // for the verdict (Fig. 6).
+    fpga::OffloadRequest request;
+    request.reads = d.read_set.addresses();
+    request.writes.reserve(d.redo.size());
+    for (const auto& entry : d.redo.entries()) {
+        request.writes.push_back(cell_key(*entry.cell));
+    }
+    request.snapshot_cid = d.valid_ts;
+
+    const core::ValidationResult verdict =
+        pipeline_.validate(std::move(request));
+    if (verdict.verdict != core::Verdict::kCommit) {
+        d.stats.bump(stat::kAborts);
+        d.stats.bump(stat::kValidationAborts);
+        d.stats.bump(verdict.verdict == core::Verdict::kAbortCycle
+                         ? stat::kCycleAborts
+                         : stat::kOverflowAborts);
+        return false;
+    }
+
+    // Committer (§5.3): commit-time locking, in-cid-order write-back.
+    const uint64_t cid = verdict.cid;
+    update_set_.publish(d.thread_id, d.write_sig);
+    commit_log_.wait_turn(cid);
+    d.redo.apply();
+    commit_log_.publish(cid, d.write_sig);
+    commit_log_.advance(cid);
+    update_set_.clear(d.thread_id);
+
+    d.stats.bump(stat::kCommits);
+    return true;
+}
+
+CounterBag
+RococoTm::stats() const
+{
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    return stats_;
+}
+
+} // namespace rococo::tm

@@ -1,0 +1,93 @@
+/// @file
+/// ROCoCoTM: the hybrid TM of §5 — eager CPU-side conflict detection on
+/// bloom-filter signatures (Algorithm 1), lazy version management
+/// (redo log + commit-time write-back), commit-time locking via the
+/// update set, and validation offloaded to the (software-modelled) FPGA
+/// pipeline.
+///
+/// Lifecycle of a writing transaction (Fig. 6 (a)/(b)):
+///   Executor (CPU): run the body; every load maintains the lazy
+///     snapshot (LocalTS/ValidTS/MissSet) against the commit log and
+///     aborts early on inconsistency — "fast path for true conflicts
+///     without any atomic operation".
+///   Detector+Manager (FPGA): the read/write address sets and ValidTS
+///     are shipped over the pull queue; the pipeline classifies
+///     dependencies and runs the ROCoCo reachability check.
+///   Committer (CPU): on approval, publishes the write signature to the
+///     update set, waits its cid turn, applies the redo log, appends
+///     its signature to the commit log and advances GlobalTS.
+///
+/// Read-only transactions commit directly on the CPU (§5.3).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "fpga/validation_pipeline.h"
+#include "tm/commit_log.h"
+#include "tm/tm.h"
+#include "tm/tx_descriptor.h"
+#include "tm/update_set.h"
+
+namespace rococo::tm {
+
+struct RococoTmConfig
+{
+    fpga::EngineConfig engine;
+    size_t commit_log_capacity = 1 << 14;
+    unsigned max_threads = 64;
+    /// Starvation escape hatch (§4.2: "to ensure long transactions can
+    /// eventually commit, irrevocability may be required"): after this
+    /// many consecutive aborts a transaction runs irrevocably —
+    /// exclusively, with every other transaction drained — and is
+    /// guaranteed to commit. 0 disables irrevocability.
+    unsigned irrevocable_after = 64;
+};
+
+class RococoTm final : public TmRuntime
+{
+  public:
+    explicit RococoTm(const RococoTmConfig& config = {});
+    ~RococoTm() override;
+
+    std::string name() const override { return "ROCoCoTM"; }
+
+    void thread_init(unsigned thread_id) override;
+    void thread_fini() override;
+
+    CounterBag stats() const override;
+
+    /// FPGA-side verdict counters (the dotted line of Fig. 10).
+    CounterBag fpga_stats() const { return pipeline_.stats(); }
+
+  protected:
+    bool try_execute(const std::function<void(Tx&)>& body) override;
+
+  private:
+    class TxImpl;
+
+    TxDescriptor& descriptor();
+
+    /// One attempt through the normal path; assumes the caller holds
+    /// the execution gate (shared or exclusive).
+    bool attempt(const std::function<void(Tx&)>& body, TxDescriptor& d);
+
+    RococoTmConfig config_;
+    fpga::ValidationPipeline pipeline_;
+    std::shared_ptr<const sig::SignatureConfig> sig_config_;
+    CommitLog commit_log_;
+    UpdateSet update_set_;
+
+    /// Execution gate: normal transactions hold it shared; an
+    /// irrevocable transaction holds it exclusively, so it runs alone
+    /// and its validation cannot fail.
+    std::shared_mutex gate_;
+
+    mutable std::mutex stats_mutex_;
+    CounterBag stats_;
+    std::vector<std::unique_ptr<TxDescriptor>> descriptors_;
+};
+
+} // namespace rococo::tm

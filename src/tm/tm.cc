@@ -1,0 +1,31 @@
+#include "tm/tm.h"
+
+#include <thread>
+
+#include "common/rng.h"
+
+namespace rococo::tm {
+
+void
+TmRuntime::execute(const std::function<void(Tx&)>& body)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        if (try_execute(body)) return;
+        backoff(attempt);
+    }
+}
+
+void
+TmRuntime::backoff(unsigned attempt)
+{
+    // Bounded exponential backoff with deterministic per-thread jitter.
+    // The machine this reproduction targets can be heavily
+    // oversubscribed, so back off by yielding rather than spinning.
+    static thread_local Xoshiro256 rng(
+        0x5bd1e995 ^ std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    const unsigned ceiling = attempt < 10 ? (1u << attempt) : 1024u;
+    const uint64_t yields = rng.below(ceiling + 1);
+    for (uint64_t i = 0; i < yields; ++i) std::this_thread::yield();
+}
+
+} // namespace rococo::tm

@@ -1,0 +1,195 @@
+/// @file
+/// The word-based transactional-memory API every runtime in this repo
+/// implements (ROCoCoTM, the TinySTM-like LSA baseline, the simulated
+/// TSX HTM and the global-lock TM), and that the STAMP-like workloads
+/// are written against.
+///
+/// Shared state lives in TmCell words (64-bit); transactions access
+/// them through a Tx handle inside TmRuntime::execute, which re-runs
+/// the body until it commits:
+///
+///     TmArray<int64_t> accounts(runtime_cells, 2);
+///     runtime.execute([&](tm::Tx& tx) {
+///         int64_t a = accounts.get(tx, 0);
+///         accounts.set(tx, 0, a - 1);
+///         accounts.set(tx, 1, accounts.get(tx, 1) + 1);
+///     });
+///
+/// Aborts are signalled by throwing TxAbortException through the body,
+/// so bodies must be exception-safe and must not perform irrevocable
+/// side effects (the usual STM contract).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace rococo::tm {
+
+/// The transactional word.
+using Word = uint64_t;
+
+/// A shared memory cell. Cells are the unit of conflict detection;
+/// their pointer identity is the "address" fed to signatures and the
+/// validation engine.
+struct TmCell
+{
+    std::atomic<Word> value{0};
+
+    /// Non-transactional access, for single-threaded setup/teardown and
+    /// result verification only.
+    Word unsafe_load() const { return value.load(std::memory_order_relaxed); }
+    void
+    unsafe_store(Word v)
+    {
+        value.store(v, std::memory_order_relaxed);
+    }
+};
+
+/// Thrown by runtimes to roll back the current attempt. User code must
+/// let it propagate.
+class TxAbortException
+{
+};
+
+/// Handle to the transaction in flight; passed to the body by
+/// TmRuntime::execute.
+class Tx
+{
+  public:
+    virtual ~Tx() = default;
+
+    /// Transactional read of @p cell.
+    virtual Word load(const TmCell& cell) = 0;
+
+    /// Transactional write of @p cell.
+    virtual void store(TmCell& cell, Word value) = 0;
+
+    /// Request an abort-and-retry (e.g. condition not yet met).
+    [[noreturn]] virtual void retry() = 0;
+};
+
+/// Typed view over a TmCell for any trivially copyable T of at most
+/// 8 bytes.
+template <typename T>
+class TmVar
+{
+    static_assert(sizeof(T) <= sizeof(Word));
+    static_assert(std::is_trivially_copyable_v<T>);
+
+  public:
+    TmVar() = default;
+    explicit TmVar(T initial) { set_unsafe(initial); }
+
+    T
+    get(Tx& tx) const
+    {
+        return decode(tx.load(cell_));
+    }
+
+    void
+    set(Tx& tx, T v)
+    {
+        tx.store(cell_, encode(v));
+    }
+
+    T get_unsafe() const { return decode(cell_.unsafe_load()); }
+    void set_unsafe(T v) { cell_.unsafe_store(encode(v)); }
+
+    TmCell& cell() { return cell_; }
+    const TmCell& cell() const { return cell_; }
+
+  private:
+    static Word
+    encode(T v)
+    {
+        Word w = 0;
+        std::memcpy(&w, &v, sizeof(T));
+        return w;
+    }
+    static T
+    decode(Word w)
+    {
+        T v;
+        std::memcpy(&v, &w, sizeof(T));
+        return v;
+    }
+
+    mutable TmCell cell_;
+};
+
+/// Fixed-size array of typed transactional variables.
+template <typename T>
+class TmArray
+{
+  public:
+    explicit TmArray(size_t n)
+        : vars_(n)
+    {
+    }
+
+    size_t size() const { return vars_.size(); }
+
+    T get(Tx& tx, size_t i) const { return vars_[i].get(tx); }
+    void set(Tx& tx, size_t i, T v) { vars_[i].set(tx, v); }
+    T get_unsafe(size_t i) const { return vars_[i].get_unsafe(); }
+    void set_unsafe(size_t i, T v) { vars_[i].set_unsafe(v); }
+
+    TmVar<T>& var(size_t i) { return vars_[i]; }
+
+  private:
+    std::vector<TmVar<T>> vars_;
+};
+
+/// Per-execution outcome statistics names shared by all runtimes.
+namespace stat {
+inline constexpr const char* kCommits = "commits";
+inline constexpr const char* kAborts = "aborts";
+inline constexpr const char* kReadOnlyCommits = "read_only_commits";
+inline constexpr const char* kEagerAborts = "eager_aborts";
+inline constexpr const char* kValidationAborts = "validation_aborts";
+inline constexpr const char* kCycleAborts = "cycle_aborts";
+inline constexpr const char* kOverflowAborts = "overflow_aborts";
+inline constexpr const char* kCapacityAborts = "capacity_aborts";
+inline constexpr const char* kConflictAborts = "conflict_aborts";
+inline constexpr const char* kFallbackCommits = "fallback_commits";
+inline constexpr const char* kStaleAborts = "stale_aborts";
+} // namespace stat
+
+/// Abstract TM runtime. Thread lifecycle: each worker thread calls
+/// thread_init(tid) once before its first execute() and thread_fini()
+/// before joining.
+class TmRuntime
+{
+  public:
+    virtual ~TmRuntime() = default;
+
+    virtual std::string name() const = 0;
+
+    virtual void thread_init(unsigned thread_id) = 0;
+    virtual void thread_fini() = 0;
+
+    /// Run @p body transactionally, retrying with bounded exponential
+    /// backoff until it commits.
+    void execute(const std::function<void(Tx&)>& body);
+
+    /// Aggregated statistics of all finished threads (call after
+    /// joining workers).
+    virtual CounterBag stats() const = 0;
+
+  protected:
+    /// One attempt; returns true if committed. Implementations catch
+    /// TxAbortException internally and roll back.
+    virtual bool try_execute(const std::function<void(Tx&)>& body) = 0;
+
+    /// Yield-based backoff helper for the attempt loop.
+    static void backoff(unsigned attempt);
+};
+
+} // namespace rococo::tm

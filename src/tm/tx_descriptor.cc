@@ -1,0 +1,26 @@
+#include "tm/tx_descriptor.h"
+
+namespace rococo::tm {
+
+TxDescriptor::TxDescriptor(std::shared_ptr<const sig::SignatureConfig> config,
+                           unsigned thread_id_in)
+    : thread_id(thread_id_in), read_set(config), write_sig(config),
+      redo(), miss_set(config), temp_set(config)
+{
+}
+
+void
+TxDescriptor::reset(uint64_t now_ts)
+{
+    read_set.clear();
+    write_sig.clear();
+    redo.clear();
+    local_ts = now_ts;
+    valid_ts = now_ts;
+    miss_set.clear();
+    miss_active = false;
+    temp_set.clear();
+    user_retry = false;
+}
+
+} // namespace rococo::tm

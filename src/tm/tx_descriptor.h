@@ -1,0 +1,60 @@
+/// @file
+/// Per-thread transaction descriptor of ROCoCoTM (§5.3): private
+/// read/write bookkeeping (R/W-set + redo log), the LSA snapshot state
+/// (LocalTS / ValidTS) and the miss/temp signatures of Algorithm 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.h"
+#include "sig/bloom_signature.h"
+#include "tm/access_set.h"
+#include "tm/redo_log.h"
+
+namespace rococo::tm {
+
+struct TxDescriptor
+{
+    explicit TxDescriptor(
+        std::shared_ptr<const sig::SignatureConfig> config,
+        unsigned thread_id);
+
+    /// Reset all per-attempt state; the transaction starts with a
+    /// snapshot at @p now_ts (the current GlobalTS).
+    void reset(uint64_t now_ts);
+
+    unsigned thread_id;
+
+    AccessSet read_set;
+    sig::BloomSignature write_sig;
+    RedoLog redo;
+
+    /// Timestamps of the lazy snapshot algorithm: reads are consistent
+    /// with the state at valid_ts; commits up to local_ts have been
+    /// examined.
+    uint64_t local_ts = 0;
+    uint64_t valid_ts = 0;
+
+    /// Signatures of missed updates (Fig. 8 (c)); miss_active mirrors
+    /// "MissSet != empty" (signatures cannot be tested for emptiness
+    /// reliably once united).
+    sig::BloomSignature miss_set;
+    bool miss_active = false;
+
+    /// Scratch for the TempSet union of Algorithm 1.
+    sig::BloomSignature temp_set;
+
+    /// Consecutive aborts of the transaction currently being retried
+    /// (drives the irrevocability escape hatch).
+    unsigned consecutive_aborts = 0;
+
+    /// The current attempt aborted because the body called
+    /// Tx::retry() (a condition wait, not a conflict).
+    bool user_retry = false;
+
+    /// Thread-local statistics, flushed at thread_fini.
+    CounterBag stats;
+};
+
+} // namespace rococo::tm

@@ -1,0 +1,61 @@
+#include "tm/update_set.h"
+
+#include "common/check.h"
+
+namespace rococo::tm {
+
+UpdateSet::UpdateSet(std::shared_ptr<const sig::SignatureConfig> config,
+                     unsigned slots)
+    : config_(std::move(config)), slots_(slots)
+{
+    ROCOCO_CHECK(slots > 0);
+    for (auto& slot : slots_) {
+        slot.words = std::vector<std::atomic<uint64_t>>(config_->words());
+    }
+}
+
+void
+UpdateSet::publish(unsigned slot_index, const sig::BloomSignature& write_sig)
+{
+    Slot& slot = slots_[slot_index];
+    ROCOCO_DCHECK(slot.active.load(std::memory_order_relaxed) == 0);
+    const auto& words = write_sig.words();
+    for (size_t w = 0; w < words.size(); ++w) {
+        slot.words[w].store(words[w], std::memory_order_relaxed);
+    }
+    // Words must be visible before the slot reads as active.
+    slot.active.store(1, std::memory_order_release);
+}
+
+void
+UpdateSet::clear(unsigned slot_index)
+{
+    slots_[slot_index].active.store(0, std::memory_order_release);
+}
+
+bool
+UpdateSet::query(uint64_t addr) const
+{
+    // Precompute the k bit positions once; each active slot then costs
+    // k relaxed loads.
+    const unsigned k = config_->k();
+    uint64_t bit_index[16];
+    ROCOCO_DCHECK(k <= 16);
+    for (unsigned i = 0; i < k; ++i) {
+        bit_index[i] = config_->bit_index(addr, i);
+    }
+    for (const Slot& slot : slots_) {
+        if (slot.active.load(std::memory_order_acquire) == 0) continue;
+        bool hit = true;
+        for (unsigned i = 0; i < k && hit; ++i) {
+            const uint64_t bit = bit_index[i];
+            const uint64_t word =
+                slot.words[bit >> 6].load(std::memory_order_relaxed);
+            hit = (word >> (bit & 63)) & 1;
+        }
+        if (hit) return true;
+    }
+    return false;
+}
+
+} // namespace rococo::tm

@@ -1,0 +1,52 @@
+/// @file
+/// The update set: ROCoCoTM's commit-time locking (§5.3).
+///
+/// Before writing back, a committing transaction publishes its write
+/// signature into its slot; executing transactions poll the union of
+/// active slots before every transactional read (Algorithm 1 line 5)
+/// and wait while a committer may be mid-write to the address. This
+/// preserves isolation between committing and executing transactions
+/// without any per-location metadata, and without atomics on the read
+/// fast path beyond a few loads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sig/bloom_signature.h"
+
+namespace rococo::tm {
+
+class UpdateSet
+{
+  public:
+    /// @param config signature geometry
+    /// @param slots maximum concurrent committers (>= worker threads)
+    UpdateSet(std::shared_ptr<const sig::SignatureConfig> config,
+              unsigned slots = 64);
+
+    unsigned slots() const { return static_cast<unsigned>(slots_.size()); }
+
+    /// Publish @p write_sig as slot @p slot's active signature.
+    void publish(unsigned slot, const sig::BloomSignature& write_sig);
+
+    /// Deactivate slot @p slot.
+    void clear(unsigned slot);
+
+    /// May any active committer be writing @p addr?
+    bool query(uint64_t addr) const;
+
+  private:
+    struct Slot
+    {
+        std::atomic<uint32_t> active{0};
+        std::vector<std::atomic<uint64_t>> words;
+    };
+
+    std::shared_ptr<const sig::SignatureConfig> config_;
+    std::vector<Slot> slots_;
+};
+
+} // namespace rococo::tm

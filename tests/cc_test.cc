@@ -1,0 +1,478 @@
+/// Tests for the trace-level concurrency-control layer: generators,
+/// replay, the serializability oracle, and the 2PL / TOCC / SI /
+/// ROCoCo algorithms — including the paper's phantom-ordering cases
+/// (Fig. 2) and the Fig. 9 abort-rate ordering.
+#include <gtest/gtest.h>
+
+#include "cc/replay.h"
+#include "cc/rococo_cc.h"
+#include "cc/snapshot_isolation.h"
+#include "cc/tocc.h"
+#include "cc/trace_generator.h"
+#include "cc/two_phase_locking.h"
+
+namespace rococo::cc {
+namespace {
+
+TEST(TraceGenerator, UniformShape)
+{
+    UniformTraceParams params;
+    params.locations = 1024;
+    params.accesses = 8;
+    params.txns = 200;
+    const Trace trace = generate_uniform_trace(params);
+    ASSERT_EQ(trace.size(), 200u);
+    for (const auto& txn : trace.txns) {
+        EXPECT_EQ(txn.reads.size() + txn.writes.size(), 8u);
+        EXPECT_EQ(txn.reads.size(), 4u); // 50% reads
+        for (uint64_t a : txn.reads) EXPECT_LT(a, 1024u);
+        EXPECT_TRUE(std::is_sorted(txn.reads.begin(), txn.reads.end()));
+    }
+}
+
+TEST(TraceGenerator, Deterministic)
+{
+    UniformTraceParams params;
+    params.txns = 50;
+    params.seed = 99;
+    const Trace a = generate_uniform_trace(params);
+    const Trace b = generate_uniform_trace(params);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.txns[i].reads, b.txns[i].reads);
+        EXPECT_EQ(a.txns[i].writes, b.txns[i].writes);
+    }
+}
+
+TEST(TraceGenerator, CollisionRateFormula)
+{
+    EXPECT_NEAR(uniform_collision_rate(1024, 4), 0.0155, 0.001);
+    EXPECT_GT(uniform_collision_rate(1024, 32),
+              uniform_collision_rate(1024, 8));
+}
+
+TEST(TraceGenerator, SkewedConcentratesAccesses)
+{
+    SkewedTraceParams params;
+    params.theta = 1.2;
+    params.txns = 500;
+    const Trace t = generate_skewed_trace(params);
+    // The hottest slot (0) should appear far more often than a uniform
+    // slot would.
+    uint64_t hot = 0, total = 0;
+    for (const auto& txn : t.txns) {
+        for (auto a : txn.reads) {
+            hot += a == 0;
+            ++total;
+        }
+        for (auto a : txn.writes) {
+            hot += a == 0;
+            ++total;
+        }
+    }
+    EXPECT_GT(double(hot) / double(total), 5.0 / 1024.0);
+}
+
+TEST(TraceGenerator, MixedHasLongTxns)
+{
+    MixedTraceParams params;
+    params.txns = 500;
+    params.long_fraction = 0.2;
+    const Trace t = generate_mixed_trace(params);
+    int longs = 0;
+    for (const auto& txn : t.txns) {
+        if (txn.reads.size() + txn.writes.size() > 8) ++longs;
+    }
+    EXPECT_GT(longs, 40);
+    EXPECT_LT(longs, 200);
+}
+
+TEST(Replay, SnapshotAccounting)
+{
+    Trace trace;
+    trace.num_locations = 4;
+    for (int i = 0; i < 6; ++i) trace.txns.push_back({{}, {0}});
+    trace.normalize();
+    ReplayContext ctx(trace, 2);
+    EXPECT_EQ(ctx.first_concurrent(0), 0u);
+    EXPECT_EQ(ctx.first_concurrent(5), 3u);
+}
+
+/// Hand-built trace of the write-skew anomaly (Fig. 1): t1 reads y,
+/// writes x; t2 reads x, writes y; executed concurrently.
+Trace
+write_skew_trace()
+{
+    Trace trace;
+    trace.num_locations = 2;
+    trace.txns.push_back({{1}, {0}}); // t1: R(y) W(x)
+    trace.txns.push_back({{0}, {1}}); // t2: R(x) W(y)
+    trace.normalize();
+    return trace;
+}
+
+TEST(SnapshotIsolation, AdmitsWriteSkew)
+{
+    const Trace trace = write_skew_trace();
+    SnapshotIsolation si;
+    const ReplayResult result = replay(si, trace, 2);
+    // No WW conflict: SI commits both...
+    EXPECT_EQ(result.commit_count, 2u);
+    // ...and the history is NOT serializable — the oracle must flag it.
+    const auto check = check_history(trace, result.committed, 2);
+    EXPECT_FALSE(check.serializable);
+    EXPECT_FALSE(check.cycle.empty());
+}
+
+TEST(SerializableAlgorithms, RejectWriteSkew)
+{
+    const Trace trace = write_skew_trace();
+    TwoPhaseLocking tpl;
+    Tocc tocc;
+    RococoCc rococo(64);
+    for (CcAlgorithm* alg :
+         std::initializer_list<CcAlgorithm*>{&tpl, &tocc, &rococo}) {
+        const ReplayResult result = replay(*alg, trace, 2);
+        EXPECT_LT(result.commit_count, 2u) << alg->name();
+        const auto check = check_history(trace, result.committed, 2);
+        EXPECT_TRUE(check.serializable) << alg->name();
+    }
+}
+
+TEST(PhantomOrdering, RococoCommitsWhereToccAborts)
+{
+    // Fig. 2 (a) analogue: t0 writes x; t1 (concurrent, snapshot
+    // predates t0) read x's old version and writes y. TOCC aborts t1
+    // (read invalidated); ROCoCo serializes t1 before t0.
+    Trace trace;
+    trace.num_locations = 2;
+    trace.txns.push_back({{}, {0}});  // t0: W(x)
+    trace.txns.push_back({{0}, {1}}); // t1: R(x) W(y)
+    trace.normalize();
+
+    Tocc tocc;
+    const ReplayResult tocc_result = replay(tocc, trace, 2);
+    EXPECT_EQ(tocc_result.committed[1], 0) << "TOCC should abort t1";
+
+    RococoCc rococo(64);
+    const ReplayResult rococo_result = replay(rococo, trace, 2);
+    EXPECT_EQ(rococo_result.committed[1], 1) << "ROCoCo should commit t1";
+    EXPECT_TRUE(
+        check_history(trace, rococo_result.committed, 2).serializable);
+}
+
+TEST(PhantomOrdering, CommitTimestampCaseFig2b)
+{
+    // Fig. 2 (b) analogue: t2 commits W(x); t3 reads the OLD x and a
+    // fresh z, writing w. TOCC cannot order t3 before the
+    // already-committed t2 and aborts it; ROCoCo commits t3 "into the
+    // past" and every later reader of both versions stays serializable.
+    Trace trace;
+    trace.num_locations = 8;
+    trace.txns.push_back({{}, {0}});     // t2: W(x)
+    trace.txns.push_back({{0, 2}, {3}}); // t3: R(x old, z) W(w)
+    trace.txns.push_back({{0, 3}, {4}}); // t1: R(x new, w) W(v)
+    trace.normalize();
+
+    Tocc tocc;
+    const auto tocc_result = replay(tocc, trace, 2);
+    EXPECT_EQ(tocc_result.committed[1], 0);
+
+    RococoCc rococo(64);
+    const auto rococo_result = replay(rococo, trace, 2);
+    EXPECT_EQ(rococo_result.committed[1], 1);
+    EXPECT_EQ(rococo_result.committed[2], 1);
+    EXPECT_TRUE(
+        check_history(trace, rococo_result.committed, 2).serializable);
+}
+
+TEST(TwoPhaseLocking, AbortsOnAnyConflict)
+{
+    Trace trace;
+    trace.num_locations = 4;
+    trace.txns.push_back({{0}, {1}}); // t0
+    trace.txns.push_back({{1}, {2}}); // t1: reads what t0 writes
+    trace.txns.push_back({{3}, {}});  // t2: disjoint
+    trace.normalize();
+    TwoPhaseLocking tpl;
+    const auto result = replay(tpl, trace, 3);
+    EXPECT_EQ(result.committed[0], 1);
+    EXPECT_EQ(result.committed[1], 0); // R-W conflict with t0
+    EXPECT_EQ(result.committed[2], 1);
+}
+
+/// Every serializable algorithm must produce serializable histories on
+/// random traces — the central property test of the CC layer.
+class SerializabilityProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, unsigned>>
+{
+};
+
+TEST_P(SerializabilityProperty, RandomTraces)
+{
+    const auto [concurrency, accesses, seed] = GetParam();
+    UniformTraceParams params;
+    params.locations = 64; // small: force real contention
+    params.accesses = static_cast<unsigned>(accesses);
+    params.txns = 300;
+    params.seed = seed;
+    const Trace trace = generate_uniform_trace(params);
+
+    TwoPhaseLocking tpl;
+    Tocc tocc;
+    RococoCc rococo(64);
+    for (CcAlgorithm* alg :
+         std::initializer_list<CcAlgorithm*>{&tpl, &tocc, &rococo}) {
+        const ReplayResult result = replay(*alg, trace, concurrency);
+        const auto check = check_history(trace, result.committed,
+                                         concurrency);
+        EXPECT_TRUE(check.serializable)
+            << alg->name() << " produced a non-serializable history"
+            << " (concurrency=" << concurrency
+            << ", accesses=" << accesses << ", seed=" << seed << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SerializabilityProperty,
+    ::testing::Combine(::testing::Values(2, 4, 16),
+                       ::testing::Values(4, 8, 16),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+TEST(AbortRates, PaperOrderingHolds)
+{
+    // Fig. 9 shape: ROCoCo <= TOCC <= 2PL on average at medium
+    // collision rates with 16-way concurrency.
+    UniformTraceParams params;
+    params.locations = 1024;
+    params.accesses = 16;
+    params.txns = 600;
+
+    double tpl_total = 0, tocc_total = 0, rococo_total = 0;
+    const int seeds = 8;
+    for (int s = 1; s <= seeds; ++s) {
+        params.seed = static_cast<uint64_t>(s);
+        const Trace trace = generate_uniform_trace(params);
+        TwoPhaseLocking tpl;
+        Tocc tocc;
+        RococoCc rococo(64);
+        tpl_total += replay(tpl, trace, 16).abort_rate();
+        tocc_total += replay(tocc, trace, 16).abort_rate();
+        rococo_total += replay(rococo, trace, 16).abort_rate();
+    }
+    EXPECT_LT(rococo_total, tocc_total);
+    EXPECT_LT(tocc_total, tpl_total);
+}
+
+TEST(RococoCc, WindowOverflowCounted)
+{
+    // With a tiny window and wide concurrency some transactions must
+    // overflow.
+    UniformTraceParams params;
+    params.locations = 64;
+    params.accesses = 8;
+    params.txns = 400;
+    params.seed = 5;
+    const Trace trace = generate_uniform_trace(params);
+    RococoCc rococo(4); // window smaller than concurrency
+    const auto result = replay(rococo, trace, 16);
+    EXPECT_TRUE(check_history(trace, result.committed, 16).serializable);
+    EXPECT_GT(rococo.verdicts().get("window-overflow"), 0u);
+}
+
+} // namespace
+} // namespace rococo::cc
+
+#include "cc/nongreedy.h"
+
+namespace rococo::cc {
+namespace {
+
+TEST(NonGreedy, BatchOfOneEqualsGreedy)
+{
+    UniformTraceParams params;
+    params.locations = 128;
+    params.accesses = 8;
+    params.txns = 300;
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        params.seed = seed;
+        const Trace trace = generate_uniform_trace(params);
+        RococoCc greedy(64, /*strict_read_only=*/true);
+        const ReplayResult reference = replay(greedy, trace, 8);
+        const BatchReplayResult batched = batch_replay(trace, 8, 1);
+        EXPECT_EQ(batched.committed, reference.committed)
+            << "seed " << seed;
+        EXPECT_EQ(batched.sacrificed, 0u);
+    }
+}
+
+TEST(NonGreedy, HistoriesStaySerializable)
+{
+    UniformTraceParams params;
+    params.locations = 64;
+    params.accesses = 8;
+    params.txns = 200;
+    for (uint64_t seed : {4u, 5u, 6u}) {
+        params.seed = seed;
+        const Trace trace = generate_uniform_trace(params);
+        for (size_t batch : {2u, 4u}) {
+            const BatchReplayResult result =
+                batch_replay(trace, 16, batch);
+            // The batch may write back out of arrival order, so the
+            // oracle must chain versions by commit sequence.
+            EXPECT_TRUE(check_history_ordered(trace, result.committed,
+                                              16, result.commit_seq)
+                            .serializable)
+                << "seed " << seed << " batch " << batch;
+        }
+    }
+}
+
+TEST(NonGreedy, NeverWorseOnAverage)
+{
+    UniformTraceParams params;
+    params.locations = 256;
+    params.accesses = 16;
+    params.txns = 400;
+    double greedy_total = 0, batched_total = 0;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        params.seed = seed;
+        const Trace trace = generate_uniform_trace(params);
+        greedy_total += batch_replay(trace, 16, 1).abort_rate();
+        batched_total += batch_replay(trace, 16, 4).abort_rate();
+    }
+    EXPECT_LE(batched_total, greedy_total + 1e-9);
+}
+
+TEST(NonGreedy, CountsAddUp)
+{
+    UniformTraceParams params;
+    params.txns = 100;
+    params.seed = 9;
+    const Trace trace = generate_uniform_trace(params);
+    const BatchReplayResult result = batch_replay(trace, 4, 3);
+    EXPECT_EQ(result.commit_count + result.abort_count, trace.size());
+    uint64_t committed = 0;
+    for (char c : result.committed) committed += c;
+    EXPECT_EQ(committed, result.commit_count);
+}
+
+} // namespace
+} // namespace rococo::cc
+
+namespace rococo::cc {
+namespace {
+
+TEST(EigenBench, AddressSpacesAreDisjointTiers)
+{
+    EigenBenchParams params;
+    params.txns = 100;
+    const Trace trace = generate_eigenbench_trace(params);
+    ASSERT_EQ(trace.size(), 100u);
+    const uint64_t mild_base = params.hot_locations;
+    const uint64_t cold_base = mild_base + params.mild_locations;
+    uint64_t hot = 0, mild = 0, cold = 0;
+    for (const auto& txn : trace.txns) {
+        for (auto sets : {&txn.reads, &txn.writes}) {
+            for (uint64_t a : *sets) {
+                if (a < mild_base) {
+                    ++hot;
+                } else if (a < cold_base) {
+                    ++mild;
+                } else {
+                    ++cold;
+                }
+            }
+        }
+    }
+    EXPECT_GT(hot, 0u);
+    EXPECT_GT(mild, 0u);
+    EXPECT_GT(cold, 0u);
+    // Cold accesses dominate by configuration.
+    EXPECT_GT(cold, hot);
+}
+
+TEST(EigenBench, HotArrayDrivesContention)
+{
+    // Shrinking the hot array must raise every algorithm's abort rate;
+    // the cold tier is noise.
+    auto rate_with_hot = [](uint64_t hot_locations) {
+        EigenBenchParams params;
+        params.hot_locations = hot_locations;
+        params.txns = 500;
+        params.seed = 3;
+        const Trace trace = generate_eigenbench_trace(params);
+        Tocc tocc;
+        return replay(tocc, trace, 8).abort_rate();
+    };
+    EXPECT_GT(rate_with_hot(8), rate_with_hot(1024));
+}
+
+TEST(EigenBench, SerializableUnderRococo)
+{
+    EigenBenchParams params;
+    params.hot_locations = 16;
+    params.txns = 300;
+    params.seed = 5;
+    const Trace trace = generate_eigenbench_trace(params);
+    RococoCc rococo(64);
+    const auto result = replay(rococo, trace, 8);
+    EXPECT_TRUE(check_history(trace, result.committed, 8).serializable);
+}
+
+} // namespace
+} // namespace rococo::cc
+
+#include "cc/engine_cc.h"
+
+namespace rococo::cc {
+namespace {
+
+TEST(EngineCc, MatchesExactValidatorWithHugeSignatures)
+{
+    // End-to-end equivalence: with collision-free signatures the
+    // signature-based engine must make the exact validator's decisions
+    // on entire replays.
+    UniformTraceParams params;
+    params.locations = 256;
+    params.accesses = 10;
+    params.txns = 400;
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        params.seed = seed;
+        const Trace trace = generate_uniform_trace(params);
+        RococoCc exact(64, /*strict_read_only=*/true);
+        fpga::EngineConfig config;
+        config.signature_bits = 1 << 16; // negligible false positives
+        EngineCc engine(config);
+        const auto exact_result = replay(exact, trace, 8);
+        const auto engine_result = replay(engine, trace, 8);
+        EXPECT_EQ(engine_result.committed, exact_result.committed)
+            << "seed " << seed;
+    }
+}
+
+TEST(EngineCc, SmallSignaturesOnlyAddAborts)
+{
+    // Bloom false positives are conservative: the tiny-signature engine
+    // may abort more than exact ROCoCo but its history must still be
+    // serializable.
+    UniformTraceParams params;
+    params.locations = 256;
+    params.accesses = 10;
+    params.txns = 400;
+    params.seed = 4;
+    const Trace trace = generate_uniform_trace(params);
+
+    RococoCc exact(64, true);
+    fpga::EngineConfig config;
+    config.signature_bits = 64;
+    config.signature_hashes = 2;
+    EngineCc engine(config);
+    const auto exact_result = replay(exact, trace, 8);
+    const auto engine_result = replay(engine, trace, 8);
+    EXPECT_LE(engine_result.commit_count, exact_result.commit_count);
+    EXPECT_TRUE(
+        check_history(trace, engine_result.committed, 8).serializable);
+}
+
+} // namespace
+} // namespace rococo::cc

@@ -1,0 +1,324 @@
+/// Unit tests for src/common: bit containers, stats, histogram, table,
+/// CLI, RNG, barrier and blocking queue.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "common/barrier.h"
+#include "common/bitmatrix.h"
+#include "common/bitvector.h"
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/histogram.h"
+#include "common/queue.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace rococo {
+namespace {
+
+TEST(BitVector, SetTestReset)
+{
+    BitVector v(130);
+    EXPECT_EQ(v.size(), 130u);
+    EXPECT_TRUE(v.none());
+    v.set(0);
+    v.set(64);
+    v.set(129);
+    EXPECT_TRUE(v.test(0));
+    EXPECT_TRUE(v.test(64));
+    EXPECT_TRUE(v.test(129));
+    EXPECT_FALSE(v.test(1));
+    EXPECT_EQ(v.count(), 3u);
+    v.reset(64);
+    EXPECT_FALSE(v.test(64));
+    EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVector, FindFirstAndNext)
+{
+    BitVector v(200);
+    EXPECT_EQ(v.find_first(), 200u);
+    v.set(3);
+    v.set(67);
+    v.set(199);
+    EXPECT_EQ(v.find_first(), 3u);
+    EXPECT_EQ(v.find_next(3), 67u);
+    EXPECT_EQ(v.find_next(67), 199u);
+    EXPECT_EQ(v.find_next(199), 200u);
+}
+
+TEST(BitVector, IterationMatchesTest)
+{
+    Xoshiro256 rng(11);
+    BitVector v(257);
+    std::set<size_t> expected;
+    for (int i = 0; i < 60; ++i) {
+        const size_t bit = rng.below(257);
+        v.set(bit);
+        expected.insert(bit);
+    }
+    std::set<size_t> seen;
+    for (size_t b = v.find_first(); b < v.size(); b = v.find_next(b)) {
+        seen.insert(b);
+    }
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVector, BooleanOps)
+{
+    BitVector a(100), b(100);
+    a.set(5);
+    a.set(70);
+    b.set(70);
+    b.set(99);
+    EXPECT_TRUE(a.intersects(b));
+    BitVector u = a;
+    u |= b;
+    EXPECT_EQ(u.count(), 3u);
+    BitVector i = a;
+    i &= b;
+    EXPECT_EQ(i.count(), 1u);
+    EXPECT_TRUE(i.test(70));
+    b.reset(70);
+    EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(BitVector, ClearAndToString)
+{
+    BitVector v(4);
+    v.set(1);
+    v.set(3);
+    EXPECT_EQ(v.to_string(), "0101");
+    v.clear();
+    EXPECT_TRUE(v.none());
+}
+
+TEST(BitMatrix, TransposeAndColumn)
+{
+    BitMatrix m(5);
+    m.set(0, 3);
+    m.set(2, 3);
+    m.set(4, 1);
+    const BitMatrix t = m.transposed();
+    EXPECT_TRUE(t.test(3, 0));
+    EXPECT_TRUE(t.test(3, 2));
+    EXPECT_TRUE(t.test(1, 4));
+    EXPECT_FALSE(t.test(0, 3));
+    const BitVector col3 = m.column(3);
+    EXPECT_TRUE(col3.test(0));
+    EXPECT_TRUE(col3.test(2));
+    EXPECT_FALSE(col3.test(4));
+}
+
+TEST(BitMatrix, Diagonal)
+{
+    BitMatrix m(3);
+    m.set_diagonal();
+    for (size_t i = 0; i < 3; ++i) EXPECT_TRUE(m.test(i, i));
+}
+
+TEST(RunningStat, MeanVarianceMinMax)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(CounterBag, BumpMergeRender)
+{
+    CounterBag a, b;
+    a.bump("x");
+    a.bump("x", 2);
+    b.bump("y", 5);
+    a.add(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 5u);
+    EXPECT_EQ(a.get("z"), 0u);
+    EXPECT_EQ(a.to_string(), "x=3 y=5");
+}
+
+TEST(Histogram, QuantileAndMean)
+{
+    Histogram h(0, 100, 10);
+    for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_NEAR(h.mean(), 50.0, 0.01);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 10.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 10.0);
+}
+
+TEST(Histogram, OverflowBuckets)
+{
+    Histogram h(0, 10, 5);
+    h.add(-5);
+    h.add(100);
+    EXPECT_EQ(h.total(), 2u);
+    EXPECT_FALSE(h.to_string().empty());
+}
+
+TEST(Table, Renders)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").num(uint64_t{42});
+    t.row().cell("beta").num(3.14159, 2);
+    const std::string out = t.to_string();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_NE(out.find("3.14"), std::string::npos);
+}
+
+TEST(Cli, ParsesFlags)
+{
+    const char* argv[] = {"prog", "--threads=4", "--name", "foo",
+                          "--flag"};
+    Cli cli(5, const_cast<char**>(argv), {"threads", "name", "flag"});
+    EXPECT_EQ(cli.get_int("threads", 1), 4);
+    EXPECT_EQ(cli.get("name", ""), "foo");
+    EXPECT_TRUE(cli.get_bool("flag", false));
+    EXPECT_EQ(cli.get_int("missing", 7), 7);
+}
+
+TEST(Cli, ParsesIntList)
+{
+    const char* argv[] = {"prog", "--threads=1,4,28"};
+    Cli cli(2, const_cast<char**>(argv), {"threads"});
+    EXPECT_EQ(cli.get_int_list("threads", {}),
+              (std::vector<int>{1, 4, 28}));
+}
+
+TEST(Rng, DeterministicAndSplit)
+{
+    Xoshiro256 a(42), b(42);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(a(), b());
+    Xoshiro256 child = a.split();
+    EXPECT_NE(a(), child());
+}
+
+TEST(Rng, BelowInRangeAndUniform)
+{
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Barrier, SynchronizesPhases)
+{
+    constexpr unsigned kThreads = 4;
+    Barrier barrier(kThreads);
+    std::atomic<int> phase_counter{0};
+    std::vector<std::thread> threads;
+    std::atomic<bool> ok{true};
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            for (int phase = 0; phase < 3; ++phase) {
+                phase_counter.fetch_add(1);
+                barrier.arrive_and_wait();
+                // After the barrier every participant of this phase has
+                // incremented.
+                if (phase_counter.load() < (phase + 1) * int(kThreads)) {
+                    ok = false;
+                }
+                barrier.arrive_and_wait();
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(phase_counter.load(), 12);
+}
+
+TEST(BlockingQueue, FifoAndClose)
+{
+    BlockingQueue<int> q;
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop().value(), 2);
+    EXPECT_FALSE(q.try_pop().has_value());
+    q.push(3);
+    q.close();
+    EXPECT_EQ(q.pop().value(), 3); // drains after close
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.push(4));
+}
+
+TEST(BlockingQueue, CapacityLimit)
+{
+    BlockingQueue<int> q(2);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    EXPECT_FALSE(q.try_push(3));
+    q.pop();
+    EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BlockingQueue, CrossThread)
+{
+    BlockingQueue<int> q(4);
+    std::thread producer([&] {
+        for (int i = 0; i < 100; ++i) q.push(i);
+        q.close();
+    });
+    int expected = 0;
+    while (auto v = q.pop()) {
+        EXPECT_EQ(*v, expected++);
+    }
+    EXPECT_EQ(expected, 100);
+    producer.join();
+}
+
+} // namespace
+} // namespace rococo
+
+namespace rococo {
+namespace {
+
+TEST(CsvWriter, WritesEscapedRows)
+{
+    const std::string path = ::testing::TempDir() + "/out.csv";
+    {
+        CsvWriter csv(path, {"name", "value"});
+        ASSERT_TRUE(csv.ok());
+        csv.write_row({"plain", "1"});
+        csv.write_row({"has,comma", "with \"quote\""});
+        csv.write_row({"wrong-arity"}); // silently dropped
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "name,value");
+    std::getline(in, line);
+    EXPECT_EQ(line, "plain,1");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"has,comma\",\"with \"\"quote\"\"\"");
+    EXPECT_FALSE(std::getline(in, line));
+}
+
+TEST(CsvWriter, BadPathIsNoOp)
+{
+    CsvWriter csv("/nonexistent-dir/x.csv", {"a"});
+    EXPECT_FALSE(csv.ok());
+    csv.write_row({"ignored"});
+}
+
+} // namespace
+} // namespace rococo

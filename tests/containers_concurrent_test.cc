@@ -1,0 +1,133 @@
+/// Concurrent stress tests for the transactional containers on
+/// ROCoCoTM and TinySTM: linearizable effects under real threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "baselines/tinystm_lsa.h"
+#include "common/rng.h"
+#include "stamp/containers/tx_bitmap.h"
+#include "stamp/containers/tx_hashtable.h"
+#include "stamp/containers/tx_heap.h"
+#include "tm/rococo_tm.h"
+
+namespace rococo::stamp {
+namespace {
+
+template <typename F>
+void
+run_threads(tm::TmRuntime& rt, unsigned threads, F&& body)
+{
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            rt.thread_init(t);
+            body(t);
+            rt.thread_fini();
+        });
+    }
+    for (auto& w : workers) w.join();
+}
+
+TEST(TxHeapConcurrent, PushPopConservesMultiset)
+{
+    TxHeap heap(2048);
+    tm::RococoTm rt;
+    constexpr unsigned kThreads = 4;
+    constexpr int kPerThread = 100;
+    std::atomic<uint64_t> pushed_sum{0}, popped_sum{0};
+    std::atomic<int> popped_count{0};
+    run_threads(rt, kThreads, [&](unsigned tid) {
+        Xoshiro256 rng(tid);
+        for (int i = 0; i < kPerThread; ++i) {
+            const uint64_t key = 1 + rng.below(1000);
+            rt.execute([&](tm::Tx& tx) { heap.push(tx, key); });
+            pushed_sum.fetch_add(key);
+            if (i % 2 == 1) {
+                std::optional<uint64_t> top;
+                rt.execute([&](tm::Tx& tx) { top = heap.pop(tx); });
+                if (top) {
+                    popped_sum.fetch_add(*top);
+                    popped_count.fetch_add(1);
+                }
+            }
+        }
+    });
+    // Drain the rest single-threaded and check conservation.
+    rt.thread_init(0);
+    for (;;) {
+        std::optional<uint64_t> top;
+        rt.execute([&](tm::Tx& tx) { top = heap.pop(tx); });
+        if (!top) break;
+        popped_sum.fetch_add(*top);
+        popped_count.fetch_add(1);
+    }
+    rt.thread_fini();
+    EXPECT_EQ(popped_count.load(), int(kThreads) * kPerThread);
+    EXPECT_EQ(popped_sum.load(), pushed_sum.load());
+}
+
+TEST(TxBitmapConcurrent, EachBitClaimedOnce)
+{
+    TxBitmap bitmap(512);
+    tm::RococoTm rt;
+    std::atomic<int> claims{0};
+    run_threads(rt, 4, [&](unsigned tid) {
+        Xoshiro256 rng(50 + tid);
+        for (int i = 0; i < 300; ++i) {
+            const uint64_t bit = rng.below(512);
+            bool claimed = false;
+            rt.execute([&](tm::Tx& tx) { claimed = bitmap.set(tx, bit); });
+            if (claimed) claims.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(bitmap.unsafe_count(), static_cast<uint64_t>(claims.load()))
+        << "a bit was claimed twice or lost";
+}
+
+TEST(TxHashTableConcurrent, DisjointInsertsOnTinyStm)
+{
+    TxHashTable table(64, 4096);
+    baselines::TinyStmLsa rt;
+    constexpr unsigned kThreads = 4;
+    constexpr uint64_t kPerThread = 150;
+    run_threads(rt, kThreads, [&](unsigned tid) {
+        for (uint64_t i = 0; i < kPerThread; ++i) {
+            const uint64_t key = tid * 10000 + i;
+            rt.execute([&](tm::Tx& tx) { table.insert(tx, key, key); });
+        }
+    });
+    EXPECT_EQ(table.unsafe_size(), kThreads * kPerThread);
+}
+
+TEST(TxHashTableConcurrent, InsertRemoveChurn)
+{
+    TxHashTable table(32, 1 << 14);
+    tm::RococoTm rt;
+    std::atomic<int64_t> net{0};
+    run_threads(rt, 4, [&](unsigned tid) {
+        Xoshiro256 rng(99 + tid);
+        for (int i = 0; i < 200; ++i) {
+            const uint64_t key = rng.below(128);
+            if (rng.chance(0.6)) {
+                bool inserted = false;
+                rt.execute([&](tm::Tx& tx) {
+                    inserted = table.insert(tx, key, key);
+                });
+                if (inserted) net.fetch_add(1);
+            } else {
+                bool removed = false;
+                rt.execute([&](tm::Tx& tx) {
+                    removed = table.remove(tx, key);
+                });
+                if (removed) net.fetch_sub(1);
+            }
+        }
+    });
+    EXPECT_EQ(table.unsafe_size(),
+              static_cast<uint64_t>(net.load()));
+}
+
+} // namespace
+} // namespace rococo::stamp

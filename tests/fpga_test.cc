@@ -1,0 +1,260 @@
+/// Tests for the FPGA model: link timing, conflict detector
+/// (conservative vs the exact classifier), validation engine,
+/// real-thread pipeline and the §6.5 resource model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/rococo_validator.h"
+#include "fpga/cci_link.h"
+#include "fpga/resource_model.h"
+#include "fpga/validation_engine.h"
+#include "fpga/validation_pipeline.h"
+
+namespace rococo::fpga {
+namespace {
+
+TEST(CciLink, Harp2Defaults)
+{
+    CciLinkModel link;
+    EXPECT_DOUBLE_EQ(link.round_trip_ns(), 600.0);
+    EXPECT_DOUBLE_EQ(link.clock_period_ns(), 5.0);
+    // A small request clears the pipeline well under a microsecond on
+    // top of the link (the Fig. 11 claim).
+    EXPECT_LT(link.isolated_latency_ns(8, 4), 1000.0);
+}
+
+TEST(CciLink, OccupancyScalesWithAddresses)
+{
+    CciLinkModel link;
+    EXPECT_EQ(link.occupancy_cycles(0, 0), 1u);
+    EXPECT_EQ(link.occupancy_cycles(8, 4), 2u);  // two cachelines
+    EXPECT_EQ(link.occupancy_cycles(64, 16), 10u);
+    EXPECT_GT(link.service_interval_ns(64, 16),
+              link.service_interval_ns(4, 4));
+    EXPECT_EQ(link.request_cachelines(8, 8), 3u); // 2 data + 1 header
+}
+
+TEST(Detector, ClassifiesLikeExactOnLowFpConfig)
+{
+    // With huge signatures (negligible false positives) the detector's
+    // classification must match the exact classifier on random
+    // histories.
+    const size_t window = 16;
+    auto cfg = std::make_shared<const sig::SignatureConfig>(1 << 16, 4);
+    ConflictDetector detector(window, cfg);
+    core::ExactRococoValidator exact(window,
+                                     /*strict_read_only=*/true);
+    Xoshiro256 rng(3);
+
+    auto random_set = [&](size_t max_n) {
+        std::vector<uint64_t> out;
+        const size_t n = rng.below(max_n + 1);
+        for (size_t i = 0; i < n; ++i) out.push_back(rng.below(128));
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    };
+
+    for (int t = 0; t < 100; ++t) {
+        const auto reads = random_set(6);
+        auto writes = random_set(4);
+        if (writes.empty()) writes.push_back(rng.below(128));
+        const uint64_t snapshot =
+            exact.window_start() +
+            rng.below(exact.next_cid() - exact.window_start() + 1);
+
+        OffloadRequest request{reads, writes, snapshot};
+        const core::ValidationRequest from_detector =
+            detector.classify(request);
+        const core::ValidationRequest from_exact =
+            exact.classify(reads, writes, snapshot);
+        EXPECT_EQ(from_detector.forward, from_exact.forward) << "txn " << t;
+        EXPECT_EQ(from_detector.backward, from_exact.backward)
+            << "txn " << t;
+
+        // Keep both histories in lockstep by committing through exact.
+        const auto result = exact.validate(reads, writes, snapshot);
+        if (result.verdict == core::Verdict::kCommit) {
+            detector.record_commit(result.cid, request);
+        }
+    }
+}
+
+TEST(Detector, SmallSignaturesAreConservative)
+{
+    // With realistic 512-bit signatures the detector may report EXTRA
+    // edges (false positives) but never fewer than the exact
+    // classifier.
+    const size_t window = 32;
+    auto cfg = std::make_shared<const sig::SignatureConfig>(512, 4);
+    ConflictDetector detector(window, cfg);
+    core::ExactRococoValidator exact(window, true);
+    Xoshiro256 rng(4);
+
+    for (int t = 0; t < 200; ++t) {
+        std::vector<uint64_t> reads, writes;
+        for (size_t i = 0; i < 1 + rng.below(20); ++i) {
+            reads.push_back(rng.below(4096));
+        }
+        for (size_t i = 0; i < 1 + rng.below(10); ++i) {
+            writes.push_back(rng.below(4096));
+        }
+        std::sort(reads.begin(), reads.end());
+        reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+        std::sort(writes.begin(), writes.end());
+        writes.erase(std::unique(writes.begin(), writes.end()),
+                     writes.end());
+        const uint64_t snapshot = exact.next_cid();
+
+        const auto detected =
+            detector.classify({reads, writes, snapshot});
+        const auto exact_req = exact.classify(reads, writes, snapshot);
+
+        std::set<uint64_t> det_f(detected.forward.begin(),
+                                 detected.forward.end());
+        std::set<uint64_t> det_b(detected.backward.begin(),
+                                 detected.backward.end());
+        for (uint64_t c : exact_req.forward) {
+            EXPECT_TRUE(det_f.count(c)) << "missed forward edge";
+        }
+        for (uint64_t c : exact_req.backward) {
+            EXPECT_TRUE(det_b.count(c)) << "missed backward edge";
+        }
+
+        const auto result = exact.validate(reads, writes, snapshot);
+        if (result.verdict == core::Verdict::kCommit) {
+            detector.record_commit(result.cid, {reads, writes, snapshot});
+        }
+    }
+}
+
+TEST(Engine, EndToEndCommitAndAbort)
+{
+    ValidationEngine engine;
+    OffloadRequest t0{{}, {1}, 0};
+    EXPECT_EQ(engine.process(t0).verdict, core::Verdict::kCommit);
+
+    // Lost update: read old 1, write 1.
+    OffloadRequest t1{{1}, {1}, 0};
+    EXPECT_EQ(engine.process(t1).verdict, core::Verdict::kAbortCycle);
+
+    // Reader of the new version commits.
+    OffloadRequest t2{{1}, {2}, 1};
+    EXPECT_EQ(engine.process(t2).verdict, core::Verdict::kCommit);
+    EXPECT_EQ(engine.stats().get("commit"), 2u);
+    EXPECT_EQ(engine.stats().get("abort-cycle"), 1u);
+}
+
+TEST(Engine, ReadOnlyFastPath)
+{
+    ValidationEngine engine;
+    OffloadRequest ro{{5}, {}, 0};
+    EXPECT_EQ(engine.process(ro).verdict, core::Verdict::kCommit);
+    EXPECT_EQ(engine.next_cid(), 0u);
+}
+
+TEST(Engine, WindowOverflow)
+{
+    EngineConfig config;
+    config.window = 4;
+    ValidationEngine engine(config);
+    for (uint64_t i = 0; i < 8; ++i) {
+        OffloadRequest w{{}, {100 + i}, i};
+        ASSERT_EQ(engine.process(w).verdict, core::Verdict::kCommit);
+    }
+    OffloadRequest stale{{100}, {200}, 0};
+    EXPECT_EQ(engine.process(stale).verdict,
+              core::Verdict::kWindowOverflow);
+}
+
+TEST(Engine, LatencyModel)
+{
+    ValidationEngine engine;
+    OffloadRequest small{{1, 2}, {3}, 0};
+    OffloadRequest large{std::vector<uint64_t>(100, 0),
+                         std::vector<uint64_t>(50, 1), 0};
+    EXPECT_LT(engine.isolated_latency_ns(small),
+              engine.isolated_latency_ns(large));
+    EXPECT_GT(engine.isolated_latency_ns(small), 600.0);
+}
+
+TEST(Pipeline, ProcessesConcurrentSubmissions)
+{
+    ValidationPipeline pipeline;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 50;
+    std::atomic<int> commits{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                // Disjoint writes: everything commits.
+                OffloadRequest req{
+                    {}, {uint64_t(t) << 32 | uint64_t(i)}, 0};
+                req.snapshot_cid = ~uint64_t{0} >> 1; // "current" snapshot
+                auto r = pipeline.validate(std::move(req));
+                if (r.verdict == core::Verdict::kCommit) ++commits;
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(commits.load(), kThreads * kPerThread);
+    EXPECT_EQ(pipeline.stats().get("commit"),
+              uint64_t(kThreads) * kPerThread);
+    pipeline.stop();
+}
+
+TEST(Pipeline, StopRejectsFurtherWork)
+{
+    ValidationPipeline pipeline;
+    pipeline.stop();
+    auto r = pipeline.validate({{}, {1}, 0});
+    EXPECT_EQ(r.verdict, core::Verdict::kWindowOverflow);
+}
+
+TEST(ResourceModel, ReproducesPaperTable)
+{
+    const ResourceEstimate e = estimate_resources({});
+    EXPECT_EQ(e.registers, 113485u);
+    EXPECT_EQ(e.alms, 249442u);
+    EXPECT_EQ(e.dsps, 223u);
+    EXPECT_EQ(e.bram_bits, 2055802u);
+    EXPECT_DOUBLE_EQ(e.clock_mhz, 200.0);
+    EXPECT_NEAR(e.registers_pct, 62.9, 0.1);
+    EXPECT_NEAR(e.alms_pct, 58.39, 0.05);
+    EXPECT_NEAR(e.dsps_pct, 14.7, 0.1);
+    EXPECT_NEAR(e.bram_pct, 3.7, 0.1);
+}
+
+TEST(ResourceModel, MonotoneInWindowAndSignature)
+{
+    ResourceParams base;
+    ResourceParams wide = base;
+    wide.window = 128;
+    ResourceParams fat = base;
+    fat.signature_bits = 1024;
+
+    const auto b = estimate_resources(base);
+    const auto w = estimate_resources(wide);
+    const auto f = estimate_resources(fat);
+    EXPECT_GT(w.registers, b.registers);
+    EXPECT_GT(w.bram_bits, b.bram_bits);
+    EXPECT_GT(f.alms, b.alms);
+    // §6.5: 1024-bit signatures cost clock frequency.
+    EXPECT_LT(f.clock_mhz, b.clock_mhz);
+    EXPECT_LT(w.clock_mhz, b.clock_mhz);
+}
+
+TEST(ResourceModel, Renders)
+{
+    const std::string text = to_string(estimate_resources({}));
+    EXPECT_NE(text.find("113485"), std::string::npos);
+    EXPECT_NE(text.find("MHz"), std::string::npos);
+}
+
+} // namespace
+} // namespace rococo::fpga

@@ -1,0 +1,294 @@
+/// Unit and property tests for src/graph: transitive closure, cycle
+/// detection, topological sort, interval orders and the
+/// serializability oracle.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/cycle.h"
+#include "graph/dependency_graph.h"
+#include "graph/interval_order.h"
+#include "graph/serializability.h"
+#include "graph/topo_sort.h"
+#include "graph/transitive_closure.h"
+
+namespace rococo::graph {
+namespace {
+
+/// Reference reachability by BFS, for checking Warshall.
+bool
+bfs_reaches(const DependencyGraph& g, size_t from, size_t to)
+{
+    std::vector<char> seen(g.vertex_count(), 0);
+    std::vector<size_t> stack{from};
+    seen[from] = 1;
+    while (!stack.empty()) {
+        const size_t v = stack.back();
+        stack.pop_back();
+        for (size_t s : g.successors(v)) {
+            if (s == to) return true;
+            if (!seen[s]) {
+                seen[s] = 1;
+                stack.push_back(s);
+            }
+        }
+    }
+    return false;
+}
+
+DependencyGraph
+random_graph(Xoshiro256& rng, size_t n, size_t edges, bool dag)
+{
+    DependencyGraph g(n);
+    for (size_t e = 0; e < edges; ++e) {
+        size_t a = rng.below(n), b = rng.below(n);
+        if (a == b) continue;
+        if (dag && a > b) std::swap(a, b); // forward edges only: acyclic
+        g.add_edge(a, b);
+    }
+    return g;
+}
+
+TEST(DependencyGraph, EdgesAndAdjacency)
+{
+    DependencyGraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    EXPECT_EQ(g.edge_count(), 2u);
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_FALSE(g.has_edge(1, 0));
+    EXPECT_EQ(g.predecessors(2).size(), 1u);
+    EXPECT_EQ(g.add_vertex(), 3u);
+    EXPECT_EQ(g.vertex_count(), 4u);
+}
+
+TEST(Warshall, MatchesBfsOnRandomGraphs)
+{
+    Xoshiro256 rng(7);
+    for (int round = 0; round < 20; ++round) {
+        const size_t n = 2 + rng.below(15);
+        const DependencyGraph g =
+            random_graph(rng, n, rng.below(3 * n), /*dag=*/false);
+        const BitMatrix closure = warshall_closure(g, /*reflexive=*/false);
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < n; ++j) {
+                if (i == j) continue;
+                EXPECT_EQ(closure.test(i, j), bfs_reaches(g, i, j))
+                    << "round " << round << " " << i << "->" << j;
+            }
+        }
+    }
+}
+
+TEST(Warshall, ReflexiveDiagonal)
+{
+    DependencyGraph g(4);
+    g.add_edge(0, 1);
+    const BitMatrix r = warshall_closure(g, /*reflexive=*/true);
+    for (size_t i = 0; i < 4; ++i) EXPECT_TRUE(r.test(i, i));
+}
+
+TEST(Warshall, ExtendVectorsMatchRecomputation)
+{
+    // Incrementally adding a vertex via closure_extend_vectors must
+    // match recomputing the closure from scratch.
+    Xoshiro256 rng(13);
+    for (int round = 0; round < 20; ++round) {
+        const size_t n = 2 + rng.below(10);
+        DependencyGraph g = random_graph(rng, n, 2 * n, /*dag=*/true);
+        const BitMatrix closure = warshall_closure(g, /*reflexive=*/true);
+
+        // New vertex with random forward/backward direct edges.
+        BitVector f(n), b(n);
+        for (size_t i = 0; i < n; ++i) {
+            if (rng.chance(0.2)) f.set(i);
+            if (rng.chance(0.2)) b.set(i);
+        }
+        BitVector p(n), s(n);
+        closure_extend_vectors(closure, f, b, p, s);
+
+        // Oracle: add vertex n with edges n->i (f) and i->n (b).
+        DependencyGraph g2(n + 1);
+        for (const auto& [from, to] : g.edges()) g2.add_edge(from, to);
+        for (size_t i = 0; i < n; ++i) {
+            if (f.test(i)) g2.add_edge(n, i);
+            if (b.test(i)) g2.add_edge(i, n);
+        }
+        for (size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(p.test(i), bfs_reaches(g2, n, i)) << "p " << i;
+            EXPECT_EQ(s.test(i), bfs_reaches(g2, i, n)) << "s " << i;
+        }
+    }
+}
+
+TEST(Cycle, DetectsSimpleCycle)
+{
+    DependencyGraph g(3);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    EXPECT_FALSE(has_cycle(g));
+    g.add_edge(2, 0);
+    EXPECT_TRUE(has_cycle(g));
+    const auto cycle = find_cycle(g);
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->front(), cycle->back());
+    EXPECT_GE(cycle->size(), 3u);
+}
+
+TEST(Cycle, SelfLoop)
+{
+    DependencyGraph g(2);
+    g.add_edge(1, 1);
+    EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Cycle, RandomDagsAreAcyclic)
+{
+    Xoshiro256 rng(21);
+    for (int round = 0; round < 30; ++round) {
+        const size_t n = 2 + rng.below(20);
+        const DependencyGraph g = random_graph(rng, n, 3 * n, /*dag=*/true);
+        EXPECT_FALSE(has_cycle(g));
+    }
+}
+
+TEST(Cycle, FoundCycleIsRealCycle)
+{
+    Xoshiro256 rng(22);
+    int cyclic_found = 0;
+    for (int round = 0; round < 40; ++round) {
+        const size_t n = 3 + rng.below(10);
+        const DependencyGraph g =
+            random_graph(rng, n, 3 * n, /*dag=*/false);
+        const auto cycle = find_cycle(g);
+        if (!cycle) continue;
+        ++cyclic_found;
+        ASSERT_GE(cycle->size(), 2u);
+        EXPECT_EQ(cycle->front(), cycle->back());
+        for (size_t i = 0; i + 1 < cycle->size(); ++i) {
+            EXPECT_TRUE(g.has_edge((*cycle)[i], (*cycle)[i + 1]))
+                << "edge " << (*cycle)[i] << "->" << (*cycle)[i + 1];
+        }
+    }
+    EXPECT_GT(cyclic_found, 0);
+}
+
+TEST(TopoSort, OrdersDag)
+{
+    DependencyGraph g(4);
+    g.add_edge(3, 1);
+    g.add_edge(1, 0);
+    g.add_edge(3, 2);
+    const auto order = topological_sort(g);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_TRUE(is_topological_order(g, *order));
+}
+
+TEST(TopoSort, RejectsCycle)
+{
+    DependencyGraph g(2);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    EXPECT_FALSE(topological_sort(g).has_value());
+}
+
+TEST(TopoSort, PropertyOnRandomDags)
+{
+    Xoshiro256 rng(5);
+    for (int round = 0; round < 30; ++round) {
+        const size_t n = 2 + rng.below(25);
+        const DependencyGraph g = random_graph(rng, n, 2 * n, /*dag=*/true);
+        const auto order = topological_sort(g);
+        ASSERT_TRUE(order.has_value());
+        EXPECT_TRUE(is_topological_order(g, *order));
+    }
+}
+
+TEST(TopoSort, ValidatorRejectsBadOrders)
+{
+    DependencyGraph g(3);
+    g.add_edge(0, 1);
+    EXPECT_FALSE(is_topological_order(g, {1, 0, 2}));
+    EXPECT_FALSE(is_topological_order(g, {0, 1}));     // wrong size
+    EXPECT_FALSE(is_topological_order(g, {0, 0, 1}));  // not a permutation
+    EXPECT_TRUE(is_topological_order(g, {2, 0, 1}));
+}
+
+TEST(IntervalOrder, ChainIsIntervalOrder)
+{
+    DependencyGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2);
+    g.add_edge(2, 3);
+    EXPECT_TRUE(is_interval_order(g));
+}
+
+TEST(IntervalOrder, AntichainIsIntervalOrder)
+{
+    DependencyGraph g(5); // no relations at all
+    EXPECT_TRUE(is_interval_order(g));
+}
+
+TEST(IntervalOrder, TwoPlusTwoIsNot)
+{
+    // The Fig. 3 (b) pattern: t1->t2 and t3->t4, nothing across.
+    DependencyGraph g(4);
+    g.add_edge(0, 1);
+    g.add_edge(2, 3);
+    EXPECT_FALSE(is_interval_order(g));
+    const auto witness =
+        find_two_plus_two(warshall_closure(g, /*reflexive=*/false));
+    ASSERT_TRUE(witness.has_value());
+}
+
+TEST(IntervalOrder, RealTimeOrdersAreIntervalOrders)
+{
+    // Property (the paper's §3.2 argument): precedence of real
+    // intervals is always an interval order.
+    Xoshiro256 rng(17);
+    for (int round = 0; round < 20; ++round) {
+        const size_t n = 4 + rng.below(8);
+        std::vector<std::pair<uint64_t, uint64_t>> intervals;
+        for (size_t i = 0; i < n; ++i) {
+            const uint64_t start = rng.below(50);
+            intervals.push_back({start, start + 1 + rng.below(20)});
+        }
+        DependencyGraph g(n);
+        for (size_t a = 0; a < n; ++a) {
+            for (size_t b = 0; b < n; ++b) {
+                if (a != b && intervals[a].second < intervals[b].first) {
+                    g.add_edge(a, b);
+                }
+            }
+        }
+        EXPECT_TRUE(is_interval_order(g)) << "round " << round;
+    }
+}
+
+TEST(Serializability, WitnessOrCycle)
+{
+    DependencyGraph acyclic(3);
+    acyclic.add_edge(2, 0);
+    acyclic.add_edge(0, 1);
+    const auto ok = check_serializability(acyclic);
+    EXPECT_TRUE(ok.serializable);
+    EXPECT_TRUE(is_topological_order(acyclic, ok.witness_order));
+
+    DependencyGraph cyclic(2);
+    cyclic.add_edge(0, 1);
+    cyclic.add_edge(1, 0);
+    const auto bad = check_serializability(cyclic);
+    EXPECT_FALSE(bad.serializable);
+    EXPECT_FALSE(bad.cycle.empty());
+}
+
+TEST(Serializability, RealTimeRespect)
+{
+    const std::vector<TxInterval> intervals = {{0, 10}, {20, 30}, {5, 25}};
+    // 0 ends before 1 starts: 0 must precede 1 in any strict witness.
+    EXPECT_TRUE(respects_real_time({0, 2, 1}, intervals));
+    EXPECT_TRUE(respects_real_time({0, 1, 2}, intervals));
+    EXPECT_FALSE(respects_real_time({1, 0, 2}, intervals));
+}
+
+} // namespace
+} // namespace rococo::graph

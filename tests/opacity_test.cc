@@ -1,0 +1,157 @@
+/// Opacity / consistency stress battery: every runtime must present
+/// internally consistent snapshots to *running* transactions (footnote
+/// 7: "a transaction's read-set must stay consistent during its
+/// execution"). Invariant-carrying data is mutated by writer
+/// transactions while reader transactions assert the invariants from
+/// inside — any torn or non-atomic snapshot trips the checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "baselines/global_lock_tm.h"
+#include "baselines/htm_tsx.h"
+#include "baselines/tinystm_lsa.h"
+#include "common/rng.h"
+#include "tm/rococo_tm.h"
+
+namespace rococo {
+namespace {
+
+std::unique_ptr<tm::TmRuntime>
+make_runtime(const std::string& name)
+{
+    if (name == "rococo") return std::make_unique<tm::RococoTm>();
+    if (name == "tinystm") {
+        return std::make_unique<baselines::TinyStmLsa>();
+    }
+    if (name == "htm") return std::make_unique<baselines::HtmTsxSim>();
+    if (name == "lock") return std::make_unique<baselines::GlobalLockTm>();
+    ADD_FAILURE() << "unknown runtime";
+    return nullptr;
+}
+
+struct Params
+{
+    std::string runtime;
+    unsigned threads;
+};
+
+class OpacityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>>
+{
+};
+
+TEST_P(OpacityTest, PairInvariantsHoldInsideTransactions)
+{
+    const auto [runtime_name, threads] = GetParam();
+    auto rt = make_runtime(runtime_name);
+
+    constexpr size_t kPairs = 16;
+    constexpr int64_t kPairSum = 1000;
+    tm::TmArray<int64_t> a(kPairs), b(kPairs);
+    for (size_t i = 0; i < kPairs; ++i) {
+        a.set_unsafe(i, kPairSum / 2);
+        b.set_unsafe(i, kPairSum / 2);
+    }
+
+    std::atomic<int> violations{0};
+    std::vector<std::thread> workers;
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        workers.emplace_back([&, tid] {
+            rt->thread_init(tid);
+            Xoshiro256 rng(31 + tid);
+            for (int op = 0; op < 300; ++op) {
+                const size_t pair = rng.below(kPairs);
+                const double dice = rng.uniform();
+                if (dice < 0.45) {
+                    // Intra-pair transfer: preserves a[i] + b[i].
+                    rt->execute([&](tm::Tx& tx) {
+                        const auto delta =
+                            static_cast<int64_t>(rng.below(20)) - 10;
+                        a.set(tx, pair, a.get(tx, pair) - delta);
+                        b.set(tx, pair, b.get(tx, pair) + delta);
+                    });
+                } else if (dice < 0.9) {
+                    // Pair reader: the invariant must hold mid-flight.
+                    rt->execute([&](tm::Tx& tx) {
+                        const int64_t sum =
+                            a.get(tx, pair) + b.get(tx, pair);
+                        if (sum != kPairSum) violations.fetch_add(1);
+                    });
+                } else {
+                    // Global scan: total is also invariant.
+                    rt->execute([&](tm::Tx& tx) {
+                        int64_t total = 0;
+                        for (size_t i = 0; i < kPairs; ++i) {
+                            total += a.get(tx, i) + b.get(tx, i);
+                        }
+                        if (total !=
+                            static_cast<int64_t>(kPairs) * kPairSum) {
+                            violations.fetch_add(1);
+                        }
+                    });
+                }
+            }
+            rt->thread_fini();
+        });
+    }
+    for (auto& worker : workers) worker.join();
+
+    EXPECT_EQ(violations.load(), 0)
+        << runtime_name << " presented an inconsistent snapshot";
+    // Post-run the invariants must hold too.
+    for (size_t i = 0; i < kPairs; ++i) {
+        EXPECT_EQ(a.get_unsafe(i) + b.get_unsafe(i), kPairSum)
+            << "pair " << i;
+    }
+}
+
+TEST_P(OpacityTest, MonotonicVersionsNeverRegress)
+{
+    // A single cell is incremented; a reader that loads it twice in one
+    // transaction must see identical values (no mid-transaction
+    // updates leaking in).
+    const auto [runtime_name, threads] = GetParam();
+    auto rt = make_runtime(runtime_name);
+    tm::TmVar<int64_t> version(0);
+    std::atomic<int> torn{0};
+    std::vector<std::thread> workers;
+    for (unsigned tid = 0; tid < threads; ++tid) {
+        workers.emplace_back([&, tid] {
+            rt->thread_init(tid);
+            Xoshiro256 rng(7 + tid);
+            for (int op = 0; op < 400; ++op) {
+                if (rng.chance(0.5)) {
+                    rt->execute([&](tm::Tx& tx) {
+                        version.set(tx, version.get(tx) + 1);
+                    });
+                } else {
+                    rt->execute([&](tm::Tx& tx) {
+                        const int64_t v1 = version.get(tx);
+                        // Busy work between the two reads widens the race
+                        // window.
+                        int64_t sink = 0;
+                        for (int i = 0; i < 50; ++i) sink += i * v1;
+                        (void)sink;
+                        const int64_t v2 = version.get(tx);
+                        if (v1 != v2) torn.fetch_add(1);
+                    });
+                }
+            }
+            rt->thread_fini();
+        });
+    }
+    for (auto& worker : workers) worker.join();
+    EXPECT_EQ(torn.load(), 0) << runtime_name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, OpacityTest,
+    ::testing::Combine(::testing::Values("rococo", "tinystm", "htm",
+                                         "lock"),
+                       ::testing::Values(2u, 4u)));
+
+} // namespace
+} // namespace rococo

@@ -1,0 +1,229 @@
+/// Unit and statistical tests for src/sig: multiply-shift hashing,
+/// parallel bloom signatures and the analytic false-positive model
+/// (validated by Monte-Carlo, the basis of Fig. 7).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "sig/bloom_signature.h"
+#include "sig/hash.h"
+#include "sig/signature_model.h"
+
+namespace rococo::sig {
+namespace {
+
+std::shared_ptr<const SignatureConfig>
+config(unsigned m, unsigned k, uint64_t seed = 42)
+{
+    return std::make_shared<const SignatureConfig>(m, k, seed);
+}
+
+TEST(Hash, InRangeAndDeterministic)
+{
+    MultiplyShiftHasher h(4, 128, 7);
+    MultiplyShiftHasher h2(4, 128, 7);
+    Xoshiro256 rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t key = rng();
+        for (unsigned f = 0; f < 4; ++f) {
+            const uint64_t bucket = h.hash(key, f);
+            EXPECT_LT(bucket, 128u);
+            EXPECT_EQ(bucket, h2.hash(key, f));
+        }
+    }
+}
+
+TEST(Hash, FunctionsDiffer)
+{
+    MultiplyShiftHasher h(2, 1 << 16, 9);
+    int differ = 0;
+    Xoshiro256 rng(4);
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t key = rng();
+        if (h.hash(key, 0) != h.hash(key, 1)) ++differ;
+    }
+    EXPECT_GT(differ, 90);
+}
+
+TEST(Hash, RoughlyUniform)
+{
+    MultiplyShiftHasher h(1, 16, 11);
+    std::vector<int> counts(16, 0);
+    Xoshiro256 rng(5);
+    const int n = 16000;
+    for (int i = 0; i < n; ++i) ++counts[h.hash(rng(), 0)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 16 / 2);
+        EXPECT_LT(c, n / 16 * 2);
+    }
+}
+
+TEST(Bloom, NoFalseNegatives)
+{
+    BloomSignature sig(config(512, 4));
+    Xoshiro256 rng(6);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 64; ++i) keys.push_back(rng());
+    for (uint64_t key : keys) sig.insert(key);
+    for (uint64_t key : keys) EXPECT_TRUE(sig.query(key));
+}
+
+TEST(Bloom, EmptyAndClear)
+{
+    BloomSignature sig(config(256, 2));
+    EXPECT_TRUE(sig.empty());
+    EXPECT_FALSE(sig.query(123));
+    sig.insert(123);
+    EXPECT_FALSE(sig.empty());
+    sig.clear();
+    EXPECT_TRUE(sig.empty());
+}
+
+TEST(Bloom, UnionIsSuperset)
+{
+    auto cfg = config(512, 4);
+    BloomSignature a(cfg), b(cfg);
+    a.insert(1);
+    a.insert(2);
+    b.insert(3);
+    a.unite(b);
+    EXPECT_TRUE(a.query(1));
+    EXPECT_TRUE(a.query(2));
+    EXPECT_TRUE(a.query(3));
+}
+
+TEST(Bloom, UniteRawMatchesUnite)
+{
+    auto cfg = config(512, 4);
+    BloomSignature a(cfg), b(cfg), c(cfg);
+    a.insert(10);
+    b.insert(20);
+    c = a;
+    c.unite(b);
+    BloomSignature d = a;
+    d.unite_raw(b.words().data(), b.words().size());
+    EXPECT_EQ(c, d);
+}
+
+TEST(Bloom, IntersectionDetectsCommonElement)
+{
+    auto cfg = config(512, 4);
+    Xoshiro256 rng(8);
+    for (int round = 0; round < 50; ++round) {
+        BloomSignature a(cfg), b(cfg);
+        const uint64_t shared = rng();
+        a.insert(shared);
+        b.insert(shared);
+        for (int i = 0; i < 4; ++i) {
+            a.insert(rng());
+            b.insert(rng());
+        }
+        EXPECT_TRUE(a.intersects(b));
+        EXPECT_TRUE(a.intersects_all_partitions(b));
+    }
+}
+
+TEST(Bloom, DisjointSmallSetsRarelyIntersect)
+{
+    // With m=512 and 4 elements per side the model predicts a tiny
+    // false-overlap rate; measure it.
+    auto cfg = config(512, 4);
+    Xoshiro256 rng(9);
+    int overlaps = 0;
+    const int rounds = 2000;
+    for (int round = 0; round < rounds; ++round) {
+        BloomSignature a(cfg), b(cfg);
+        for (int i = 0; i < 4; ++i) {
+            a.insert(rng() * 2);     // evens
+            b.insert(rng() * 2 + 1); // odds: disjoint by construction
+        }
+        if (a.intersects(b)) ++overlaps;
+    }
+    const double measured = double(overlaps) / rounds;
+    const double predicted =
+        intersection_false_overlap({512, 4}, 4, 4);
+    EXPECT_NEAR(measured, predicted, 0.05);
+}
+
+TEST(Bloom, AllPartitionsTestIsTighter)
+{
+    auto cfg = config(512, 4);
+    Xoshiro256 rng(10);
+    int any = 0, all = 0;
+    for (int round = 0; round < 3000; ++round) {
+        BloomSignature a(cfg), b(cfg);
+        for (int i = 0; i < 8; ++i) {
+            a.insert(rng() * 2);
+            b.insert(rng() * 2 + 1);
+        }
+        if (a.intersects(b)) ++any;
+        if (a.intersects_all_partitions(b)) ++all;
+    }
+    EXPECT_LE(all, any);
+}
+
+TEST(Model, QueryFprMatchesMonteCarlo)
+{
+    const SignatureGeometry g{512, 4};
+    auto cfg = config(512, 4);
+    Xoshiro256 rng(12);
+    for (unsigned n : {8u, 32u, 64u}) {
+        int fp = 0;
+        const int probes = 4000;
+        BloomSignature sig(cfg);
+        std::unordered_set<uint64_t> members;
+        for (unsigned i = 0; i < n; ++i) {
+            const uint64_t key = rng();
+            sig.insert(key);
+            members.insert(key);
+        }
+        for (int p = 0; p < probes; ++p) {
+            uint64_t key = rng();
+            if (members.count(key)) continue;
+            if (sig.query(key)) ++fp;
+        }
+        const double measured = double(fp) / probes;
+        const double predicted = query_false_positive(g, n);
+        EXPECT_NEAR(measured, predicted, 0.05) << "n=" << n;
+    }
+}
+
+TEST(Model, MonotoneInElementsAndBits)
+{
+    const SignatureGeometry small{256, 4};
+    const SignatureGeometry big{1024, 4};
+    EXPECT_LT(query_false_positive(small, 4),
+              query_false_positive(small, 32));
+    EXPECT_LT(query_false_positive(big, 32),
+              query_false_positive(small, 32));
+    EXPECT_LT(intersection_false_overlap(big, 8, 8),
+              intersection_false_overlap(small, 8, 8));
+}
+
+TEST(Model, IntersectionFprIsHigherThanQueryFpr)
+{
+    // The Fig. 7 observation: false set-overlap rises much faster than
+    // query false positives, which motivates 8-element sub-signatures.
+    const SignatureGeometry g{512, 4};
+    EXPECT_GT(intersection_false_overlap(g, 16, 16),
+              query_false_positive(g, 16));
+}
+
+TEST(Model, AllPartitionsBelowAnyBit)
+{
+    const SignatureGeometry g{512, 4};
+    for (unsigned n : {4u, 8u, 16u, 32u}) {
+        EXPECT_LE(intersection_false_overlap_all_partitions(g, n, n),
+                  intersection_false_overlap(g, n, n) + 1e-12);
+    }
+}
+
+TEST(Config, RejectsBadGeometry)
+{
+    EXPECT_DEATH(SignatureConfig(100, 4), "");  // not a power of two
+    EXPECT_DEATH(SignatureConfig(512, 3), "");  // k does not divide m
+}
+
+} // namespace
+} // namespace rococo::sig

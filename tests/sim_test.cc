@@ -1,0 +1,411 @@
+/// Tests for the discrete-event trace simulator and its TM backend
+/// models — timing math, CC decisions on crafted traces, and the
+/// paper-shaped orderings the Fig. 10 bench depends on.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/event_sim.h"
+#include "sim/sim_htm.h"
+#include "sim/sim_lock.h"
+#include "sim/sim_lsa.h"
+#include "sim/sim_rococo.h"
+#include "sim/stamp_sim.h"
+
+namespace rococo::sim {
+namespace {
+
+stamp::SimTxn
+txn(std::vector<uint64_t> reads, std::vector<uint64_t> writes)
+{
+    stamp::SimTxn t;
+    t.ops = reads.size() + writes.size();
+    t.reads = std::move(reads);
+    t.writes = std::move(writes);
+    return t;
+}
+
+stamp::SimTrace
+uniform_sim_trace(size_t txns, uint64_t locations, unsigned reads,
+                  unsigned writes, uint64_t seed)
+{
+    Xoshiro256 rng(seed);
+    stamp::SimTrace trace;
+    for (size_t i = 0; i < txns; ++i) {
+        std::vector<uint64_t> r, w;
+        for (unsigned j = 0; j < reads; ++j) r.push_back(rng.below(locations));
+        for (unsigned j = 0; j < writes; ++j) {
+            w.push_back(rng.below(locations));
+        }
+        std::sort(r.begin(), r.end());
+        r.erase(std::unique(r.begin(), r.end()), r.end());
+        std::sort(w.begin(), w.end());
+        w.erase(std::unique(w.begin(), w.end()), w.end());
+        trace.txns.push_back(txn(std::move(r), std::move(w)));
+    }
+    return trace;
+}
+
+TEST(EventSim, SequentialTimingIsSumOfCosts)
+{
+    stamp::SimTrace trace;
+    trace.txns.push_back(txn({1, 2}, {3}));
+    trace.txns.push_back(txn({4}, {5}));
+    SequentialSimBackend backend;
+    SimConfig config;
+    config.threads = 1;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_EQ(result.commits, 2u);
+    EXPECT_EQ(result.aborts, 0u);
+
+    const BackendCosts c = backend.costs();
+    const double expected =
+        2 * c.begin_ns + 3 * c.read_ns + 2 * c.write_ns +
+        c.work_per_op_ns * (3 + 2) + 2 * c.commit_fixed_ns +
+        2 * c.commit_per_write_ns;
+    EXPECT_NEAR(result.seconds * 1e9, expected, 1e-6);
+}
+
+TEST(EventSim, GlobalLockSerializesExecution)
+{
+    // 100 disjoint transactions on 4 threads: the lock forces the
+    // makespan to (almost) the 1-thread makespan.
+    const auto trace = uniform_sim_trace(100, 1 << 20, 4, 2, 1);
+    GlobalLockSimBackend lock1, lock4;
+    SimConfig one, four;
+    one.threads = 1;
+    four.threads = 4;
+    const double t1 = simulate(trace, lock1, one).seconds;
+    const double t4 = simulate(trace, lock4, four).seconds;
+    EXPECT_NEAR(t4, t1, t1 * 0.05);
+}
+
+TEST(EventSim, ParallelismShrinksMakespan)
+{
+    const auto trace = uniform_sim_trace(400, 1 << 20, 6, 2, 2);
+    LsaSimBackend b1, b8;
+    SimConfig one, eight;
+    one.threads = 1;
+    eight.threads = 8;
+    const double t1 = simulate(trace, b1, one).seconds;
+    const double t8 = simulate(trace, b8, eight).seconds;
+    EXPECT_LT(t8, t1 / 4) << "8 threads on disjoint data must scale";
+}
+
+TEST(LsaBackend, AbortsOnReadInvalidation)
+{
+    // Two threads, same hot location: writer invalidates reader.
+    stamp::SimTrace trace;
+    for (int i = 0; i < 50; ++i) trace.txns.push_back(txn({7}, {7}));
+    LsaSimBackend backend;
+    SimConfig config;
+    config.threads = 4;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_EQ(result.commits, 50u);
+    EXPECT_GT(result.aborts, 0u);
+}
+
+TEST(LsaBackend, NoAbortsWithoutConflicts)
+{
+    stamp::SimTrace trace;
+    for (uint64_t i = 0; i < 50; ++i) {
+        trace.txns.push_back(txn({i * 2}, {i * 2 + 1}));
+    }
+    LsaSimBackend backend;
+    SimConfig config;
+    config.threads = 8;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_EQ(result.aborts, 0u);
+}
+
+TEST(HtmBackend, CapacityAbortsForceFallback)
+{
+    stamp::SimTrace trace;
+    std::vector<uint64_t> big_reads;
+    for (uint64_t i = 0; i < 5000; ++i) big_reads.push_back(i);
+    trace.txns.push_back(txn(std::move(big_reads), {99999}));
+    HtmSimBackend backend(/*retries=*/4, /*capacity=*/2048);
+    SimConfig config;
+    config.threads = 2;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_EQ(result.commits, 1u);
+    EXPECT_EQ(result.aborts, 5u); // 1 + 4 retries, then fallback
+    // Every speculative attempt died of capacity or of a spurious
+    // (footprint-proportional) micro-architectural abort.
+    EXPECT_EQ(result.detail.get("capacity") +
+                  result.detail.get("spurious"),
+              5u);
+    EXPECT_GT(result.detail.get("capacity"), 0u);
+    EXPECT_EQ(result.detail.get("fallback_commits"), 1u);
+}
+
+TEST(HtmBackend, AbortRateCeilingUnderPathologicalContention)
+{
+    // Everyone hammers one location: the abort rate approaches but
+    // cannot exceed 5/6 (4 retries + initial attempt per fallback
+    // commit, footnote 10).
+    stamp::SimTrace trace;
+    for (int i = 0; i < 400; ++i) trace.txns.push_back(txn({1}, {1}));
+    HtmSimBackend backend;
+    SimConfig config;
+    config.threads = 16;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_EQ(result.commits, 400u);
+    EXPECT_LE(result.abort_rate(), 5.0 / 6.0 + 1e-9);
+    EXPECT_GT(result.abort_rate(), 0.3);
+}
+
+TEST(RococoBackend, CommitsDisjointWork)
+{
+    const auto trace = uniform_sim_trace(200, 1 << 20, 4, 2, 3);
+    RococoSimBackend backend;
+    SimConfig config;
+    config.threads = 8;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_EQ(result.commits, 200u);
+    EXPECT_EQ(result.aborts, 0u);
+}
+
+TEST(RococoBackend, OffloadLatencyChargedOnWriters)
+{
+    // Writers go through the offload engine (>= the 600ns CCI round
+    // trip per request); read-only transactions commit on the CPU and
+    // never touch it. A back-to-back writer pair exposes the
+    // meta-pipeline: the second submit stalls until the first verdict.
+    stamp::SimTrace writers, readers;
+    writers.txns.push_back(txn({}, {1}));
+    writers.txns.push_back(txn({}, {2}));
+    readers.txns.push_back(txn({1}, {}));
+    readers.txns.push_back(txn({2}, {}));
+    RococoSimBackend b1, b2;
+    SimConfig config;
+    config.threads = 1;
+    const double t_writers = simulate(writers, b1, config).seconds;
+    const double t_readers = simulate(readers, b2, config).seconds;
+    EXPECT_GT(b1.mean_offload_latency_ns(), 600.0);
+    EXPECT_DOUBLE_EQ(b2.mean_offload_latency_ns(), 0.0);
+    EXPECT_GT(t_writers, t_readers + 500e-9);
+}
+
+TEST(RococoBackend, SurvivesHotSpotWithFewerAbortsThanHtm)
+{
+    stamp::SimTrace trace;
+    Xoshiro256 rng(5);
+    for (int i = 0; i < 300; ++i) {
+        trace.txns.push_back(
+            txn({rng.below(8)}, {rng.below(8)})); // hot 8 slots
+    }
+    RococoSimBackend rococo;
+    HtmSimBackend htm;
+    SimConfig config;
+    config.threads = 8;
+    const SimResult r = simulate(trace, rococo, config);
+    SimResult h = simulate(trace, htm, config);
+    EXPECT_EQ(r.commits, 300u);
+    EXPECT_LT(r.abort_rate(), h.abort_rate());
+}
+
+TEST(RococoBackend, ReportsOffloadAbortsSeparately)
+{
+    // Lost-update pattern: read-modify-write on one hot cell; some
+    // attempts must reach the FPGA and be aborted there (cycle), others
+    // fail fast on the CPU.
+    stamp::SimTrace trace;
+    for (int i = 0; i < 200; ++i) trace.txns.push_back(txn({3}, {3}));
+    RococoSimBackend backend;
+    SimConfig config;
+    config.threads = 8;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_EQ(result.commits, 200u);
+    EXPECT_GT(result.aborts, 0u);
+    EXPECT_LE(result.offload_aborts, result.aborts);
+}
+
+TEST(StampSim, CaptureAndGrid)
+{
+    stamp::WorkloadParams params;
+    params.scale = 1;
+    params.seed = 13;
+    const auto trace = capture_workload_trace("ssca2", params);
+    ASSERT_GT(trace.txns.size(), 1000u);
+
+    const auto rows = simulate_grid("ssca2", trace, {"tinystm", "rococo"},
+                                    {1, 4});
+    ASSERT_EQ(rows.size(), 4u);
+    for (const auto& row : rows) {
+        EXPECT_GT(row.speedup, 0.0);
+        EXPECT_FALSE(row.livelocked);
+    }
+    // 1-thread: ROCoCoTM pays the offload latency on every writer and
+    // must trail TinySTM (the paper's 1.32x observation).
+    EXPECT_LT(rows[2].speedup, rows[0].speedup);
+}
+
+TEST(StampSim, BackendFactoryKnowsAllNames)
+{
+    for (const char* name : {"seq", "lock", "tinystm", "tsx", "rococo"}) {
+        EXPECT_NE(make_backend(name), nullptr) << name;
+    }
+}
+
+} // namespace
+} // namespace rococo::sim
+
+namespace rococo::sim {
+namespace {
+
+TEST(MachineModel, InflationShape)
+{
+    MachineModel m;
+    // 1 thread: no coherence cost regardless of sensitivity.
+    EXPECT_DOUBLE_EQ(m.inflation(1, 2.0), 1.0);
+    // Below the core count, metadata-heavy backends pay coherence.
+    EXPECT_GT(m.inflation(14, 2.0), m.inflation(14, 1.0));
+    EXPECT_DOUBLE_EQ(m.inflation(14, 1.0), 1.0);
+    // Hyper-threading multiplies on top.
+    EXPECT_GT(m.inflation(28, 1.0), m.inflation(14, 1.0));
+    EXPECT_GT(m.inflation(28, 2.0), m.inflation(28, 1.0));
+}
+
+TEST(MachineModel, EffectiveCores)
+{
+    MachineModel m;
+    EXPECT_DOUBLE_EQ(m.effective_cores(8), 8.0);
+    EXPECT_DOUBLE_EQ(m.effective_cores(14), 14.0);
+    EXPECT_LT(m.effective_cores(28), 28.0);
+    EXPECT_GT(m.effective_cores(28), 14.0);
+}
+
+TEST(EventSim, EmptyTraceIsNoOp)
+{
+    stamp::SimTrace trace;
+    LsaSimBackend backend;
+    SimConfig config;
+    config.threads = 4;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_EQ(result.commits, 0u);
+    EXPECT_DOUBLE_EQ(result.seconds, 0.0);
+}
+
+TEST(EventSim, LivelockGuardTrips)
+{
+    // Pathological: every transaction conflicts with everything and the
+    // budget is one attempt per transaction — the guard must trip
+    // rather than loop forever.
+    stamp::SimTrace trace;
+    for (int i = 0; i < 20; ++i) trace.txns.push_back([] {
+        stamp::SimTxn t;
+        t.reads = {1};
+        t.writes = {1};
+        t.ops = 2;
+        return t;
+    }());
+    HtmSimBackend backend(/*retries=*/1000000, /*capacity=*/10000);
+    SimConfig config;
+    config.threads = 16;
+    config.max_attempt_factor = 1.5;
+    const SimResult result = simulate(trace, backend, config);
+    EXPECT_TRUE(result.livelocked || result.commits == 20u);
+}
+
+TEST(StampSim, HtmRococoBackendExists)
+{
+    auto backend = make_backend("htm-rococo");
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), "HTM+ROCoCo");
+
+    // Hot-RMW trace: directory-attached ROCoCo aborts less than TSX.
+    stamp::SimTrace trace;
+    Xoshiro256 rng(6);
+    for (int i = 0; i < 300; ++i) {
+        stamp::SimTxn t;
+        t.reads = {rng.below(8)};
+        t.writes = {rng.below(8)};
+        t.ops = 2;
+        trace.txns.push_back(std::move(t));
+    }
+    SimConfig config;
+    config.threads = 8;
+    const SimResult ours = simulate(trace, *backend, config);
+    auto tsx = make_backend("tsx");
+    const SimResult theirs = simulate(trace, *tsx, config);
+    EXPECT_EQ(ours.commits, 300u);
+    EXPECT_LT(ours.abort_rate(), theirs.abort_rate());
+}
+
+TEST(StampSim, DirectoryLatencyBelowCciLatency)
+{
+    stamp::SimTrace trace;
+    stamp::SimTxn t;
+    t.reads = {1};
+    t.writes = {2};
+    t.ops = 2;
+    trace.txns.push_back(t);
+    trace.txns.push_back(t);
+
+    auto fpga = make_backend("rococo");
+    auto directory = make_backend("htm-rococo");
+    SimConfig config;
+    config.threads = 1;
+    const double t_fpga = simulate(trace, *fpga, config).seconds;
+    const double t_dir = simulate(trace, *directory, config).seconds;
+    EXPECT_LT(t_dir, t_fpga);
+}
+
+} // namespace
+} // namespace rococo::sim
+
+#include "sim/trace_stats.h"
+
+namespace rococo::sim {
+namespace {
+
+TEST(TraceStats, CharacterizesCraftedTrace)
+{
+    stamp::SimTrace trace;
+    // 3 read-only short txns + 1 long writer.
+    for (int i = 0; i < 3; ++i) {
+        stamp::SimTxn t;
+        t.reads = {uint64_t(i)};
+        t.ops = 1;
+        trace.txns.push_back(t);
+    }
+    stamp::SimTxn big;
+    for (uint64_t a = 0; a < 40; ++a) big.reads.push_back(100 + a);
+    big.writes = {0, 1, 2};
+    big.ops = 43;
+    trace.txns.push_back(big);
+
+    const TraceCharacterization c = characterize(trace, 5000, 1);
+    EXPECT_EQ(c.txns, 4u);
+    EXPECT_NEAR(c.read_only_fraction, 0.75, 1e-9);
+    EXPECT_EQ(c.reads.max, 40u);
+    EXPECT_EQ(c.writes.max, 3u);
+    // Half the sampled pairs involve the writer vs a reader it
+    // overwrites: conflict estimate must be well above zero.
+    EXPECT_GT(c.pairwise_conflict, 0.2);
+}
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceCharacterization c = characterize({}, 100, 1);
+    EXPECT_EQ(c.txns, 0u);
+    EXPECT_DOUBLE_EQ(c.pairwise_conflict, 0.0);
+}
+
+TEST(TraceStats, ClassesMatchKnownWorkloads)
+{
+    stamp::WorkloadParams params;
+    params.scale = 1;
+    const auto ssca2 =
+        characterize(capture_workload_trace("ssca2", params));
+    EXPECT_EQ(ssca2.length_class, "short");
+    EXPECT_EQ(ssca2.contention_class, "low");
+
+    const auto labyrinth =
+        characterize(capture_workload_trace("labyrinth", params));
+    EXPECT_NE(labyrinth.length_class, "short");
+    EXPECT_GT(labyrinth.pairwise_conflict, ssca2.pairwise_conflict);
+}
+
+} // namespace
+} // namespace rococo::sim

@@ -1,0 +1,249 @@
+/// Tests for the transactional containers, both single-threaded
+/// (against the sequential runtime) and concurrent (against ROCoCoTM).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "baselines/sequential_tm.h"
+#include "common/rng.h"
+#include "stamp/containers/tx_bitmap.h"
+#include "stamp/containers/tx_hashtable.h"
+#include "stamp/containers/tx_heap.h"
+#include "stamp/containers/tx_list.h"
+#include "stamp/containers/tx_map.h"
+#include "stamp/containers/tx_queue.h"
+#include "tm/rococo_tm.h"
+
+namespace rococo::stamp {
+namespace {
+
+/// Run one transactional body on the sequential runtime.
+template <typename F>
+void
+seq(F&& body)
+{
+    baselines::SequentialTm rt;
+    rt.thread_init(0);
+    rt.execute(std::forward<F>(body));
+    rt.thread_fini();
+}
+
+TEST(TxList, InsertFindRemove)
+{
+    TxList::Pool pool(64);
+    TxList list(pool);
+    seq([&](tm::Tx& tx) {
+        EXPECT_TRUE(list.insert(tx, 5, 50));
+        EXPECT_TRUE(list.insert(tx, 1, 10));
+        EXPECT_TRUE(list.insert(tx, 9, 90));
+        EXPECT_FALSE(list.insert(tx, 5, 55)) << "duplicate";
+        EXPECT_EQ(list.find(tx, 5).value(), 50u);
+        EXPECT_FALSE(list.find(tx, 7).has_value());
+        EXPECT_EQ(list.size(tx), 3u);
+        EXPECT_TRUE(list.remove(tx, 5));
+        EXPECT_FALSE(list.remove(tx, 5));
+        EXPECT_EQ(list.size(tx), 2u);
+        EXPECT_TRUE(list.update(tx, 9, 99));
+        EXPECT_EQ(list.find(tx, 9).value(), 99u);
+    });
+    // Sorted traversal.
+    std::vector<uint64_t> keys;
+    list.unsafe_for_each([&](uint64_t k, uint64_t) { keys.push_back(k); });
+    EXPECT_EQ(keys, (std::vector<uint64_t>{1, 9}));
+}
+
+TEST(TxHashTable, BasicOperations)
+{
+    TxHashTable table(16, 256);
+    seq([&](tm::Tx& tx) {
+        for (uint64_t k = 0; k < 100; ++k) {
+            EXPECT_TRUE(table.insert(tx, k * 7, k));
+        }
+        for (uint64_t k = 0; k < 100; ++k) {
+            EXPECT_EQ(table.find(tx, k * 7).value(), k);
+        }
+        EXPECT_TRUE(table.remove(tx, 7));
+        EXPECT_FALSE(table.contains(tx, 7));
+    });
+    EXPECT_EQ(table.unsafe_size(), 99u);
+}
+
+TEST(TxMap, InsertFindRemoveRandomized)
+{
+    TxMap map(1024);
+    Xoshiro256 rng(3);
+    std::set<uint64_t> model;
+    seq([&](tm::Tx& tx) {
+        for (int i = 0; i < 400; ++i) {
+            const uint64_t key = rng.below(200);
+            if (rng.chance(0.6)) {
+                EXPECT_EQ(map.insert(tx, key, key * 3),
+                          model.insert(key).second);
+            } else {
+                EXPECT_EQ(map.remove(tx, key), model.erase(key) == 1);
+            }
+        }
+        for (uint64_t key : model) {
+            EXPECT_EQ(map.find(tx, key).value(), key * 3);
+        }
+    });
+    // In-order traversal matches the model.
+    std::vector<uint64_t> keys;
+    map.unsafe_for_each([&](uint64_t k, uint64_t) { keys.push_back(k); });
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_EQ(keys.size(), model.size());
+    EXPECT_TRUE(std::equal(keys.begin(), keys.end(), model.begin()));
+}
+
+TEST(TxMap, LowerBound)
+{
+    TxMap map(64);
+    seq([&](tm::Tx& tx) {
+        map.insert(tx, 10, 1);
+        map.insert(tx, 20, 2);
+        map.insert(tx, 30, 3);
+        EXPECT_EQ(map.lower_bound(tx, 15)->first, 20u);
+        EXPECT_EQ(map.lower_bound(tx, 20)->first, 20u);
+        EXPECT_EQ(map.lower_bound(tx, 5)->first, 10u);
+        EXPECT_FALSE(map.lower_bound(tx, 31).has_value());
+    });
+}
+
+TEST(TxMap, PutInsertsOrUpdates)
+{
+    TxMap map(64);
+    seq([&](tm::Tx& tx) {
+        map.put(tx, 1, 10);
+        map.put(tx, 1, 11);
+        EXPECT_EQ(map.find(tx, 1).value(), 11u);
+        EXPECT_EQ(map.unsafe_size(), 1u);
+    });
+}
+
+TEST(TxHeap, OrdersKeys)
+{
+    TxHeap heap(64);
+    Xoshiro256 rng(5);
+    std::multiset<uint64_t> model;
+    seq([&](tm::Tx& tx) {
+        for (int i = 0; i < 40; ++i) {
+            const uint64_t key = rng.below(1000);
+            ASSERT_TRUE(heap.push(tx, key));
+            model.insert(key);
+        }
+        while (!model.empty()) {
+            const auto top = heap.pop(tx);
+            ASSERT_TRUE(top.has_value());
+            EXPECT_EQ(*top, *model.begin());
+            model.erase(model.begin());
+        }
+        EXPECT_FALSE(heap.pop(tx).has_value());
+    });
+}
+
+TEST(TxHeap, RespectsCapacity)
+{
+    TxHeap heap(2);
+    seq([&](tm::Tx& tx) {
+        EXPECT_TRUE(heap.push(tx, 1));
+        EXPECT_TRUE(heap.push(tx, 2));
+        EXPECT_FALSE(heap.push(tx, 3));
+    });
+}
+
+TEST(TxQueue, FifoSemantics)
+{
+    TxQueue queue(8);
+    seq([&](tm::Tx& tx) {
+        for (uint64_t i = 0; i < 8; ++i) EXPECT_TRUE(queue.push(tx, i));
+        EXPECT_FALSE(queue.push(tx, 9)) << "full";
+        for (uint64_t i = 0; i < 8; ++i) {
+            EXPECT_EQ(queue.pop(tx).value(), i);
+        }
+        EXPECT_FALSE(queue.pop(tx).has_value());
+    });
+}
+
+TEST(TxQueue, WrapsAround)
+{
+    TxQueue queue(4);
+    seq([&](tm::Tx& tx) {
+        for (uint64_t round = 0; round < 5; ++round) {
+            for (uint64_t i = 0; i < 3; ++i) {
+                ASSERT_TRUE(queue.push(tx, round * 10 + i));
+            }
+            for (uint64_t i = 0; i < 3; ++i) {
+                EXPECT_EQ(queue.pop(tx).value(), round * 10 + i);
+            }
+        }
+    });
+}
+
+TEST(TxBitmap, SetTestClear)
+{
+    TxBitmap bitmap(200);
+    seq([&](tm::Tx& tx) {
+        EXPECT_FALSE(bitmap.test(tx, 70));
+        EXPECT_TRUE(bitmap.set(tx, 70));
+        EXPECT_FALSE(bitmap.set(tx, 70)) << "already set";
+        EXPECT_TRUE(bitmap.test(tx, 70));
+        bitmap.clear(tx, 70);
+        EXPECT_FALSE(bitmap.test(tx, 70));
+        bitmap.set(tx, 0);
+        bitmap.set(tx, 199);
+    });
+    EXPECT_EQ(bitmap.unsafe_count(), 2u);
+}
+
+TEST(TxMapConcurrent, ParallelInsertsAllLand)
+{
+    // Concurrent inserts of disjoint key ranges through ROCoCoTM.
+    TxMap map(4096);
+    tm::RococoTm rt;
+    constexpr unsigned kThreads = 4;
+    constexpr uint64_t kPerThread = 100;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            rt.thread_init(t);
+            Xoshiro256 rng(t);
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                const uint64_t key = t * 1000 + i;
+                rt.execute([&](tm::Tx& tx) { map.insert(tx, key, key); });
+            }
+            rt.thread_fini();
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(map.unsafe_size(), kThreads * kPerThread);
+}
+
+TEST(TxQueueConcurrent, EveryItemPoppedOnce)
+{
+    TxQueue queue(1024);
+    for (uint64_t i = 0; i < 400; ++i) queue.unsafe_push(i);
+    tm::RococoTm rt;
+    std::array<std::atomic<int>, 400> popped{};
+    constexpr unsigned kThreads = 4;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            rt.thread_init(t);
+            for (;;) {
+                std::optional<uint64_t> item;
+                rt.execute([&](tm::Tx& tx) { item = queue.pop(tx); });
+                if (!item) break;
+                popped[*item].fetch_add(1);
+            }
+            rt.thread_fini();
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    for (int i = 0; i < 400; ++i) {
+        EXPECT_EQ(popped[i].load(), 1) << "item " << i;
+    }
+}
+
+} // namespace
+} // namespace rococo::stamp

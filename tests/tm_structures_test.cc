@@ -1,0 +1,256 @@
+/// Unit tests for ROCoCoTM's CPU-side building blocks: redo log,
+/// access sets, commit log and update set.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "tm/access_set.h"
+#include "tm/commit_log.h"
+#include "tm/redo_log.h"
+#include "tm/rococo_tm.h"
+#include "tm/update_set.h"
+
+namespace rococo::tm {
+namespace {
+
+std::shared_ptr<const sig::SignatureConfig>
+config()
+{
+    return std::make_shared<const sig::SignatureConfig>(512, 4);
+}
+
+TEST(RedoLog, PutGetOverwrite)
+{
+    RedoLog log;
+    TmCell a, b;
+    Word v = 0;
+    EXPECT_FALSE(log.get(&a, v));
+    log.put(&a, 1);
+    log.put(&b, 2);
+    ASSERT_TRUE(log.get(&a, v));
+    EXPECT_EQ(v, 1u);
+    log.put(&a, 7); // overwrite, no new entry
+    EXPECT_EQ(log.size(), 2u);
+    ASSERT_TRUE(log.get(&a, v));
+    EXPECT_EQ(v, 7u);
+}
+
+TEST(RedoLog, ApplyWritesBack)
+{
+    RedoLog log;
+    std::vector<TmCell> cells(10);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        log.put(&cells[i], i * 11);
+    }
+    log.apply();
+    for (size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(cells[i].unsafe_load(), i * 11);
+    }
+}
+
+TEST(RedoLog, ClearRetainsNothing)
+{
+    RedoLog log;
+    TmCell a;
+    log.put(&a, 5);
+    log.clear();
+    Word v;
+    EXPECT_TRUE(log.empty());
+    EXPECT_FALSE(log.get(&a, v));
+}
+
+TEST(RedoLog, GrowsPastInitialCapacity)
+{
+    RedoLog log;
+    std::vector<TmCell> cells(500);
+    for (size_t i = 0; i < cells.size(); ++i) log.put(&cells[i], i);
+    EXPECT_EQ(log.size(), 500u);
+    Word v;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        ASSERT_TRUE(log.get(&cells[i], v));
+        EXPECT_EQ(v, i);
+    }
+}
+
+TEST(AccessSet, SubSignaturesEveryEight)
+{
+    AccessSet set(config());
+    for (uint64_t i = 0; i < 20; ++i) set.insert(1000 + i);
+    EXPECT_EQ(set.size(), 20u);
+    EXPECT_EQ(set.sub_signatures().size(), 3u); // ceil(20/8)
+}
+
+TEST(AccessSet, ConfirmedIntersectRefinesFalsePositives)
+{
+    auto cfg = config();
+    Xoshiro256 rng(3);
+    int may = 0, confirmed = 0;
+    for (int round = 0; round < 300; ++round) {
+        AccessSet set(cfg);
+        sig::BloomSignature other(cfg);
+        for (int i = 0; i < 24; ++i) set.insert(rng() * 2);
+        for (int i = 0; i < 8; ++i) other.insert(rng() * 2 + 1);
+        if (set.may_intersect(other)) ++may;
+        if (set.confirmed_intersect(other)) ++confirmed;
+    }
+    EXPECT_LE(confirmed, may);
+}
+
+TEST(AccessSet, ConfirmedIntersectFindsRealOverlap)
+{
+    auto cfg = config();
+    AccessSet set(cfg);
+    sig::BloomSignature other(cfg);
+    for (uint64_t i = 0; i < 30; ++i) set.insert(i);
+    other.insert(17);
+    EXPECT_TRUE(set.may_intersect(other));
+    EXPECT_TRUE(set.confirmed_intersect(other));
+}
+
+TEST(CommitLog, PublishCollectRoundTrip)
+{
+    auto cfg = config();
+    CommitLog log(cfg, 16);
+    sig::BloomSignature s0(cfg), s1(cfg);
+    s0.insert(100);
+    s1.insert(200);
+
+    log.publish(0, s0);
+    log.advance(0);
+    log.publish(1, s1);
+    log.advance(1);
+    EXPECT_EQ(log.global_ts(), 2u);
+
+    sig::BloomSignature temp(cfg);
+    ASSERT_TRUE(log.collect(0, 2, temp));
+    EXPECT_TRUE(temp.query(100));
+    EXPECT_TRUE(temp.query(200));
+}
+
+TEST(CommitLog, StaleReaderDetected)
+{
+    auto cfg = config();
+    CommitLog log(cfg, 4);
+    sig::BloomSignature sig(cfg);
+    for (uint64_t cid = 0; cid < 8; ++cid) {
+        log.publish(cid, sig);
+        log.advance(cid);
+    }
+    sig::BloomSignature temp(cfg);
+    EXPECT_FALSE(log.collect(0, 2, temp)) << "overwritten entries";
+    EXPECT_TRUE(log.collect(6, 8, temp));
+}
+
+TEST(CommitLog, WaitTurnOrdersCommitters)
+{
+    auto cfg = config();
+    CommitLog log(cfg, 16);
+    sig::BloomSignature sig(cfg);
+    std::vector<int> order;
+    std::mutex order_mutex;
+    std::vector<std::thread> threads;
+    // Start committers in reverse cid order; wait_turn must serialize
+    // them as 0, 1, 2.
+    for (int cid = 2; cid >= 0; --cid) {
+        threads.emplace_back([&, cid] {
+            log.wait_turn(static_cast<uint64_t>(cid));
+            {
+                std::lock_guard<std::mutex> lock(order_mutex);
+                order.push_back(cid);
+            }
+            log.publish(static_cast<uint64_t>(cid), sig);
+            log.advance(static_cast<uint64_t>(cid));
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(UpdateSet, PublishQueryClear)
+{
+    auto cfg = config();
+    UpdateSet set(cfg, 4);
+    sig::BloomSignature sig(cfg);
+    sig.insert(42);
+    EXPECT_FALSE(set.query(42));
+    set.publish(1, sig);
+    EXPECT_TRUE(set.query(42));
+    set.clear(1);
+    EXPECT_FALSE(set.query(42));
+}
+
+TEST(UpdateSet, MultipleActiveSlots)
+{
+    auto cfg = config();
+    UpdateSet set(cfg, 4);
+    sig::BloomSignature a(cfg), b(cfg);
+    a.insert(1);
+    b.insert(2);
+    set.publish(0, a);
+    set.publish(3, b);
+    EXPECT_TRUE(set.query(1));
+    EXPECT_TRUE(set.query(2));
+    set.clear(0);
+    EXPECT_FALSE(set.query(1));
+    EXPECT_TRUE(set.query(2));
+}
+
+} // namespace
+} // namespace rococo::tm
+
+namespace rococo::tm {
+namespace {
+
+TEST(CommitLogStale, LaggingReaderAbortsAndRecovers)
+{
+    // A reader whose snapshot falls more than `capacity` commits behind
+    // finds its ring entries overwritten: the runtime must abort it
+    // (kStaleAborts) and the retry must succeed.
+    RococoTmConfig config;
+    config.commit_log_capacity = 4; // tiny ring
+    RococoTm rt(config);
+
+    TmVar<int64_t> lagging(1);
+    TmArray<int64_t> churn(16);
+
+    std::atomic<int> phase{0};
+    std::thread reader([&] {
+        rt.thread_init(0);
+        rt.execute([&](Tx& tx) {
+            const int64_t first = lagging.get(tx);
+            if (phase.load() == 0) {
+                // First attempt: signal the writer and wait for the
+                // ring to wrap before touching anything else.
+                phase.store(1);
+                while (phase.load() != 2) std::this_thread::yield();
+            }
+            // Second read: on the stale first attempt this must abort.
+            const int64_t second = churn.get(tx, 0);
+            (void)first;
+            (void)second;
+        });
+        rt.thread_fini();
+    });
+
+    std::thread writer([&] {
+        rt.thread_init(1);
+        while (phase.load() != 1) std::this_thread::yield();
+        for (int i = 0; i < 12; ++i) { // > capacity commits
+            rt.execute([&](Tx& tx) {
+                churn.set(tx, static_cast<size_t>(i) % 16,
+                          churn.get(tx, static_cast<size_t>(i) % 16) + 1);
+            });
+        }
+        phase.store(2);
+        rt.thread_fini();
+    });
+
+    reader.join();
+    writer.join();
+    EXPECT_GE(rt.stats().get(stat::kStaleAborts), 1u);
+    EXPECT_GE(rt.stats().get(stat::kCommits), 13u);
+}
+
+} // namespace
+} // namespace rococo::tm

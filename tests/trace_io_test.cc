@@ -1,0 +1,80 @@
+/// Round-trip and malformed-input tests for the trace serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cc/trace_generator.h"
+#include "cc/trace_io.h"
+
+namespace rococo::cc {
+namespace {
+
+TEST(TraceIo, RoundTripPreservesTrace)
+{
+    UniformTraceParams params;
+    params.txns = 60;
+    params.seed = 3;
+    const Trace original = generate_uniform_trace(params);
+
+    std::stringstream buffer;
+    ASSERT_TRUE(save_trace(buffer, original));
+    const auto loaded = load_trace(buffer);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), original.size());
+    EXPECT_EQ(loaded->num_locations, original.num_locations);
+    for (size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded->txns[i].reads, original.txns[i].reads) << i;
+        EXPECT_EQ(loaded->txns[i].writes, original.txns[i].writes) << i;
+    }
+}
+
+TEST(TraceIo, EmptySectionsAndComments)
+{
+    std::stringstream in(
+        "# a reproducer\n"
+        "trace v1 16\n"
+        "txn R W 3\n"
+        "\n"
+        "txn R 1 2 W\n");
+    const auto trace = load_trace(in);
+    ASSERT_TRUE(trace.has_value());
+    ASSERT_EQ(trace->size(), 2u);
+    EXPECT_TRUE(trace->txns[0].reads.empty());
+    EXPECT_EQ(trace->txns[0].writes, (std::vector<uint64_t>{3}));
+    EXPECT_EQ(trace->txns[1].reads, (std::vector<uint64_t>{1, 2}));
+    EXPECT_TRUE(trace->txns[1].writes.empty());
+}
+
+TEST(TraceIo, RejectsMalformedInput)
+{
+    const char* bad[] = {
+        "",                                  // no header
+        "trace v2 16\n",                     // wrong version
+        "trace v1 16\nxtn R W\n",            // bad record tag
+        "trace v1 16\ntxn R 1 2\n",          // missing W section
+        "trace v1 16\ntxn R 1 W 2 W 3\n",    // duplicate W
+        "trace v1 16\ntxn R abc W\n",        // non-numeric address
+        "trace v1 16\ntxn R 1x W\n",         // trailing junk in number
+        "trace v1\n",                        // missing location count
+    };
+    for (const char* text : bad) {
+        std::stringstream in(text);
+        EXPECT_FALSE(load_trace(in).has_value()) << "input: " << text;
+    }
+}
+
+TEST(TraceIo, FileHelpers)
+{
+    UniformTraceParams params;
+    params.txns = 10;
+    const Trace original = generate_uniform_trace(params);
+    const std::string path = ::testing::TempDir() + "/roundtrip.trace";
+    ASSERT_TRUE(save_trace_file(path, original));
+    const auto loaded = load_trace_file(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->size(), original.size());
+    EXPECT_FALSE(load_trace_file(path + ".missing").has_value());
+}
+
+} // namespace
+} // namespace rococo::cc
