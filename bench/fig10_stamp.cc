@@ -22,6 +22,7 @@
 #include "common/csv.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/telemetry.h"
 #include "sim/stamp_sim.h"
 
 using namespace rococo;
@@ -31,7 +32,10 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv,
             {"scale", "seed", "threads", "workloads", "contention",
-             "csv"});
+             "csv", "telemetry-out"});
+    // Metrics-only telemetry: the sim.* counters from every simulate()
+    // call below land in one file (no spans — no real threads run).
+    obs::TelemetrySession telemetry(cli.get("telemetry-out", ""));
     stamp::WorkloadParams params;
     params.scale = static_cast<unsigned>(cli.get_int("scale", 2));
     params.seed = static_cast<uint64_t>(cli.get_int("seed", 7));
@@ -139,5 +143,5 @@ main(int argc, char** argv)
                 ratio("ROCoCoTM", "TSX", 28));
     std::printf("TinySTM vs ROCoCoTM @1t: %.2fx (paper: 1.32x)\n",
                 ratio("TinySTM", "ROCoCoTM", 1));
-    return 0;
+    return telemetry.finish() ? 0 : 1;
 }

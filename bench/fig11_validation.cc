@@ -21,6 +21,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "fpga/validation_engine.h"
+#include "obs/telemetry.h"
 #include "sim/sim_rococo.h"
 #include "sim/stamp_sim.h"
 
@@ -29,7 +30,8 @@ using namespace rococo;
 int
 main(int argc, char** argv)
 {
-    Cli cli(argc, argv, {"scale", "seed", "threads"});
+    Cli cli(argc, argv, {"scale", "seed", "threads", "telemetry-out"});
+    obs::TelemetrySession telemetry(cli.get("telemetry-out", ""));
     stamp::WorkloadParams params;
     params.scale = static_cast<unsigned>(cli.get_int("scale", 2));
     params.seed = static_cast<uint64_t>(cli.get_int("seed", 7));
@@ -109,5 +111,5 @@ main(int argc, char** argv)
         "cost of the bit-accurate software engine on this machine — a "
         "functional sanity check, naturally slower than the modelled "
         "hardware.\n");
-    return 0;
+    return telemetry.finish() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 /// gap peaks at medium collision rates with T = 16 (the paper reports
 /// up to 56.2% lower than 2PL and 20.2% lower than TOCC at a 22.3%
 /// collision rate) and closes above ~50% collision.
+#include <array>
 #include <cstdio>
 #include <memory>
 
@@ -22,10 +23,16 @@
 #include "common/csv.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/abort_reason.h"
+#include "obs/telemetry.h"
 
 using namespace rococo;
 
 namespace {
+
+/// Typed abort attribution accumulated across every replay of one
+/// algorithm (indexed by obs::AbortReason).
+using ReasonCounts = std::array<uint64_t, obs::kAbortReasonCount>;
 
 struct Point
 {
@@ -35,8 +42,24 @@ struct Point
     double rococo = 0;
 };
 
+struct ReasonTotals
+{
+    ReasonCounts tpl{};
+    ReasonCounts tocc{};
+    ReasonCounts rococo{};
+};
+
+void
+accumulate(ReasonCounts& into, const cc::ReplayResult& result)
+{
+    for (size_t r = 0; r < into.size(); ++r) {
+        into[r] += result.aborts_by_reason[r];
+    }
+}
+
 Point
-measure(unsigned accesses, int concurrency, size_t txns, int seeds)
+measure(unsigned accesses, int concurrency, size_t txns, int seeds,
+        ReasonTotals& reasons)
 {
     Point point;
     point.collision = cc::uniform_collision_rate(1024, accesses);
@@ -53,10 +76,18 @@ measure(unsigned accesses, int concurrency, size_t txns, int seeds)
         cc::TwoPhaseLocking tpl;
         cc::Tocc tocc;
         cc::RococoCc rococo(64);
-        tpl_stat.add(cc::replay(tpl, trace, concurrency).abort_rate());
-        tocc_stat.add(cc::replay(tocc, trace, concurrency).abort_rate());
-        rococo_stat.add(
-            cc::replay(rococo, trace, concurrency).abort_rate());
+        const cc::ReplayResult tpl_result =
+            cc::replay(tpl, trace, concurrency);
+        const cc::ReplayResult tocc_result =
+            cc::replay(tocc, trace, concurrency);
+        const cc::ReplayResult rococo_result =
+            cc::replay(rococo, trace, concurrency);
+        tpl_stat.add(tpl_result.abort_rate());
+        tocc_stat.add(tocc_result.abort_rate());
+        rococo_stat.add(rococo_result.abort_rate());
+        accumulate(reasons.tpl, tpl_result);
+        accumulate(reasons.tocc, tocc_result);
+        accumulate(reasons.rococo, rococo_result);
     }
     point.tpl = tpl_stat.mean();
     point.tocc = tocc_stat.mean();
@@ -69,9 +100,10 @@ measure(unsigned accesses, int concurrency, size_t txns, int seeds)
 int
 main(int argc, char** argv)
 {
-    Cli cli(argc, argv, {"txns", "seeds", "window", "csv"});
+    Cli cli(argc, argv, {"txns", "seeds", "window", "csv", "telemetry-out"});
     const size_t txns = static_cast<size_t>(cli.get_int("txns", 1000));
     const int seeds = static_cast<int>(cli.get_int("seeds", 50));
+    obs::TelemetrySession telemetry(cli.get("telemetry-out", ""));
 
     std::printf("Figure 9: abort rate vs collision rate "
                 "(1024 slots, 50%%R/50%%W, %d traces/point, %zu txns)\n\n",
@@ -85,12 +117,14 @@ main(int argc, char** argv)
                                      "tpl", "tocc", "rococo"});
     }
 
+    ReasonTotals reasons;
     for (int concurrency : {4, 16}) {
         std::printf("T = %d concurrent transactions\n", concurrency);
         Table table({"N", "collision", "2PL", "TOCC", "ROCoCo",
                      "ROCoCo vs 2PL", "ROCoCo vs TOCC"});
         for (unsigned accesses = 4; accesses <= 32; accesses += 4) {
-            const Point p = measure(accesses, concurrency, txns, seeds);
+            const Point p =
+                measure(accesses, concurrency, txns, seeds, reasons);
             if (csv) {
                 csv->write_row({std::to_string(concurrency),
                                 std::to_string(accesses),
@@ -118,5 +152,22 @@ main(int argc, char** argv)
         table.print();
         std::printf("\n");
     }
-    return 0;
+
+    // Typed abort attribution: 2PL aborts are lock conflicts, TOCC's
+    // are commit-order inversions (the phantom ordering of §3.1), and
+    // ROCoCo's split into true ->rw cycles vs window evictions.
+    std::printf("Abort attribution by typed AbortReason (all points)\n");
+    Table attribution({"reason", "2PL", "TOCC", "ROCoCo"});
+    for (size_t r = 0; r < obs::kAbortReasonCount; ++r) {
+        const uint64_t total =
+            reasons.tpl[r] + reasons.tocc[r] + reasons.rococo[r];
+        if (total == 0) continue;
+        attribution.row()
+            .cell(obs::to_string(static_cast<obs::AbortReason>(r)))
+            .num(reasons.tpl[r])
+            .num(reasons.tocc[r])
+            .num(reasons.rococo[r]);
+    }
+    attribution.print();
+    return telemetry.finish() ? 0 : 1;
 }

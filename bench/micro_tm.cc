@@ -7,12 +7,15 @@
 /// raw hardware access) are what the model encodes.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "baselines/global_lock_tm.h"
 #include "baselines/htm_tsx.h"
 #include "baselines/sequential_tm.h"
 #include "baselines/tinystm_lsa.h"
+#include "obs/telemetry.h"
 #include "tm/rococo_tm.h"
 
 using namespace rococo;
@@ -86,4 +89,29 @@ BENCHMARK(BM_ReadWriteTxn)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: google-benchmark rejects flags it does not know, so
+// --telemetry-out=FILE is peeled off before Initialize. When given, the
+// whole benchmark run records spans + metrics and writes a combined
+// Chrome-trace/metrics JSON on exit (see src/obs/telemetry.h).
+int
+main(int argc, char** argv)
+{
+    std::string telemetry_out;
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        constexpr const char* kFlag = "--telemetry-out=";
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+            telemetry_out = argv[i] + std::strlen(kFlag);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+
+    obs::TelemetrySession telemetry(telemetry_out);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return telemetry.finish() ? 0 : 1;
+}

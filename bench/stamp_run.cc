@@ -1,0 +1,122 @@
+/// Real-thread STAMP runs with full telemetry: executes the selected
+/// workloads on actual threads under a chosen TM runtime and (with
+/// --telemetry-out=FILE) records the complete transaction-lifecycle
+/// trace — per-attempt spans, validation/commit spans with cids, typed
+/// per-reason abort counters, retry-latency histograms and pipeline
+/// occupancy gauges — into one Perfetto-loadable JSON file.
+///
+/// This is the observability companion of fig10_stamp: fig10 reports
+/// modelled scalability from the trace-driven simulator; this binary
+/// runs the same workloads for real (functional timing on this
+/// machine, not the paper's Xeon) so the spans and counters describe
+/// actual concurrent executions.
+///
+///   ./build/bench/stamp_run --workloads=vacation,kmeans --threads=8 \
+///       --runtime=rococo --telemetry-out=stamp.json
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/global_lock_tm.h"
+#include "baselines/htm_tsx.h"
+#include "baselines/sequential_tm.h"
+#include "baselines/tinystm_lsa.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "obs/telemetry.h"
+#include "stamp/harness.h"
+#include "tm/rococo_tm.h"
+
+using namespace rococo;
+
+namespace {
+
+std::unique_ptr<tm::TmRuntime>
+make_runtime(const std::string& name)
+{
+    if (name == "sequential") {
+        return std::make_unique<baselines::SequentialTm>();
+    }
+    if (name == "globallock") {
+        return std::make_unique<baselines::GlobalLockTm>();
+    }
+    if (name == "tinystm") return std::make_unique<baselines::TinyStmLsa>();
+    if (name == "tsx") return std::make_unique<baselines::HtmTsxSim>();
+    if (name == "rococo") return std::make_unique<tm::RococoTm>();
+    std::fprintf(stderr,
+                 "unknown --runtime=%s (sequential|globallock|tinystm|"
+                 "tsx|rococo)\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+std::vector<std::string>
+split_list(const std::string& spec)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while (pos < spec.size()) {
+        size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos) comma = spec.size();
+        out.push_back(spec.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv,
+            {"workloads", "runtime", "threads", "scale", "seed",
+             "contention", "telemetry-out"});
+    stamp::WorkloadParams params;
+    params.scale = static_cast<unsigned>(cli.get_int("scale", 1));
+    params.seed = static_cast<uint64_t>(cli.get_int("seed", 7));
+    params.high_contention = cli.get("contention", "high") != "low";
+    const unsigned threads =
+        static_cast<unsigned>(cli.get_int("threads", 4));
+    const std::string runtime_name = cli.get("runtime", "rococo");
+
+    std::vector<std::string> workloads = stamp::workload_names();
+    if (cli.has("workloads")) {
+        workloads = split_list(cli.get("workloads", ""));
+    }
+
+    obs::TelemetrySession telemetry(cli.get("telemetry-out", ""));
+
+    std::printf("STAMP real-thread runs: runtime=%s, %u threads, "
+                "scale=%u%s\n\n",
+                runtime_name.c_str(), threads, params.scale,
+                telemetry.active() ? ", telemetry on" : "");
+
+    Table table({"workload", "seconds", "commits", "aborts", "abort rate",
+                 "verified"});
+    bool all_verified = true;
+    for (const std::string& name : workloads) {
+        auto workload = stamp::make_workload(name, params);
+        auto runtime = make_runtime(runtime_name);
+        const stamp::RunResult result =
+            stamp::run_workload(*workload, *runtime, threads);
+        all_verified = all_verified && result.verified;
+        table.row()
+            .cell(name)
+            .num(result.seconds, 3)
+            .num(result.tm_stats.get("commits"))
+            .num(result.tm_stats.get("aborts"))
+            .num(result.abort_rate(), 3)
+            .cell(result.verified ? "yes" : "NO");
+    }
+    table.print();
+
+    const bool written = telemetry.finish();
+    if (telemetry.active() && written) {
+        std::printf("\ntelemetry written to %s (load in Perfetto or "
+                    "check with scripts/check_trace_json.py)\n",
+                    telemetry.path().c_str());
+    }
+    return all_verified && written ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 #include "cc/two_phase_locking.h"
 #include "common/cli.h"
 #include "common/table.h"
+#include "obs/telemetry.h"
 
 using namespace rococo;
 
@@ -26,7 +27,10 @@ main(int argc, char** argv)
 {
     Cli cli(argc, argv,
             {"generate", "replay", "txns", "accesses", "skew", "seed",
-             "threads", "window", "batch"});
+             "threads", "window", "batch", "telemetry-out"});
+    // Records the cc.* replay counters; spans come from the real-thread
+    // runtimes, so a trace_tool telemetry file is metrics-only.
+    obs::TelemetrySession telemetry(cli.get("telemetry-out", ""));
 
     if (cli.has("generate")) {
         const std::string path = cli.get("generate", "");
@@ -110,5 +114,5 @@ main(int argc, char** argv)
                   ? "yes"
                   : "NO");
     table.print();
-    return 0;
+    return telemetry.finish() ? 0 : 1;
 }

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Validate a telemetry JSON file written by obs::TelemetrySession.
+
+Checks, in order:
+
+1. Schema: the file is a JSON object with a "traceEvents" array in
+   Chrome trace-event format (every event has name/ph/ts/pid/tid;
+   complete "X" events carry a duration) and a "metrics" object with
+   counters/gauges/histograms.
+
+2. Abort accounting: for every layer prefix that reports aborts
+   (tm., cc., sim.), the per-reason counters "<p>.abort.<reason>" sum
+   exactly to the "<p>.abort" total. The instrumentation bumps both at
+   the same attribution site, so any mismatch means a code path lost
+   its typed AbortReason.
+
+3. Span chains (skippable with --no-chain, for metrics-only files from
+   replay/simulator benches): every "tx.commit" span must sit inside a
+   "tx.attempt" span on the same thread that also contains a
+   "tx.validate" span — the begin -> validate -> commit lifecycle of a
+   committed offloaded transaction — and at least one complete chain
+   must exist. Per-thread ring buffers overwrite their oldest events,
+   so up to --max-orphans (default 2) broken chains per thread are
+   tolerated at the wraparound boundary.
+
+Exit status 0 if all checks pass; 1 with a message on stderr otherwise.
+
+Usage: check_trace_json.py FILE [--no-chain] [--max-orphans=N]
+"""
+
+import json
+import sys
+
+REASON_PREFIXES = ("tm", "cc", "sim")
+
+
+def fail(message):
+    print(f"check_trace_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_schema(doc):
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing "traceEvents" array')
+    for i, event in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"traceEvents[{i}] lacks required key {key!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f'traceEvents[{i}] is a complete event without "dur"')
+        if event["ph"] not in ("X", "C", "i"):
+            fail(f"traceEvents[{i}] has unknown phase {event['ph']!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        fail('missing "metrics" object')
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f'metrics lacks the "{section}" object')
+    return events, metrics
+
+
+def check_abort_sums(counters):
+    checked = 0
+    for prefix in REASON_PREFIXES:
+        total_name = f"{prefix}.abort"
+        if total_name not in counters:
+            continue
+        total = counters[total_name]
+        by_reason = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith(f"{prefix}.abort.")
+        )
+        if by_reason != total:
+            fail(
+                f"per-reason counters under {prefix}.abort.* sum to "
+                f"{by_reason}, but {total_name} = {total}"
+            )
+        checked += 1
+    return checked
+
+
+def check_span_chains(events, max_orphans):
+    spans = [e for e in events if e["ph"] == "X"]
+    by_tid = {}
+    for span in spans:
+        by_tid.setdefault(span["tid"], []).append(span)
+
+    def contains(outer, inner):
+        outer_end = outer["ts"] + outer["dur"]
+        inner_end = inner["ts"] + inner["dur"]
+        return outer["ts"] <= inner["ts"] and inner_end <= outer_end
+
+    complete = 0
+    orphan_report = []
+    for tid, tid_spans in sorted(by_tid.items()):
+        attempts = [s for s in tid_spans if s["name"] == "tx.attempt"]
+        validates = [s for s in tid_spans if s["name"] == "tx.validate"]
+        commits = [s for s in tid_spans if s["name"] == "tx.commit"]
+        orphans = 0
+        for commit in commits:
+            enclosing = [a for a in attempts if contains(a, commit)]
+            chained = any(
+                contains(a, v)
+                for a in enclosing
+                for v in validates
+            )
+            if chained:
+                complete += 1
+            else:
+                orphans += 1
+        if orphans > max_orphans:
+            orphan_report.append(
+                f"tid {tid}: {orphans} tx.commit spans without an "
+                f"enclosing tx.attempt containing tx.validate "
+                f"(tolerance {max_orphans} for ring wraparound)"
+            )
+    if orphan_report:
+        fail("; ".join(orphan_report))
+    if complete == 0:
+        fail(
+            "no complete begin -> validate -> commit span chain found "
+            "(expected at least one; use --no-chain for metrics-only "
+            "files)"
+        )
+    return complete
+
+
+def main(argv):
+    path = None
+    no_chain = False
+    max_orphans = 2
+    for arg in argv[1:]:
+        if arg == "--no-chain":
+            no_chain = True
+        elif arg.startswith("--max-orphans="):
+            max_orphans = int(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            fail(f"unknown flag {arg}")
+        elif path is None:
+            path = arg
+        else:
+            fail("more than one input file")
+    if path is None:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {path}: {error}")
+
+    events, metrics = check_schema(doc)
+    layers = check_abort_sums(metrics["counters"])
+    chains = 0 if no_chain else check_span_chains(events, max_orphans)
+
+    print(
+        f"check_trace_json: OK: {len(events)} events, "
+        f"{len(metrics['counters'])} counters "
+        f"({layers} abort layer(s) consistent), "
+        + (f"{chains} complete span chains" if not no_chain
+           else "chain check skipped")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,6 +27,13 @@ class GlobalLockTm final : public tm::TmRuntime
         return stats_;
     }
 
+    /// Under a global lock the only abort is a body-requested retry().
+    obs::AbortReason
+    last_abort_reason() const override
+    {
+        return obs::AbortReason::kExplicitRetry;
+    }
+
   protected:
     bool try_execute(const std::function<void(tm::Tx&)>& body) override;
 

@@ -26,6 +26,7 @@ struct HtmTsxSim::Descriptor
     tm::RedoLog redo;
     size_t accesses = 0;
     CounterBag stats;
+    obs::AbortReason last_abort = obs::AbortReason::kNone;
 
     void
     reset()
@@ -34,6 +35,7 @@ struct HtmTsxSim::Descriptor
         write_stripes.clear();
         redo.clear();
         accesses = 0;
+        last_abort = obs::AbortReason::kNone;
     }
 };
 
@@ -108,6 +110,7 @@ class HtmTsxSim::TxImpl final : public tm::Tx
     retry() override
     {
         d_.stats.bump(tm::stat::kEagerAborts);
+        d_.last_abort = obs::AbortReason::kExplicitRetry;
         throw tm::TxAbortException{};
     }
 
@@ -118,6 +121,7 @@ class HtmTsxSim::TxImpl final : public tm::Tx
         if (rt_.doomed_[d_.thread_id].load(std::memory_order_acquire) ||
             rt_.fallback_active_.load(std::memory_order_acquire)) {
             d_.stats.bump(tm::stat::kConflictAborts);
+            d_.last_abort = obs::AbortReason::kConflict;
             throw tm::TxAbortException{};
         }
         if (d_.accesses > rt_.config_.read_capacity) capacity_abort();
@@ -127,6 +131,7 @@ class HtmTsxSim::TxImpl final : public tm::Tx
     capacity_abort()
     {
         d_.stats.bump(tm::stat::kCapacityAborts);
+        d_.last_abort = obs::AbortReason::kCapacity;
         throw tm::TxAbortException{};
     }
 
@@ -222,6 +227,7 @@ HtmTsxSim::speculative_attempt(const std::function<void(tm::Tx&)>& body,
             committed = true;
         } else {
             d.stats.bump(tm::stat::kConflictAborts);
+            d.last_abort = obs::AbortReason::kConflict;
         }
     } catch (const tm::TxAbortException&) {
         // Doom/capacity/user abort: counters were bumped at the throw
@@ -310,6 +316,15 @@ HtmTsxSim::stats() const
 {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     return stats_;
+}
+
+obs::AbortReason
+HtmTsxSim::last_abort_reason() const
+{
+    if (tls_thread_id == ~0u || !descriptors_[tls_thread_id]) {
+        return obs::AbortReason::kUnknown;
+    }
+    return descriptors_[tls_thread_id]->last_abort;
 }
 
 } // namespace rococo::baselines

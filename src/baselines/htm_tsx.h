@@ -54,6 +54,8 @@ class HtmTsxSim final : public tm::TmRuntime
 
     CounterBag stats() const override;
 
+    obs::AbortReason last_abort_reason() const override;
+
   protected:
     bool try_execute(const std::function<void(tm::Tx&)>& body) override;
 

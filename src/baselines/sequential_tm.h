@@ -24,6 +24,13 @@ class SequentialTm final : public tm::TmRuntime
         return stats_;
     }
 
+    /// Sequential execution only aborts on a body-requested retry().
+    obs::AbortReason
+    last_abort_reason() const override
+    {
+        return obs::AbortReason::kExplicitRetry;
+    }
+
   protected:
     bool try_execute(const std::function<void(tm::Tx&)>& body) override;
 

@@ -31,6 +31,7 @@ struct TinyStmLsa::Descriptor
     std::vector<ReadEntry> read_set;
     tm::RedoLog redo;
     CounterBag stats;
+    obs::AbortReason last_abort = obs::AbortReason::kNone;
 
     void
     reset(uint64_t now)
@@ -38,6 +39,7 @@ struct TinyStmLsa::Descriptor
         snapshot = now;
         read_set.clear();
         redo.clear();
+        last_abort = obs::AbortReason::kNone;
     }
 };
 
@@ -62,7 +64,8 @@ class TinyStmLsa::TxImpl final : public tm::Tx
                 // Commit-time locking: the owner is writing back right
                 // now; wait briefly, then abort.
                 if (spin > rt_.config_.read_lock_spins) {
-                    abort_tx(tm::stat::kConflictAborts);
+                    abort_tx(tm::stat::kConflictAborts,
+                             obs::AbortReason::kLockedConflict);
                 }
                 std::this_thread::yield();
                 continue;
@@ -74,7 +77,8 @@ class TinyStmLsa::TxImpl final : public tm::Tx
             if (LockTable::version_of(v1) > d_.snapshot) {
                 // LSA snapshot extension.
                 if (!extend_snapshot()) {
-                    abort_tx(tm::stat::kStaleAborts);
+                    abort_tx(tm::stat::kStaleAborts,
+                             obs::AbortReason::kSnapshotStale);
                 }
             }
             d_.read_set.push_back({&lock, LockTable::version_of(v1)});
@@ -91,7 +95,7 @@ class TinyStmLsa::TxImpl final : public tm::Tx
     [[noreturn]] void
     retry() override
     {
-        abort_tx(tm::stat::kEagerAborts);
+        abort_tx(tm::stat::kEagerAborts, obs::AbortReason::kExplicitRetry);
     }
 
   private:
@@ -113,9 +117,10 @@ class TinyStmLsa::TxImpl final : public tm::Tx
     }
 
     [[noreturn]] void
-    abort_tx(const char* reason)
+    abort_tx(const char* counter, obs::AbortReason reason)
     {
-        d_.stats.bump(reason);
+        d_.stats.bump(counter);
+        d_.last_abort = reason;
         throw tm::TxAbortException{};
     }
 
@@ -207,6 +212,7 @@ TinyStmLsa::try_execute(const std::function<void(tm::Tx&)>& body)
                 release_locks(write_locks, saved_versions, i);
                 d.stats.bump(tm::stat::kConflictAborts);
                 d.stats.bump(tm::stat::kAborts);
+                d.last_abort = obs::AbortReason::kLockedConflict;
                 return false;
             }
         }
@@ -215,6 +221,7 @@ TinyStmLsa::try_execute(const std::function<void(tm::Tx&)>& body)
             release_locks(write_locks, saved_versions, i);
             d.stats.bump(tm::stat::kConflictAborts);
             d.stats.bump(tm::stat::kAborts);
+            d.last_abort = obs::AbortReason::kLockedConflict;
             return false;
         }
         saved_versions.push_back(LockTable::version_of(expected));
@@ -250,6 +257,7 @@ TinyStmLsa::try_execute(const std::function<void(tm::Tx&)>& body)
                           write_locks.size());
             d.stats.bump(tm::stat::kValidationAborts);
             d.stats.bump(tm::stat::kAborts);
+            d.last_abort = obs::AbortReason::kConflict;
             return false;
         }
     }
@@ -279,6 +287,15 @@ TinyStmLsa::stats() const
 {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     return stats_;
+}
+
+obs::AbortReason
+TinyStmLsa::last_abort_reason() const
+{
+    if (tls_thread_id == ~0u || !descriptors_[tls_thread_id]) {
+        return obs::AbortReason::kUnknown;
+    }
+    return descriptors_[tls_thread_id]->last_abort;
 }
 
 } // namespace rococo::baselines

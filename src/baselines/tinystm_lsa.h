@@ -49,6 +49,8 @@ class TinyStmLsa final : public tm::TmRuntime
 
     CounterBag stats() const override;
 
+    obs::AbortReason last_abort_reason() const override;
+
   protected:
     bool try_execute(const std::function<void(tm::Tx&)>& body) override;
 

@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
 
 namespace rococo::cc {
 
@@ -47,6 +49,27 @@ struct ReplayDriver
                 ++result.commit_count;
             } else {
                 ++result.abort_count;
+                const obs::AbortReason reason = algorithm.last_abort_reason();
+                ++result.aborts_by_reason[static_cast<size_t>(reason)];
+                result.stats.bump(std::string("abort.") +
+                                  obs::to_string(reason));
+            }
+        }
+        if (obs::telemetry_active()) {
+            // Mirror into the global registry with a "cc." prefix so a
+            // TelemetrySession wrapping a replay-based bench exports the
+            // same per-reason breakdown (sums to "cc.abort" by
+            // construction, like the tm.* counters).
+            auto& registry = obs::Registry::global();
+            registry.counter("cc.commit").add(result.commit_count);
+            registry.counter("cc.abort").add(result.abort_count);
+            for (size_t r = 0; r < result.aborts_by_reason.size(); ++r) {
+                const uint64_t n = result.aborts_by_reason[r];
+                if (n == 0) continue;
+                registry
+                    .counter(std::string("cc.abort.") +
+                             obs::to_string(static_cast<obs::AbortReason>(r)))
+                    .add(n);
             }
         }
         return result;

@@ -9,6 +9,7 @@
 /// driver records decisions and statistics.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "common/stats.h"
 #include "graph/dependency_graph.h"
 #include "graph/serializability.h"
+#include "obs/abort_reason.h"
 
 namespace rococo::cc {
 
@@ -66,6 +68,15 @@ class CcAlgorithm
     /// Decide commit (true) or abort (false) for transaction @p i. The
     /// context exposes all decisions for j < i.
     virtual bool decide(const ReplayContext& context, size_t i) = 0;
+
+    /// Why the most recent decide() returned false. Algorithms that can
+    /// attribute their aborts override this; the replay driver reads it
+    /// after every abort to fill ReplayResult::aborts_by_reason.
+    virtual obs::AbortReason
+    last_abort_reason() const
+    {
+        return obs::AbortReason::kUnknown;
+    }
 };
 
 /// Result of replaying one trace.
@@ -75,6 +86,9 @@ struct ReplayResult
     uint64_t commit_count = 0;
     uint64_t abort_count = 0;
     CounterBag stats;
+    /// Aborts attributed by cause (indexed by obs::AbortReason); the
+    /// entries sum to abort_count.
+    std::array<uint64_t, obs::kAbortReasonCount> aborts_by_reason{};
 
     double
     abort_rate() const

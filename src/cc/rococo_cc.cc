@@ -33,6 +33,11 @@ RococoCc::decide(const ReplayContext& context, size_t i)
         txn.reads, txn.writes, snapshot);
     verdicts_.bump(core::to_string(result.verdict));
     cid_prefix_[i + 1] = validator_->next_cid();
+    if (result.verdict != core::Verdict::kCommit) {
+        last_abort_ = result.reason == obs::AbortReason::kNone
+                          ? obs::AbortReason::kUnknown
+                          : result.reason;
+    }
     return result.verdict == core::Verdict::kCommit;
 }
 

@@ -22,6 +22,13 @@ class RococoCc final : public CcAlgorithm
     void reset(const ReplayContext& context) override;
     bool decide(const ReplayContext& context, size_t i) override;
 
+    /// Typed cause of the last abort verdict (validation-cycle vs
+    /// window-eviction), straight from the validator result.
+    obs::AbortReason last_abort_reason() const override
+    {
+        return last_abort_;
+    }
+
     /// Cumulative verdict counters (abort-cycle vs window-overflow)
     /// since the last reset.
     const CounterBag& verdicts() const { return verdicts_; }
@@ -32,6 +39,7 @@ class RococoCc final : public CcAlgorithm
     std::unique_ptr<core::ExactRococoValidator> validator_;
     CounterBag verdicts_;
     std::vector<uint64_t> cid_prefix_;
+    obs::AbortReason last_abort_ = obs::AbortReason::kUnknown;
 };
 
 } // namespace rococo::cc

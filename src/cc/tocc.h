@@ -19,6 +19,14 @@ class Tocc final : public CcAlgorithm
     std::string name() const override { return "TOCC"; }
     void reset(const ReplayContext& context) override;
     bool decide(const ReplayContext& context, size_t i) override;
+
+    /// TOCC aborts are exactly the commit-order inversions the total
+    /// timestamp order forbids (the phantom ordering ROCoCo removes).
+    obs::AbortReason
+    last_abort_reason() const override
+    {
+        return obs::AbortReason::kOrderInversion;
+    }
 };
 
 } // namespace rococo::cc

@@ -20,6 +20,13 @@ class TwoPhaseLocking final : public CcAlgorithm
     std::string name() const override { return "2PL"; }
     void reset(const ReplayContext& context) override;
     bool decide(const ReplayContext& context, size_t i) override;
+
+    /// Every 2PL abort is a failed lock acquisition.
+    obs::AbortReason
+    last_abort_reason() const override
+    {
+        return obs::AbortReason::kLockedConflict;
+    }
 };
 
 } // namespace rococo::cc

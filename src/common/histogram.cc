@@ -30,25 +30,33 @@ Histogram::add(double x)
     ++counts_[idx];
     ++total_;
     sum_ += x;
+    min_ = total_ == 1 ? x : std::min(min_, x);
+    max_ = total_ == 1 ? x : std::max(max_, x);
 }
 
 double
 Histogram::quantile(double q) const
 {
     if (total_ == 0) return lo_;
+    q = std::clamp(q, 0.0, 1.0);
     const double target = q * static_cast<double>(total_);
     double seen = 0.0;
     for (size_t i = 0; i < counts_.size(); ++i) {
         const double next = seen + static_cast<double>(counts_[i]);
         if (next >= target && counts_[i] > 0) {
-            if (i == 0) return lo_;
-            if (i == counts_.size() - 1) return hi_;
+            // Underflow bucket: every sample here is < lo, so lo would
+            // overstate — report the smallest sample instead. Likewise
+            // the overflow bucket reports the largest sample, not hi.
+            if (i == 0) return min_;
+            if (i == counts_.size() - 1) return max_;
             const double frac = (target - seen) / static_cast<double>(counts_[i]);
-            return lo_ + width_ * (static_cast<double>(i - 1) + frac);
+            const double estimate =
+                lo_ + width_ * (static_cast<double>(i - 1) + frac);
+            return std::clamp(estimate, min_, max_);
         }
         seen = next;
     }
-    return hi_;
+    return max_;
 }
 
 std::string

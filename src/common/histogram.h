@@ -22,8 +22,17 @@ class Histogram
 
     uint64_t total() const { return total_; }
 
-    /// Value below which @p q (in [0,1]) of samples fall, estimated by
-    /// linear interpolation within the containing bucket.
+    /// Smallest / largest sample added (0 before any sample). Samples
+    /// outside [lo, hi) are included, so these bound the quantiles.
+    double min() const { return total_ ? min_ : 0.0; }
+    double max() const { return total_ ? max_ : 0.0; }
+
+    /// Value below which fraction @p q of samples fall, estimated by
+    /// linear interpolation within the containing bucket. @p q is
+    /// clamped to [0, 1]. The estimate is clamped to the observed
+    /// [min(), max()], so quantiles that land in the underflow or
+    /// overflow bucket report the true extreme rather than the bucket
+    /// boundary (lo / hi). Returns lo with no samples.
     double quantile(double q) const;
 
     double mean() const { return total_ ? sum_ / static_cast<double>(total_) : 0.0; }
@@ -38,6 +47,8 @@ class Histogram
     std::vector<uint64_t> counts_; // [underflow, b0..bn-1, overflow]
     uint64_t total_ = 0;
     double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
 };
 
 } // namespace rococo

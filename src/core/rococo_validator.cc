@@ -69,13 +69,14 @@ ExactRococoValidator::validate(std::span<const uint64_t> reads,
     if (w.empty() && !strict_read_only_) {
         // Paper fast path: read-only transactions commit directly on the
         // CPU (their snapshot was kept consistent by eager detection).
-        return {Verdict::kCommit, 0};
+        return {Verdict::kCommit, 0, obs::AbortReason::kNone};
     }
 
     if (snapshot_cid < validator_.window_start() && !r.empty()) {
         // The transaction may have neglected updates of an evicted
         // commit; its reads cannot be checked any more.
-        return {Verdict::kWindowOverflow, 0};
+        return {Verdict::kWindowOverflow, 0,
+                obs::AbortReason::kWindowEviction};
     }
 
     const ValidationRequest request = classify(r, w, snapshot_cid);

@@ -15,6 +15,17 @@ to_string(Verdict verdict)
     return "?";
 }
 
+obs::AbortReason
+abort_reason(Verdict verdict)
+{
+    switch (verdict) {
+      case Verdict::kCommit: return obs::AbortReason::kNone;
+      case Verdict::kAbortCycle: return obs::AbortReason::kValidationCycle;
+      case Verdict::kWindowOverflow: return obs::AbortReason::kWindowEviction;
+    }
+    return obs::AbortReason::kUnknown;
+}
+
 SlidingWindowValidator::SlidingWindowValidator(size_t window)
     : matrix_(window)
 {
@@ -56,12 +67,13 @@ SlidingWindowValidator::validate_and_commit(const ValidationRequest& request)
 {
     BitVector f(window()), b(window());
     if (!build_vectors(request, f, b)) {
-        return {Verdict::kWindowOverflow, 0};
+        return {Verdict::kWindowOverflow, 0,
+                obs::AbortReason::kWindowEviction};
     }
 
     ProbeResult probe = matrix_.probe(f, b);
     if (probe.cyclic) {
-        return {Verdict::kAbortCycle, 0};
+        return {Verdict::kAbortCycle, 0, obs::AbortReason::kValidationCycle};
     }
 
     const uint64_t cid = next_cid_++;
@@ -81,7 +93,7 @@ SlidingWindowValidator::validate_and_commit(const ValidationRequest& request)
     }
     matrix_.insert(slot, probe);
     if (preceded_evictee) matrix_.mark_reaches_evicted(slot);
-    return {Verdict::kCommit, cid};
+    return {Verdict::kCommit, cid, obs::AbortReason::kNone};
 }
 
 Verdict

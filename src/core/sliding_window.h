@@ -14,6 +14,7 @@
 
 #include "common/bitvector.h"
 #include "core/reachability_matrix.h"
+#include "obs/abort_reason.h"
 
 namespace rococo::core {
 
@@ -26,6 +27,11 @@ enum class Verdict : uint8_t
 };
 
 const char* to_string(Verdict verdict);
+
+/// Typed abort cause for a rejecting verdict (obs::AbortReason::kNone
+/// for kCommit), so telemetry attributes validator aborts without
+/// re-deriving the mapping at every call site.
+obs::AbortReason abort_reason(Verdict verdict);
 
 /// A validation request expressed in commit ids: the incoming
 /// transaction's direct R/W dependencies to already-committed
@@ -46,6 +52,9 @@ struct ValidationResult
     Verdict verdict = Verdict::kAbortCycle;
     /// The commit id assigned on kCommit (undefined otherwise).
     uint64_t cid = 0;
+    /// Typed abort cause (kNone on kCommit); always consistent with
+    /// verdict — set wherever a result is constructed.
+    obs::AbortReason reason = obs::AbortReason::kNone;
 };
 
 /// cid-addressed wrapper around ReachabilityMatrix implementing the

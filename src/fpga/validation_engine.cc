@@ -16,14 +16,15 @@ ValidationEngine::process(const OffloadRequest& request)
     if (request.writes.empty() && !config_.strict_read_only) {
         // Read-only fast path: committed directly on the CPU (§5.3);
         // requests should normally not even reach the engine.
-        return {core::Verdict::kCommit, 0};
+        return {core::Verdict::kCommit, 0, obs::AbortReason::kNone};
     }
 
     if (request.snapshot_cid < manager_.window_start() &&
         !request.reads.empty()) {
         // The snapshot predates the window: updates of evicted commits
         // may have been neglected (§4.2).
-        return {core::Verdict::kWindowOverflow, 0};
+        return {core::Verdict::kWindowOverflow, 0,
+                obs::AbortReason::kWindowEviction};
     }
 
     const core::ValidationRequest classified = detector_.classify(request);

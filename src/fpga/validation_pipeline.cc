@@ -1,5 +1,10 @@
 #include "fpga/validation_pipeline.h"
 
+#include "core/sliding_window.h"
+#include "obs/clock.h"
+#include "obs/telemetry.h"
+#include "obs/tracer.h"
+
 namespace rococo::fpga {
 
 ValidationPipeline::ValidationPipeline(const EngineConfig& config)
@@ -18,9 +23,33 @@ ValidationPipeline::worker_loop()
 {
     while (auto item = queue_.pop()) {
         core::ValidationResult result;
+        const uint64_t start = obs::now_ns();
         {
+            obs::ScopedSpan span("fpga", "fpga.validate");
             std::lock_guard<std::mutex> lock(engine_mutex_);
             result = engine_.process(item->request);
+            if (result.verdict == core::Verdict::kCommit) {
+                span.arg("cid", result.cid);
+            }
+        }
+        const uint64_t elapsed = obs::now_ns() - start;
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            verdicts_.bump(core::to_string(result.verdict));
+            busy_ns_ += elapsed;
+        }
+        TRACE_COUNTER("fpga.queue_depth", queue_.size());
+        if (obs::telemetry_active()) {
+            auto& registry = obs::Registry::global();
+            registry.gauge("fpga.queue_depth")
+                .set(static_cast<double>(queue_.size()));
+            registry.histogram("fpga.validate_ns").record(elapsed);
+            {
+                std::lock_guard<std::mutex> lock(engine_mutex_);
+                registry.gauge("fpga.window_occupancy")
+                    .set(static_cast<double>(engine_.next_cid() -
+                                             engine_.window_start()));
+            }
         }
         item->promise.set_value(result);
     }
@@ -31,18 +60,20 @@ ValidationPipeline::submit(OffloadRequest request)
 {
     Item item{std::move(request), {}};
     std::future<core::ValidationResult> future = item.promise.get_future();
-    // Track occupancy before the push; the +1 below accounts for the
-    // request being enqueued.
-    const size_t depth = queue_.size() + 1;
-    size_t seen = high_water_.load(std::memory_order_relaxed);
-    while (depth > seen &&
-           !high_water_.compare_exchange_weak(seen, depth)) {
+    {
+        // Track occupancy before the push; the +1 accounts for the
+        // request being enqueued.
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++submitted_;
+        const size_t depth = queue_.size() + 1;
+        if (depth > high_water_) high_water_ = depth;
     }
     if (!queue_.push(std::move(item))) {
         // Pipeline stopped: treat as a window overflow so callers retry
         // or fall back rather than hang.
         std::promise<core::ValidationResult> dead;
-        dead.set_value({core::Verdict::kWindowOverflow, 0});
+        dead.set_value({core::Verdict::kWindowOverflow, 0,
+                        obs::AbortReason::kWindowEviction});
         return dead.get_future();
     }
     return future;
@@ -57,14 +88,39 @@ ValidationPipeline::validate(OffloadRequest request)
 CounterBag
 ValidationPipeline::stats() const
 {
-    CounterBag bag;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    CounterBag bag = verdicts_;
+    bag.bump("queue_high_water", high_water_);
+    bag.bump("submitted", submitted_);
+    return bag;
+}
+
+void
+ValidationPipeline::export_metrics(obs::Registry& registry) const
+{
+    CounterBag verdicts;
+    size_t high_water;
+    uint64_t submitted, busy_ns;
+    {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        verdicts = verdicts_;
+        high_water = high_water_;
+        submitted = submitted_;
+        busy_ns = busy_ns_;
+    }
+    for (const auto& [verdict, count] : verdicts.counters()) {
+        registry.counter("fpga.verdict." + verdict).add(count);
+    }
+    registry.counter("fpga.submitted").add(submitted);
+    registry.counter("fpga.busy_ns").add(busy_ns);
+    registry.gauge("fpga.queue_high_water")
+        .set(static_cast<double>(high_water));
     {
         std::lock_guard<std::mutex> lock(engine_mutex_);
-        bag = engine_.stats();
+        registry.gauge("fpga.window_occupancy")
+            .set(static_cast<double>(engine_.next_cid() -
+                                     engine_.window_start()));
     }
-    bag.bump("queue_high_water",
-             high_water_.load(std::memory_order_relaxed));
-    return bag;
 }
 
 std::shared_ptr<const sig::SignatureConfig>

@@ -19,6 +19,7 @@
 
 #include "common/queue.h"
 #include "fpga/validation_engine.h"
+#include "obs/registry.h"
 
 namespace rococo::fpga {
 
@@ -38,11 +39,28 @@ class ValidationPipeline
     /// submit() + wait.
     core::ValidationResult validate(OffloadRequest request);
 
-    /// Snapshot of the engine's verdict counters (thread-safe),
-    /// including the queue's observed high-water mark
-    /// ("queue_high_water") — the back-pressure the paper avoids by
-    /// keeping the pipeline free of stalls (§5.1).
+    /// Snapshot of the pipeline's counters (thread-safe): the verdict
+    /// counters ("commit" / "abort-cycle" / "window-overflow"), the
+    /// number of requests accepted ("submitted"), and the queue's
+    /// observed high-water mark ("queue_high_water") — the
+    /// back-pressure the paper avoids by keeping the pipeline free of
+    /// stalls (§5.1).
+    ///
+    /// Consistency guarantee: every field is written and read under one
+    /// mutex, so a snapshot is internally consistent — the verdict
+    /// counters never exceed "submitted" (the difference is requests
+    /// still in flight), and "queue_high_water" covers at least every
+    /// submission the counters include. (Previously the verdict
+    /// counters and the high-water mark were read under different
+    /// synchronization, so a concurrent reader could see a high-water
+    /// mark from a later submission batch than the verdicts.)
     CounterBag stats() const;
+
+    /// Export pipeline metrics into @p registry: verdict counters
+    /// ("fpga.verdict.<verdict>"), "fpga.submitted", "fpga.busy_ns",
+    /// and occupancy gauges ("fpga.queue_high_water",
+    /// "fpga.window_occupancy").
+    void export_metrics(obs::Registry& registry) const;
 
     /// Signature geometry shared with CPU-side eager detection.
     std::shared_ptr<const sig::SignatureConfig> signature_config() const;
@@ -60,10 +78,18 @@ class ValidationPipeline
     void worker_loop();
 
     EngineConfig config_;
-    std::atomic<size_t> high_water_{0};
     mutable std::mutex engine_mutex_;
     ValidationEngine engine_;
     BlockingQueue<Item> queue_;
+
+    /// All externally visible pipeline statistics live under one mutex
+    /// so stats() snapshots are consistent (see stats()).
+    mutable std::mutex stats_mutex_;
+    CounterBag verdicts_;     ///< per-verdict counts, by worker
+    size_t high_water_ = 0;   ///< max observed queue depth
+    uint64_t submitted_ = 0;  ///< requests accepted by submit()
+    uint64_t busy_ns_ = 0;    ///< worker time spent inside the engine
+
     std::thread worker_;
 };
 

@@ -1,0 +1,64 @@
+#include "obs/abort_reason.h"
+
+namespace rococo::obs {
+namespace {
+
+struct ReasonNames
+{
+    const char* id;
+    const char* counter;
+    const char* histogram;
+};
+
+// Indexed by AbortReason; keep in enum order.
+constexpr ReasonNames kNames[kAbortReasonCount] = {
+    {"none", "tm.abort.none", "tm.retry_ns.none"},
+    {"explicit-retry", "tm.abort.explicit-retry",
+     "tm.retry_ns.explicit-retry"},
+    {"eager-conflict", "tm.abort.eager-conflict",
+     "tm.retry_ns.eager-conflict"},
+    {"locked-conflict", "tm.abort.locked-conflict",
+     "tm.retry_ns.locked-conflict"},
+    {"snapshot-stale", "tm.abort.snapshot-stale",
+     "tm.retry_ns.snapshot-stale"},
+    {"validation-cycle", "tm.abort.validation-cycle",
+     "tm.retry_ns.validation-cycle"},
+    {"order-inversion", "tm.abort.order-inversion",
+     "tm.retry_ns.order-inversion"},
+    {"window-eviction", "tm.abort.window-eviction",
+     "tm.retry_ns.window-eviction"},
+    {"capacity", "tm.abort.capacity", "tm.retry_ns.capacity"},
+    {"conflict", "tm.abort.conflict", "tm.retry_ns.conflict"},
+    {"unknown", "tm.abort.unknown", "tm.retry_ns.unknown"},
+};
+
+const ReasonNames&
+names(AbortReason reason)
+{
+    const size_t i = static_cast<size_t>(reason);
+    return kNames[i < kAbortReasonCount
+                      ? i
+                      : static_cast<size_t>(AbortReason::kUnknown)];
+}
+
+} // namespace
+
+const char*
+to_string(AbortReason reason)
+{
+    return names(reason).id;
+}
+
+const char*
+abort_counter_name(AbortReason reason)
+{
+    return names(reason).counter;
+}
+
+const char*
+retry_histogram_name(AbortReason reason)
+{
+    return names(reason).histogram;
+}
+
+} // namespace rococo::obs

@@ -1,0 +1,71 @@
+/// @file
+/// Typed abort-cause taxonomy shared by every layer that can reject a
+/// transaction: the CPU-side eager detector (Algorithm 1), the FPGA
+/// validator (Manager verdicts), the baselines and the trace-level CC
+/// algorithms. Replaces string-keyed counter names, so the runtime, the
+/// benches and the telemetry exports can never silently drift apart.
+///
+/// The taxonomy mirrors the questions the paper's evaluation asks of an
+/// abort: was it a true data conflict, an artifact of signature false
+/// positives, a commit-order (phantom-ordering) inversion, or a
+/// resource limit (sliding-window eviction / HTM capacity)?
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rococo::obs {
+
+enum class AbortReason : uint8_t
+{
+    /// Not aborted (descriptor default between attempts).
+    kNone = 0,
+    /// The body called Tx::retry() — a condition wait, not a conflict.
+    kExplicitRetry,
+    /// CPU-side eager detection: a read hit the miss set, so no
+    /// consistent snapshot exists (Fig. 8 (d)). Conservative — includes
+    /// signature false positives the eager path cannot distinguish.
+    kEagerConflict,
+    /// A read raced a commit-time-locked cell while the snapshot was
+    /// already broken (2PL: could not acquire the lock).
+    kLockedConflict,
+    /// Snapshot extension fell off the commit log / version history
+    /// (the transaction is too old to be caught up).
+    kSnapshotStale,
+    /// Validation: committing would close a ->rw cycle (a true
+    /// serializability violation, or a signature false positive adding
+    /// a spurious edge).
+    kValidationCycle,
+    /// Timestamp/commit-order inversion without a proven cycle — the
+    /// "phantom ordering" aborts ROCoCo avoids but TOCC-style
+    /// validators incur.
+    kOrderInversion,
+    /// The snapshot predates the sliding window: updates of an evicted
+    /// commit may have been neglected (§4.2).
+    kWindowEviction,
+    /// HTM capacity overflow (read/write set exceeded the simulated
+    /// transactional cache).
+    kCapacity,
+    /// Generic data conflict reported by a baseline that does not
+    /// attribute further (version mismatch, doomed HTM transaction).
+    kConflict,
+    /// The runtime did not attribute the abort.
+    kUnknown,
+};
+
+inline constexpr size_t kAbortReasonCount =
+    static_cast<size_t>(AbortReason::kUnknown) + 1;
+
+/// Short stable identifier, e.g. "eager-conflict".
+const char* to_string(AbortReason reason);
+
+/// Registry counter name for aborts of this cause: "tm.abort.<reason>".
+/// The per-reason counters sum to the "tm.abort" total by construction
+/// (both are bumped at the same attribution site).
+const char* abort_counter_name(AbortReason reason);
+
+/// Registry histogram name for the latency of attempts that ended in
+/// this abort cause: "tm.retry_ns.<reason>".
+const char* retry_histogram_name(AbortReason reason);
+
+} // namespace rococo::obs

@@ -1,0 +1,23 @@
+/// @file
+/// Monotonic nanosecond clock shared by the telemetry layer. One
+/// function so every span, gauge sample and duty-cycle computation is
+/// on the same timebase (steady_clock — trace timestamps must never go
+/// backwards even if the wall clock is adjusted).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace rococo::obs {
+
+/// Nanoseconds on the process-wide monotonic clock.
+inline uint64_t
+now_ns()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace rococo::obs

@@ -1,0 +1,61 @@
+#include "obs/telemetry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace rococo::obs {
+
+namespace {
+
+std::atomic<int> g_active_sessions{0};
+
+} // namespace
+
+bool
+telemetry_active()
+{
+    return g_active_sessions.load(std::memory_order_relaxed) > 0;
+}
+
+TelemetrySession::TelemetrySession(std::string out_path)
+    : out_path_(std::move(out_path))
+{
+    if (out_path_.empty()) return;
+    active_ = true;
+    g_active_sessions.fetch_add(1, std::memory_order_relaxed);
+    Tracer::instance().reset();
+    Registry::global().reset();
+    Tracer::instance().start();
+}
+
+bool
+TelemetrySession::finish()
+{
+    if (finished_) return true;
+    finished_ = true;
+    if (!active_) return true;
+    Tracer::instance().stop();
+    g_active_sessions.fetch_sub(1, std::memory_order_relaxed);
+
+    std::ofstream out(out_path_);
+    if (!out) {
+        std::fprintf(stderr, "telemetry: cannot write %s\n",
+                     out_path_.c_str());
+        return false;
+    }
+    out << "{\n\"traceEvents\": ";
+    Tracer::instance().export_chrome_events(out);
+    out << ",\n\"metrics\": ";
+    Registry::global().to_json(out);
+    out << "\n}\n";
+    return out.good();
+}
+
+TelemetrySession::~TelemetrySession()
+{
+    finish();
+}
+
+} // namespace rococo::obs

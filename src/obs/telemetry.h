@@ -1,0 +1,67 @@
+/// @file
+/// Telemetry session: the one switch that turns the tracer and the
+/// global metrics registry on for a measured region and writes a single
+/// self-contained JSON file at the end:
+///
+///   {
+///     "traceEvents": [ ...Chrome trace-event array... ],
+///     "metrics": { "counters": {...}, "gauges": {...},
+///                  "histograms": {...} }
+///   }
+///
+/// The file loads directly in Perfetto / `chrome://tracing` (extra
+/// top-level keys are ignored there), and `scripts/check_trace_json.py`
+/// cross-checks the two halves (per-reason abort counters vs. span
+/// counts).
+///
+/// Usage, typically from a bench main() after common/cli parsing:
+///
+///   obs::TelemetrySession session(cli.get("telemetry-out"));
+///   ... run the workload ...
+///   // ~TelemetrySession stops tracing and writes the file (or call
+///   // session.finish() to get the status).
+///
+/// An empty path constructs an inactive session: nothing is recorded
+/// and nothing is written, so call sites need no branching.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/tracer.h"
+
+namespace rococo::obs {
+
+/// True while some TelemetrySession is recording. Instrumented code
+/// that pays a non-trivial cost to *compute* a metric (as opposed to
+/// bumping a counter) should check this first.
+bool telemetry_active();
+
+class TelemetrySession
+{
+  public:
+    /// Start recording if @p out_path is non-empty; inert otherwise.
+    /// Resets the tracer and the global registry so the file covers
+    /// exactly this session.
+    explicit TelemetrySession(std::string out_path);
+
+    TelemetrySession(const TelemetrySession&) = delete;
+    TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+    /// Stop recording and write the combined JSON file. Returns false
+    /// if the file could not be written (also for inert sessions:
+    /// nothing to write is reported as true). Idempotent.
+    bool finish();
+
+    bool active() const { return active_; }
+    const std::string& path() const { return out_path_; }
+
+    ~TelemetrySession();
+
+  private:
+    std::string out_path_;
+    bool active_ = false;
+    bool finished_ = false;
+};
+
+} // namespace rococo::obs

@@ -1,0 +1,33 @@
+/// @file
+/// The fixed-size record the tracer's per-thread ring buffers hold.
+/// Name/category/argument-name fields are `const char*` on purpose:
+/// they must point at string literals (or other static-duration
+/// strings), so recording a span is a handful of word stores — no
+/// allocation, no copy, no hashing on the hot path.
+#pragma once
+
+#include <cstdint>
+
+namespace rococo::obs {
+
+/// Chrome trace-event phases the tracer emits.
+enum class EventPhase : char
+{
+    kComplete = 'X', ///< a span: ts + dur
+    kCounter = 'C',  ///< a named time-series sample (queue depth, ...)
+    kInstant = 'i',  ///< a point event
+};
+
+struct TraceEvent
+{
+    const char* name = nullptr;     ///< static string
+    const char* cat = nullptr;      ///< static string (may be null)
+    const char* arg_name = nullptr; ///< static string; null = no arg
+    uint64_t ts_ns = 0;             ///< start time (monotonic ns)
+    uint64_t dur_ns = 0;            ///< span duration (kComplete only)
+    uint64_t arg_value = 0;         ///< arg / counter sample value
+    uint32_t tid = 0;               ///< tracer-assigned thread id
+    EventPhase phase = EventPhase::kComplete;
+};
+
+} // namespace rococo::obs

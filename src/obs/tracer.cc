@@ -1,0 +1,168 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace rococo::obs {
+
+Tracer&
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+Tracer::ThreadBuffer&
+Tracer::buffer()
+{
+    // One ring per thread, owned by the tracer (so it outlives the
+    // thread), bound through a cached thread-local pointer. Buffers are
+    // never destroyed before process exit — reset() empties them in
+    // place — so the cache cannot dangle.
+    thread_local ThreadBuffer* cached = nullptr;
+    if (cached) return *cached;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = static_cast<uint32_t>(buffers_.size());
+    owned->ring.resize(capacity_);
+    cached = owned.get();
+    buffers_.push_back(std::move(owned));
+    return *cached;
+}
+
+void
+Tracer::set_thread_capacity(size_t events)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = std::max<size_t>(events, 1);
+    for (auto& buf : buffers_) {
+        buf->head = 0;
+        buf->ring.assign(capacity_, TraceEvent{});
+    }
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    ThreadBuffer& buf = buffer();
+    event.tid = buf.tid;
+    buf.ring[buf.head % buf.ring.size()] = event;
+    ++buf.head;
+}
+
+void
+Tracer::counter(const char* name, uint64_t value)
+{
+    TraceEvent event;
+    event.name = name;
+    event.arg_name = name;
+    event.arg_value = value;
+    event.ts_ns = now_ns();
+    event.phase = EventPhase::kCounter;
+    record(event);
+}
+
+void
+Tracer::instant(const char* cat, const char* name)
+{
+    TraceEvent event;
+    event.name = name;
+    event.cat = cat;
+    event.ts_ns = now_ns();
+    event.phase = EventPhase::kInstant;
+    record(event);
+}
+
+size_t
+Tracer::thread_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buffers_.size();
+}
+
+void
+Tracer::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& buf : buffers_) buf->head = 0;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& buf : buffers_) {
+            const size_t capacity = buf->ring.size();
+            const size_t count = std::min<uint64_t>(buf->head, capacity);
+            // Oldest surviving event first.
+            const uint64_t first = buf->head - count;
+            for (uint64_t i = 0; i < count; ++i) {
+                events.push_back(buf->ring[(first + i) % capacity]);
+            }
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                  return a.ts_ns < b.ts_ns;
+              });
+    return events;
+}
+
+void
+Tracer::export_chrome_events(std::ostream& out) const
+{
+    const std::vector<TraceEvent> events = snapshot();
+    const uint64_t base = events.empty() ? 0 : events.front().ts_ns;
+
+    out << "[";
+    char line[256];
+    bool first = true;
+    for (const TraceEvent& e : events) {
+        if (!e.name) continue; // defensively skip unwritten slots
+        const double ts_us = static_cast<double>(e.ts_ns - base) / 1000.0;
+        if (!first) out << ",";
+        first = false;
+        out << "\n";
+        switch (e.phase) {
+          case EventPhase::kComplete:
+            std::snprintf(line, sizeof(line),
+                          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                          "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u",
+                          e.name, e.cat ? e.cat : "default", ts_us,
+                          static_cast<double>(e.dur_ns) / 1000.0, e.tid);
+            out << line;
+            if (e.arg_name) {
+                std::snprintf(line, sizeof(line),
+                              ",\"args\":{\"%s\":%" PRIu64 "}", e.arg_name,
+                              e.arg_value);
+                out << line;
+            }
+            out << "}";
+            break;
+          case EventPhase::kCounter:
+            std::snprintf(line, sizeof(line),
+                          "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,"
+                          "\"pid\":1,\"tid\":%u,\"args\":{\"%s\":%" PRIu64
+                          "}}",
+                          e.name, ts_us, e.tid,
+                          e.arg_name ? e.arg_name : "value", e.arg_value);
+            out << line;
+            break;
+          case EventPhase::kInstant:
+            std::snprintf(line, sizeof(line),
+                          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
+                          "\"ts\":%.3f,\"pid\":1,\"tid\":%u,\"s\":\"t\"}",
+                          e.name, e.cat ? e.cat : "default", ts_us, e.tid);
+            out << line;
+            break;
+        }
+    }
+    out << "\n]";
+}
+
+} // namespace rococo::obs

@@ -1,0 +1,226 @@
+/// @file
+/// Low-overhead transaction-lifecycle tracer.
+///
+/// Design: one global Tracer owns a ring buffer per participating
+/// thread. The owning thread appends events without synchronization
+/// (the buffer is touched by exactly one writer); the ring overwrites
+/// its oldest events when full, so tracing never blocks or allocates on
+/// the hot path after the first event of a thread. Export merges all
+/// rings into Chrome trace-event JSON loadable in Perfetto or
+/// `chrome://tracing`.
+///
+/// Cost model, so instrumentation can be left in production paths:
+///   * tracing idle (no TelemetrySession): one relaxed atomic load per
+///     TRACE_* site;
+///   * tracing active: two clock reads + one ring store per span;
+///   * compiled out (-DROCOCO_TRACE=OFF, which defines
+///     ROCOCO_TRACE_OFF): TRACE_* macros expand to nothing and
+///     ScopedSpan is an empty type — zero overhead, pay-for-what-you-
+///     use.
+///
+/// Export is only sensible while instrumented threads are quiescent
+/// (stopped, or between runs): snapshot() reads the rings without
+/// locking out their owners.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/clock.h"
+#include "obs/trace_event.h"
+
+#ifdef ROCOCO_TRACE_OFF
+#define ROCOCO_TRACE_ENABLED 0
+#else
+#define ROCOCO_TRACE_ENABLED 1
+#endif
+
+namespace rococo::obs {
+
+class Tracer
+{
+  public:
+    /// The process-wide tracer the TRACE_* macros record into.
+    static Tracer& instance();
+
+    /// Begin recording. Thread buffers are created lazily on first
+    /// record per thread.
+    void start() { active_.store(true, std::memory_order_relaxed); }
+
+    /// Stop recording; buffered events remain available for export.
+    void stop() { active_.store(false, std::memory_order_relaxed); }
+
+    bool active() const { return active_.load(std::memory_order_relaxed); }
+
+    /// Ring capacity, in events, of buffers created after the call;
+    /// existing buffers are resized (callers must be quiescent).
+    void set_thread_capacity(size_t events);
+
+    /// Append @p event to the calling thread's ring (owner-thread only;
+    /// the tid field is filled in by the tracer).
+    void record(TraceEvent event);
+
+    /// Record a counter sample (time-series value, e.g. queue depth).
+    void counter(const char* name, uint64_t value);
+
+    /// Record an instant event.
+    void instant(const char* cat, const char* name);
+
+    /// Number of thread buffers created so far.
+    size_t thread_count() const;
+
+    /// Drop all buffered events (buffers stay registered, so cached
+    /// thread-local bindings stay valid). Callers must be quiescent.
+    void reset();
+
+    /// Merged copy of every ring, sorted by start timestamp. Callers
+    /// must be quiescent.
+    std::vector<TraceEvent> snapshot() const;
+
+    /// Write the merged events as a Chrome trace-event JSON *array*
+    /// (the caller provides the {"traceEvents": ...} envelope, so
+    /// metrics can ride along in the same file). Timestamps are
+    /// rebased to the earliest event.
+    void export_chrome_events(std::ostream& out) const;
+
+  private:
+    struct ThreadBuffer
+    {
+        uint32_t tid = 0;
+        uint64_t head = 0; ///< total events ever pushed
+        std::vector<TraceEvent> ring;
+    };
+
+    ThreadBuffer& buffer();
+
+    std::atomic<bool> active_{false};
+    mutable std::mutex mutex_; ///< guards buffers_ registration/export
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    size_t capacity_ = size_t{1} << 13; ///< events per thread
+};
+
+#if ROCOCO_TRACE_ENABLED
+
+/// RAII span: records a complete ("X") event covering its lifetime.
+/// Capture decision is taken at construction; all strings must be
+/// static. Use the TRACE_SPAN macros unless the span needs a
+/// late-bound argument (e.g. the cid assigned by validation).
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char* cat, const char* name)
+    {
+        if (Tracer::instance().active()) {
+            cat_ = cat;
+            name_ = name;
+            start_ = now_ns();
+        }
+    }
+
+    ScopedSpan(const char* cat, const char* name, const char* arg_name,
+               uint64_t arg_value)
+        : ScopedSpan(cat, name)
+    {
+        arg(arg_name, arg_value);
+    }
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /// Attach (or overwrite) the span's single integer argument.
+    void
+    arg(const char* name, uint64_t value)
+    {
+        arg_name_ = name;
+        arg_value_ = value;
+    }
+
+    ~ScopedSpan()
+    {
+        if (!name_) return;
+        TraceEvent event;
+        event.name = name_;
+        event.cat = cat_;
+        event.arg_name = arg_name_;
+        event.arg_value = arg_value_;
+        event.ts_ns = start_;
+        event.dur_ns = now_ns() - start_;
+        event.phase = EventPhase::kComplete;
+        Tracer::instance().record(event);
+    }
+
+  private:
+    const char* name_ = nullptr; ///< null = not capturing
+    const char* cat_ = nullptr;
+    const char* arg_name_ = nullptr;
+    uint64_t arg_value_ = 0;
+    uint64_t start_ = 0;
+};
+
+#define ROCOCO_TRACE_CONCAT2(a, b) a##b
+#define ROCOCO_TRACE_CONCAT(a, b) ROCOCO_TRACE_CONCAT2(a, b)
+
+/// Span covering the rest of the enclosing scope.
+#define TRACE_SPAN(cat, name)                                              \
+    ::rococo::obs::ScopedSpan ROCOCO_TRACE_CONCAT(rococo_trace_span_,      \
+                                                  __COUNTER__)(cat, name)
+
+/// Span with one integer argument known up front.
+#define TRACE_SPAN_ARG(cat, name, arg_name, arg_value)                     \
+    ::rococo::obs::ScopedSpan ROCOCO_TRACE_CONCAT(rococo_trace_span_,      \
+                                                  __COUNTER__)(            \
+        cat, name, arg_name, static_cast<uint64_t>(arg_value))
+
+/// Time-series sample (rendered as a counter track in Perfetto).
+#define TRACE_COUNTER(name, value)                                         \
+    do {                                                                   \
+        auto& rococo_trace_tracer = ::rococo::obs::Tracer::instance();     \
+        if (rococo_trace_tracer.active()) {                                \
+            rococo_trace_tracer.counter(name,                              \
+                                        static_cast<uint64_t>(value));     \
+        }                                                                  \
+    } while (0)
+
+/// Point event.
+#define TRACE_INSTANT(cat, name)                                           \
+    do {                                                                   \
+        auto& rococo_trace_tracer = ::rococo::obs::Tracer::instance();     \
+        if (rococo_trace_tracer.active()) {                                \
+            rococo_trace_tracer.instant(cat, name);                        \
+        }                                                                  \
+    } while (0)
+
+#else // !ROCOCO_TRACE_ENABLED
+
+/// Tracing compiled out: an empty type, so direct users (spans that
+/// need a late-bound arg) still compile to nothing.
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char*, const char*) {}
+    ScopedSpan(const char*, const char*, const char*, uint64_t) {}
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+    void arg(const char*, uint64_t) {}
+};
+
+#define TRACE_SPAN(cat, name)                                              \
+    do {                                                                   \
+    } while (0)
+#define TRACE_SPAN_ARG(cat, name, arg_name, arg_value)                     \
+    do {                                                                   \
+    } while (0)
+#define TRACE_COUNTER(name, value)                                         \
+    do {                                                                   \
+    } while (0)
+#define TRACE_INSTANT(cat, name)                                           \
+    do {                                                                   \
+    } while (0)
+
+#endif // ROCOCO_TRACE_ENABLED
+
+} // namespace rococo::obs

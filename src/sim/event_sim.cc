@@ -3,6 +3,8 @@
 #include <queue>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
 
 namespace rococo::sim {
 namespace {
@@ -60,6 +62,11 @@ simulate(const stamp::SimTrace& trace, SimBackend& backend,
 
     SimResult result;
     if (trace.txns.empty()) return result;
+
+    // Per-kind abort attribution for the telemetry export below;
+    // maintained only while a TelemetrySession records.
+    const bool telemetry = obs::telemetry_active();
+    CounterBag abort_kinds;
 
     std::vector<ThreadState> threads(config.threads);
     std::priority_queue<CommitEvent, std::vector<CommitEvent>,
@@ -125,6 +132,10 @@ simulate(const stamp::SimTrace& trace, SimBackend& backend,
             ++result.aborts;
             if (decision.offload_abort) ++result.offload_aborts;
             if (decision.abort_kind) result.detail.bump(decision.abort_kind);
+            if (telemetry) {
+                abort_kinds.bump(decision.abort_kind ? decision.abort_kind
+                                                     : "unknown");
+            }
             const double noticed =
                 decision.abort_time > 0 ? decision.abort_time : event.time;
             free_at = noticed + decision.commit_extra_ns +
@@ -142,6 +153,18 @@ simulate(const stamp::SimTrace& trace, SimBackend& backend,
 
     result.seconds = makespan * 1e-9;
     result.detail.add(backend.detail());
+    if (telemetry) {
+        // "sim.abort.<kind>" sums to "sim.abort" by construction (every
+        // abort bumped exactly one kind above).
+        auto& registry = obs::Registry::global();
+        registry.counter("sim.commit").add(result.commits);
+        registry.counter("sim.abort").add(result.aborts);
+        registry.counter("sim.offload_abort").add(result.offload_aborts);
+        for (const auto& [kind, count] : abort_kinds.counters()) {
+            registry.counter("sim.abort." + kind).add(count);
+        }
+        registry.gauge("sim.makespan_s").set(result.seconds);
+    }
     return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/barrier.h"
 #include "common/check.h"
+#include "obs/tracer.h"
 #include "stamp/workloads/workloads.h"
 
 namespace rococo::stamp {
@@ -25,7 +26,12 @@ run_workload(Workload& workload, tm::TmRuntime& runtime, unsigned threads)
         workers.emplace_back([&, tid] {
             runtime.thread_init(tid);
             start_barrier.arrive_and_wait();
-            workload.worker(runtime, tid, threads);
+            {
+                // One span per worker: brackets every tx.* span the
+                // runtime emits on this thread in the trace timeline.
+                TRACE_SPAN("stamp", "stamp.worker");
+                workload.worker(runtime, tid, threads);
+            }
             runtime.thread_fini();
         });
     }

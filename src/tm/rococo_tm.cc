@@ -3,6 +3,8 @@
 #include <thread>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
+#include "obs/tracer.h"
 
 namespace rococo::tm {
 namespace {
@@ -44,7 +46,10 @@ class RococoTm::TxImpl final : public Tx
             // GlobalTS and the snapshot scan below will catch it
             // (line 5).
             if (rt_.update_set_.query(addr)) {
-                if (d_.miss_active) abort_tx(stat::kEagerAborts);
+                if (d_.miss_active) {
+                    abort_tx(stat::kEagerAborts,
+                             obs::AbortReason::kLockedConflict);
+                }
                 std::this_thread::yield();
                 continue;
             }
@@ -56,7 +61,8 @@ class RococoTm::TxImpl final : public Tx
                 d_.temp_set.clear();
                 if (!rt_.commit_log_.collect(d_.local_ts, gts,
                                              d_.temp_set)) {
-                    abort_tx(stat::kStaleAborts);
+                    abort_tx(stat::kStaleAborts,
+                             obs::AbortReason::kSnapshotStale);
                 }
                 d_.local_ts = gts;
 
@@ -77,7 +83,8 @@ class RococoTm::TxImpl final : public Tx
                     // vintage is ambiguous; re-read with the advanced
                     // snapshot (or abort if the snapshot is broken).
                     if (d_.miss_active && d_.miss_set.query(addr)) {
-                        abort_tx(stat::kEagerAborts);
+                        abort_tx(stat::kEagerAborts,
+                                 obs::AbortReason::kEagerConflict);
                     }
                     continue;
                 }
@@ -85,7 +92,8 @@ class RococoTm::TxImpl final : public Tx
             if (d_.miss_active && d_.miss_set.query(addr)) {
                 // Reading an address in the miss set: no consistent
                 // snapshot exists (Fig. 8 (d)).
-                abort_tx(stat::kEagerAborts);
+                abort_tx(stat::kEagerAborts,
+                         obs::AbortReason::kEagerConflict);
             }
             break;
         }
@@ -105,14 +113,15 @@ class RococoTm::TxImpl final : public Tx
     retry() override
     {
         d_.user_retry = true;
-        abort_tx(stat::kEagerAborts);
+        abort_tx(stat::kEagerAborts, obs::AbortReason::kExplicitRetry);
     }
 
   private:
     [[noreturn]] void
-    abort_tx(const char* reason)
+    abort_tx(const char* counter, obs::AbortReason reason)
     {
-        d_.stats.bump(reason);
+        d_.stats.bump(counter);
+        d_.last_abort = reason;
         throw TxAbortException{};
     }
 
@@ -132,6 +141,11 @@ RococoTm::RococoTm(const RococoTmConfig& config)
 RococoTm::~RococoTm()
 {
     pipeline_.stop();
+    if (obs::telemetry_active()) {
+        // Hand the pipeline-side occupancy gauges and verdict counters
+        // to the session being recorded before they are destroyed.
+        pipeline_.export_metrics(obs::Registry::global());
+    }
 }
 
 void
@@ -150,11 +164,8 @@ RococoTm::thread_fini()
 {
     ROCOCO_CHECK(tls_thread_id != ~0u);
     TxDescriptor& d = *descriptors_[tls_thread_id];
-    {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.add(d.stats);
-    }
-    d.stats = CounterBag();
+    registry_.merge(d.stats);
+    d.stats.reset();
     tls_thread_id = ~0u;
 }
 
@@ -206,6 +217,7 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
     TxImpl tx(*this, d);
 
     try {
+        obs::ScopedSpan execute_span("tm", "tx.execute");
         body(tx);
     } catch (const TxAbortException&) {
         d.stats.bump(stat::kAborts);
@@ -215,6 +227,7 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
     if (d.redo.empty()) {
         // Read-only fast path: the snapshot stayed consistent at
         // valid_ts, commit directly on the CPU (§5.3).
+        TRACE_INSTANT("tm", "tx.readonly_commit");
         d.stats.bump(stat::kCommits);
         d.stats.bump(stat::kReadOnlyCommits);
         return true;
@@ -223,16 +236,28 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
     // Ship R/W sets and ValidTS to the validation pipeline and wait
     // for the verdict (Fig. 6).
     fpga::OffloadRequest request;
-    request.reads = d.read_set.addresses();
-    request.writes.reserve(d.redo.size());
-    for (const auto& entry : d.redo.entries()) {
-        request.writes.push_back(cell_key(*entry.cell));
+    {
+        TRACE_SPAN("tm", "tx.ship");
+        request.reads = d.read_set.addresses();
+        request.writes.reserve(d.redo.size());
+        for (const auto& entry : d.redo.entries()) {
+            request.writes.push_back(cell_key(*entry.cell));
+        }
+        request.snapshot_cid = d.valid_ts;
     }
-    request.snapshot_cid = d.valid_ts;
 
-    const core::ValidationResult verdict =
-        pipeline_.validate(std::move(request));
+    core::ValidationResult verdict;
+    {
+        obs::ScopedSpan validate_span("tm", "tx.validate");
+        verdict = pipeline_.validate(std::move(request));
+        if (verdict.verdict == core::Verdict::kCommit) {
+            validate_span.arg("cid", verdict.cid);
+        }
+    }
     if (verdict.verdict != core::Verdict::kCommit) {
+        d.last_abort = verdict.reason == obs::AbortReason::kNone
+                           ? obs::AbortReason::kUnknown
+                           : verdict.reason;
         d.stats.bump(stat::kAborts);
         d.stats.bump(stat::kValidationAborts);
         d.stats.bump(verdict.verdict == core::Verdict::kAbortCycle
@@ -243,12 +268,21 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
 
     // Committer (§5.3): commit-time locking, in-cid-order write-back.
     const uint64_t cid = verdict.cid;
-    update_set_.publish(d.thread_id, d.write_sig);
-    commit_log_.wait_turn(cid);
-    d.redo.apply();
-    commit_log_.publish(cid, d.write_sig);
-    commit_log_.advance(cid);
-    update_set_.clear(d.thread_id);
+    {
+        obs::ScopedSpan commit_span("tm", "tx.commit", "cid", cid);
+        update_set_.publish(d.thread_id, d.write_sig);
+        {
+            TRACE_SPAN("tm", "tx.commit_lock");
+            commit_log_.wait_turn(cid);
+        }
+        {
+            TRACE_SPAN("tm", "tx.writeback");
+            d.redo.apply();
+        }
+        commit_log_.publish(cid, d.write_sig);
+        commit_log_.advance(cid);
+        update_set_.clear(d.thread_id);
+    }
 
     d.stats.bump(stat::kCommits);
     return true;
@@ -257,8 +291,16 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
 CounterBag
 RococoTm::stats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    return stats_;
+    return registry_.to_counter_bag();
+}
+
+obs::AbortReason
+RococoTm::last_abort_reason() const
+{
+    if (tls_thread_id == ~0u || !descriptors_[tls_thread_id]) {
+        return obs::AbortReason::kUnknown;
+    }
+    return descriptors_[tls_thread_id]->last_abort;
 }
 
 } // namespace rococo::tm

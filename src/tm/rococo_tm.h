@@ -59,8 +59,15 @@ class RococoTm final : public TmRuntime
 
     CounterBag stats() const override;
 
+    /// Typed cause of the calling thread's most recent abort.
+    obs::AbortReason last_abort_reason() const override;
+
     /// FPGA-side verdict counters (the dotted line of Fig. 10).
     CounterBag fpga_stats() const { return pipeline_.stats(); }
+
+    /// Full metrics registry behind stats() (per-thread registries
+    /// merged at thread_fini).
+    const obs::Registry& registry() const { return registry_; }
 
   protected:
     bool try_execute(const std::function<void(Tx&)>& body) override;
@@ -85,8 +92,7 @@ class RococoTm final : public TmRuntime
     /// and its validation cannot fail.
     std::shared_mutex gate_;
 
-    mutable std::mutex stats_mutex_;
-    CounterBag stats_;
+    obs::Registry registry_; ///< merged per-thread metrics (thread-safe)
     std::vector<std::unique_ptr<TxDescriptor>> descriptors_;
 };
 

@@ -3,6 +3,10 @@
 #include <thread>
 
 #include "common/rng.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
+#include "obs/tracer.h"
 
 namespace rococo::tm {
 
@@ -10,7 +14,34 @@ void
 TmRuntime::execute(const std::function<void(Tx&)>& body)
 {
     for (unsigned attempt = 0;; ++attempt) {
-        if (try_execute(body)) return;
+        // One relaxed load when no TelemetrySession is active; the
+        // attribution work below is only paid while measuring.
+        const bool telemetry = obs::telemetry_active();
+        const uint64_t start = telemetry ? obs::now_ns() : 0;
+        bool committed;
+        {
+            obs::ScopedSpan span("tm", "tx.attempt");
+            committed = try_execute(body);
+        }
+        if (committed) {
+            if (telemetry) {
+                auto& registry = obs::Registry::global();
+                registry.bump("tm.commit");
+                if (attempt > 0) registry.bump("tm.commit.after_retry");
+                registry.histogram("tm.attempt_ns.commit")
+                    .record(obs::now_ns() - start);
+            }
+            return;
+        }
+        if (telemetry) {
+            const obs::AbortReason reason = last_abort_reason();
+            auto& registry = obs::Registry::global();
+            registry.bump("tm.abort");
+            registry.bump(obs::abort_counter_name(reason));
+            registry.histogram(obs::retry_histogram_name(reason))
+                .record(obs::now_ns() - start);
+        }
+        TRACE_INSTANT("tm", "tx.abort");
         backoff(attempt);
     }
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/abort_reason.h"
 
 namespace rococo::tm {
 
@@ -182,6 +183,14 @@ class TmRuntime
     /// Aggregated statistics of all finished threads (call after
     /// joining workers).
     virtual CounterBag stats() const = 0;
+
+    /// Typed cause of the calling thread's most recent failed attempt
+    /// (meaningful between a failed try_execute and the next attempt).
+    /// Runtimes that do not attribute aborts report kUnknown.
+    virtual obs::AbortReason last_abort_reason() const
+    {
+        return obs::AbortReason::kUnknown;
+    }
 
   protected:
     /// One attempt; returns true if committed. Implementations catch

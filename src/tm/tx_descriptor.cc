@@ -21,6 +21,7 @@ TxDescriptor::reset(uint64_t now_ts)
     miss_active = false;
     temp_set.clear();
     user_retry = false;
+    last_abort = obs::AbortReason::kNone;
 }
 
 } // namespace rococo::tm

@@ -7,7 +7,8 @@
 #include <cstdint>
 #include <memory>
 
-#include "common/stats.h"
+#include "obs/abort_reason.h"
+#include "obs/registry.h"
 #include "sig/bloom_signature.h"
 #include "tm/access_set.h"
 #include "tm/redo_log.h"
@@ -53,8 +54,14 @@ struct TxDescriptor
     /// Tx::retry() (a condition wait, not a conflict).
     bool user_retry = false;
 
-    /// Thread-local statistics, flushed at thread_fini.
-    CounterBag stats;
+    /// Typed cause of the most recent abort of this attempt (kNone
+    /// after reset and on commit); drives the per-reason telemetry.
+    obs::AbortReason last_abort = obs::AbortReason::kNone;
+
+    /// Thread-local metrics, merged into the runtime's registry at
+    /// thread_fini (counters carry the legacy stat:: names so the
+    /// CounterBag-returning stats() API is unchanged).
+    obs::Registry stats;
 };
 
 } // namespace rococo::tm

@@ -216,6 +216,60 @@ TEST(Pipeline, StopRejectsFurtherWork)
     EXPECT_EQ(r.verdict, core::Verdict::kWindowOverflow);
 }
 
+TEST(Pipeline, StatsSnapshotIsConsistentUnderConcurrentReads)
+{
+    // Hammer stats() from readers while submitters run. Every snapshot
+    // must satisfy the documented invariant: the verdict counters never
+    // exceed "submitted", and the high-water mark covers every
+    // submission the counters include (>= 1 once anything completed).
+    ValidationPipeline pipeline;
+    constexpr int kSubmitters = 3;
+    constexpr int kPerThread = 200;
+    std::atomic<bool> done{false};
+    std::atomic<int> violations{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&] {
+            while (!done.load(std::memory_order_acquire)) {
+                const CounterBag bag = pipeline.stats();
+                const uint64_t verdicts = bag.get("commit") +
+                                          bag.get("abort-cycle") +
+                                          bag.get("window-overflow");
+                const uint64_t submitted = bag.get("submitted");
+                if (verdicts > submitted) violations.fetch_add(1);
+                if (verdicts > 0 && bag.get("queue_high_water") == 0) {
+                    violations.fetch_add(1);
+                }
+            }
+        });
+    }
+
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                OffloadRequest req{
+                    {}, {uint64_t(t) << 32 | uint64_t(i)}, 0};
+                req.snapshot_cid = ~uint64_t{0} >> 1;
+                pipeline.validate(std::move(req));
+            }
+        });
+    }
+    for (auto& thread : submitters) thread.join();
+    done.store(true, std::memory_order_release);
+    for (auto& thread : readers) thread.join();
+
+    EXPECT_EQ(violations.load(), 0);
+    const CounterBag final_bag = pipeline.stats();
+    EXPECT_EQ(final_bag.get("commit"),
+              uint64_t(kSubmitters) * kPerThread);
+    EXPECT_EQ(final_bag.get("submitted"),
+              uint64_t(kSubmitters) * kPerThread);
+    EXPECT_GE(final_bag.get("queue_high_water"), 1u);
+    pipeline.stop();
+}
+
 TEST(ResourceModel, ReproducesPaperTable)
 {
     const ResourceEstimate e = estimate_resources({});

@@ -1,0 +1,356 @@
+/// Tests for the observability layer (src/obs): abort-reason taxonomy,
+/// metrics registry (counters/gauges/log2 latency histograms, merge,
+/// JSON/CSV export), the per-thread ring-buffer tracer (wraparound,
+/// Chrome trace-event export) and the TelemetrySession envelope.
+///
+/// The TRACE_* macro tests compile in both tracer modes: with
+/// -DROCOCO_TRACE=OFF the macros expand to nothing and the
+/// runtime-gating expectations are #if'd out, which is itself the
+/// compile-time check that instrumented code builds without the
+/// tracer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/abort_reason.h"
+#include "obs/registry.h"
+#include "obs/telemetry.h"
+#include "obs/tracer.h"
+
+namespace rococo::obs {
+namespace {
+
+/// Minimal JSON well-formedness check: quotes pair up (honouring
+/// escapes) and braces/brackets balance outside strings. Not a parser —
+/// just enough to catch truncated or mis-quoted exporter output.
+bool
+json_well_formed(const std::string& text)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : text) {
+        if (in_string) {
+            if (escaped) {
+                escaped = false;
+            } else if (c == '\\') {
+                escaped = true;
+            } else if (c == '"') {
+                in_string = false;
+            }
+            continue;
+        }
+        switch (c) {
+          case '"': in_string = true; break;
+          case '{':
+          case '[': ++depth; break;
+          case '}':
+          case ']':
+            if (--depth < 0) return false;
+            break;
+          default: break;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+/// Restore the tracer to its pre-test state so tests compose.
+struct TracerGuard
+{
+    ~TracerGuard()
+    {
+        Tracer::instance().stop();
+        Tracer::instance().set_thread_capacity(size_t{1} << 13);
+        Tracer::instance().reset();
+    }
+};
+
+TEST(AbortReason, NamesAreStableAndDistinct)
+{
+    std::set<std::string> ids, counters, histograms;
+    for (size_t r = 0; r < kAbortReasonCount; ++r) {
+        const auto reason = static_cast<AbortReason>(r);
+        const std::string id = to_string(reason);
+        EXPECT_FALSE(id.empty());
+        ids.insert(id);
+        counters.insert(abort_counter_name(reason));
+        histograms.insert(retry_histogram_name(reason));
+        // The derived names embed the id, so logs, counters and
+        // histograms can never disagree on spelling.
+        EXPECT_EQ(abort_counter_name(reason),
+                  std::string("tm.abort.") + id);
+        EXPECT_EQ(retry_histogram_name(reason),
+                  std::string("tm.retry_ns.") + id);
+    }
+    EXPECT_EQ(ids.size(), kAbortReasonCount);
+    EXPECT_EQ(counters.size(), kAbortReasonCount);
+    EXPECT_EQ(histograms.size(), kAbortReasonCount);
+    EXPECT_STREQ(to_string(AbortReason::kNone), "none");
+    EXPECT_STREQ(to_string(AbortReason::kValidationCycle),
+                 "validation-cycle");
+}
+
+TEST(LatencyHistogram, RecordsLog2BucketsAndQuantiles)
+{
+    LatencyHistogram hist;
+    EXPECT_EQ(hist.quantile(0.5), 0u);
+    for (uint64_t v : {0, 1, 2, 3, 100, 1000, 1000000}) hist.record(v);
+    EXPECT_EQ(hist.count(), 7u);
+    EXPECT_EQ(hist.max(), 1000000u);
+    // The top quantile is clamped to the observed maximum, not the
+    // bucket upper bound (2^20 would overstate by ~5%).
+    EXPECT_EQ(hist.quantile(1.0), 1000000u);
+    EXPECT_EQ(hist.quantile(0.0), 0u);
+    // Median falls in the bucket holding 3 (values 2..3).
+    const uint64_t p50 = hist.quantile(0.5);
+    EXPECT_GE(p50, 2u);
+    EXPECT_LE(p50, 4u);
+    // Quantile argument clamps instead of misbehaving.
+    EXPECT_EQ(hist.quantile(7.0), hist.quantile(1.0));
+    EXPECT_EQ(hist.quantile(-3.0), hist.quantile(0.0));
+}
+
+TEST(LatencyHistogram, MergeAndReset)
+{
+    LatencyHistogram a, b;
+    for (uint64_t i = 0; i < 100; ++i) a.record(10);
+    for (uint64_t i = 0; i < 100; ++i) b.record(100000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 200u);
+    EXPECT_EQ(a.max(), 100000u);
+    EXPECT_LT(a.quantile(0.25), 100u);
+    EXPECT_GT(a.quantile(0.75), 50000u);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+}
+
+TEST(Gauge, TracksLastMinMaxMean)
+{
+    Gauge gauge;
+    EXPECT_EQ(gauge.samples(), 0u);
+    gauge.set(4.0);
+    gauge.set(1.0);
+    gauge.set(7.0);
+    EXPECT_DOUBLE_EQ(gauge.value(), 7.0);
+    EXPECT_DOUBLE_EQ(gauge.min(), 1.0);
+    EXPECT_DOUBLE_EQ(gauge.max(), 7.0);
+    EXPECT_DOUBLE_EQ(gauge.mean(), 4.0);
+    EXPECT_EQ(gauge.samples(), 3u);
+}
+
+TEST(Registry, MergesPerThreadRegistriesExactly)
+{
+    // The RococoTm pattern: per-thread registries merged into a shared
+    // one at thread_fini, with no double counting and no lost updates.
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 10000;
+    std::vector<Registry> locals(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Registry& local = locals[static_cast<size_t>(t)];
+            Counter& commits = local.counter("commits");
+            LatencyHistogram& lat = local.histogram("latency_ns");
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                commits.add();
+                lat.record(64 + i % 1024);
+            }
+            local.gauge("depth").set(static_cast<double>(t));
+        });
+    }
+    for (auto& thread : threads) thread.join();
+
+    Registry merged;
+    for (const Registry& local : locals) merged.merge(local);
+    EXPECT_EQ(merged.get("commits"), kThreads * kPerThread);
+    EXPECT_EQ(merged.histogram("latency_ns").count(),
+              kThreads * kPerThread);
+    EXPECT_EQ(merged.gauge("depth").samples(),
+              static_cast<uint64_t>(kThreads));
+    EXPECT_DOUBLE_EQ(merged.gauge("depth").max(), kThreads - 1.0);
+}
+
+TEST(Registry, CounterBagRoundTripSkipsZeros)
+{
+    Registry registry;
+    CounterBag bag;
+    bag.bump("aborts", 3);
+    registry.add(bag);
+    registry.bump("commits", 5);
+    registry.counter("untouched"); // registered but zero
+    const CounterBag out = registry.to_counter_bag();
+    EXPECT_EQ(out.get("aborts"), 3u);
+    EXPECT_EQ(out.get("commits"), 5u);
+    EXPECT_EQ(out.counters().count("untouched"), 0u);
+}
+
+TEST(Registry, JsonAndCsvExportAreWellFormed)
+{
+    Registry registry;
+    registry.bump("tm.commit", 42);
+    registry.gauge("fpga.queue_depth").set(3.5);
+    for (uint64_t i = 1; i <= 100; ++i) {
+        registry.histogram("tm.attempt_ns.commit").record(i * 100);
+    }
+    std::ostringstream json;
+    registry.to_json(json);
+    EXPECT_TRUE(json_well_formed(json.str())) << json.str();
+    EXPECT_NE(json.str().find("\"tm.commit\": 42"), std::string::npos)
+        << json.str();
+    EXPECT_NE(json.str().find("\"p99\""), std::string::npos);
+
+    std::ostringstream csv;
+    registry.to_csv(csv);
+    EXPECT_NE(csv.str().find("counter,tm.commit,value,42"),
+              std::string::npos)
+        << csv.str();
+}
+
+TEST(Tracer, RingWrapsKeepingNewestEvents)
+{
+    TracerGuard guard;
+    Tracer& tracer = Tracer::instance();
+    tracer.set_thread_capacity(8);
+    tracer.reset();
+    tracer.start();
+    for (uint64_t i = 0; i < 20; ++i) {
+        TraceEvent event;
+        event.name = "seq";
+        event.arg_name = "seq";
+        event.arg_value = i;
+        event.ts_ns = i;
+        event.phase = EventPhase::kCounter;
+        tracer.record(event);
+    }
+    tracer.stop();
+    const std::vector<TraceEvent> events = tracer.snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    // The newest 8 of the 20 survive, oldest first.
+    for (size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].arg_value, 12 + i);
+    }
+    EXPECT_GE(tracer.thread_count(), 1u);
+}
+
+TEST(Tracer, ExportsChromeEventArray)
+{
+    TracerGuard guard;
+    Tracer& tracer = Tracer::instance();
+    tracer.set_thread_capacity(64);
+    tracer.reset();
+    tracer.start();
+
+    TraceEvent span;
+    span.name = "tx.validate";
+    span.cat = "tm";
+    span.arg_name = "cid";
+    span.arg_value = 7;
+    span.ts_ns = 1000;
+    span.dur_ns = 500;
+    span.phase = EventPhase::kComplete;
+    tracer.record(span);
+    tracer.counter("queue_depth", 3);
+    tracer.instant("tm", "tx.abort");
+    tracer.stop();
+
+    std::ostringstream out;
+    tracer.export_chrome_events(out);
+    const std::string text = out.str();
+    EXPECT_TRUE(json_well_formed(text)) << text;
+    EXPECT_EQ(text.front(), '[');
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"args\":{\"cid\":7}"), std::string::npos);
+    // Timestamps are rebased to the earliest event and emitted in
+    // microseconds: the span starts at ts 0.
+    EXPECT_NE(text.find("\"ts\":0.000"), std::string::npos);
+}
+
+TEST(TraceMacros, CompileAndGateOnTracerState)
+{
+    TracerGuard guard;
+    Tracer& tracer = Tracer::instance();
+    tracer.set_thread_capacity(64);
+    tracer.reset();
+
+    // Tracer stopped: macros must record nothing (and with
+    // ROCOCO_TRACE=OFF they are not even compiled).
+    {
+        TRACE_SPAN("test", "span.idle");
+        TRACE_SPAN_ARG("test", "span.idle_arg", "v", 1);
+        TRACE_COUNTER("test.counter", 2);
+        TRACE_INSTANT("test", "instant.idle");
+    }
+    EXPECT_EQ(tracer.snapshot().size(), 0u);
+
+    tracer.start();
+    {
+        TRACE_SPAN("test", "span.active");
+        ScopedSpan late("test", "span.late_arg");
+        late.arg("cid", 9);
+        TRACE_INSTANT("test", "instant.active");
+    }
+    tracer.stop();
+#if ROCOCO_TRACE_ENABLED
+    EXPECT_EQ(tracer.snapshot().size(), 3u);
+#else
+    EXPECT_EQ(tracer.snapshot().size(), 0u);
+#endif
+}
+
+TEST(TelemetrySession, WritesCombinedFileAndGatesGlobalState)
+{
+    TracerGuard guard;
+    const std::string path =
+        testing::TempDir() + "obs_test_telemetry.json";
+
+    EXPECT_FALSE(telemetry_active());
+    {
+        TelemetrySession inert("");
+        EXPECT_FALSE(inert.active());
+        EXPECT_FALSE(telemetry_active());
+        EXPECT_TRUE(inert.finish());
+    }
+
+    TelemetrySession session(path);
+    EXPECT_TRUE(session.active());
+    EXPECT_TRUE(telemetry_active());
+    // Per-reason counters must sum to the total for the file checker.
+    Registry::global().bump("tm.abort", 2);
+    Registry::global().bump(
+        abort_counter_name(AbortReason::kValidationCycle), 2);
+    Registry::global().bump("tm.commit", 5);
+    {
+        TRACE_SPAN("test", "session.span");
+    }
+    EXPECT_TRUE(session.finish());
+    EXPECT_FALSE(telemetry_active());
+    EXPECT_TRUE(session.finish()) << "finish must be idempotent";
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string text = content.str();
+    EXPECT_TRUE(json_well_formed(text)) << text;
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(text.find("\"tm.commit\": 5"), std::string::npos);
+    EXPECT_NE(text.find("\"tm.abort.validation-cycle\": 2"),
+              std::string::npos);
+#if ROCOCO_TRACE_ENABLED
+    EXPECT_NE(text.find("session.span"), std::string::npos);
+#endif
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace rococo::obs
