@@ -1,0 +1,285 @@
+/// Multi-process load generator for the networked validation service
+/// (src/svc): the parent owns one Server (one engine, one sliding
+/// window) and forks N genuine client *processes* — separate address
+/// spaces, as in the paper's one-FPGA-many-executors deployment — each
+/// keeping a window of pipelined requests in flight. Children report
+/// their throughput and latency distribution back over a pipe; the
+/// parent prints one table row per (clients, batch) configuration.
+///
+/// The sweep demonstrates the batching claim: past a handful of
+/// concurrent clients, a batched engine pass (one poll()/send() per
+/// coalesced group) sustains strictly higher validation throughput than
+/// batch=1, the software analogue of amortizing CCI link latency with
+/// packed cachelines (§5.3). Results are recorded in docs/SERVICE.md.
+///
+/// Usage:
+///   svc_loadgen [--clients=1,2,4,8] [--batch=1,8,32]
+///               [--requests=20000] [--outstanding=16] [--reads=4]
+///               [--writes=2] [--keys=4096]
+///               [--socket=/tmp/rococo_loadgen.sock] [--csv=FILE]
+#include <sys/wait.h>
+#include <algorithm>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "obs/clock.h"
+#include "obs/registry.h"
+#include "svc/client.h"
+#include "svc/server.h"
+
+namespace rococo {
+namespace {
+
+/// One child's report, shipped raw over its pipe.
+struct ClientReport
+{
+    uint64_t completed = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;   ///< engine aborts (cycle + window overflow)
+    uint64_t timeouts = 0;
+    uint64_t rejected = 0;
+    uint64_t p50_ns = 0;
+    uint64_t p99_ns = 0;
+};
+
+struct LoadConfig
+{
+    std::string socket_path;
+    uint64_t requests = 0;
+    size_t outstanding = 16;
+    unsigned reads = 4;
+    unsigned writes = 2;
+    uint64_t keys = 4096;
+};
+
+/// Child body: closed-loop with a pipelined window of in-flight
+/// requests, so the server actually has something to batch.
+ClientReport
+run_client(const LoadConfig& config, unsigned seed)
+{
+    svc::ClientConfig client_config;
+    client_config.socket_path = config.socket_path;
+    svc::ValidationClient client(client_config);
+    ClientReport report;
+    if (!client.connected()) return report;
+
+    Xoshiro256 rng(seed);
+    obs::LatencyHistogram latency;
+
+    struct InFlight
+    {
+        std::future<core::ValidationResult> future;
+        uint64_t sent_ns;
+    };
+    std::vector<InFlight> window;
+    window.reserve(config.outstanding);
+
+    auto account = [&](InFlight& flight) {
+        const core::ValidationResult result = flight.future.get();
+        latency.record(obs::now_ns() - flight.sent_ns);
+        ++report.completed;
+        switch (result.verdict) {
+          case core::Verdict::kCommit: ++report.commits; break;
+          case core::Verdict::kTimeout: ++report.timeouts; break;
+          case core::Verdict::kRejected: ++report.rejected; break;
+          default: ++report.aborts; break;
+        }
+    };
+
+    for (uint64_t i = 0; i < config.requests; ++i) {
+        fpga::OffloadRequest request;
+        request.reads.reserve(config.reads);
+        for (unsigned r = 0; r < config.reads; ++r) {
+            request.reads.push_back(rng.below(config.keys));
+        }
+        for (unsigned w = 0; w < config.writes; ++w) {
+            request.writes.push_back(rng.below(config.keys));
+        }
+        // "Current" snapshot: conflicts come from signature overlap.
+        request.snapshot_cid = ~uint64_t{0} >> 1;
+
+        const uint64_t sent = obs::now_ns();
+        window.push_back({client.submit(std::move(request)), sent});
+        if (window.size() >= config.outstanding) {
+            account(window.front());
+            window.erase(window.begin());
+        }
+    }
+    for (InFlight& flight : window) account(flight);
+    client.stop();
+
+    report.p50_ns = latency.quantile(0.50);
+    report.p99_ns = latency.quantile(0.99);
+    return report;
+}
+
+struct SweepRow
+{
+    size_t clients;
+    size_t batch;
+    uint64_t completed = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t timeouts = 0;
+    uint64_t rejected = 0;
+    double elapsed_ms = 0;
+    double kreq_s = 0;
+    uint64_t p50_ns = 0;
+    uint64_t p99_ns = 0;
+};
+
+SweepRow
+run_one(const LoadConfig& load, size_t clients, size_t batch)
+{
+    svc::ServerConfig server_config;
+    server_config.socket_path = load.socket_path;
+    server_config.max_batch = batch;
+    svc::Server server(server_config);
+    if (!server.start()) {
+        std::fprintf(stderr, "svc_loadgen: cannot bind %s\n",
+                     load.socket_path.c_str());
+        std::exit(1);
+    }
+
+    std::vector<pid_t> pids;
+    std::vector<int> pipes;
+    const uint64_t start_ns = obs::now_ns();
+    for (size_t c = 0; c < clients; ++c) {
+        int fds[2];
+        if (pipe(fds) != 0) std::exit(1);
+        const pid_t pid = fork();
+        if (pid == 0) {
+            close(fds[0]);
+            const ClientReport report =
+                run_client(load, static_cast<unsigned>(1000 + c));
+            ssize_t n = write(fds[1], &report, sizeof(report));
+            _exit(n == sizeof(report) ? 0 : 1);
+        }
+        close(fds[1]);
+        pids.push_back(pid);
+        pipes.push_back(fds[0]);
+    }
+
+    SweepRow row{clients, batch};
+    std::vector<uint64_t> p50s, p99s;
+    for (size_t c = 0; c < clients; ++c) {
+        ClientReport report{};
+        ssize_t n = read(pipes[c], &report, sizeof(report));
+        if (n != sizeof(report)) report = {};
+        close(pipes[c]);
+        int status = 0;
+        waitpid(pids[c], &status, 0);
+        row.completed += report.completed;
+        row.commits += report.commits;
+        row.aborts += report.aborts;
+        row.timeouts += report.timeouts;
+        row.rejected += report.rejected;
+        p50s.push_back(report.p50_ns);
+        p99s.push_back(report.p99_ns);
+    }
+    const uint64_t elapsed = obs::now_ns() - start_ns;
+    server.stop();
+
+    // Accounting cross-check between the two sides of the wire.
+    const CounterBag stats = server.stats();
+    const uint64_t answered = stats.get("svc.verdict.commit") +
+                              stats.get("svc.verdict.abort-cycle") +
+                              stats.get("svc.verdict.window-overflow") +
+                              stats.get("svc.timeout") +
+                              stats.get("svc.rejected");
+    if (answered != stats.get("svc.requests")) {
+        std::fprintf(stderr,
+                     "svc_loadgen: accounting mismatch: %" PRIu64
+                     " answered vs %" PRIu64 " requests\n",
+                     answered, stats.get("svc.requests"));
+        std::exit(1);
+    }
+
+    row.elapsed_ms = double(elapsed) / 1e6;
+    row.kreq_s = double(row.completed) / (double(elapsed) / 1e9) / 1e3;
+    // Median of the per-client medians is a fair summary; max of the
+    // p99s is the honest tail.
+    std::sort(p50s.begin(), p50s.end());
+    std::sort(p99s.begin(), p99s.end());
+    row.p50_ns = p50s.empty() ? 0 : p50s[p50s.size() / 2];
+    row.p99_ns = p99s.empty() ? 0 : p99s.back();
+    return row;
+}
+
+} // namespace
+} // namespace rococo
+
+int
+main(int argc, char** argv)
+{
+    using namespace rococo;
+
+    Cli cli(argc, argv,
+            {"clients", "batch", "requests", "outstanding", "reads",
+             "writes", "keys", "socket", "csv"});
+    LoadConfig load;
+    load.socket_path = cli.get("socket", "/tmp/rococo_loadgen_" +
+                                             std::to_string(getpid()) +
+                                             ".sock");
+    load.requests = static_cast<uint64_t>(cli.get_int("requests", 20000));
+    load.outstanding =
+        static_cast<size_t>(cli.get_int("outstanding", 16));
+    load.reads = static_cast<unsigned>(cli.get_int("reads", 4));
+    load.writes = static_cast<unsigned>(cli.get_int("writes", 2));
+    load.keys = static_cast<uint64_t>(cli.get_int("keys", 4096));
+    const std::vector<int> client_counts =
+        cli.get_int_list("clients", {1, 2, 4, 8});
+    const std::vector<int> batches = cli.get_int_list("batch", {1, 8, 32});
+
+    Table table({"clients", "batch", "kreq/s", "p50_us", "p99_us",
+                 "commit%", "abort%", "elapsed_ms"});
+    std::vector<SweepRow> rows;
+    for (int clients : client_counts) {
+        for (int batch : batches) {
+            const SweepRow row = run_one(load, static_cast<size_t>(clients),
+                                         static_cast<size_t>(batch));
+            rows.push_back(row);
+            const double done =
+                double(std::max<uint64_t>(row.completed, 1));
+            table.row()
+                .num(static_cast<uint64_t>(row.clients))
+                .num(static_cast<uint64_t>(row.batch))
+                .num(row.kreq_s, 1)
+                .num(double(row.p50_ns) / 1e3, 1)
+                .num(double(row.p99_ns) / 1e3, 1)
+                .num(100.0 * double(row.commits) / done, 1)
+                .num(100.0 * double(row.aborts) / done, 1)
+                .num(row.elapsed_ms, 1);
+        }
+    }
+    table.print();
+
+    const std::string csv_path = cli.get("csv", "");
+    if (!csv_path.empty()) {
+        CsvWriter csv(csv_path,
+                      {"clients", "batch", "kreq_s", "p50_ns", "p99_ns",
+                       "commits", "aborts", "timeouts", "rejected"});
+        for (const SweepRow& row : rows) {
+            csv.write_row({std::to_string(row.clients),
+                           std::to_string(row.batch),
+                           std::to_string(row.kreq_s),
+                           std::to_string(row.p50_ns),
+                           std::to_string(row.p99_ns),
+                           std::to_string(row.commits),
+                           std::to_string(row.aborts),
+                           std::to_string(row.timeouts),
+                           std::to_string(row.rejected)});
+        }
+    }
+    return 0;
+}

@@ -14,7 +14,14 @@ Checks, in order:
    the same attribution site, so any mismatch means a code path lost
    its typed AbortReason.
 
-3. Span chains (skippable with --no-chain, for metrics-only files from
+3. Validation-service accounting: when the file carries "svc.*"
+   counters (a trace from a process hosting svc::Server), every
+   well-formed request must be answered exactly once:
+   svc.requests == sum(svc.verdict.*) + svc.timeout + svc.rejected.
+   Client-side counters ("svc.client.*") are excluded — the
+   "svc.verdict." prefix does not match them.
+
+4. Span chains (skippable with --no-chain, for metrics-only files from
    replay/simulator benches): every "tx.commit" span must sit inside a
    "tx.attempt" span on the same thread that also contains a
    "tx.validate" span — the begin -> validate -> commit lifecycle of a
@@ -81,6 +88,29 @@ def check_abort_sums(counters):
             )
         checked += 1
     return checked
+
+
+def check_svc_accounting(counters):
+    """svc.requests == sum(svc.verdict.*) + svc.timeout + svc.rejected.
+
+    The server bumps svc.requests once per well-formed frame and exactly
+    one of the answer counters per request (stop() counts still-queued
+    requests as rejected), so an imbalance means a request was dropped
+    or double-answered.
+    """
+    if "svc.requests" not in counters:
+        return False
+    answered = sum(
+        value
+        for name, value in counters.items()
+        if name.startswith("svc.verdict.")
+    ) + counters.get("svc.timeout", 0) + counters.get("svc.rejected", 0)
+    if answered != counters["svc.requests"]:
+        fail(
+            f"svc answer counters sum to {answered}, but "
+            f"svc.requests = {counters['svc.requests']}"
+        )
+    return True
 
 
 def check_span_chains(events, max_orphans):
@@ -156,12 +186,14 @@ def main(argv):
 
     events, metrics = check_schema(doc)
     layers = check_abort_sums(metrics["counters"])
+    svc_checked = check_svc_accounting(metrics["counters"])
     chains = 0 if no_chain else check_span_chains(events, max_orphans)
 
     print(
         f"check_trace_json: OK: {len(events)} events, "
         f"{len(metrics['counters'])} counters "
-        f"({layers} abort layer(s) consistent), "
+        f"({layers} abort layer(s) consistent, svc accounting "
+        + ("balanced), " if svc_checked else "absent), ")
         + (f"{chains} complete span chains" if not no_chain
            else "chain check skipped")
     )

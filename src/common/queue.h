@@ -8,10 +8,12 @@
 /// contention.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace rococo {
 
@@ -64,6 +66,27 @@ class BlockingQueue
         return item;
     }
 
+    /// Block until at least one item is available, then greedily drain
+    /// up to @p max items without further waiting — the adaptive
+    /// batching primitive: the batch is whatever has accumulated while
+    /// the consumer was busy, never an artificial delay. An empty
+    /// vector means closed-and-empty.
+    std::vector<T>
+    pop_batch(size_t max)
+    {
+        std::vector<T> batch;
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        const size_t take = std::min(max, items_.size());
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(items_.front()));
+            items_.pop_front();
+        }
+        if (take > 0) not_full_.notify_all();
+        return batch;
+    }
+
     /// Dequeue without blocking.
     std::optional<T>
     try_pop()
@@ -85,6 +108,28 @@ class BlockingQueue
         closed_ = true;
         not_empty_.notify_all();
         not_full_.notify_all();
+    }
+
+    /// Close the queue AND hand the undrained items back to the caller:
+    /// pending pops return nullopt immediately, pushes fail, and the
+    /// returned items are no longer visible to consumers. This is the
+    /// shutdown path for queues whose items carry promises — the owner
+    /// resolves each pending item (e.g. with an aborted verdict) rather
+    /// than destroying its promise unfulfilled, which would surface to
+    /// waiters as std::future_error (broken_promise) instead of a typed
+    /// abort.
+    std::deque<T>
+    close_now()
+    {
+        std::deque<T> pending;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+            pending.swap(items_);
+            not_empty_.notify_all();
+            not_full_.notify_all();
+        }
+        return pending;
     }
 
     size_t

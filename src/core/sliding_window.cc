@@ -11,6 +11,8 @@ to_string(Verdict verdict)
       case Verdict::kCommit: return "commit";
       case Verdict::kAbortCycle: return "abort-cycle";
       case Verdict::kWindowOverflow: return "window-overflow";
+      case Verdict::kTimeout: return "timeout";
+      case Verdict::kRejected: return "rejected";
     }
     return "?";
 }
@@ -22,6 +24,8 @@ abort_reason(Verdict verdict)
       case Verdict::kCommit: return obs::AbortReason::kNone;
       case Verdict::kAbortCycle: return obs::AbortReason::kValidationCycle;
       case Verdict::kWindowOverflow: return obs::AbortReason::kWindowEviction;
+      case Verdict::kTimeout: return obs::AbortReason::kTimeout;
+      case Verdict::kRejected: return obs::AbortReason::kBackpressure;
     }
     return obs::AbortReason::kUnknown;
 }

@@ -18,12 +18,16 @@
 
 namespace rococo::core {
 
-/// Why a transaction was admitted or rejected by the validator.
+/// Why a transaction was admitted or rejected by the validator (or, for
+/// the last two, by the serving layer in front of it — the validator
+/// itself only ever returns the first three).
 enum class Verdict : uint8_t
 {
     kCommit,         ///< no cycle; transaction committed and got a cid
     kAbortCycle,     ///< would close a ->rw cycle
     kWindowOverflow, ///< depends on a commit already evicted from the window
+    kTimeout,        ///< deadline elapsed before the engine decided
+    kRejected,       ///< server shed load (queue full); retry later
 };
 
 const char* to_string(Verdict verdict);

@@ -69,11 +69,11 @@ ValidationPipeline::submit(OffloadRequest request)
         if (depth > high_water_) high_water_ = depth;
     }
     if (!queue_.push(std::move(item))) {
-        // Pipeline stopped: treat as a window overflow so callers retry
-        // or fall back rather than hang.
+        // Pipeline stopped: resolve with an explicit retry-later
+        // verdict so callers retry or fall back rather than hang.
         std::promise<core::ValidationResult> dead;
-        dead.set_value({core::Verdict::kWindowOverflow, 0,
-                        obs::AbortReason::kWindowEviction});
+        dead.set_value({core::Verdict::kRejected, 0,
+                        obs::AbortReason::kBackpressure});
         return dead.get_future();
     }
     return future;
@@ -85,6 +85,24 @@ ValidationPipeline::validate(OffloadRequest request)
     return submit(std::move(request)).get();
 }
 
+core::ValidationResult
+ValidationPipeline::validate(OffloadRequest request,
+                             std::chrono::nanoseconds timeout)
+{
+    std::future<core::ValidationResult> future = submit(std::move(request));
+    if (future.wait_for(timeout) != std::future_status::ready) {
+        // The worker stalled past the deadline. Abandon the future (the
+        // eventual verdict is discarded — see the header caveat) and
+        // surface a typed timeout abort.
+        {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++timeouts_;
+        }
+        return {core::Verdict::kTimeout, 0, obs::AbortReason::kTimeout};
+    }
+    return future.get();
+}
+
 CounterBag
 ValidationPipeline::stats() const
 {
@@ -92,6 +110,8 @@ ValidationPipeline::stats() const
     CounterBag bag = verdicts_;
     bag.bump("queue_high_water", high_water_);
     bag.bump("submitted", submitted_);
+    bag.bump("shutdown_aborts", shutdown_aborts_);
+    bag.bump("timeout", timeouts_);
     return bag;
 }
 
@@ -132,7 +152,19 @@ ValidationPipeline::signature_config() const
 void
 ValidationPipeline::stop()
 {
-    queue_.close();
+    // Take the backlog away from the worker and resolve every pending
+    // promise with a typed retry-later abort: waiters must never see a
+    // broken promise, and destruction must not wait for the engine to
+    // chew through a backlog.
+    std::deque<Item> pending = queue_.close_now();
+    for (Item& item : pending) {
+        item.promise.set_value({core::Verdict::kRejected, 0,
+                                obs::AbortReason::kBackpressure});
+    }
+    if (!pending.empty()) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        shutdown_aborts_ += pending.size();
+    }
     if (worker_.joinable()) worker_.join();
 }
 

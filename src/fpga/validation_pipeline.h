@@ -18,33 +18,49 @@
 #include <thread>
 
 #include "common/queue.h"
+#include "fpga/validation_backend.h"
 #include "fpga/validation_engine.h"
 #include "obs/registry.h"
 
 namespace rococo::fpga {
 
-class ValidationPipeline
+class ValidationPipeline final : public ValidationBackend
 {
   public:
     explicit ValidationPipeline(const EngineConfig& config = {});
-    ~ValidationPipeline();
+    ~ValidationPipeline() override;
 
     ValidationPipeline(const ValidationPipeline&) = delete;
     ValidationPipeline& operator=(const ValidationPipeline&) = delete;
 
     /// Enqueue a request; the future resolves when the engine has
-    /// decided.
-    std::future<core::ValidationResult> submit(OffloadRequest request);
+    /// decided — or, if the pipeline is stopped first, with a
+    /// Verdict::kRejected / kBackpressure result. Never a broken
+    /// promise.
+    std::future<core::ValidationResult> submit(
+        OffloadRequest request) override;
 
     /// submit() + wait.
-    core::ValidationResult validate(OffloadRequest request);
+    core::ValidationResult validate(OffloadRequest request) override;
+
+    /// submit() + wait at most @p timeout. On expiry the caller gets a
+    /// Verdict::kTimeout result with obs::AbortReason::kTimeout and the
+    /// "timeout" counter is bumped; the worker may still reach the
+    /// request later, and its verdict is then discarded. NOTE the
+    /// window-consistency caveat: a discarded *commit* verdict still
+    /// occupied a cid in the engine window, so callers that time out
+    /// must abort the transaction (never half-commit) — which is
+    /// exactly what the TM retry loop does.
+    core::ValidationResult validate(
+        OffloadRequest request, std::chrono::nanoseconds timeout) override;
 
     /// Snapshot of the pipeline's counters (thread-safe): the verdict
     /// counters ("commit" / "abort-cycle" / "window-overflow"), the
-    /// number of requests accepted ("submitted"), and the queue's
-    /// observed high-water mark ("queue_high_water") — the
-    /// back-pressure the paper avoids by keeping the pipeline free of
-    /// stalls (§5.1).
+    /// number of requests accepted ("submitted"), requests aborted by
+    /// stop() before the engine saw them ("shutdown_aborts"), caller
+    /// deadline expiries ("timeout"), and the queue's observed
+    /// high-water mark ("queue_high_water") — the back-pressure the
+    /// paper avoids by keeping the pipeline free of stalls (§5.1).
     ///
     /// Consistency guarantee: every field is written and read under one
     /// mutex, so a snapshot is internally consistent — the verdict
@@ -54,19 +70,24 @@ class ValidationPipeline
     /// counters and the high-water mark were read under different
     /// synchronization, so a concurrent reader could see a high-water
     /// mark from a later submission batch than the verdicts.)
-    CounterBag stats() const;
+    CounterBag stats() const override;
 
     /// Export pipeline metrics into @p registry: verdict counters
     /// ("fpga.verdict.<verdict>"), "fpga.submitted", "fpga.busy_ns",
     /// and occupancy gauges ("fpga.queue_high_water",
     /// "fpga.window_occupancy").
-    void export_metrics(obs::Registry& registry) const;
+    void export_metrics(obs::Registry& registry) const override;
 
     /// Signature geometry shared with CPU-side eager detection.
-    std::shared_ptr<const sig::SignatureConfig> signature_config() const;
+    std::shared_ptr<const sig::SignatureConfig> signature_config()
+        const override;
 
-    /// Stop the worker; pending requests are drained first. Idempotent.
-    void stop();
+    /// Stop the worker. Requests still queued are NOT drained through
+    /// the engine: their futures resolve immediately with
+    /// Verdict::kRejected / obs::AbortReason::kBackpressure, so no
+    /// waiter ever sees a broken promise and destruction is prompt even
+    /// under a backlog. Idempotent.
+    void stop() override;
 
   private:
     struct Item
@@ -85,10 +106,12 @@ class ValidationPipeline
     /// All externally visible pipeline statistics live under one mutex
     /// so stats() snapshots are consistent (see stats()).
     mutable std::mutex stats_mutex_;
-    CounterBag verdicts_;     ///< per-verdict counts, by worker
-    size_t high_water_ = 0;   ///< max observed queue depth
-    uint64_t submitted_ = 0;  ///< requests accepted by submit()
-    uint64_t busy_ns_ = 0;    ///< worker time spent inside the engine
+    CounterBag verdicts_;        ///< per-verdict counts, by worker
+    size_t high_water_ = 0;      ///< max observed queue depth
+    uint64_t submitted_ = 0;     ///< requests accepted by submit()
+    uint64_t busy_ns_ = 0;       ///< worker time spent inside the engine
+    uint64_t shutdown_aborts_ = 0; ///< requests aborted by stop()
+    uint64_t timeouts_ = 0;      ///< validate() deadline expiries
 
     std::thread worker_;
 };

@@ -29,6 +29,8 @@ constexpr ReasonNames kNames[kAbortReasonCount] = {
      "tm.retry_ns.window-eviction"},
     {"capacity", "tm.abort.capacity", "tm.retry_ns.capacity"},
     {"conflict", "tm.abort.conflict", "tm.retry_ns.conflict"},
+    {"timeout", "tm.abort.timeout", "tm.retry_ns.timeout"},
+    {"backpressure", "tm.abort.backpressure", "tm.retry_ns.backpressure"},
     {"unknown", "tm.abort.unknown", "tm.retry_ns.unknown"},
 };
 

@@ -49,6 +49,16 @@ enum class AbortReason : uint8_t
     /// Generic data conflict reported by a baseline that does not
     /// attribute further (version mismatch, doomed HTM transaction).
     kConflict,
+    /// A validation deadline elapsed before the verdict arrived —
+    /// either a ValidationPipeline::validate() timeout or a service
+    /// request whose wire deadline expired in the server queue. Not a
+    /// data conflict: the transaction may retry immediately.
+    kTimeout,
+    /// The validation service shed load: its bounded request queue was
+    /// full, so the request was rejected with an explicit
+    /// retry-later verdict instead of growing the queue (svc/server.h
+    /// backpressure contract).
+    kBackpressure,
     /// The runtime did not attribute the abort.
     kUnknown,
 };

@@ -1,0 +1,247 @@
+#include "svc/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/clock.h"
+
+namespace rococo::svc {
+namespace {
+
+core::ValidationResult
+rejected_result()
+{
+    return {core::Verdict::kRejected, 0, obs::AbortReason::kBackpressure};
+}
+
+std::future<core::ValidationResult>
+resolved(const core::ValidationResult& result)
+{
+    std::promise<core::ValidationResult> promise;
+    promise.set_value(result);
+    return promise.get_future();
+}
+
+} // namespace
+
+ValidationClient::ValidationClient(const ClientConfig& config)
+    : config_(config),
+      sig_config_(std::make_shared<const sig::SignatureConfig>(
+          config.engine.signature_bits, config.engine.signature_hashes,
+          config.engine.hash_seed))
+{
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        closed_ = true;
+        return;
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+        close(fd);
+        closed_ = true;
+        return;
+    }
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        close(fd);
+        closed_ = true;
+        return;
+    }
+    fd_ = fd;
+    reader_ = std::thread([this] { reader_loop(); });
+}
+
+ValidationClient::~ValidationClient()
+{
+    stop();
+}
+
+bool
+ValidationClient::connected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !closed_;
+}
+
+std::future<core::ValidationResult>
+ValidationClient::submit(fpga::OffloadRequest request)
+{
+    return submit_with_deadline(std::move(request), 0, nullptr);
+}
+
+std::future<core::ValidationResult>
+ValidationClient::submit_with_deadline(fpga::OffloadRequest request,
+                                       uint64_t deadline_ns,
+                                       uint64_t* id_out)
+{
+    std::vector<uint8_t> frame;
+    std::unique_lock<std::mutex> lock(mutex_);
+    registry_.bump("svc.client.submitted");
+    if (closed_) {
+        registry_.bump("svc.client.rejected");
+        return resolved(rejected_result());
+    }
+    const uint64_t id = next_id_++;
+    encode_request(frame, {id, deadline_ns, std::move(request)});
+
+    Outstanding& entry = outstanding_[id];
+    entry.sent_ns = obs::now_ns();
+    std::future<core::ValidationResult> future = entry.promise.get_future();
+    if (id_out != nullptr) *id_out = id;
+
+    // Write the whole frame under the lock: frames from concurrent
+    // submitters must not interleave on the stream. The socket is
+    // blocking, so a full send buffer throttles submitters here — the
+    // transport-level half of the backpressure story.
+    size_t off = 0;
+    while (off < frame.size()) {
+        const ssize_t n =
+            send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+            outstanding_.erase(id);
+            closed_ = true;
+            registry_.bump("svc.client.rejected");
+            return resolved(rejected_result());
+        }
+        off += static_cast<size_t>(n);
+    }
+    return future;
+}
+
+core::ValidationResult
+ValidationClient::validate(fpga::OffloadRequest request)
+{
+    return submit(std::move(request)).get();
+}
+
+core::ValidationResult
+ValidationClient::validate(fpga::OffloadRequest request,
+                           std::chrono::nanoseconds timeout)
+{
+    const uint64_t deadline_ns =
+        static_cast<uint64_t>(std::max<int64_t>(timeout.count(), 1));
+    uint64_t id = 0;
+    std::future<core::ValidationResult> future =
+        submit_with_deadline(std::move(request), deadline_ns, &id);
+    if (future.wait_for(timeout) == std::future_status::ready) {
+        return future.get();
+    }
+    {
+        // Abandon the entry so a late verdict is discarded; if the
+        // reader resolved it between wait_for and here, the future won.
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = outstanding_.find(id);
+        if (it == outstanding_.end()) return future.get();
+        it->second.promise.set_value(
+            {core::Verdict::kTimeout, 0, obs::AbortReason::kTimeout});
+        outstanding_.erase(it);
+        registry_.bump("svc.client.timeout");
+    }
+    return future.get();
+}
+
+void
+ValidationClient::reader_loop()
+{
+    FrameReader reader;
+    uint8_t buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break; // EOF / error / shutdown()
+        reader.append(buf, static_cast<size_t>(n));
+        bool malformed = false;
+        while (auto frame = reader.next(&malformed)) {
+            if (frame->type != MsgType::kResponse) continue;
+            auto response = decode_response(frame->payload, frame->size);
+            if (!response) continue;
+            std::unique_lock<std::mutex> lock(mutex_);
+            auto it = outstanding_.find(response->request_id);
+            if (it == outstanding_.end()) {
+                // Caller already timed out locally; drop the verdict.
+                registry_.bump("svc.client.late");
+                continue;
+            }
+            Outstanding entry = std::move(it->second);
+            outstanding_.erase(it);
+            lock.unlock();
+            registry_.bump(std::string("svc.client.verdict.") +
+                           core::to_string(response->result.verdict));
+            registry_.histogram("svc.client.rpc_ns")
+                .record(obs::now_ns() - entry.sent_ns);
+            entry.promise.set_value(response->result);
+        }
+        if (malformed) break; // server speaking garbage: disconnect
+    }
+    fail_outstanding();
+}
+
+void
+ValidationClient::fail_outstanding()
+{
+    std::unordered_map<uint64_t, Outstanding> orphans;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        orphans.swap(outstanding_);
+        registry_.counter("svc.client.rejected").add(orphans.size());
+    }
+    for (auto& [id, entry] : orphans) {
+        entry.promise.set_value(rejected_result());
+    }
+}
+
+void
+ValidationClient::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        // Wake the reader; fd stays open until the reader has exited so
+        // the descriptor cannot be recycled under it.
+        if (fd_ >= 0) shutdown(fd_, SHUT_RDWR);
+    }
+    if (reader_.joinable()) reader_.join();
+    fail_outstanding();
+    if (fd_ >= 0) {
+        close(fd_);
+        fd_ = -1;
+    }
+}
+
+CounterBag
+ValidationClient::stats() const
+{
+    // Same bare keys as ValidationPipeline::stats() so callers can swap
+    // backends without re-learning counter names.
+    static constexpr char kPrefix[] = "svc.client.";
+    CounterBag bag;
+    const CounterBag raw = registry_.to_counter_bag();
+    for (const auto& [name, value] : raw.counters()) {
+        std::string key = name.substr(sizeof(kPrefix) - 1);
+        if (key.rfind("verdict.", 0) == 0) key = key.substr(8);
+        bag.bump(key, value);
+    }
+    return bag;
+}
+
+void
+ValidationClient::export_metrics(obs::Registry& registry) const
+{
+    registry.merge(registry_);
+}
+
+std::shared_ptr<const sig::SignatureConfig>
+ValidationClient::signature_config() const
+{
+    return sig_config_;
+}
+
+} // namespace rococo::svc

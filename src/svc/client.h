@@ -1,0 +1,114 @@
+/// @file
+/// Client side of the networked validation service: a
+/// fpga::ValidationBackend whose engine lives in the server process
+/// (svc/server.h), so many client processes share one sliding window —
+/// exactly the API the in-process ValidationPipeline offers, which is
+/// what lets RococoTm switch deployment shapes via config.
+///
+/// Concurrency model: submit() encodes and sends the request under one
+/// mutex (writes to a SOCK_STREAM socket must not interleave) and parks
+/// a promise in the outstanding map keyed by request id; a reader
+/// thread decodes responses and resolves promises in arrival order.
+/// Many TM threads can be in submit()/validate() at once — the service
+/// batches whatever they have in flight.
+///
+/// Failure contract (mirrors ValidationPipeline): no caller ever sees a
+/// broken promise. Disconnect or stop() resolves every outstanding
+/// future as Verdict::kRejected / AbortReason::kBackpressure, and
+/// submit() on a dead client returns an already-resolved rejected
+/// future. validate(timeout) additionally ships the deadline on the
+/// wire (so the server can drop the request from its queue) and, on
+/// local expiry, abandons the outstanding entry — a late verdict is
+/// then discarded by the reader.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "fpga/validation_backend.h"
+#include "fpga/validation_engine.h"
+#include "obs/registry.h"
+#include "svc/wire.h"
+
+namespace rococo::svc {
+
+struct ClientConfig
+{
+    /// Unix-domain socket path of the server.
+    std::string socket_path = "/tmp/rococo-validation.sock";
+    /// Engine geometry the server was started with; only the signature
+    /// fields matter client-side (CPU-side eager detection must hash
+    /// like the server's Detector).
+    fpga::EngineConfig engine;
+};
+
+class ValidationClient final : public fpga::ValidationBackend
+{
+  public:
+    explicit ValidationClient(const ClientConfig& config = {});
+    ~ValidationClient() override;
+
+    /// True if the constructor's connect succeeded and no disconnect
+    /// has been observed since.
+    bool connected() const;
+
+    std::future<core::ValidationResult> submit(
+        fpga::OffloadRequest request) override;
+
+    core::ValidationResult validate(fpga::OffloadRequest request) override;
+
+    core::ValidationResult validate(
+        fpga::OffloadRequest request,
+        std::chrono::nanoseconds timeout) override;
+
+    /// Client-side counters: per-verdict counts as seen over the wire,
+    /// "submitted", "timeout" (local deadline expiries) and "rejected"
+    /// (backpressure verdicts plus disconnect resolutions).
+    CounterBag stats() const override;
+
+    /// Merge client metrics ("svc.client.*", including the
+    /// svc.client.rpc_ns round-trip histogram) into @p registry.
+    void export_metrics(obs::Registry& registry) const override;
+
+    std::shared_ptr<const sig::SignatureConfig> signature_config()
+        const override;
+
+    /// Close the connection; outstanding futures resolve as rejected.
+    /// Idempotent.
+    void stop() override;
+
+  private:
+    struct Outstanding
+    {
+        std::promise<core::ValidationResult> promise;
+        uint64_t sent_ns = 0;
+    };
+
+    /// Send with the wire deadline field set (0 = none).
+    std::future<core::ValidationResult> submit_with_deadline(
+        fpga::OffloadRequest request, uint64_t deadline_ns,
+        uint64_t* id_out);
+
+    void reader_loop();
+
+    /// Resolve every outstanding future as rejected (called on
+    /// disconnect and from stop()).
+    void fail_outstanding();
+
+    ClientConfig config_;
+    std::shared_ptr<const sig::SignatureConfig> sig_config_;
+
+    mutable std::mutex mutex_; ///< socket writes + outstanding_ + next_id_
+    int fd_ = -1;
+    bool closed_ = false;
+    uint64_t next_id_ = 1;
+    std::unordered_map<uint64_t, Outstanding> outstanding_;
+
+    std::thread reader_;
+    obs::Registry registry_; ///< svc.client.* metrics
+};
+
+} // namespace rococo::svc

@@ -1,0 +1,301 @@
+#include "svc/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/clock.h"
+#include "obs/telemetry.h"
+
+namespace rococo::svc {
+namespace {
+
+bool
+set_nonblocking(int fd)
+{
+    const int flags = fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+Server::Server(const ServerConfig& config)
+    : config_(config), engine_(config.engine)
+{
+    if (config_.max_batch == 0) config_.max_batch = 1;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start()
+{
+    if (running_) return true;
+
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return false;
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+        close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    unlink(config_.socket_path.c_str());
+
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(listen_fd_, SOMAXCONN) != 0 || !set_nonblocking(listen_fd_) ||
+        pipe(wake_fds_) != 0) {
+        close(listen_fd_);
+        listen_fd_ = -1;
+        unlink(config_.socket_path.c_str());
+        return false;
+    }
+    set_nonblocking(wake_fds_[0]);
+
+    running_ = true;
+    thread_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void
+Server::stop()
+{
+    if (!running_.exchange(false)) return;
+    // Wake the poll() so the loop observes running_ == false.
+    const char byte = 0;
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+    if (thread_.joinable()) thread_.join();
+
+    // Every still-queued request gets its answer for the accounting
+    // invariant; the bytes die with the connections below.
+    if (!pending_.empty()) {
+        registry_.counter("svc.rejected").add(pending_.size());
+        pending_.clear();
+    }
+
+    for (auto& [fd, conn] : connections_) close(fd);
+    connections_.clear();
+    if (listen_fd_ >= 0) close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : wake_fds_) {
+        if (fd >= 0) close(fd);
+        fd = -1;
+    }
+    unlink(config_.socket_path.c_str());
+
+    if (obs::telemetry_active()) {
+        obs::Registry::global().merge(registry_);
+    }
+}
+
+void
+Server::loop()
+{
+    std::vector<pollfd> fds;
+    std::vector<int> readable, unsent;
+    while (running_) {
+        fds.clear();
+        fds.push_back({listen_fd_, POLLIN, 0});
+        fds.push_back({wake_fds_[0], POLLIN, 0});
+        for (const auto& [fd, conn] : connections_) {
+            short events = POLLIN;
+            if (conn.out_off < conn.out.size()) events |= POLLOUT;
+            fds.push_back({fd, events, 0});
+        }
+
+        // Block only when idle: with work queued, poll() is a
+        // zero-timeout drain of whatever arrived during the last batch
+        // — that accumulation IS the adaptive batch.
+        const int timeout_ms = pending_.empty() ? -1 : 0;
+        const int ready = poll(fds.data(), fds.size(), timeout_ms);
+        if (!running_) break;
+        if (ready < 0 && errno != EINTR) break;
+
+        readable.clear();
+        for (size_t i = 2; i < fds.size(); ++i) {
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+                readable.push_back(fds[i].fd);
+            }
+        }
+        if (fds[0].revents & POLLIN) accept_clients();
+        if (fds[1].revents & POLLIN) {
+            char drain[16];
+            while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {}
+        }
+        for (int fd : readable) read_client(fd);
+        process_batch();
+        // Responses produced this pass leave in one send() per
+        // connection — the syscall amortization batching buys. (Collect
+        // fds first: flush() may erase the connection.)
+        unsent.clear();
+        for (const auto& [fd, conn] : connections_) {
+            if (conn.out_off < conn.out.size()) unsent.push_back(fd);
+        }
+        for (int fd : unsent) flush(fd);
+        registry_.gauge("svc.queue_depth")
+            .set(static_cast<double>(pending_.size()));
+    }
+}
+
+void
+Server::accept_clients()
+{
+    for (;;) {
+        const int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) return;
+        if (!set_nonblocking(fd)) {
+            close(fd);
+            continue;
+        }
+        connections_.emplace(fd, Connection{});
+        registry_.bump("svc.connections");
+    }
+}
+
+void
+Server::read_client(int fd)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+
+    uint8_t buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.reader.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        close_client(fd); // EOF or hard error
+        return;
+    }
+
+    const uint64_t now = obs::now_ns();
+    bool malformed = false;
+    while (auto frame = conn.reader.next(&malformed)) {
+        if (frame->type != MsgType::kRequest) {
+            malformed = true;
+            break;
+        }
+        auto request = decode_request(frame->payload, frame->size);
+        if (!request) {
+            malformed = true;
+            break;
+        }
+        registry_.bump("svc.requests");
+        if (pending_.size() >= config_.max_pending) {
+            registry_.bump("svc.rejected");
+            respond(fd, request->request_id,
+                    {core::Verdict::kRejected, 0,
+                     obs::AbortReason::kBackpressure});
+            continue;
+        }
+        pending_.push_back({fd, request->request_id, now,
+                            request->deadline_ns,
+                            std::move(request->offload)});
+    }
+    if (malformed) {
+        registry_.bump("svc.malformed");
+        close_client(fd);
+    }
+}
+
+void
+Server::close_client(int fd)
+{
+    // Queued requests of this connection stay queued: they are answered
+    // (and counted) normally, and respond() drops the bytes.
+    connections_.erase(fd);
+    close(fd);
+}
+
+void
+Server::respond(int fd, uint64_t request_id,
+                const core::ValidationResult& result)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return; // client gone; answer dropped
+    encode_response(it->second.out, {request_id, result});
+}
+
+void
+Server::process_batch()
+{
+    if (pending_.empty()) return;
+    const size_t take = std::min(config_.max_batch, pending_.size());
+    const uint64_t now = obs::now_ns();
+    size_t engine_passes = 0;
+    for (size_t i = 0; i < take; ++i) {
+        Pending pending = std::move(pending_.front());
+        pending_.pop_front();
+        core::ValidationResult result;
+        if (pending.deadline_ns != 0 &&
+            now - pending.arrival_ns > pending.deadline_ns) {
+            // Expired while queued: the client has already given up —
+            // an engine pass would only burn window slots for a verdict
+            // nobody applies.
+            result = {core::Verdict::kTimeout, 0,
+                      obs::AbortReason::kTimeout};
+            registry_.bump("svc.timeout");
+        } else {
+            result = engine_.process(pending.offload);
+            registry_.bump(std::string("svc.verdict.") +
+                           core::to_string(result.verdict));
+            ++engine_passes;
+        }
+        respond(pending.fd, pending.request_id, result);
+        registry_.histogram("svc.rpc_ns").record(now - pending.arrival_ns);
+    }
+    if (engine_passes > 0) {
+        registry_.histogram("svc.batch_size").record(engine_passes);
+    }
+}
+
+void
+Server::flush(int fd)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+    while (conn.out_off < conn.out.size()) {
+        const ssize_t n = send(fd, conn.out.data() + conn.out_off,
+                               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.out_off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+        close_client(fd); // client gone mid-response
+        return;
+    }
+    conn.out.clear();
+    conn.out_off = 0;
+}
+
+CounterBag
+Server::stats() const
+{
+    return registry_.to_counter_bag();
+}
+
+void
+Server::export_metrics(obs::Registry& registry) const
+{
+    registry.merge(registry_);
+}
+
+} // namespace rococo::svc

@@ -1,0 +1,133 @@
+/// @file
+/// The networked validation service: one server-owned ValidationEngine
+/// (and therefore one sliding window, one cid space) shared by every
+/// connected client process — the deployment shape of the paper's
+/// Fig. 6 (b) with the CCI link replaced by a local socket. Where the
+/// hardware amortizes link latency by packing requests into cacheline
+/// writes (§5.3), the server amortizes syscall cost by *adaptive
+/// batching*: each pass over the engine drains whatever requests
+/// accumulated while the previous pass ran (up to max_batch), and all
+/// responses of a pass leave in one send() per connection. No batching
+/// timer exists — a lone request is processed immediately, so batching
+/// never adds idle latency.
+///
+/// Service contract:
+///   * bounded queue — at most max_pending requests wait for the
+///     engine; beyond that the server answers Verdict::kRejected /
+///     AbortReason::kBackpressure immediately instead of queueing
+///     (explicit backpressure, never unbounded growth);
+///   * deadlines — a request whose relative wire deadline elapses while
+///     it waits is answered Verdict::kTimeout without an engine pass;
+///   * accounting — every well-formed request is answered exactly once,
+///     so svc.requests == sum(svc.verdict.*) + svc.timeout +
+///     svc.rejected at all times (scripts/check_trace_json.py checks
+///     this invariant on exported telemetry);
+///   * a malformed frame closes the connection; its already-queued
+///     requests are still answered (responses to a closed connection
+///     are dropped after accounting).
+///
+/// Threading: start() spawns one service thread running a poll() loop
+/// that does accept/read/decode, the engine batch, and writes. The
+/// public API (start/stop/stats/export_metrics) is thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fpga/validation_engine.h"
+#include "obs/registry.h"
+#include "svc/wire.h"
+
+namespace rococo::svc {
+
+struct ServerConfig
+{
+    /// Filesystem path of the Unix-domain listening socket (unlinked
+    /// and re-bound on start).
+    std::string socket_path = "/tmp/rococo-validation.sock";
+    /// Engine geometry; clients must be configured identically so their
+    /// locally derived SignatureConfig agrees with the server's.
+    fpga::EngineConfig engine;
+    /// Max requests per engine pass (>= 1). 1 disables batching.
+    size_t max_batch = 16;
+    /// Bound on requests waiting for the engine; overflow is answered
+    /// kRejected (backpressure) instead of queued.
+    size_t max_pending = 1024;
+};
+
+/// Single-accelerator validation server.
+class Server
+{
+  public:
+    explicit Server(const ServerConfig& config = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Bind, listen and spawn the service thread. False (with the
+    /// socket cleaned up) if the path cannot be bound.
+    bool start();
+
+    /// Stop the service thread, close every connection and answer all
+    /// still-queued requests as kRejected (the answers are dropped with
+    /// the connections, but the accounting invariant holds). Idempotent.
+    void stop();
+
+    bool running() const { return running_; }
+    const std::string& socket_path() const { return config_.socket_path; }
+
+    /// Counters-only snapshot of the service metrics (svc.* keys).
+    CounterBag stats() const;
+
+    /// Merge the full service registry (counters, svc.queue_depth
+    /// gauge, svc.batch_size / svc.rpc_ns histograms) into @p registry.
+    void export_metrics(obs::Registry& registry) const;
+
+  private:
+    struct Connection
+    {
+        FrameReader reader;
+        std::vector<uint8_t> out; ///< encoded responses not yet sent
+        size_t out_off = 0;       ///< bytes of out already sent
+    };
+
+    /// A well-formed request waiting for the engine.
+    struct Pending
+    {
+        int fd = -1; ///< originating connection (may close before reply)
+        uint64_t request_id = 0;
+        uint64_t arrival_ns = 0;
+        uint64_t deadline_ns = 0; ///< relative to arrival; 0 = none
+        fpga::OffloadRequest offload;
+    };
+
+    void loop();
+    void accept_clients();
+    void read_client(int fd);
+    void close_client(int fd);
+    void respond(int fd, uint64_t request_id,
+                 const core::ValidationResult& result);
+    void process_batch();
+    void flush(int fd);
+
+    ServerConfig config_;
+    fpga::ValidationEngine engine_;
+
+    int listen_fd_ = -1;
+    int wake_fds_[2] = {-1, -1}; ///< self-pipe: stop() wakes poll()
+    std::map<int, Connection> connections_;
+    std::deque<Pending> pending_;
+
+    std::atomic<bool> running_{false};
+    std::thread thread_;
+
+    obs::Registry registry_; ///< svc.* metrics (thread-safe)
+};
+
+} // namespace rococo::svc

@@ -1,0 +1,118 @@
+/// @file
+/// Binary wire protocol of the networked validation service: the
+/// software analogue of the cacheline-formatted messages the paper
+/// ships over the CCI pull/push queues (§5.3). One request frame
+/// carries what OffloadRequest carries in-process — the read/write
+/// address sets (from which the server-side Detector builds bloom
+/// signatures, exactly as the hardware does) plus the snapshot metadata
+/// (ValidTS) — and one response frame carries a core::ValidationResult:
+/// verdict, cid, typed obs::AbortReason.
+///
+/// Layout (all integers little-endian, no padding):
+///
+///   frame    := u32 payload_len | u8 type | payload
+///   request  := u64 request_id | u64 snapshot_cid | u64 deadline_ns
+///               | u32 n_reads | u32 n_writes
+///               | u64 reads[n_reads] | u64 writes[n_writes]
+///   response := u64 request_id | u8 verdict | u8 reason | u64 cid
+///
+/// deadline_ns is *relative* to server arrival (0 = none): processes on
+/// the same host share the monotonic clock, but a relative deadline
+/// also survives clock-domain changes if the transport ever crosses
+/// hosts, so absolute timestamps never go on the wire.
+///
+/// The decoder is defensive: a frame that is malformed (bad type,
+/// payload length disagreeing with the counts, oversized address sets)
+/// yields nullopt and the server closes the connection — a misbehaving
+/// client can never make the server allocate unbounded memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/sliding_window.h"
+#include "fpga/detector.h"
+
+namespace rococo::svc {
+
+/// Frame type tags.
+enum class MsgType : uint8_t
+{
+    kRequest = 1,
+    kResponse = 2,
+};
+
+/// Fixed header preceding every payload.
+inline constexpr size_t kFrameHeaderBytes = 5; // u32 len + u8 type
+
+/// Upper bound on addresses per set — a sanity bound far above any real
+/// transaction footprint, protecting the server from garbage lengths.
+inline constexpr uint32_t kMaxAddresses = 1u << 20;
+
+/// Largest payload a well-formed frame can carry (two maximal address
+/// sets plus the fixed request fields).
+inline constexpr size_t kMaxPayloadBytes =
+    8 + 8 + 8 + 4 + 4 + 2 * size_t{kMaxAddresses} * 8;
+
+/// A decoded request frame.
+struct WireRequest
+{
+    uint64_t request_id = 0;
+    /// Relative deadline in ns (0 = none): the server drops the request
+    /// with Verdict::kTimeout if it is still queued this long after
+    /// arrival.
+    uint64_t deadline_ns = 0;
+    fpga::OffloadRequest offload;
+};
+
+/// A decoded response frame.
+struct WireResponse
+{
+    uint64_t request_id = 0;
+    core::ValidationResult result;
+};
+
+/// Append one encoded request frame to @p out.
+void encode_request(std::vector<uint8_t>& out, const WireRequest& request);
+
+/// Append one encoded response frame to @p out.
+void encode_response(std::vector<uint8_t>& out, const WireResponse& response);
+
+/// Decode a request payload (the bytes after the frame header).
+std::optional<WireRequest> decode_request(const uint8_t* payload,
+                                          size_t size);
+
+/// Decode a response payload (the bytes after the frame header).
+std::optional<WireResponse> decode_response(const uint8_t* payload,
+                                            size_t size);
+
+/// Incremental frame extractor over a connection's receive buffer.
+/// Feed bytes with append(); next() yields complete frames in order.
+class FrameReader
+{
+  public:
+    struct Frame
+    {
+        MsgType type;
+        const uint8_t* payload; ///< valid until the next append()
+        size_t size;
+    };
+
+    /// Append @p size raw bytes from the socket.
+    void append(const uint8_t* data, size_t size);
+
+    /// Extract the next complete frame, or nullopt if more bytes are
+    /// needed. Sets @p malformed (when non-null) and returns nullopt if
+    /// the stream is unrecoverably corrupt (unknown type / oversized
+    /// payload) — the caller should drop the connection.
+    std::optional<Frame> next(bool* malformed = nullptr);
+
+    size_t buffered() const { return buffer_.size() - consumed_; }
+
+  private:
+    std::vector<uint8_t> buffer_;
+    size_t consumed_ = 0; ///< bytes of buffer_ already handed out
+};
+
+} // namespace rococo::svc

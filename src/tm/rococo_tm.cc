@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "obs/telemetry.h"
 #include "obs/tracer.h"
+#include "svc/client.h"
 
 namespace rococo::tm {
 namespace {
@@ -16,6 +17,20 @@ uint64_t
 cell_key(const TmCell& cell)
 {
     return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&cell));
+}
+
+/// Config-selected validation backend: in-process pipeline by default,
+/// service client when a socket path is configured.
+std::unique_ptr<fpga::ValidationBackend>
+make_backend(const RococoTmConfig& config)
+{
+    if (config.validation_service.empty()) {
+        return std::make_unique<fpga::ValidationPipeline>(config.engine);
+    }
+    svc::ClientConfig client;
+    client.socket_path = config.validation_service;
+    client.engine = config.engine;
+    return std::make_unique<svc::ValidationClient>(client);
 }
 
 } // namespace
@@ -130,8 +145,8 @@ class RococoTm::TxImpl final : public Tx
 };
 
 RococoTm::RococoTm(const RococoTmConfig& config)
-    : config_(config), pipeline_(config.engine),
-      sig_config_(pipeline_.signature_config()),
+    : config_(config), backend_(make_backend(config)),
+      sig_config_(backend_->signature_config()),
       commit_log_(sig_config_, config.commit_log_capacity),
       update_set_(sig_config_, config.max_threads),
       descriptors_(config.max_threads)
@@ -140,11 +155,11 @@ RococoTm::RococoTm(const RococoTmConfig& config)
 
 RococoTm::~RococoTm()
 {
-    pipeline_.stop();
+    backend_->stop();
     if (obs::telemetry_active()) {
-        // Hand the pipeline-side occupancy gauges and verdict counters
+        // Hand the backend-side occupancy gauges and verdict counters
         // to the session being recorded before they are destroyed.
-        pipeline_.export_metrics(obs::Registry::global());
+        backend_->export_metrics(obs::Registry::global());
     }
 }
 
@@ -190,11 +205,13 @@ RococoTm::try_execute(const std::function<void(Tx&)>& body)
         std::unique_lock<std::shared_mutex> exclusive(gate_);
         const bool committed = attempt(body, d);
         if (!committed) {
-            // Only a body-requested retry() can fail here: running
-            // alone, validation cannot. The awaited condition can only
-            // be satisfied by other transactions, so fall back to
-            // optimistic mode and let them run.
-            ROCOCO_CHECK(d.user_retry &&
+            // Only a body-requested retry() — or, with a service
+            // backend, a transport failure (timeout / backpressure) —
+            // can fail here: running alone, validation cannot. Fall
+            // back to optimistic mode either way.
+            ROCOCO_CHECK((d.user_retry ||
+                          d.last_abort == obs::AbortReason::kTimeout ||
+                          d.last_abort == obs::AbortReason::kBackpressure) &&
                          "irrevocable attempt must commit");
             d.consecutive_aborts = 0;
             return false;
@@ -249,7 +266,12 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
     core::ValidationResult verdict;
     {
         obs::ScopedSpan validate_span("tm", "tx.validate");
-        verdict = pipeline_.validate(std::move(request));
+        verdict =
+            config_.validation_timeout_ns > 0
+                ? backend_->validate(
+                      std::move(request),
+                      std::chrono::nanoseconds(config_.validation_timeout_ns))
+                : backend_->validate(std::move(request));
         if (verdict.verdict == core::Verdict::kCommit) {
             validate_span.arg("cid", verdict.cid);
         }
@@ -260,9 +282,20 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
                            : verdict.reason;
         d.stats.bump(stat::kAborts);
         d.stats.bump(stat::kValidationAborts);
-        d.stats.bump(verdict.verdict == core::Verdict::kAbortCycle
-                         ? stat::kCycleAborts
-                         : stat::kOverflowAborts);
+        switch (verdict.verdict) {
+          case core::Verdict::kAbortCycle:
+            d.stats.bump(stat::kCycleAborts);
+            break;
+          case core::Verdict::kWindowOverflow:
+            d.stats.bump(stat::kOverflowAborts);
+            break;
+          case core::Verdict::kTimeout:
+            d.stats.bump(stat::kTimeoutAborts);
+            break;
+          default:
+            d.stats.bump(stat::kRejectedAborts);
+            break;
+        }
         return false;
     }
 

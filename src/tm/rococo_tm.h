@@ -23,8 +23,10 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
+#include "fpga/validation_backend.h"
 #include "fpga/validation_pipeline.h"
 #include "tm/commit_log.h"
 #include "tm/tm.h"
@@ -44,6 +46,19 @@ struct RococoTmConfig
     /// exclusively, with every other transaction drained — and is
     /// guaranteed to commit. 0 disables irrevocability.
     unsigned irrevocable_after = 64;
+    /// Unix-socket path of a svc::Server to validate against. Empty
+    /// (the default) keeps validation in-process: the runtime owns a
+    /// ValidationPipeline, the single-address-space deployment of
+    /// Fig. 6 (b). Non-empty swaps in a svc::ValidationClient, sharing
+    /// the server's sliding window with every other client process —
+    /// the engine geometry below must match the server's.
+    std::string validation_service;
+    /// Per-validation deadline in ns; 0 waits indefinitely. On expiry
+    /// the attempt aborts with obs::AbortReason::kTimeout and retries —
+    /// the verdict the backend eventually produces is discarded, which
+    /// is safe precisely because the attempt aborts (never
+    /// half-commits).
+    uint64_t validation_timeout_ns = 0;
 };
 
 class RococoTm final : public TmRuntime
@@ -62,8 +77,9 @@ class RococoTm final : public TmRuntime
     /// Typed cause of the calling thread's most recent abort.
     obs::AbortReason last_abort_reason() const override;
 
-    /// FPGA-side verdict counters (the dotted line of Fig. 10).
-    CounterBag fpga_stats() const { return pipeline_.stats(); }
+    /// Validation-backend verdict counters (the dotted line of
+    /// Fig. 10); pipeline- or client-side depending on config.
+    CounterBag fpga_stats() const { return backend_->stats(); }
 
     /// Full metrics registry behind stats() (per-thread registries
     /// merged at thread_fini).
@@ -82,7 +98,7 @@ class RococoTm final : public TmRuntime
     bool attempt(const std::function<void(Tx&)>& body, TxDescriptor& d);
 
     RococoTmConfig config_;
-    fpga::ValidationPipeline pipeline_;
+    std::unique_ptr<fpga::ValidationBackend> backend_;
     std::shared_ptr<const sig::SignatureConfig> sig_config_;
     CommitLog commit_log_;
     UpdateSet update_set_;

@@ -161,6 +161,8 @@ inline constexpr const char* kCapacityAborts = "capacity_aborts";
 inline constexpr const char* kConflictAborts = "conflict_aborts";
 inline constexpr const char* kFallbackCommits = "fallback_commits";
 inline constexpr const char* kStaleAborts = "stale_aborts";
+inline constexpr const char* kTimeoutAborts = "timeout_aborts";
+inline constexpr const char* kRejectedAborts = "rejected_aborts";
 } // namespace stat
 
 /// Abstract TM runtime. Thread lifecycle: each worker thread calls

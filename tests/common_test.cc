@@ -2,6 +2,7 @@
 /// CLI, RNG, barrier and blocking queue.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <fstream>
 #include <set>
 #include <thread>
@@ -314,6 +315,49 @@ TEST(BlockingQueue, CapacityLimit)
     EXPECT_FALSE(q.try_push(3));
     q.pop();
     EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(BlockingQueue, CloseNowHandsBackUndrainedItems)
+{
+    // Regression for the pipeline shutdown path: items still queued at
+    // close_now() must come back to the caller (who resolves their
+    // promises) and become invisible to consumers — a pop after
+    // close_now returns nullopt immediately instead of draining.
+    BlockingQueue<int> q;
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    const std::deque<int> pending = q.close_now();
+    ASSERT_EQ(pending.size(), 3u);
+    EXPECT_EQ(pending[0], 1);
+    EXPECT_EQ(pending[2], 3);
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.push(4));
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_TRUE(q.close_now().empty()); // idempotent
+}
+
+TEST(BlockingQueue, CloseNowWakesBlockedConsumer)
+{
+    BlockingQueue<int> q;
+    std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+    // Give the consumer a chance to block, then close underneath it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(q.close_now().empty());
+    consumer.join();
+}
+
+TEST(BlockingQueue, PopBatchDrainsWhatAccumulated)
+{
+    BlockingQueue<int> q;
+    for (int i = 0; i < 10; ++i) q.push(i);
+    const std::vector<int> batch = q.pop_batch(4);
+    ASSERT_EQ(batch.size(), 4u);
+    EXPECT_EQ(batch.front(), 0);
+    EXPECT_EQ(batch.back(), 3);
+    EXPECT_EQ(q.pop_batch(100).size(), 6u);
+    q.close();
+    EXPECT_TRUE(q.pop_batch(4).empty()); // closed-and-empty
 }
 
 TEST(BlockingQueue, CrossThread)

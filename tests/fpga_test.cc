@@ -213,7 +213,71 @@ TEST(Pipeline, StopRejectsFurtherWork)
     ValidationPipeline pipeline;
     pipeline.stop();
     auto r = pipeline.validate({{}, {1}, 0});
-    EXPECT_EQ(r.verdict, core::Verdict::kWindowOverflow);
+    EXPECT_EQ(r.verdict, core::Verdict::kRejected);
+    EXPECT_EQ(r.reason, obs::AbortReason::kBackpressure);
+}
+
+TEST(Pipeline, StopResolvesPendingFuturesInsteadOfBreakingPromises)
+{
+    // Regression: stop() used to close the queue and let the Items'
+    // promises die unfulfilled, surfacing to waiters as
+    // std::future_error(broken_promise). Now every pending future must
+    // resolve — with the real verdict if the worker got there first,
+    // with a typed rejection otherwise — and never throw.
+    ValidationPipeline pipeline;
+    std::vector<std::future<core::ValidationResult>> futures;
+    for (uint64_t i = 0; i < 512; ++i) {
+        futures.push_back(
+            pipeline.submit({{}, {i}, ~uint64_t{0} >> 1}));
+    }
+    pipeline.stop(); // races the worker through the backlog
+    uint64_t resolved = 0;
+    for (auto& future : futures) {
+        auto r = future.get(); // must not throw
+        EXPECT_TRUE(r.verdict == core::Verdict::kCommit ||
+                    r.verdict == core::Verdict::kRejected);
+        if (r.verdict == core::Verdict::kRejected) {
+            EXPECT_EQ(r.reason, obs::AbortReason::kBackpressure);
+        }
+        ++resolved;
+    }
+    EXPECT_EQ(resolved, futures.size());
+    // Accounting covers both paths: engine verdicts + shutdown aborts
+    // == everything submitted.
+    const CounterBag bag = pipeline.stats();
+    EXPECT_EQ(bag.get("commit") + bag.get("shutdown_aborts"),
+              bag.get("submitted"));
+}
+
+TEST(Pipeline, ValidateWithDeadlineTimesOutUnderBacklog)
+{
+    // Stuff the queue, then ask for a verdict with a zero deadline: the
+    // worker cannot possibly have drained the backlog between submit
+    // and wait, so the caller gets the typed timeout instead of
+    // blocking.
+    ValidationPipeline pipeline;
+    std::vector<std::future<core::ValidationResult>> backlog;
+    for (uint64_t i = 0; i < 2048; ++i) {
+        backlog.push_back(
+            pipeline.submit({{}, {i}, ~uint64_t{0} >> 1}));
+    }
+    auto r = pipeline.validate({{}, {99999}, 0},
+                               std::chrono::nanoseconds(0));
+    EXPECT_EQ(r.verdict, core::Verdict::kTimeout);
+    EXPECT_EQ(r.reason, obs::AbortReason::kTimeout);
+    EXPECT_EQ(pipeline.stats().get("timeout"), 1u);
+    pipeline.stop();
+    for (auto& future : backlog) future.get(); // all resolve, none throw
+}
+
+TEST(Pipeline, ValidateWithGenerousDeadlineStillCommits)
+{
+    ValidationPipeline pipeline;
+    auto r = pipeline.validate({{}, {1}, ~uint64_t{0} >> 1},
+                               std::chrono::seconds(30));
+    EXPECT_EQ(r.verdict, core::Verdict::kCommit);
+    EXPECT_EQ(pipeline.stats().get("timeout"), 0u);
+    pipeline.stop();
 }
 
 TEST(Pipeline, StatsSnapshotIsConsistentUnderConcurrentReads)
