@@ -83,6 +83,15 @@ ValidationClient::submit_with_deadline(fpga::OffloadRequest request,
     std::vector<uint8_t> frame;
     std::unique_lock<std::mutex> lock(mutex_);
     registry_.bump("svc.client.submitted");
+    if (request.reads.size() > kMaxAddresses ||
+        request.writes.size() > kMaxAddresses) {
+        // The server's decoder would treat the frame as malformed and
+        // drop the whole connection; reject the one oversized request
+        // locally instead of poisoning every outstanding one.
+        registry_.bump("svc.client.oversized");
+        registry_.bump("svc.client.rejected");
+        return resolved(rejected_result());
+    }
     if (closed_) {
         registry_.bump("svc.client.rejected");
         return resolved(rejected_result());

@@ -16,10 +16,13 @@
 /// broken promise. Disconnect or stop() resolves every outstanding
 /// future as Verdict::kRejected / AbortReason::kBackpressure, and
 /// submit() on a dead client returns an already-resolved rejected
-/// future. validate(timeout) additionally ships the deadline on the
-/// wire (so the server can drop the request from its queue) and, on
-/// local expiry, abandons the outstanding entry — a late verdict is
-/// then discarded by the reader.
+/// future. A request whose address sets exceed wire.h's kMaxAddresses
+/// is likewise resolved rejected locally ("oversized") — sending it
+/// would make the server drop the connection as malformed, taking every
+/// outstanding request down with it. validate(timeout) additionally
+/// ships the deadline on the wire (so the server can drop the request
+/// from its queue) and, on local expiry, abandons the outstanding entry
+/// — a late verdict is then discarded by the reader.
 #pragma once
 
 #include <cstdint>
@@ -65,8 +68,10 @@ class ValidationClient final : public fpga::ValidationBackend
         std::chrono::nanoseconds timeout) override;
 
     /// Client-side counters: per-verdict counts as seen over the wire,
-    /// "submitted", "timeout" (local deadline expiries) and "rejected"
-    /// (backpressure verdicts plus disconnect resolutions).
+    /// "submitted", "timeout" (local deadline expiries), "rejected"
+    /// (backpressure verdicts, disconnect and oversized resolutions)
+    /// and "oversized" (requests beyond kMaxAddresses, a subset of
+    /// "rejected").
     CounterBag stats() const override;
 
     /// Merge client metrics ("svc.client.*", including the

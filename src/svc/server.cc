@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -28,6 +29,9 @@ Server::Server(const ServerConfig& config)
     : config_(config), engine_(config.engine)
 {
     if (config_.max_batch == 0) config_.max_batch = 1;
+    if (config_.max_out_bytes == 0) config_.max_out_bytes = 1 << 20;
+    config_.max_out_bytes =
+        std::max(config_.max_out_bytes, kResponseFrameBytes);
 }
 
 Server::~Server()
@@ -160,7 +164,7 @@ Server::accept_clients()
             close(fd);
             continue;
         }
-        connections_.emplace(fd, Connection{});
+        connections_[fd].generation = ++next_generation_;
         registry_.bump("svc.connections");
     }
 }
@@ -185,6 +189,7 @@ Server::read_client(int fd)
     }
 
     const uint64_t now = obs::now_ns();
+    const uint64_t generation = conn.generation;
     bool malformed = false;
     while (auto frame = conn.reader.next(&malformed)) {
         if (frame->type != MsgType::kRequest) {
@@ -199,12 +204,14 @@ Server::read_client(int fd)
         registry_.bump("svc.requests");
         if (pending_.size() >= config_.max_pending) {
             registry_.bump("svc.rejected");
-            respond(fd, request->request_id,
-                    {core::Verdict::kRejected, 0,
-                     obs::AbortReason::kBackpressure});
+            if (!respond(fd, generation, request->request_id,
+                         {core::Verdict::kRejected, 0,
+                          obs::AbortReason::kBackpressure})) {
+                return; // connection closed (outbound cap); conn dangles
+            }
             continue;
         }
-        pending_.push_back({fd, request->request_id, now,
+        pending_.push_back({fd, generation, request->request_id, now,
                             request->deadline_ns,
                             std::move(request->offload)});
     }
@@ -218,18 +225,33 @@ void
 Server::close_client(int fd)
 {
     // Queued requests of this connection stay queued: they are answered
-    // (and counted) normally, and respond() drops the bytes.
+    // (and counted) normally, and respond() drops the bytes — the
+    // generation check keeps them from reaching a future connection
+    // that recycles this fd number.
     connections_.erase(fd);
     close(fd);
+    registry_.bump("svc.disconnects");
 }
 
-void
-Server::respond(int fd, uint64_t request_id,
+bool
+Server::respond(int fd, uint64_t generation, uint64_t request_id,
                 const core::ValidationResult& result)
 {
     auto it = connections_.find(fd);
-    if (it == connections_.end()) return; // client gone; answer dropped
-    encode_response(it->second.out, {request_id, result});
+    if (it == connections_.end() || it->second.generation != generation) {
+        return false; // client gone (or fd recycled); answer dropped
+    }
+    Connection& conn = it->second;
+    encode_response(conn.out, {request_id, result});
+    if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
+        // The peer keeps submitting but is not reading its responses;
+        // disconnecting it is the only alternative to unbounded
+        // buffering (the wire.h memory guarantee).
+        registry_.bump("svc.overflow");
+        close_client(fd);
+        return false;
+    }
+    return true;
 }
 
 void
@@ -257,7 +279,7 @@ Server::process_batch()
                            core::to_string(result.verdict));
             ++engine_passes;
         }
-        respond(pending.fd, pending.request_id, result);
+        respond(pending.fd, pending.generation, pending.request_id, result);
         registry_.histogram("svc.rpc_ns").record(now - pending.arrival_ns);
     }
     if (engine_passes > 0) {

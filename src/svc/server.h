@@ -24,7 +24,17 @@
 ///     this invariant on exported telemetry);
 ///   * a malformed frame closes the connection; its already-queued
 ///     requests are still answered (responses to a closed connection
-///     are dropped after accounting).
+///     are dropped after accounting);
+///   * bounded output — at most max_out_bytes of unsent responses are
+///     buffered per connection; a peer that floods requests without
+///     reading responses is disconnected (svc.overflow) instead of
+///     growing the buffer without bound.
+///
+/// Every connection carries a monotonically increasing generation id,
+/// and queued requests are answered against (fd, generation): when the
+/// kernel recycles a closed connection's fd number for a new accept(),
+/// the old connection's still-queued verdicts are dropped (after
+/// accounting) rather than delivered to the new client.
 ///
 /// Threading: start() spawns one service thread running a poll() loop
 /// that does accept/read/decode, the engine batch, and writes. The
@@ -58,6 +68,11 @@ struct ServerConfig
     /// Bound on requests waiting for the engine; overflow is answered
     /// kRejected (backpressure) instead of queued.
     size_t max_pending = 1024;
+    /// Bound on unsent response bytes buffered per connection. A peer
+    /// that submits requests but stops reading responses is closed when
+    /// its buffer would exceed this (clamped to at least one response
+    /// frame; 0 selects the default).
+    size_t max_out_bytes = 1 << 20;
 };
 
 /// Single-accelerator validation server.
@@ -92,6 +107,7 @@ class Server
   private:
     struct Connection
     {
+        uint64_t generation = 0; ///< unique per accept(); outlives fd reuse
         FrameReader reader;
         std::vector<uint8_t> out; ///< encoded responses not yet sent
         size_t out_off = 0;       ///< bytes of out already sent
@@ -101,6 +117,7 @@ class Server
     struct Pending
     {
         int fd = -1; ///< originating connection (may close before reply)
+        uint64_t generation = 0; ///< guards against fd reuse after close
         uint64_t request_id = 0;
         uint64_t arrival_ns = 0;
         uint64_t deadline_ns = 0; ///< relative to arrival; 0 = none
@@ -111,7 +128,11 @@ class Server
     void accept_clients();
     void read_client(int fd);
     void close_client(int fd);
-    void respond(int fd, uint64_t request_id,
+    /// Queue @p result on the connection currently at @p fd iff its
+    /// generation matches. False if the answer was dropped (connection
+    /// gone or fd recycled) or the connection was closed for exceeding
+    /// the outbound cap — either way @p fd must not be touched again.
+    bool respond(int fd, uint64_t generation, uint64_t request_id,
                  const core::ValidationResult& result);
     void process_batch();
     void flush(int fd);
@@ -123,6 +144,7 @@ class Server
     int wake_fds_[2] = {-1, -1}; ///< self-pipe: stop() wakes poll()
     std::map<int, Connection> connections_;
     std::deque<Pending> pending_;
+    uint64_t next_generation_ = 0;
 
     std::atomic<bool> running_{false};
     std::thread thread_;

@@ -24,7 +24,12 @@
 /// The decoder is defensive: a frame that is malformed (bad type,
 /// payload length disagreeing with the counts, oversized address sets)
 /// yields nullopt and the server closes the connection — a misbehaving
-/// client can never make the server allocate unbounded memory.
+/// client can never make the server allocate unbounded memory (the
+/// other half of that guarantee is the server's per-connection outbound
+/// cap, ServerConfig::max_out_bytes). The client library enforces
+/// kMaxAddresses before encoding: an oversized request is resolved as
+/// rejected locally instead of being sent as a frame the server would
+/// treat as malformed, which would poison the whole connection.
 #pragma once
 
 #include <cstdint>
@@ -54,6 +59,11 @@ inline constexpr uint32_t kMaxAddresses = 1u << 20;
 /// sets plus the fixed request fields).
 inline constexpr size_t kMaxPayloadBytes =
     8 + 8 + 8 + 4 + 4 + 2 * size_t{kMaxAddresses} * 8;
+
+/// Encoded size of one response frame (fixed-size payload + header) —
+/// the unit the server's outbound-buffer cap is expressed in.
+inline constexpr size_t kResponseFrameBytes =
+    kFrameHeaderBytes + 8 + 1 + 1 + 8;
 
 /// A decoded request frame.
 struct WireRequest

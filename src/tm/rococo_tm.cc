@@ -30,7 +30,14 @@ make_backend(const RococoTmConfig& config)
     svc::ClientConfig client;
     client.socket_path = config.validation_service;
     client.engine = config.engine;
-    return std::make_unique<svc::ValidationClient>(client);
+    auto backend = std::make_unique<svc::ValidationClient>(client);
+    // A disconnected client resolves every validate() as kRejected, so
+    // a wrong or unreachable socket path would silently retry forever;
+    // fail construction loudly instead.
+    ROCOCO_CHECK(backend->connected() &&
+                 "validation service unreachable at "
+                 "RococoTmConfig::validation_service");
+    return backend;
 }
 
 } // namespace

@@ -51,7 +51,10 @@ struct RococoTmConfig
     /// ValidationPipeline, the single-address-space deployment of
     /// Fig. 6 (b). Non-empty swaps in a svc::ValidationClient, sharing
     /// the server's sliding window with every other client process —
-    /// the engine geometry below must match the server's.
+    /// the engine geometry below must match the server's, and the
+    /// server must be reachable when the runtime is constructed
+    /// (ROCOCO_CHECK aborts otherwise: a disconnected backend would
+    /// reject every validation and retry silently forever).
     std::string validation_service;
     /// Per-validation deadline in ns; 0 waits indefinitely. On expiry
     /// the attempt aborts with obs::AbortReason::kTimeout and retries —

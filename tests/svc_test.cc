@@ -389,6 +389,204 @@ TEST(SvcServer, DropsMalformedConnections)
     EXPECT_EQ(server.stats().get("svc.malformed"), 1u);
 }
 
+/// A client that disconnects with requests still queued must never see
+/// its verdicts delivered to a *different* client that accept() handed
+/// the recycled fd number: every queued request is answered against
+/// (fd, generation), not the raw fd.
+TEST(SvcServer, DoesNotDeliverStaleVerdictsToRecycledFd)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("fdreuse");
+    config.max_batch = 1;      // drain the backlog one verdict per pass
+    config.max_pending = 8192; // keep the backlog queued, not rejected
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    const auto wait_for = [](auto&& pred) {
+        for (int i = 0; i < 20000; ++i) {
+            if (pred()) return true;
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+        return false;
+    };
+
+    // Allocate B's socket first so closing A frees the lowest fd
+    // numbers in the process — the ones accept() will hand to B.
+    const int fd_b = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd_b, 0);
+    const int fd_a = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd_a, 0);
+    ASSERT_EQ(connect(fd_a, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+              0);
+
+    // Heavy requests (512 reads each) so the one-per-pass drain takes
+    // milliseconds — long enough that the backlog is still queued when
+    // the second client is accepted below.
+    constexpr uint64_t kBacklog = 4096;
+    {
+        std::vector<uint8_t> bytes;
+        for (uint64_t id = 1; id <= kBacklog; ++id) {
+            WireRequest request;
+            request.request_id = id;
+            for (uint64_t r = 0; r < 512; ++r) {
+                request.offload.reads.push_back(r);
+            }
+            request.offload.writes = {id};
+            encode_request(bytes, request);
+        }
+        ASSERT_EQ(send(fd_a, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(bytes.size()));
+    }
+    // Wait until the whole backlog is decoded and queued, then
+    // half-close: the server sees EOF and frees its side of A while the
+    // backlog is still draining one request per pass. SHUT_WR (not
+    // close) keeps the test-side fd number occupied so the number the
+    // kernel recycles for B is the server-side one in the queue.
+    ASSERT_TRUE(wait_for(
+        [&] { return server.stats().get("svc.requests") >= kBacklog; }));
+    ASSERT_EQ(shutdown(fd_a, SHUT_WR), 0);
+    ASSERT_TRUE(wait_for(
+        [&] { return server.stats().get("svc.disconnects") >= 1; }));
+
+    ASSERT_EQ(connect(fd_b, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+              0);
+    WireRequest probe;
+    probe.request_id = 0x5ca1ab1eULL; // outside A's id range
+    probe.offload.writes = {99999};
+    std::vector<uint8_t> bytes;
+    encode_request(bytes, probe);
+    ASSERT_EQ(send(fd_b, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+
+    // B must receive exactly one response — its own. Any other id is a
+    // stale verdict from A's backlog leaking through the recycled fd.
+    timeval timeout{5, 0};
+    setsockopt(fd_b, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    FrameReader reader;
+    uint8_t buf[4096];
+    std::optional<WireResponse> response;
+    while (!response) {
+        const ssize_t n = recv(fd_b, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0);
+        reader.append(buf, static_cast<size_t>(n));
+        while (auto frame = reader.next()) {
+            auto decoded = decode_response(frame->payload, frame->size);
+            ASSERT_TRUE(decoded.has_value());
+            ASSERT_EQ(decoded->request_id, probe.request_id)
+                << "stale verdict delivered to a recycled fd";
+            response = decoded;
+        }
+    }
+    close(fd_a);
+    close(fd_b);
+    server.stop();
+
+    // The dropped backlog is still accounted: answered exactly once.
+    const CounterBag stats = server.stats();
+    const uint64_t accounted = stats.get("svc.verdict.commit") +
+                               stats.get("svc.verdict.abort-cycle") +
+                               stats.get("svc.verdict.window-overflow") +
+                               stats.get("svc.timeout") +
+                               stats.get("svc.rejected");
+    EXPECT_EQ(stats.get("svc.requests"), kBacklog + 1);
+    EXPECT_EQ(accounted, stats.get("svc.requests"));
+}
+
+/// A client that floods requests but never reads a response must be
+/// disconnected once its outbound buffer hits max_out_bytes — the
+/// server never buffers unread responses without bound.
+TEST(SvcServer, ClosesConnectionsThatStopReadingResponses)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("outcap");
+    config.max_pending = 16;     // most of the flood draws instant rejects
+    config.max_out_bytes = 4096; // small cap so the test fills it quickly
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+
+    // 64 tiny requests per send; the kernel's socket buffer absorbs the
+    // first responses, after which the server-side buffer grows past
+    // the cap and the connection is dropped mid-flood.
+    std::vector<uint8_t> burst;
+    for (int i = 0; i < 64; ++i) {
+        WireRequest request;
+        request.request_id = static_cast<uint64_t>(i);
+        request.offload.writes = {1};
+        encode_request(burst, request);
+    }
+    bool closed = false;
+    for (int i = 0; i < 20000 && !closed; ++i) {
+        if (send(fd, burst.data(), burst.size(), MSG_NOSIGNAL) < 0) {
+            closed = true;
+        }
+    }
+    EXPECT_TRUE(closed) << "server kept buffering for a non-reading peer";
+    close(fd);
+    server.stop();
+
+    const CounterBag stats = server.stats();
+    EXPECT_GE(stats.get("svc.overflow"), 1u);
+    // Accounting survives the disconnect: every counted request was
+    // answered (delivery of the dropped bytes is not part of the
+    // invariant).
+    const uint64_t accounted = stats.get("svc.verdict.commit") +
+                               stats.get("svc.verdict.abort-cycle") +
+                               stats.get("svc.verdict.window-overflow") +
+                               stats.get("svc.timeout") +
+                               stats.get("svc.rejected");
+    EXPECT_EQ(accounted, stats.get("svc.requests"));
+}
+
+/// An address set beyond kMaxAddresses must be rejected client-side: on
+/// the wire the server would drop it as malformed and close the
+/// connection, poisoning every outstanding request.
+TEST(SvcClient, RejectsOversizedRequestsWithoutPoisoningConnection)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("oversized");
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    ClientConfig client_config;
+    client_config.socket_path = config.socket_path;
+    ValidationClient client(client_config);
+    ASSERT_TRUE(client.connected());
+
+    fpga::OffloadRequest big;
+    big.reads.assign(size_t{kMaxAddresses} + 1, 1);
+    auto result = client.validate(std::move(big));
+    EXPECT_EQ(result.verdict, core::Verdict::kRejected);
+    EXPECT_EQ(result.reason, obs::AbortReason::kBackpressure);
+    EXPECT_EQ(client.stats().get("oversized"), 1u);
+
+    // The connection is still healthy: a normal request commits.
+    EXPECT_TRUE(client.connected());
+    auto ok = client.validate({{}, {5}, 0});
+    EXPECT_EQ(ok.verdict, core::Verdict::kCommit);
+
+    client.stop();
+    server.stop();
+    // The oversized request never reached the server.
+    EXPECT_EQ(server.stats().get("svc.requests"), 1u);
+    EXPECT_EQ(server.stats().get("svc.malformed"), 0u);
+}
+
 /// A server that accepts but never answers: validate(timeout) must
 /// resolve locally with a typed timeout, not hang.
 TEST(SvcClient, TimesOutLocallyAgainstSilentServer)
@@ -591,6 +789,17 @@ TEST(SvcTm, RococoTmRunsAgainstValidationService)
     EXPECT_GE(server.stats().get("svc.requests"),
               stats.get(tm::stat::kCommits));
     server.stop();
+}
+
+/// A wrong or unreachable service path must fail RococoTm construction
+/// loudly — a disconnected backend rejects every validation, which
+/// try_execute would otherwise retry silently forever.
+TEST(SvcTmDeathTest, UnreachableServiceFailsConstructionLoudly)
+{
+    tm::RococoTmConfig config;
+    config.validation_service = test_socket_path("unreachable");
+    EXPECT_DEATH({ tm::RococoTm runtime(config); },
+                 "validation service unreachable");
 }
 
 } // namespace
