@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Validate a telemetry JSON file written by obs::TelemetrySession.
+"""Validate a telemetry JSON file written by obs::TelemetrySession
+(or merged from several of them by merge_trace_json.py).
 
 Checks, in order:
 
 1. Schema: the file is a JSON object with a "traceEvents" array in
    Chrome trace-event format (every event has name/ph/ts/pid/tid;
-   complete "X" events carry a duration) and a "metrics" object with
-   counters/gauges/histograms.
+   complete "X" events carry a duration; flow events "s"/"f" carry the
+   binding "id" and flow ends bind to their enclosing slice) and a
+   "metrics" object with counters/gauges/histograms.
 
 2. Abort accounting: for every layer prefix that reports aborts
    (tm., cc., sim.), the per-reason counters "<p>.abort.<reason>" sum
@@ -19,20 +21,39 @@ Checks, in order:
    well-formed request must be answered exactly once:
    svc.requests == sum(svc.verdict.*) + svc.timeout + svc.rejected.
    Client-side counters ("svc.client.*") are excluded — the
-   "svc.verdict." prefix does not match them.
+   "svc.verdict." prefix does not match them. Stats snapshots
+   ("svc.stats") are answered outside the request path and excluded by
+   design.
 
 4. Span chains (skippable with --no-chain, for metrics-only files from
    replay/simulator benches): every "tx.commit" span must sit inside a
-   "tx.attempt" span on the same thread that also contains a
+   "tx.attempt" span on the same (pid, tid) that also contains a
    "tx.validate" span — the begin -> validate -> commit lifecycle of a
    committed offloaded transaction — and at least one complete chain
    must exist. Per-thread ring buffers overwrite their oldest events,
    so up to --max-orphans (default 2) broken chains per thread are
    tolerated at the wraparound boundary.
 
+5. Distributed-trace linkage (runs when the file contains
+   "svc.server.validate" spans; mandatory with --require-flows): every
+   server validation span carries args.parent_span_id, and — in a
+   merged client+server file — that id must name the trace_id of a
+   client "svc.rpc" span, with the matching flow-start ("s") and
+   flow-end ("f") events sharing the same id so Perfetto draws the
+   arrow. Up to --max-orphans unmatched ids per side are tolerated
+   (ring wraparound can drop one half of a pair). With --require-flows
+   the check also demands at least one fully linked client/server pair,
+   failing single-process files where the other half is missing.
+
+The tracer's ring buffers drop oldest events silently; the session
+surfaces the total as the "obs.trace.dropped" counter, and this script
+prints a warning when it is non-zero (the tolerances above exist
+precisely because of it).
+
 Exit status 0 if all checks pass; 1 with a message on stderr otherwise.
 
-Usage: check_trace_json.py FILE [--no-chain] [--max-orphans=N]
+Usage: check_trace_json.py FILE [--no-chain] [--require-flows]
+                                [--max-orphans=N]
 """
 
 import json
@@ -58,7 +79,15 @@ def check_schema(doc):
                 fail(f"traceEvents[{i}] lacks required key {key!r}")
         if event["ph"] == "X" and "dur" not in event:
             fail(f'traceEvents[{i}] is a complete event without "dur"')
-        if event["ph"] not in ("X", "C", "i"):
+        if event["ph"] in ("s", "f"):
+            if "id" not in event:
+                fail(f"traceEvents[{i}] is a flow event without an id")
+            if event["ph"] == "f" and event.get("bp") != "e":
+                fail(
+                    f"traceEvents[{i}] is a flow end without "
+                    f'"bp":"e" (the arrow would bind to the wrong slice)'
+                )
+        if event["ph"] not in ("X", "C", "i", "s", "f"):
             fail(f"traceEvents[{i}] has unknown phase {event['ph']!r}")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
@@ -96,7 +125,8 @@ def check_svc_accounting(counters):
     The server bumps svc.requests once per well-formed frame and exactly
     one of the answer counters per request (stop() counts still-queued
     requests as rejected), so an imbalance means a request was dropped
-    or double-answered.
+    or double-answered. Stats snapshots bump svc.stats instead of
+    svc.requests, so introspection never unbalances the ledger.
     """
     if "svc.requests" not in counters:
         return False
@@ -115,9 +145,10 @@ def check_svc_accounting(counters):
 
 def check_span_chains(events, max_orphans):
     spans = [e for e in events if e["ph"] == "X"]
-    by_tid = {}
+    by_thread = {}
     for span in spans:
-        by_tid.setdefault(span["tid"], []).append(span)
+        # Merged files interleave processes: a thread is (pid, tid).
+        by_thread.setdefault((span["pid"], span["tid"]), []).append(span)
 
     def contains(outer, inner):
         outer_end = outer["ts"] + outer["dur"]
@@ -126,10 +157,10 @@ def check_span_chains(events, max_orphans):
 
     complete = 0
     orphan_report = []
-    for tid, tid_spans in sorted(by_tid.items()):
-        attempts = [s for s in tid_spans if s["name"] == "tx.attempt"]
-        validates = [s for s in tid_spans if s["name"] == "tx.validate"]
-        commits = [s for s in tid_spans if s["name"] == "tx.commit"]
+    for thread, thread_spans in sorted(by_thread.items()):
+        attempts = [s for s in thread_spans if s["name"] == "tx.attempt"]
+        validates = [s for s in thread_spans if s["name"] == "tx.validate"]
+        commits = [s for s in thread_spans if s["name"] == "tx.commit"]
         orphans = 0
         for commit in commits:
             enclosing = [a for a in attempts if contains(a, commit)]
@@ -144,9 +175,10 @@ def check_span_chains(events, max_orphans):
                 orphans += 1
         if orphans > max_orphans:
             orphan_report.append(
-                f"tid {tid}: {orphans} tx.commit spans without an "
-                f"enclosing tx.attempt containing tx.validate "
-                f"(tolerance {max_orphans} for ring wraparound)"
+                f"pid {thread[0]} tid {thread[1]}: {orphans} tx.commit "
+                f"spans without an enclosing tx.attempt containing "
+                f"tx.validate (tolerance {max_orphans} for ring "
+                f"wraparound)"
             )
     if orphan_report:
         fail("; ".join(orphan_report))
@@ -159,13 +191,89 @@ def check_span_chains(events, max_orphans):
     return complete
 
 
+def check_flows(events, max_orphans, require):
+    """Cross-process causality: server spans point at client spans.
+
+    Returns the number of linked client/server span pairs (0 when the
+    file carries no distributed-tracing material and require is False).
+    """
+    client_ids = {
+        e["args"]["trace_id"]
+        for e in events
+        if e["ph"] == "X"
+        and e["name"] == "svc.rpc"
+        and "trace_id" in e.get("args", {})
+    }
+    server_spans = [
+        e
+        for e in events
+        if e["ph"] == "X" and e["name"] == "svc.server.validate"
+    ]
+    flow_starts = {e["id"] for e in events if e["ph"] == "s"}
+    flow_ends = {e["id"] for e in events if e["ph"] == "f"}
+
+    if not server_spans and not flow_starts and not flow_ends:
+        if require:
+            fail(
+                "no distributed-tracing events found "
+                "(--require-flows expects svc.server.validate spans and "
+                "s/f flow events; was the capture made with "
+                "ROCOCO_TRACE=ON through the validation service?)"
+            )
+        return 0
+
+    for i, span in enumerate(server_spans):
+        if "parent_span_id" not in span.get("args", {}):
+            fail(
+                f"svc.server.validate span #{i} lacks "
+                f"args.parent_span_id"
+            )
+
+    # Every server span must reference a client span that exists in the
+    # merged file (tolerating ring wraparound on either side).
+    unmatched_spans = sum(
+        1
+        for span in server_spans
+        if span["args"]["parent_span_id"] not in client_ids
+    )
+    linked = len(server_spans) - unmatched_spans
+    if client_ids and unmatched_spans > max_orphans:
+        fail(
+            f"{unmatched_spans} svc.server.validate spans reference a "
+            f"parent_span_id with no matching client svc.rpc span "
+            f"(tolerance {max_orphans})"
+        )
+
+    # Flow arrows need both halves to render.
+    dangling_ends = len(flow_ends - flow_starts)
+    if flow_starts and dangling_ends > max_orphans:
+        fail(
+            f"{dangling_ends} flow ends have no matching flow start "
+            f"(tolerance {max_orphans})"
+        )
+
+    if require:
+        if linked == 0 or not client_ids:
+            fail(
+                "no linked client/server span pair (server "
+                "parent_span_id matching a client svc.rpc trace_id); "
+                "merge the client and server telemetry files first"
+            )
+        if not (flow_starts & flow_ends):
+            fail("no flow start/end pair sharing an id")
+    return linked
+
+
 def main(argv):
     path = None
     no_chain = False
+    require_flows = False
     max_orphans = 2
     for arg in argv[1:]:
         if arg == "--no-chain":
             no_chain = True
+        elif arg == "--require-flows":
+            require_flows = True
         elif arg.startswith("--max-orphans="):
             max_orphans = int(arg.split("=", 1)[1])
         elif arg.startswith("--"):
@@ -185,17 +293,30 @@ def main(argv):
         fail(f"cannot load {path}: {error}")
 
     events, metrics = check_schema(doc)
-    layers = check_abort_sums(metrics["counters"])
-    svc_checked = check_svc_accounting(metrics["counters"])
+    counters = metrics["counters"]
+    dropped = counters.get("obs.trace.dropped", 0)
+    if dropped:
+        print(
+            f"check_trace_json: WARNING: {dropped} trace events were "
+            f"overwritten in the ring buffers before export; span-chain "
+            f"and flow checks run with wraparound tolerances "
+            f"(raise the ring capacity or shorten the capture for a "
+            f"complete trace)",
+            file=sys.stderr,
+        )
+    layers = check_abort_sums(counters)
+    svc_checked = check_svc_accounting(counters)
     chains = 0 if no_chain else check_span_chains(events, max_orphans)
+    flows = check_flows(events, max_orphans, require_flows)
 
     print(
         f"check_trace_json: OK: {len(events)} events, "
-        f"{len(metrics['counters'])} counters "
+        f"{len(counters)} counters "
         f"({layers} abort layer(s) consistent, svc accounting "
         + ("balanced), " if svc_checked else "absent), ")
         + (f"{chains} complete span chains" if not no_chain
            else "chain check skipped")
+        + (f", {flows} flow-linked client/server pairs" if flows else "")
     )
     return 0
 

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Merge telemetry JSON files from several processes of one run.
+
+Each input is an envelope written by obs::TelemetrySession:
+
+  { "traceEvents": [...], "metrics": {...},
+    "meta": {"pid": P, "base_time_ns": B} }
+
+The exporter rebases every timestamp to the process's own first event
+and always writes pid 1, so files from different processes cannot be
+overlaid as-is. This script splices them into one Perfetto-loadable
+trace:
+
+  * Timestamps are re-aligned on the shared monotonic clock: the
+    earliest "base_time_ns" across the inputs becomes time zero and
+    every event is shifted by its file's offset from it. All processes
+    must come from the same host and boot (CLOCK_MONOTONIC is
+    host-wide), which holds for the svc server + clients of one run.
+  * Every event gets its file's real pid, so Perfetto renders one
+    process track group per input and flow arrows (ph "s"/"f" with a
+    shared id — trace ids embed the client pid, so they never collide
+    across files) connect client and server spans across them.
+  * Metrics merge by name: counters sum; gauges pool their sample
+    statistics (the "last" of the last input wins); histogram summaries
+    combine conservatively (counts sum, means weight by count, max and
+    quantiles take the worst input — exact bucket merges would need the
+    raw buckets, which the envelope does not carry).
+
+The merged file keeps the envelope shape, so check_trace_json.py can
+validate it like any single-process capture; "meta" records the merged
+pids.
+
+Usage: merge_trace_json.py OUTPUT INPUT [INPUT...]
+
+Exit status 0 on success; 1 with a message on stderr otherwise.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"merge_trace_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        fail(f"cannot load {path}: {error}")
+    meta = doc.get("meta")
+    if not isinstance(meta, dict) or "base_time_ns" not in meta:
+        fail(f'{path} lacks the "meta" envelope (base_time_ns); '
+             f"re-capture with a current build")
+    if not isinstance(doc.get("traceEvents"), list):
+        fail(f'{path} lacks the "traceEvents" array')
+    return doc
+
+
+def merge_gauge(into, add):
+    samples = into.get("samples", 0) + add.get("samples", 0)
+    if samples:
+        into["mean"] = (
+            into.get("mean", 0) * into.get("samples", 0)
+            + add.get("mean", 0) * add.get("samples", 0)
+        ) / samples
+    into["min"] = min(into.get("min", 0), add.get("min", 0))
+    into["max"] = max(into.get("max", 0), add.get("max", 0))
+    into["last"] = add.get("last", 0)
+    into["samples"] = samples
+
+
+def merge_histogram(into, add):
+    count = into.get("count", 0) + add.get("count", 0)
+    if count:
+        into["mean"] = (
+            into.get("mean", 0) * into.get("count", 0)
+            + add.get("mean", 0) * add.get("count", 0)
+        ) / count
+    for key in ("max", "p50", "p90", "p99"):
+        into[key] = max(into.get(key, 0), add.get(key, 0))
+    into["count"] = count
+
+
+def merge_metrics(into, add):
+    for name, value in add.get("counters", {}).items():
+        counters = into.setdefault("counters", {})
+        counters[name] = counters.get(name, 0) + value
+    for name, value in add.get("gauges", {}).items():
+        gauges = into.setdefault("gauges", {})
+        if name in gauges:
+            merge_gauge(gauges[name], value)
+        else:
+            gauges[name] = dict(value)
+    for name, value in add.get("histograms", {}).items():
+        histograms = into.setdefault("histograms", {})
+        if name in histograms:
+            merge_histogram(histograms[name], value)
+        else:
+            histograms[name] = dict(value)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out_path, in_paths = argv[1], argv[2:]
+
+    docs = [load(path) for path in in_paths]
+    base = min(doc["meta"]["base_time_ns"] for doc in docs)
+
+    events = []
+    metrics = {"counters": {}, "gauges": {}, "histograms": {}}
+    pids = []
+    for doc, path in zip(docs, in_paths):
+        meta = doc["meta"]
+        pid = meta.get("pid", 0)
+        pids.append(pid)
+        # ts is microseconds (Chrome convention); the offset is ns.
+        shift_us = (meta["base_time_ns"] - base) / 1e3
+        for event in doc["traceEvents"]:
+            event = dict(event)
+            event["pid"] = pid
+            if "ts" in event:
+                event["ts"] = event["ts"] + shift_us
+            events.append(event)
+        merge_metrics(metrics, doc.get("metrics", {}))
+
+    events.sort(key=lambda e: e.get("ts", 0))
+    merged = {
+        "traceEvents": events,
+        "metrics": metrics,
+        "meta": {"pid": 0, "base_time_ns": base, "merged_pids": pids},
+    }
+    try:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(merged, handle, indent=1)
+            handle.write("\n")
+    except OSError as error:
+        fail(f"cannot write {out_path}: {error}")
+    print(
+        f"merge_trace_json: OK: {len(events)} events from "
+        f"{len(in_paths)} file(s) (pids {pids}) -> {out_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -23,11 +23,15 @@ ValidationPipeline::worker_loop()
 {
     while (auto item = queue_.pop()) {
         core::ValidationResult result;
+        double link_ns = 0.0;
         const uint64_t start = obs::now_ns();
         {
             obs::ScopedSpan span("fpga", "fpga.validate");
             std::lock_guard<std::mutex> lock(engine_mutex_);
             result = engine_.process(item->request);
+            if (obs::telemetry_active()) {
+                link_ns = engine_.isolated_latency_ns(item->request);
+            }
             if (result.verdict == core::Verdict::kCommit) {
                 span.arg("cid", result.cid);
             }
@@ -44,6 +48,16 @@ ValidationPipeline::worker_loop()
             registry.gauge("fpga.queue_depth")
                 .set(static_cast<double>(queue_.size()));
             registry.histogram("fpga.validate_ns").record(elapsed);
+            // Same decomposition axes as the remote backend's
+            // svc.stage.* (minus the stages a socket adds), so local vs.
+            // remote breakdowns compare column-for-column.
+            if (item->submit_ns != 0 && start >= item->submit_ns) {
+                registry.histogram("fpga.stage.queue")
+                    .record(start - item->submit_ns);
+            }
+            registry.histogram("fpga.stage.engine").record(elapsed);
+            registry.histogram("fpga.stage.link")
+                .record(static_cast<uint64_t>(link_ns));
             {
                 std::lock_guard<std::mutex> lock(engine_mutex_);
                 registry.gauge("fpga.window_occupancy")
@@ -58,7 +72,7 @@ ValidationPipeline::worker_loop()
 std::future<core::ValidationResult>
 ValidationPipeline::submit(OffloadRequest request)
 {
-    Item item{std::move(request), {}};
+    Item item{std::move(request), {}, obs::now_ns()};
     std::future<core::ValidationResult> future = item.promise.get_future();
     {
         // Track occupancy before the push; the +1 accounts for the

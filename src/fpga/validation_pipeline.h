@@ -75,7 +75,12 @@ class ValidationPipeline final : public ValidationBackend
     /// Export pipeline metrics into @p registry: verdict counters
     /// ("fpga.verdict.<verdict>"), "fpga.submitted", "fpga.busy_ns",
     /// and occupancy gauges ("fpga.queue_high_water",
-    /// "fpga.window_occupancy").
+    /// "fpga.window_occupancy"). While a TelemetrySession is active the
+    /// worker additionally feeds per-stage histograms into the global
+    /// registry — fpga.stage.{queue,engine,link} — the local-backend
+    /// mirror of the service's svc.stage.* breakdown, so local vs.
+    /// remote validation cost decompose on the same axes (link is the
+    /// modeled CCI round trip in both).
     void export_metrics(obs::Registry& registry) const override;
 
     /// Signature geometry shared with CPU-side eager detection.
@@ -94,6 +99,7 @@ class ValidationPipeline final : public ValidationBackend
     {
         OffloadRequest request;
         std::promise<core::ValidationResult> promise;
+        uint64_t submit_ns = 0; ///< enqueue time, for stage attribution
     };
 
     void worker_loop();

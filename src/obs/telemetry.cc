@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -39,17 +41,30 @@ TelemetrySession::finish()
     Tracer::instance().stop();
     g_active_sessions.fetch_sub(1, std::memory_order_relaxed);
 
+    // Ring overwrites are silent on the hot path (by design); account
+    // for them here so a truncated trace is visible in the metrics and
+    // check_trace_json.py can warn about it.
+    const uint64_t dropped = Tracer::instance().dropped_events();
+    if (dropped > 0) {
+        Registry::global().counter("obs.trace.dropped").add(dropped);
+    }
+
     std::ofstream out(out_path_);
     if (!out) {
         std::fprintf(stderr, "telemetry: cannot write %s\n",
                      out_path_.c_str());
         return false;
     }
+    uint64_t base_ns = 0;
     out << "{\n\"traceEvents\": ";
-    Tracer::instance().export_chrome_events(out);
+    Tracer::instance().export_chrome_events(out, &base_ns);
     out << ",\n\"metrics\": ";
     Registry::global().to_json(out);
-    out << "\n}\n";
+    // Perfetto ignores extra top-level keys; scripts/merge_trace_json.py
+    // uses pid + the monotonic-clock base to re-align files exported by
+    // different processes of the same run into one causal trace.
+    out << ",\n\"meta\": {\"pid\": " << getpid()
+        << ", \"base_time_ns\": " << base_ns << "}\n}\n";
     return out.good();
 }
 

@@ -6,8 +6,14 @@
 ///   {
 ///     "traceEvents": [ ...Chrome trace-event array... ],
 ///     "metrics": { "counters": {...}, "gauges": {...},
-///                  "histograms": {...} }
+///                  "histograms": {...} },
+///     "meta": { "pid": ..., "base_time_ns": ... }
 ///   }
+///
+/// "meta" records which process wrote the file and the monotonic-clock
+/// value its (rebased) timestamps are relative to, so
+/// scripts/merge_trace_json.py can splice files from several processes
+/// of one run into a single causally-aligned trace.
 ///
 /// The file loads directly in Perfetto / `chrome://tracing` (extra
 /// top-level keys are ignored there), and `scripts/check_trace_json.py`

@@ -13,9 +13,11 @@ namespace rococo::obs {
 /// Chrome trace-event phases the tracer emits.
 enum class EventPhase : char
 {
-    kComplete = 'X', ///< a span: ts + dur
-    kCounter = 'C',  ///< a named time-series sample (queue depth, ...)
-    kInstant = 'i',  ///< a point event
+    kComplete = 'X',  ///< a span: ts + dur
+    kCounter = 'C',   ///< a named time-series sample (queue depth, ...)
+    kInstant = 'i',   ///< a point event
+    kFlowStart = 's', ///< flow start: arrow tail (arg_value = flow id)
+    kFlowEnd = 'f',   ///< flow end: arrow head (arg_value = flow id)
 };
 
 struct TraceEvent
@@ -25,7 +27,7 @@ struct TraceEvent
     const char* arg_name = nullptr; ///< static string; null = no arg
     uint64_t ts_ns = 0;             ///< start time (monotonic ns)
     uint64_t dur_ns = 0;            ///< span duration (kComplete only)
-    uint64_t arg_value = 0;         ///< arg / counter sample value
+    uint64_t arg_value = 0;         ///< arg / counter / flow-id value
     uint32_t tid = 0;               ///< tracer-assigned thread id
     EventPhase phase = EventPhase::kComplete;
 };

@@ -76,11 +76,37 @@ Tracer::instant(const char* cat, const char* name)
     record(event);
 }
 
+void
+Tracer::flow(EventPhase phase, const char* cat, const char* name,
+             uint64_t id, uint64_t ts_ns)
+{
+    TraceEvent event;
+    event.name = name;
+    event.cat = cat;
+    event.ts_ns = ts_ns;
+    event.arg_value = id;
+    event.phase = phase;
+    record(event);
+}
+
 size_t
 Tracer::thread_count() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return buffers_.size();
+}
+
+uint64_t
+Tracer::dropped_events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t dropped = 0;
+    for (const auto& buf : buffers_) {
+        if (buf->head > buf->ring.size()) {
+            dropped += buf->head - buf->ring.size();
+        }
+    }
+    return dropped;
 }
 
 void
@@ -114,10 +140,11 @@ Tracer::snapshot() const
 }
 
 void
-Tracer::export_chrome_events(std::ostream& out) const
+Tracer::export_chrome_events(std::ostream& out, uint64_t* base_ns_out) const
 {
     const std::vector<TraceEvent> events = snapshot();
     const uint64_t base = events.empty() ? 0 : events.front().ts_ns;
+    if (base_ns_out != nullptr) *base_ns_out = base;
 
     out << "[";
     char line[256];
@@ -158,6 +185,22 @@ Tracer::export_chrome_events(std::ostream& out) const
                           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\","
                           "\"ts\":%.3f,\"pid\":1,\"tid\":%u,\"s\":\"t\"}",
                           e.name, e.cat ? e.cat : "default", ts_us, e.tid);
+            out << line;
+            break;
+          case EventPhase::kFlowStart:
+          case EventPhase::kFlowEnd:
+            // The two halves of an arrow share (cat, name, id); "bp":"e"
+            // binds the head to the enclosing slice instead of the next
+            // one, which is what a request/response pair wants.
+            std::snprintf(line, sizeof(line),
+                          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                          "\"ts\":%.3f,\"pid\":1,\"tid\":%u,"
+                          "\"id\":\"0x%" PRIx64 "\"%s}",
+                          e.name, e.cat ? e.cat : "default",
+                          static_cast<char>(e.phase), ts_us, e.tid,
+                          e.arg_value,
+                          e.phase == EventPhase::kFlowEnd ? ",\"bp\":\"e\""
+                                                          : "");
             out << line;
             break;
         }

@@ -70,8 +70,21 @@ class Tracer
     /// Record an instant event.
     void instant(const char* cat, const char* name);
 
+    /// Record a flow event (@p phase must be kFlowStart or kFlowEnd) at
+    /// @p ts_ns. The two halves of an arrow must share (cat, name, id);
+    /// Perfetto draws it from the 's' event to the 'f' event even when
+    /// they live in different processes of a merged trace.
+    void flow(EventPhase phase, const char* cat, const char* name,
+              uint64_t id, uint64_t ts_ns);
+
     /// Number of thread buffers created so far.
     size_t thread_count() const;
+
+    /// Total events overwritten (ring full) across all threads since
+    /// the last reset()/set_thread_capacity(). TelemetrySession surfaces
+    /// this as the obs.trace.dropped counter so a truncated trace is
+    /// never mistaken for a complete one.
+    uint64_t dropped_events() const;
 
     /// Drop all buffered events (buffers stay registered, so cached
     /// thread-local bindings stay valid). Callers must be quiescent.
@@ -83,9 +96,13 @@ class Tracer
 
     /// Write the merged events as a Chrome trace-event JSON *array*
     /// (the caller provides the {"traceEvents": ...} envelope, so
-    /// metrics can ride along in the same file). Timestamps are
-    /// rebased to the earliest event.
-    void export_chrome_events(std::ostream& out) const;
+    /// metrics can ride along in the same file). Timestamps are rebased
+    /// to the earliest event; when @p base_ns_out is non-null it
+    /// receives that base so a merger can re-align files from several
+    /// processes sharing the monotonic clock (TelemetrySession records
+    /// it in the "meta" envelope key).
+    void export_chrome_events(std::ostream& out,
+                              uint64_t* base_ns_out = nullptr) const;
 
   private:
     struct ThreadBuffer

@@ -4,13 +4,28 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
 #include "obs/clock.h"
+#include "obs/tracer.h"
 
 namespace rococo::svc {
 namespace {
+
+#if ROCOCO_TRACE_ENABLED
+/// Trace ids must be unique across every client object of every process
+/// feeding one merged trace: high bits are the pid, low bits a
+/// process-wide sequence (never 0 — 0 means "no trace context").
+uint64_t
+next_trace_id()
+{
+    static std::atomic<uint64_t> sequence{0};
+    const uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed) + 1;
+    return (static_cast<uint64_t>(getpid()) << 40) | (seq & 0xFFFFFFFFFF);
+}
+#endif
 
 core::ValidationResult
 rejected_result()
@@ -80,6 +95,10 @@ ValidationClient::submit_with_deadline(fpga::OffloadRequest request,
                                        uint64_t deadline_ns,
                                        uint64_t* id_out)
 {
+    // client_queue starts before the lock: contention on the socket
+    // mutex between concurrent submitters is exactly what that stage is
+    // supposed to show.
+    const uint64_t enter_ns = obs::now_ns();
     std::vector<uint8_t> frame;
     std::unique_lock<std::mutex> lock(mutex_);
     registry_.bump("svc.client.submitted");
@@ -97,10 +116,16 @@ ValidationClient::submit_with_deadline(fpga::OffloadRequest request,
         return resolved(rejected_result());
     }
     const uint64_t id = next_id_++;
-    encode_request(frame, {id, deadline_ns, std::move(request)});
+    uint64_t trace_id = 0;
+#if ROCOCO_TRACE_ENABLED
+    if (obs::Tracer::instance().active()) trace_id = next_trace_id();
+#endif
+    encode_request(frame,
+                   {id, deadline_ns, trace_id, trace_id,
+                    std::move(request)});
 
     Outstanding& entry = outstanding_[id];
-    entry.sent_ns = obs::now_ns();
+    entry.enter_ns = enter_ns;
     std::future<core::ValidationResult> future = entry.promise.get_future();
     if (id_out != nullptr) *id_out = id;
 
@@ -121,6 +146,29 @@ ValidationClient::submit_with_deadline(fpga::OffloadRequest request,
         }
         off += static_cast<size_t>(n);
     }
+    // Still under the lock, so the reader cannot have resolved the
+    // entry yet.
+    const uint64_t sent_ns = obs::now_ns();
+    entry.sent_ns = sent_ns;
+#if ROCOCO_TRACE_ENABLED
+    if (trace_id != 0) {
+        // The local half of the distributed trace: the span the server
+        // span will point back at, and the flow-start event the arrow
+        // leaves from. (cat, name, id) must match the server's flow-end.
+        obs::TraceEvent span;
+        span.name = "svc.rpc";
+        span.cat = "svc";
+        span.arg_name = "trace_id";
+        span.arg_value = trace_id;
+        span.ts_ns = enter_ns;
+        span.dur_ns = sent_ns - enter_ns;
+        span.phase = obs::EventPhase::kComplete;
+        obs::Tracer::instance().record(span);
+        obs::Tracer::instance().flow(obs::EventPhase::kFlowStart, "svc",
+                                     "svc.validate_flow", trace_id,
+                                     enter_ns + (sent_ns - enter_ns) / 2);
+    }
+#endif
     return future;
 }
 
@@ -168,8 +216,12 @@ ValidationClient::reader_loop()
         reader.append(buf, static_cast<size_t>(n));
         bool malformed = false;
         while (auto frame = reader.next(&malformed)) {
-            if (frame->type != MsgType::kResponse) continue;
-            auto response = decode_response(frame->payload, frame->size);
+            if (frame->type != MsgType::kResponse &&
+                frame->type != MsgType::kResponseV2) {
+                continue;
+            }
+            auto response = decode_response(frame->type, frame->payload,
+                                            frame->size);
             if (!response) continue;
             std::unique_lock<std::mutex> lock(mutex_);
             auto it = outstanding_.find(response->request_id);
@@ -183,8 +235,33 @@ ValidationClient::reader_loop()
             lock.unlock();
             registry_.bump(std::string("svc.client.verdict.") +
                            core::to_string(response->result.verdict));
-            registry_.histogram("svc.client.rpc_ns")
-                .record(obs::now_ns() - entry.sent_ns);
+            const uint64_t rtt_ns = obs::now_ns() - entry.enter_ns;
+            registry_.histogram("svc.client.rpc_ns").record(rtt_ns);
+            if (response->has_stages) {
+                // Stage attribution: client_queue is measured here,
+                // server stages travel in the response, and wire is the
+                // residual — so the stage means sum to the measured
+                // round trip by construction (link is modeled, never
+                // part of the sum).
+                const StageTimestamps& s = response->stages;
+                const uint64_t client_queue_ns =
+                    entry.sent_ns - entry.enter_ns;
+                const uint64_t server_ns = s.server_queue_ns +
+                                           s.batch_wait_ns + s.engine_ns;
+                const uint64_t wire_ns =
+                    rtt_ns > client_queue_ns + server_ns
+                        ? rtt_ns - client_queue_ns - server_ns
+                        : 0;
+                registry_.histogram("svc.stage.client_queue")
+                    .record(client_queue_ns);
+                registry_.histogram("svc.stage.wire").record(wire_ns);
+                registry_.histogram("svc.stage.server_queue")
+                    .record(s.server_queue_ns);
+                registry_.histogram("svc.stage.batch_wait")
+                    .record(s.batch_wait_ns);
+                registry_.histogram("svc.stage.engine").record(s.engine_ns);
+                registry_.histogram("svc.stage.link").record(s.link_ns);
+            }
             entry.promise.set_value(response->result);
         }
         if (malformed) break; // server speaking garbage: disconnect

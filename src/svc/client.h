@@ -75,7 +75,11 @@ class ValidationClient final : public fpga::ValidationBackend
     CounterBag stats() const override;
 
     /// Merge client metrics ("svc.client.*", including the
-    /// svc.client.rpc_ns round-trip histogram) into @p registry.
+    /// svc.client.rpc_ns round-trip histogram and the client-observed
+    /// per-stage breakdown svc.stage.{client_queue,wire,server_queue,
+    /// batch_wait,engine,link} fed from v2 responses) into @p registry.
+    /// client_queue and the wire residual are measured here; the server
+    /// stages are the durations the server shipped back.
     void export_metrics(obs::Registry& registry) const override;
 
     std::shared_ptr<const sig::SignatureConfig> signature_config()
@@ -89,7 +93,8 @@ class ValidationClient final : public fpga::ValidationBackend
     struct Outstanding
     {
         std::promise<core::ValidationResult> promise;
-        uint64_t sent_ns = 0;
+        uint64_t enter_ns = 0; ///< submit() entry (rpc_ns starts here)
+        uint64_t sent_ns = 0;  ///< last frame byte handed to the kernel
     };
 
     /// Send with the wire deadline field set (0 = none).

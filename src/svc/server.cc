@@ -9,9 +9,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <sstream>
 
 #include "obs/clock.h"
 #include "obs/telemetry.h"
+#include "obs/tracer.h"
 
 namespace rococo::svc {
 namespace {
@@ -176,11 +178,19 @@ Server::read_client(int fd)
     if (it == connections_.end()) return;
     Connection& conn = it->second;
 
+    // Bounded read per pass: a peer that writes faster than the service
+    // drains would otherwise never let recv() hit EAGAIN, capturing the
+    // service thread in this loop forever — decode, the engine, and
+    // every other connection (including kStats pollers) starve while
+    // the frame buffer grows without bound. Leftover bytes stay in the
+    // kernel; level-triggered poll() re-reports the fd next pass.
     uint8_t buf[64 * 1024];
-    for (;;) {
+    size_t read_budget = 4 * sizeof(buf);
+    while (read_budget > 0) {
         const ssize_t n = recv(fd, buf, sizeof(buf), 0);
         if (n > 0) {
             conn.reader.append(buf, static_cast<size_t>(n));
+            read_budget -= std::min(read_budget, static_cast<size_t>(n));
             continue;
         }
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -192,33 +202,78 @@ Server::read_client(int fd)
     const uint64_t generation = conn.generation;
     bool malformed = false;
     while (auto frame = conn.reader.next(&malformed)) {
-        if (frame->type != MsgType::kRequest) {
+        if (frame->type == MsgType::kStats) {
+            // Introspection path: answered inline, never queued, never
+            // an engine pass — a stats poll cannot perturb the
+            // accounting invariant or evict window slots.
+            if (frame->size != 0) {
+                malformed = true;
+                break;
+            }
+            if (!handle_stats(fd)) {
+                return; // connection closed (outbound cap); conn dangles
+            }
+            continue;
+        }
+        if (frame->type != MsgType::kRequest &&
+            frame->type != MsgType::kRequestV2) {
             malformed = true;
             break;
         }
-        auto request = decode_request(frame->payload, frame->size);
+        auto request = decode_request(frame->type, frame->payload,
+                                      frame->size);
         if (!request) {
             malformed = true;
             break;
         }
+        const bool v2 = frame->type == MsgType::kRequestV2;
         registry_.bump("svc.requests");
         if (pending_.size() >= config_.max_pending) {
             registry_.bump("svc.rejected");
             if (!respond(fd, generation, request->request_id,
                          {core::Verdict::kRejected, 0,
-                          obs::AbortReason::kBackpressure})) {
+                          obs::AbortReason::kBackpressure},
+                         v2, {})) {
                 return; // connection closed (outbound cap); conn dangles
             }
             continue;
         }
         pending_.push_back({fd, generation, request->request_id, now,
-                            request->deadline_ns,
+                            request->deadline_ns, request->trace_id,
+                            request->parent_span_id, v2,
                             std::move(request->offload)});
     }
     if (malformed) {
         registry_.bump("svc.malformed");
         close_client(fd);
     }
+}
+
+bool
+Server::handle_stats(int fd)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return false;
+    Connection& conn = it->second;
+    registry_.bump("svc.stats");
+    // Refresh the live gauges so the snapshot reflects *now*, not the
+    // last engine pass.
+    registry_.gauge("svc.queue_depth")
+        .set(static_cast<double>(pending_.size()));
+    registry_.gauge("svc.window_occupancy")
+        .set(static_cast<double>(engine_.next_cid() -
+                                 engine_.window_start()));
+    registry_.gauge("svc.connections_open")
+        .set(static_cast<double>(connections_.size()));
+    std::ostringstream json;
+    registry_.to_json(json);
+    encode_stats_reply(conn.out, json.str());
+    if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
+        registry_.bump("svc.overflow");
+        close_client(fd);
+        return false;
+    }
+    return true;
 }
 
 void
@@ -235,14 +290,15 @@ Server::close_client(int fd)
 
 bool
 Server::respond(int fd, uint64_t generation, uint64_t request_id,
-                const core::ValidationResult& result)
+                const core::ValidationResult& result, bool v2,
+                const StageTimestamps& stages)
 {
     auto it = connections_.find(fd);
     if (it == connections_.end() || it->second.generation != generation) {
         return false; // client gone (or fd recycled); answer dropped
     }
     Connection& conn = it->second;
-    encode_response(conn.out, {request_id, result});
+    encode_response(conn.out, {request_id, result, stages, v2}, v2);
     if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
         // The peer keeps submitting but is not reading its responses;
         // disconnecting it is the only alternative to unbounded
@@ -259,14 +315,16 @@ Server::process_batch()
 {
     if (pending_.empty()) return;
     const size_t take = std::min(config_.max_batch, pending_.size());
-    const uint64_t now = obs::now_ns();
+    const uint64_t pass_start = obs::now_ns();
     size_t engine_passes = 0;
     for (size_t i = 0; i < take; ++i) {
         Pending pending = std::move(pending_.front());
         pending_.pop_front();
+        StageTimestamps stages;
+        stages.server_queue_ns = pass_start - pending.arrival_ns;
         core::ValidationResult result;
         if (pending.deadline_ns != 0 &&
-            now - pending.arrival_ns > pending.deadline_ns) {
+            pass_start - pending.arrival_ns > pending.deadline_ns) {
             // Expired while queued: the client has already given up —
             // an engine pass would only burn window slots for a verdict
             // nobody applies.
@@ -274,16 +332,57 @@ Server::process_batch()
                       obs::AbortReason::kTimeout};
             registry_.bump("svc.timeout");
         } else {
+            const uint64_t engine_start = obs::now_ns();
             result = engine_.process(pending.offload);
+            const uint64_t engine_end = obs::now_ns();
+            stages.batch_wait_ns = engine_start - pass_start;
+            stages.engine_ns = engine_end - engine_start;
+            // What the same pass would cost over the paper's CCI link —
+            // modeled, reported next to the measured stages, never part
+            // of the wall-clock sum.
+            stages.link_ns = static_cast<uint64_t>(
+                engine_.isolated_latency_ns(pending.offload));
             registry_.bump(std::string("svc.verdict.") +
                            core::to_string(result.verdict));
+            registry_.histogram("svc.stage.server_queue")
+                .record(stages.server_queue_ns);
+            registry_.histogram("svc.stage.batch_wait")
+                .record(stages.batch_wait_ns);
+            registry_.histogram("svc.stage.engine").record(stages.engine_ns);
+            registry_.histogram("svc.stage.link").record(stages.link_ns);
             ++engine_passes;
+#if ROCOCO_TRACE_ENABLED
+            // The remote half of the distributed trace: a server span
+            // pointing back at the client span it validates for, plus
+            // the flow-end event Perfetto draws the arrow into. Both
+            // halves of the arrow share (cat, name, id).
+            if (pending.trace_id != 0 && obs::Tracer::instance().active()) {
+                obs::TraceEvent span;
+                span.name = "svc.server.validate";
+                span.cat = "svc";
+                span.arg_name = "parent_span_id";
+                span.arg_value = pending.parent_span_id;
+                span.ts_ns = engine_start;
+                span.dur_ns = engine_end - engine_start;
+                span.phase = obs::EventPhase::kComplete;
+                obs::Tracer::instance().record(span);
+                obs::Tracer::instance().flow(
+                    obs::EventPhase::kFlowEnd, "svc", "svc.validate_flow",
+                    pending.trace_id,
+                    engine_start + (engine_end - engine_start) / 2);
+            }
+#endif
         }
-        respond(pending.fd, pending.generation, pending.request_id, result);
-        registry_.histogram("svc.rpc_ns").record(now - pending.arrival_ns);
+        respond(pending.fd, pending.generation, pending.request_id, result,
+                pending.v2, stages);
+        registry_.histogram("svc.rpc_ns")
+            .record(pass_start - pending.arrival_ns);
     }
     if (engine_passes > 0) {
         registry_.histogram("svc.batch_size").record(engine_passes);
+        registry_.gauge("svc.window_occupancy")
+            .set(static_cast<double>(engine_.next_cid() -
+                                     engine_.window_start()));
     }
 }
 

@@ -28,13 +28,29 @@
 ///   * bounded output — at most max_out_bytes of unsent responses are
 ///     buffered per connection; a peer that floods requests without
 ///     reading responses is disconnected (svc.overflow) instead of
-///     growing the buffer without bound.
+///     growing the buffer without bound;
+///   * bounded input — each service pass reads a fixed byte budget per
+///     connection, so a peer that writes faster than the engine drains
+///     cannot capture the service thread in its recv loop or grow the
+///     frame buffer without bound; the remainder waits in the kernel
+///     and other connections (including kStats pollers) stay live.
 ///
 /// Every connection carries a monotonically increasing generation id,
 /// and queued requests are answered against (fd, generation): when the
 /// kernel recycles a closed connection's fd number for a new accept(),
 /// the old connection's still-queued verdicts are dropped (after
 /// accounting) rather than delivered to the new client.
+///
+/// Introspection: a kStats frame is answered inline from read_client()
+/// with a kStatsReply carrying a JSON snapshot of the service registry
+/// — no engine pass, never queued, never counted in svc.requests (it
+/// bumps svc.stats instead), so live inspection cannot perturb the
+/// accounting invariant or evict window slots. Per-stage latency is
+/// attributed into svc.stage.{server_queue,batch_wait,engine,link}
+/// histograms and shipped back to v2 clients in every response
+/// (wire.h StageTimestamps); when a v2 request carries a trace id and
+/// a tracer is active, the engine pass emits a server-side span plus a
+/// Perfetto flow-end event binding it to the client's span.
 ///
 /// Threading: start() spawns one service thread running a poll() loop
 /// that does accept/read/decode, the engine batch, and writes. The
@@ -121,6 +137,9 @@ class Server
         uint64_t request_id = 0;
         uint64_t arrival_ns = 0;
         uint64_t deadline_ns = 0; ///< relative to arrival; 0 = none
+        uint64_t trace_id = 0;       ///< flow-event binding id (0 = none)
+        uint64_t parent_span_id = 0; ///< client span this request came from
+        bool v2 = false; ///< reply version mirrors the request version
         fpga::OffloadRequest offload;
     };
 
@@ -128,12 +147,17 @@ class Server
     void accept_clients();
     void read_client(int fd);
     void close_client(int fd);
+    /// Answer a kStats frame inline with a registry-snapshot JSON.
+    /// False if the connection had to be closed (outbound cap).
+    bool handle_stats(int fd);
     /// Queue @p result on the connection currently at @p fd iff its
     /// generation matches. False if the answer was dropped (connection
     /// gone or fd recycled) or the connection was closed for exceeding
     /// the outbound cap — either way @p fd must not be touched again.
+    /// @p stages rides along in a v2 response when @p v2.
     bool respond(int fd, uint64_t generation, uint64_t request_id,
-                 const core::ValidationResult& result);
+                 const core::ValidationResult& result, bool v2,
+                 const StageTimestamps& stages);
     void process_batch();
     void flush(int fd);
 

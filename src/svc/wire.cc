@@ -60,67 +60,126 @@ end_frame(std::vector<uint8_t>& out, size_t at)
     for (int i = 0; i < 4; ++i) out[at + i] = uint8_t(len >> (8 * i));
 }
 
+void
+put_address_sets(std::vector<uint8_t>& out, const fpga::OffloadRequest& off)
+{
+    put_u32(out, static_cast<uint32_t>(off.reads.size()));
+    put_u32(out, static_cast<uint32_t>(off.writes.size()));
+    for (uint64_t addr : off.reads) put_u64(out, addr);
+    for (uint64_t addr : off.writes) put_u64(out, addr);
+}
+
+/// Validate the counts at @p p against the remaining payload and fill
+/// the address sets. Returns false on a malformed length.
+bool
+get_address_sets(const uint8_t* p, size_t remaining,
+                 fpga::OffloadRequest& off)
+{
+    if (remaining < 8) return false;
+    const uint32_t n_reads = get_u32(p);
+    const uint32_t n_writes = get_u32(p + 4);
+    if (n_reads > kMaxAddresses || n_writes > kMaxAddresses) return false;
+    if (remaining != 8 + (size_t{n_reads} + n_writes) * 8) return false;
+    p += 8;
+    off.reads.reserve(n_reads);
+    for (uint32_t i = 0; i < n_reads; ++i, p += 8) {
+        off.reads.push_back(get_u64(p));
+    }
+    off.writes.reserve(n_writes);
+    for (uint32_t i = 0; i < n_writes; ++i, p += 8) {
+        off.writes.push_back(get_u64(p));
+    }
+    return true;
+}
+
 } // namespace
 
 void
 encode_request(std::vector<uint8_t>& out, const WireRequest& request)
 {
-    const size_t at = begin_frame(out, MsgType::kRequest);
+    const size_t at = begin_frame(out, MsgType::kRequestV2);
     put_u64(out, request.request_id);
     put_u64(out, request.offload.snapshot_cid);
     put_u64(out, request.deadline_ns);
-    put_u32(out, static_cast<uint32_t>(request.offload.reads.size()));
-    put_u32(out, static_cast<uint32_t>(request.offload.writes.size()));
-    for (uint64_t addr : request.offload.reads) put_u64(out, addr);
-    for (uint64_t addr : request.offload.writes) put_u64(out, addr);
+    put_u64(out, request.trace_id);
+    put_u64(out, request.parent_span_id);
+    put_address_sets(out, request.offload);
     end_frame(out, at);
 }
 
 void
-encode_response(std::vector<uint8_t>& out, const WireResponse& response)
+encode_request_v1(std::vector<uint8_t>& out, const WireRequest& request)
 {
-    const size_t at = begin_frame(out, MsgType::kResponse);
+    const size_t at = begin_frame(out, MsgType::kRequest);
+    put_u64(out, request.request_id);
+    put_u64(out, request.offload.snapshot_cid);
+    put_u64(out, request.deadline_ns);
+    put_address_sets(out, request.offload);
+    end_frame(out, at);
+}
+
+void
+encode_response(std::vector<uint8_t>& out, const WireResponse& response,
+                bool v2)
+{
+    const size_t at = begin_frame(
+        out, v2 ? MsgType::kResponseV2 : MsgType::kResponse);
     put_u64(out, response.request_id);
     put_u8(out, static_cast<uint8_t>(response.result.verdict));
     put_u8(out, static_cast<uint8_t>(response.result.reason));
     put_u64(out, response.result.cid);
+    if (v2) {
+        put_u64(out, response.stages.server_queue_ns);
+        put_u64(out, response.stages.batch_wait_ns);
+        put_u64(out, response.stages.engine_ns);
+        put_u64(out, response.stages.link_ns);
+    }
+    end_frame(out, at);
+}
+
+void
+encode_stats_request(std::vector<uint8_t>& out)
+{
+    const size_t at = begin_frame(out, MsgType::kStats);
+    end_frame(out, at);
+}
+
+void
+encode_stats_reply(std::vector<uint8_t>& out, std::string_view json)
+{
+    const size_t at = begin_frame(out, MsgType::kStatsReply);
+    out.insert(out.end(), json.begin(), json.end());
     end_frame(out, at);
 }
 
 std::optional<WireRequest>
-decode_request(const uint8_t* payload, size_t size)
+decode_request(MsgType type, const uint8_t* payload, size_t size)
 {
-    constexpr size_t kFixed = 8 + 8 + 8 + 4 + 4;
-    if (size < kFixed) return std::nullopt;
+    const bool v2 = type == MsgType::kRequestV2;
+    if (!v2 && type != MsgType::kRequest) return std::nullopt;
+    const size_t fixed = v2 ? 8 + 8 + 8 + 8 + 8 : 8 + 8 + 8;
+    if (size < fixed + 8) return std::nullopt;
     WireRequest request;
     request.request_id = get_u64(payload);
     request.offload.snapshot_cid = get_u64(payload + 8);
     request.deadline_ns = get_u64(payload + 16);
-    const uint32_t n_reads = get_u32(payload + 24);
-    const uint32_t n_writes = get_u32(payload + 28);
-    if (n_reads > kMaxAddresses || n_writes > kMaxAddresses) {
+    if (v2) {
+        request.trace_id = get_u64(payload + 24);
+        request.parent_span_id = get_u64(payload + 32);
+    }
+    if (!get_address_sets(payload + fixed, size - fixed, request.offload)) {
         return std::nullopt;
-    }
-    if (size != kFixed + (size_t{n_reads} + n_writes) * 8) {
-        return std::nullopt;
-    }
-    const uint8_t* p = payload + kFixed;
-    request.offload.reads.reserve(n_reads);
-    for (uint32_t i = 0; i < n_reads; ++i, p += 8) {
-        request.offload.reads.push_back(get_u64(p));
-    }
-    request.offload.writes.reserve(n_writes);
-    for (uint32_t i = 0; i < n_writes; ++i, p += 8) {
-        request.offload.writes.push_back(get_u64(p));
     }
     return request;
 }
 
 std::optional<WireResponse>
-decode_response(const uint8_t* payload, size_t size)
+decode_response(MsgType type, const uint8_t* payload, size_t size)
 {
-    constexpr size_t kFixed = 8 + 1 + 1 + 8;
-    if (size != kFixed) return std::nullopt;
+    const bool v2 = type == MsgType::kResponseV2;
+    if (!v2 && type != MsgType::kResponse) return std::nullopt;
+    constexpr size_t kV1Fixed = 8 + 1 + 1 + 8;
+    if (size != (v2 ? kV1Fixed + 4 * 8 : kV1Fixed)) return std::nullopt;
     WireResponse response;
     response.request_id = get_u64(payload);
     const uint8_t verdict = payload[8];
@@ -132,6 +191,13 @@ decode_response(const uint8_t* payload, size_t size)
     response.result.verdict = static_cast<core::Verdict>(verdict);
     response.result.reason = static_cast<obs::AbortReason>(reason);
     response.result.cid = get_u64(payload + 10);
+    if (v2) {
+        response.stages.server_queue_ns = get_u64(payload + 18);
+        response.stages.batch_wait_ns = get_u64(payload + 26);
+        response.stages.engine_ns = get_u64(payload + 34);
+        response.stages.link_ns = get_u64(payload + 42);
+        response.has_stages = true;
+    }
     return response;
 }
 
@@ -158,8 +224,8 @@ FrameReader::next(bool* malformed)
                          uint32_t(head[2]) << 16 | uint32_t(head[3]) << 24;
     const uint8_t type = head[4];
     if (len > kMaxPayloadBytes ||
-        (type != static_cast<uint8_t>(MsgType::kRequest) &&
-         type != static_cast<uint8_t>(MsgType::kResponse))) {
+        type < static_cast<uint8_t>(MsgType::kRequest) ||
+        type > static_cast<uint8_t>(MsgType::kStatsReply)) {
         if (malformed != nullptr) *malformed = true;
         return std::nullopt;
     }

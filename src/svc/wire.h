@@ -10,16 +10,33 @@
 ///
 /// Layout (all integers little-endian, no padding):
 ///
-///   frame    := u32 payload_len | u8 type | payload
-///   request  := u64 request_id | u64 snapshot_cid | u64 deadline_ns
-///               | u32 n_reads | u32 n_writes
-///               | u64 reads[n_reads] | u64 writes[n_writes]
-///   response := u64 request_id | u8 verdict | u8 reason | u64 cid
+///   frame      := u32 payload_len | u8 type | payload
+///   request    := u64 request_id | u64 snapshot_cid | u64 deadline_ns
+///                 | u32 n_reads | u32 n_writes
+///                 | u64 reads[n_reads] | u64 writes[n_writes]
+///   request2   := u64 request_id | u64 snapshot_cid | u64 deadline_ns
+///                 | u64 trace_id | u64 parent_span_id
+///                 | u32 n_reads | u32 n_writes
+///                 | u64 reads[n_reads] | u64 writes[n_writes]
+///   response   := u64 request_id | u8 verdict | u8 reason | u64 cid
+///   response2  := response | u64 server_queue_ns | u64 batch_wait_ns
+///                 | u64 engine_ns | u64 link_ns
+///   stats      := (empty)
+///   statsreply := raw JSON bytes (a Registry snapshot)
+///
+/// Versioning: v1 frames (kRequest/kResponse) remain fully supported —
+/// a pre-trace-context client keeps working against a v2 server, which
+/// mirrors the request's version in its response so old decoders never
+/// see a frame type they don't know. v2 adds the trace context
+/// (trace_id/parent_span_id, 0 = none) used to flow-link client and
+/// server spans across the process boundary, and the per-stage
+/// server-side timing breakdown (StageTimestamps) in the response.
 ///
 /// deadline_ns is *relative* to server arrival (0 = none): processes on
 /// the same host share the monotonic clock, but a relative deadline
 /// also survives clock-domain changes if the transport ever crosses
-/// hosts, so absolute timestamps never go on the wire.
+/// hosts, so absolute timestamps never go on the wire. The same rule
+/// holds for StageTimestamps: durations only, never wall-clock points.
 ///
 /// The decoder is defensive: a frame that is malformed (bad type,
 /// payload length disagreeing with the counts, oversized address sets)
@@ -34,6 +51,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/sliding_window.h"
@@ -44,8 +63,12 @@ namespace rococo::svc {
 /// Frame type tags.
 enum class MsgType : uint8_t
 {
-    kRequest = 1,
-    kResponse = 2,
+    kRequest = 1,    ///< v1 request (no trace context)
+    kResponse = 2,   ///< v1 response (no stage breakdown)
+    kRequestV2 = 3,  ///< request + trace context
+    kResponseV2 = 4, ///< response + StageTimestamps
+    kStats = 5,      ///< metrics-snapshot request (empty payload)
+    kStatsReply = 6, ///< metrics-snapshot reply (raw JSON payload)
 };
 
 /// Fixed header preceding every payload.
@@ -56,14 +79,32 @@ inline constexpr size_t kFrameHeaderBytes = 5; // u32 len + u8 type
 inline constexpr uint32_t kMaxAddresses = 1u << 20;
 
 /// Largest payload a well-formed frame can carry (two maximal address
-/// sets plus the fixed request fields).
+/// sets plus the fixed v2 request fields).
 inline constexpr size_t kMaxPayloadBytes =
-    8 + 8 + 8 + 4 + 4 + 2 * size_t{kMaxAddresses} * 8;
+    8 + 8 + 8 + 8 + 8 + 4 + 4 + 2 * size_t{kMaxAddresses} * 8;
 
-/// Encoded size of one response frame (fixed-size payload + header) —
-/// the unit the server's outbound-buffer cap is expressed in.
+/// Where each nanosecond of a remote validation went, measured by the
+/// server and shipped back in a v2 response. All four are durations
+/// (never timestamps — see the clock-domain note above):
+///
+///   server_queue — socket read → start of the engine pass that took it
+///   batch_wait   — pass start → this request's engine.process() call
+///   engine       — the engine.process() call itself
+///   link         — *modeled* CCI round trip (CciLinkModel), reported
+///                  alongside the measured stages for paper-Fig.8-style
+///                  comparison; not part of the wall-clock sum
+struct StageTimestamps
+{
+    uint64_t server_queue_ns = 0;
+    uint64_t batch_wait_ns = 0;
+    uint64_t engine_ns = 0;
+    uint64_t link_ns = 0;
+};
+
+/// Encoded size of one v2 response frame (fixed-size payload + header)
+/// — the unit the server's outbound-buffer cap is expressed in.
 inline constexpr size_t kResponseFrameBytes =
-    kFrameHeaderBytes + 8 + 1 + 1 + 8;
+    kFrameHeaderBytes + 8 + 1 + 1 + 8 + 4 * 8;
 
 /// A decoded request frame.
 struct WireRequest
@@ -73,6 +114,11 @@ struct WireRequest
     /// with Verdict::kTimeout if it is still queued this long after
     /// arrival.
     uint64_t deadline_ns = 0;
+    /// Trace context (v2 only, 0 = none): the id binding the client's
+    /// flow-start event to the server's flow-end event in a merged
+    /// trace, and the client-side span the server span points back to.
+    uint64_t trace_id = 0;
+    uint64_t parent_span_id = 0;
     fpga::OffloadRequest offload;
 };
 
@@ -81,20 +127,38 @@ struct WireResponse
 {
     uint64_t request_id = 0;
     core::ValidationResult result;
+    /// Valid only when has_stages (i.e. the frame was a kResponseV2).
+    StageTimestamps stages;
+    bool has_stages = false;
 };
 
-/// Append one encoded request frame to @p out.
+/// Append one encoded v2 request frame to @p out.
 void encode_request(std::vector<uint8_t>& out, const WireRequest& request);
 
-/// Append one encoded response frame to @p out.
-void encode_response(std::vector<uint8_t>& out, const WireResponse& response);
+/// Append one encoded v1 request frame to @p out (drops trace context).
+void encode_request_v1(std::vector<uint8_t>& out, const WireRequest& request);
+
+/// Append one encoded response frame to @p out: a kResponseV2 carrying
+/// response.stages when @p v2, else a kResponse (stages dropped) so a
+/// v1 client's decoder never sees an unknown frame type.
+void encode_response(std::vector<uint8_t>& out, const WireResponse& response,
+                     bool v2 = true);
+
+/// Append one encoded kStats frame (empty payload) to @p out.
+void encode_stats_request(std::vector<uint8_t>& out);
+
+/// Append one encoded kStatsReply frame carrying @p json to @p out.
+void encode_stats_reply(std::vector<uint8_t>& out, std::string_view json);
 
 /// Decode a request payload (the bytes after the frame header).
-std::optional<WireRequest> decode_request(const uint8_t* payload,
+/// @p type selects the v1 or v2 layout; other types yield nullopt.
+std::optional<WireRequest> decode_request(MsgType type,
+                                          const uint8_t* payload,
                                           size_t size);
 
-/// Decode a response payload (the bytes after the frame header).
-std::optional<WireResponse> decode_response(const uint8_t* payload,
+/// Decode a response payload; @p type selects the v1 or v2 layout.
+std::optional<WireResponse> decode_response(MsgType type,
+                                            const uint8_t* payload,
                                             size_t size);
 
 /// Incremental frame extractor over a connection's receive buffer.

@@ -274,6 +274,90 @@ TEST(Tracer, ExportsChromeEventArray)
     EXPECT_NE(text.find("\"ts\":0.000"), std::string::npos);
 }
 
+TEST(Tracer, CountsDroppedEventsWhenRingWraps)
+{
+    TracerGuard guard;
+    Tracer& tracer = Tracer::instance();
+    tracer.set_thread_capacity(8);
+    tracer.reset();
+    tracer.start();
+    EXPECT_EQ(tracer.dropped_events(), 0u);
+    for (uint64_t i = 0; i < 20; ++i) {
+        TraceEvent event;
+        event.name = "seq";
+        event.ts_ns = i;
+        event.phase = EventPhase::kInstant;
+        tracer.record(event);
+    }
+    tracer.stop();
+    // 20 pushed into a ring of 8: 12 overwritten.
+    EXPECT_EQ(tracer.dropped_events(), 12u);
+    tracer.reset();
+    EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(Tracer, ExportsFlowEventsWithSharedId)
+{
+    TracerGuard guard;
+    Tracer& tracer = Tracer::instance();
+    tracer.set_thread_capacity(64);
+    tracer.reset();
+    tracer.start();
+    tracer.flow(EventPhase::kFlowStart, "svc", "svc.validate_flow",
+                0xabcdef, 1000);
+    tracer.flow(EventPhase::kFlowEnd, "svc", "svc.validate_flow",
+                0xabcdef, 2000);
+    tracer.stop();
+
+    std::ostringstream out;
+    tracer.export_chrome_events(out);
+    const std::string text = out.str();
+    EXPECT_TRUE(json_well_formed(text)) << text;
+    EXPECT_NE(text.find("\"ph\":\"s\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"ph\":\"f\""), std::string::npos) << text;
+    // Both halves carry the binding id; the tail also binds to the
+    // enclosing slice ("bp":"e"), which Perfetto needs to attach the
+    // arrow to the receiving span rather than the one after it.
+    const size_t first = text.find("\"id\":\"0xabcdef\"");
+    ASSERT_NE(first, std::string::npos) << text;
+    EXPECT_NE(text.find("\"id\":\"0xabcdef\"", first + 1), std::string::npos)
+        << "both flow halves must carry the id";
+    EXPECT_NE(text.find("\"bp\":\"e\""), std::string::npos);
+}
+
+TEST(TelemetrySession, SurfacesDroppedEventsAndMeta)
+{
+    TracerGuard guard;
+    Tracer::instance().set_thread_capacity(4);
+    const std::string path =
+        testing::TempDir() + "obs_test_dropped.json";
+    {
+        TelemetrySession session(path);
+#if ROCOCO_TRACE_ENABLED
+        for (uint64_t i = 0; i < 10; ++i) {
+            TRACE_INSTANT("test", "wrap.instant");
+        }
+#endif
+        EXPECT_TRUE(session.finish());
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string text = content.str();
+    EXPECT_TRUE(json_well_formed(text)) << text;
+    // The meta envelope is always present...
+    EXPECT_NE(text.find("\"meta\""), std::string::npos);
+    EXPECT_NE(text.find("\"pid\""), std::string::npos);
+    EXPECT_NE(text.find("\"base_time_ns\""), std::string::npos);
+#if ROCOCO_TRACE_ENABLED
+    // ...and the 6 events the 4-slot ring overwrote are accounted.
+    EXPECT_NE(text.find("\"obs.trace.dropped\": 6"), std::string::npos)
+        << text;
+#endif
+    std::remove(path.c_str());
+}
+
 TEST(TraceMacros, CompileAndGateOnTracerState)
 {
     TracerGuard guard;

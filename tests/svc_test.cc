@@ -11,11 +11,13 @@
 
 #include <atomic>
 #include <cstring>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/tracer.h"
 #include "svc/client.h"
 #include "svc/server.h"
 #include "svc/wire.h"
@@ -31,6 +33,43 @@ test_socket_path(const char* tag)
            std::to_string(getpid()) + ".sock";
 }
 
+/// Raw connected socket for tests that speak the wire protocol without
+/// the client library; -1 on failure.
+int
+connect_raw(const std::string& path)
+{
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/// Blocking-read frames from @p fd until one of type @p want arrives
+/// (other types are skipped); nullopt on EOF/error.
+std::optional<std::vector<uint8_t>>
+read_frame_of_type(int fd, MsgType want)
+{
+    FrameReader reader;
+    uint8_t buf[64 * 1024];
+    for (;;) {
+        while (auto frame = reader.next()) {
+            if (frame->type == want) {
+                return std::vector<uint8_t>(frame->payload,
+                                            frame->payload + frame->size);
+            }
+        }
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) return std::nullopt;
+        reader.append(buf, static_cast<size_t>(n));
+    }
+}
+
 // ---------------------------------------------------------------------
 // Wire protocol
 
@@ -39,6 +78,8 @@ TEST(Wire, RequestRoundTripAllFields)
     WireRequest in;
     in.request_id = 0xdeadbeefcafef00dULL;
     in.deadline_ns = 123456789;
+    in.trace_id = 0x1122334455667788ULL;
+    in.parent_span_id = 0x99aabbccddeeff00ULL;
     in.offload.snapshot_cid = 0xffffffffffffffffULL;
     in.offload.reads = {0, 1, 0x8000000000000000ULL, 42};
     in.offload.writes = {7, 0xabcdef};
@@ -50,15 +91,53 @@ TEST(Wire, RequestRoundTripAllFields)
     reader.append(bytes.data(), bytes.size());
     auto frame = reader.next();
     ASSERT_TRUE(frame.has_value());
-    EXPECT_EQ(frame->type, MsgType::kRequest);
+    EXPECT_EQ(frame->type, MsgType::kRequestV2);
 
-    auto out = decode_request(frame->payload, frame->size);
+    auto out = decode_request(frame->type, frame->payload, frame->size);
     ASSERT_TRUE(out.has_value());
     EXPECT_EQ(out->request_id, in.request_id);
     EXPECT_EQ(out->deadline_ns, in.deadline_ns);
+    EXPECT_EQ(out->trace_id, in.trace_id);
+    EXPECT_EQ(out->parent_span_id, in.parent_span_id);
     EXPECT_EQ(out->offload.snapshot_cid, in.offload.snapshot_cid);
     EXPECT_EQ(out->offload.reads, in.offload.reads);
     EXPECT_EQ(out->offload.writes, in.offload.writes);
+}
+
+TEST(Wire, V1RequestRoundTripDropsTraceContext)
+{
+    WireRequest in;
+    in.request_id = 77;
+    in.deadline_ns = 5000;
+    in.trace_id = 0xffff;         // not representable in v1 —
+    in.parent_span_id = 0xffff;   // must decode back as "none"
+    in.offload.snapshot_cid = 3;
+    in.offload.reads = {1, 2};
+    in.offload.writes = {9};
+
+    std::vector<uint8_t> bytes;
+    encode_request_v1(bytes, in);
+
+    FrameReader reader;
+    reader.append(bytes.data(), bytes.size());
+    auto frame = reader.next();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, MsgType::kRequest);
+
+    auto out = decode_request(frame->type, frame->payload, frame->size);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->request_id, in.request_id);
+    EXPECT_EQ(out->deadline_ns, in.deadline_ns);
+    EXPECT_EQ(out->trace_id, 0u);
+    EXPECT_EQ(out->parent_span_id, 0u);
+    EXPECT_EQ(out->offload.reads, in.offload.reads);
+    EXPECT_EQ(out->offload.writes, in.offload.writes);
+
+    // A v1 payload decoded as v2 (or vice versa) is a length mismatch,
+    // never a silent misparse.
+    EXPECT_FALSE(decode_request(MsgType::kRequestV2, frame->payload,
+                                frame->size)
+                     .has_value());
 }
 
 TEST(Wire, RequestRoundTripBoundarySizes)
@@ -80,7 +159,7 @@ TEST(Wire, RequestRoundTripBoundarySizes)
         reader.append(bytes.data(), bytes.size());
         auto frame = reader.next();
         ASSERT_TRUE(frame.has_value());
-        auto out = decode_request(frame->payload, frame->size);
+        auto out = decode_request(frame->type, frame->payload, frame->size);
         ASSERT_TRUE(out.has_value()) << n_reads << "/" << n_writes;
         EXPECT_EQ(out->offload.reads, in.offload.reads);
         EXPECT_EQ(out->offload.writes, in.offload.writes);
@@ -99,28 +178,44 @@ TEST(Wire, ResponseRoundTripAllVerdictsAndReasons)
             in.request_id = 99;
             in.result = {verdict, 0x123456789abcULL,
                          static_cast<obs::AbortReason>(r)};
-            std::vector<uint8_t> bytes;
-            encode_response(bytes, in);
-            FrameReader reader;
-            reader.append(bytes.data(), bytes.size());
-            auto frame = reader.next();
-            ASSERT_TRUE(frame.has_value());
-            EXPECT_EQ(frame->type, MsgType::kResponse);
-            auto out = decode_response(frame->payload, frame->size);
-            ASSERT_TRUE(out.has_value());
-            EXPECT_EQ(out->request_id, in.request_id);
-            EXPECT_EQ(out->result.verdict, in.result.verdict);
-            EXPECT_EQ(out->result.reason, in.result.reason);
-            EXPECT_EQ(out->result.cid, in.result.cid);
+            in.stages = {11, 22, 33, 44};
+            // Both versions must round-trip; only v2 carries the stages.
+            for (bool v2 : {false, true}) {
+                std::vector<uint8_t> bytes;
+                encode_response(bytes, in, v2);
+                FrameReader reader;
+                reader.append(bytes.data(), bytes.size());
+                auto frame = reader.next();
+                ASSERT_TRUE(frame.has_value());
+                EXPECT_EQ(frame->type, v2 ? MsgType::kResponseV2
+                                          : MsgType::kResponse);
+                auto out = decode_response(frame->type, frame->payload,
+                                           frame->size);
+                ASSERT_TRUE(out.has_value());
+                EXPECT_EQ(out->request_id, in.request_id);
+                EXPECT_EQ(out->result.verdict, in.result.verdict);
+                EXPECT_EQ(out->result.reason, in.result.reason);
+                EXPECT_EQ(out->result.cid, in.result.cid);
+                EXPECT_EQ(out->has_stages, v2);
+                if (v2) {
+                    EXPECT_EQ(out->stages.server_queue_ns, 11u);
+                    EXPECT_EQ(out->stages.batch_wait_ns, 22u);
+                    EXPECT_EQ(out->stages.engine_ns, 33u);
+                    EXPECT_EQ(out->stages.link_ns, 44u);
+                }
+            }
         }
     }
 }
 
 TEST(Wire, DecodeRejectsMalformedPayloads)
 {
-    // Too short for the fixed request header.
+    // Too short for the fixed request header (both versions).
     uint8_t small[8] = {};
-    EXPECT_FALSE(decode_request(small, sizeof(small)).has_value());
+    EXPECT_FALSE(
+        decode_request(MsgType::kRequest, small, sizeof(small)).has_value());
+    EXPECT_FALSE(decode_request(MsgType::kRequestV2, small, sizeof(small))
+                     .has_value());
 
     // Counts disagreeing with the payload length.
     WireRequest request;
@@ -129,15 +224,20 @@ TEST(Wire, DecodeRejectsMalformedPayloads)
     encode_request(bytes, request);
     const uint8_t* payload = bytes.data() + kFrameHeaderBytes;
     const size_t size = bytes.size() - kFrameHeaderBytes;
-    EXPECT_TRUE(decode_request(payload, size).has_value());
-    EXPECT_FALSE(decode_request(payload, size - 8).has_value());
+    EXPECT_TRUE(
+        decode_request(MsgType::kRequestV2, payload, size).has_value());
+    EXPECT_FALSE(
+        decode_request(MsgType::kRequestV2, payload, size - 8).has_value());
 
-    // Oversized counts must be rejected before any allocation.
+    // Oversized counts must be rejected before any allocation. The
+    // counts sit after the fixed v2 fields (40 bytes).
     std::vector<uint8_t> bomb(bytes.begin() + kFrameHeaderBytes,
                               bytes.end());
     const uint32_t huge = kMaxAddresses + 1;
-    std::memcpy(bomb.data() + 24, &huge, 4);
-    EXPECT_FALSE(decode_request(bomb.data(), bomb.size()).has_value());
+    std::memcpy(bomb.data() + 40, &huge, 4);
+    EXPECT_FALSE(decode_request(MsgType::kRequestV2, bomb.data(),
+                                bomb.size())
+                     .has_value());
 
     // Responses with enum values off the end of Verdict / AbortReason.
     WireResponse response;
@@ -146,15 +246,24 @@ TEST(Wire, DecodeRejectsMalformedPayloads)
     encode_response(rbytes, response);
     std::vector<uint8_t> rpayload(rbytes.begin() + kFrameHeaderBytes,
                                   rbytes.end());
-    EXPECT_TRUE(decode_response(rpayload.data(), rpayload.size()).has_value());
+    EXPECT_TRUE(decode_response(MsgType::kResponseV2, rpayload.data(),
+                                rpayload.size())
+                    .has_value());
     rpayload[8] = 200; // verdict
-    EXPECT_FALSE(
-        decode_response(rpayload.data(), rpayload.size()).has_value());
+    EXPECT_FALSE(decode_response(MsgType::kResponseV2, rpayload.data(),
+                                 rpayload.size())
+                     .has_value());
     rpayload[8] = 0;
     rpayload[9] = 200; // reason
-    EXPECT_FALSE(
-        decode_response(rpayload.data(), rpayload.size()).has_value());
-    EXPECT_FALSE(decode_response(rpayload.data(), rpayload.size() - 1)
+    EXPECT_FALSE(decode_response(MsgType::kResponseV2, rpayload.data(),
+                                 rpayload.size())
+                     .has_value());
+    EXPECT_FALSE(decode_response(MsgType::kResponseV2, rpayload.data(),
+                                 rpayload.size() - 1)
+                     .has_value());
+    // A v2-sized payload is not a valid v1 response, and vice versa.
+    EXPECT_FALSE(decode_response(MsgType::kResponse, rpayload.data(),
+                                 rpayload.size())
                      .has_value());
 }
 
@@ -174,7 +283,7 @@ TEST(Wire, FrameReaderReassemblesByteAtATime)
     }
     auto frame = reader.next();
     ASSERT_TRUE(frame.has_value());
-    auto out = decode_request(frame->payload, frame->size);
+    auto out = decode_request(frame->type, frame->payload, frame->size);
     ASSERT_TRUE(out.has_value());
     EXPECT_EQ(out->offload.reads, request.offload.reads);
     EXPECT_FALSE(reader.next().has_value());
@@ -194,7 +303,7 @@ TEST(Wire, FrameReaderExtractsBackToBackFrames)
     for (uint64_t id = 0; id < 5; ++id) {
         auto frame = reader.next();
         ASSERT_TRUE(frame.has_value());
-        auto out = decode_request(frame->payload, frame->size);
+        auto out = decode_request(frame->type, frame->payload, frame->size);
         ASSERT_TRUE(out.has_value());
         EXPECT_EQ(out->request_id, id);
     }
@@ -349,8 +458,9 @@ TEST(SvcServer, ExpiresQueuedRequestsPastTheirDeadline)
         ASSERT_GT(n, 0);
         reader.append(buf, static_cast<size_t>(n));
         if (auto frame = reader.next()) {
-            ASSERT_EQ(frame->type, MsgType::kResponse);
-            response = decode_response(frame->payload, frame->size);
+            ASSERT_EQ(frame->type, MsgType::kResponseV2);
+            response =
+                decode_response(frame->type, frame->payload, frame->size);
         }
     }
     EXPECT_EQ(response->request_id, request.request_id);
@@ -387,6 +497,86 @@ TEST(SvcServer, DropsMalformedConnections)
     close(fd);
     server.stop();
     EXPECT_EQ(server.stats().get("svc.malformed"), 1u);
+}
+
+/// Wire versioning: a pre-trace-context (v1) frame must still validate
+/// against a v2 server, and the server must answer it with a v1
+/// response so the old decoder never sees an unknown frame type.
+TEST(SvcServer, AnswersV1FramesWithV1Responses)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("v1compat");
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    const int fd = connect_raw(config.socket_path);
+    ASSERT_GE(fd, 0);
+
+    WireRequest request;
+    request.request_id = 42;
+    request.offload.writes = {7};
+    std::vector<uint8_t> bytes;
+    encode_request_v1(bytes, request);
+    ASSERT_EQ(send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+
+    auto payload = read_frame_of_type(fd, MsgType::kResponse);
+    ASSERT_TRUE(payload.has_value()) << "no v1 response frame";
+    auto response = decode_response(MsgType::kResponse, payload->data(),
+                                    payload->size());
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->request_id, request.request_id);
+    EXPECT_EQ(response->result.verdict, core::Verdict::kCommit);
+    EXPECT_FALSE(response->has_stages);
+
+    close(fd);
+    server.stop();
+    EXPECT_EQ(server.stats().get("svc.requests"), 1u);
+    EXPECT_EQ(server.stats().get("svc.verdict.commit"), 1u);
+    EXPECT_EQ(server.stats().get("svc.malformed"), 0u);
+}
+
+/// An op the server does not serve (here: a response type and an
+/// entirely unknown tag) must disconnect the peer with svc.malformed
+/// accounted — the versioning escape hatch never silently drops frames.
+TEST(SvcServer, DisconnectsUnknownOps)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("unknownop");
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    // A frame type outside the protocol entirely (7): flagged by the
+    // frame reader itself.
+    {
+        const int fd = connect_raw(config.socket_path);
+        ASSERT_GE(fd, 0);
+        const uint8_t unknown[kFrameHeaderBytes] = {0, 0, 0, 0, 7};
+        ASSERT_EQ(send(fd, unknown, sizeof(unknown), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(sizeof(unknown)));
+        uint8_t buf[16];
+        EXPECT_EQ(recv(fd, buf, sizeof(buf), 0), 0) << "not disconnected";
+        close(fd);
+    }
+    // A known frame type the server does not accept (a client-bound
+    // kResponseV2): well-framed, still not a request.
+    {
+        const int fd = connect_raw(config.socket_path);
+        ASSERT_GE(fd, 0);
+        std::vector<uint8_t> bytes;
+        WireResponse response;
+        response.request_id = 1;
+        response.result = {core::Verdict::kCommit, 0, obs::AbortReason::kNone};
+        encode_response(bytes, response);
+        ASSERT_EQ(send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(bytes.size()));
+        uint8_t buf[16];
+        EXPECT_EQ(recv(fd, buf, sizeof(buf), 0), 0) << "not disconnected";
+        close(fd);
+    }
+    server.stop();
+    EXPECT_EQ(server.stats().get("svc.malformed"), 2u);
+    EXPECT_EQ(server.stats().get("svc.requests"), 0u);
 }
 
 /// A client that disconnects with requests still queued must never see
@@ -477,7 +667,8 @@ TEST(SvcServer, DoesNotDeliverStaleVerdictsToRecycledFd)
         ASSERT_GT(n, 0);
         reader.append(buf, static_cast<size_t>(n));
         while (auto frame = reader.next()) {
-            auto decoded = decode_response(frame->payload, frame->size);
+            auto decoded =
+                decode_response(frame->type, frame->payload, frame->size);
             ASSERT_TRUE(decoded.has_value());
             ASSERT_EQ(decoded->request_id, probe.request_id)
                 << "stale verdict delivered to a recycled fd";
@@ -734,6 +925,251 @@ TEST(SvcSmoke, ConcurrentClientsAccountingSums)
     EXPECT_GT(batches.count(), 0u);
     EXPECT_GT(batches.max(), 1u);
 }
+
+// ---------------------------------------------------------------------
+// Introspection (kStats) and stage attribution
+
+/// kStats must be answered inline — no engine pass, not queued, not
+/// counted as a request — even while the pending queue is saturated
+/// with a slow-draining backlog, and it must not perturb the
+/// accounting invariant.
+TEST(SvcStats, SnapshotSucceedsUnderSaturatedQueueWithoutPerturbation)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("stats");
+    config.max_batch = 1;   // drain one heavy request per pass
+    config.max_pending = 64; // small bound: the flood saturates it
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    // Saturate: a background flooder pumps bursts of heavy requests
+    // (512 reads each) for the entire stats exchange. One burst is
+    // larger than the socket buffer, so every send blocks until the
+    // server reads — unread data is always available, the bounded
+    // queue stays full, and overflow draws instant backpressure
+    // rejections while the queued remainder drains at one per pass.
+    const int flood_fd = connect_raw(config.socket_path);
+    ASSERT_GE(flood_fd, 0);
+    constexpr uint64_t kBurst = 64;
+    std::vector<uint8_t> burst;
+    for (uint64_t id = 1; id <= kBurst; ++id) {
+        WireRequest request;
+        request.request_id = id;
+        for (uint64_t r = 0; r < 512; ++r) {
+            request.offload.reads.push_back(r);
+        }
+        request.offload.writes = {id};
+        encode_request(burst, request);
+    }
+    const size_t frame_bytes = burst.size() / kBurst;
+    std::atomic<bool> stop_flooding{false};
+    std::atomic<uint64_t> sent_bytes{0};
+    std::thread flooder([&] {
+        uint8_t discard[64 * 1024];
+        while (!stop_flooding.load(std::memory_order_relaxed)) {
+            const ssize_t n =
+                send(flood_fd, burst.data(), burst.size(), MSG_NOSIGNAL);
+            if (n > 0) {
+                sent_bytes.fetch_add(static_cast<uint64_t>(n),
+                                     std::memory_order_relaxed);
+            }
+            if (n != static_cast<ssize_t>(burst.size())) break;
+            // Discard the responses so the server's outbound cap never
+            // triggers its flood-protection disconnect (svc.overflow);
+            // this test wants the connection alive and saturating.
+            while (recv(flood_fd, discard, sizeof(discard),
+                        MSG_DONTWAIT) > 0) {
+            }
+        }
+    });
+    for (int i = 0; i < 20000; ++i) {
+        if (server.stats().get("svc.requests") >= config.max_pending) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    ASSERT_GE(server.stats().get("svc.requests"), config.max_pending);
+
+    // Stats from a second connection, answered while the backlog is
+    // still queued.
+    const int stats_fd = connect_raw(config.socket_path);
+    ASSERT_GE(stats_fd, 0);
+    std::vector<uint8_t> stats_frame;
+    encode_stats_request(stats_frame);
+    ASSERT_EQ(send(stats_fd, stats_frame.data(), stats_frame.size(),
+                   MSG_NOSIGNAL),
+              static_cast<ssize_t>(stats_frame.size()));
+    auto payload = read_frame_of_type(stats_fd, MsgType::kStatsReply);
+    ASSERT_TRUE(payload.has_value()) << "no stats reply under load";
+    const std::string json(payload->begin(), payload->end());
+    EXPECT_NE(json.find("\"svc.requests\""), std::string::npos);
+    EXPECT_NE(json.find("\"svc.queue_depth\""), std::string::npos);
+    EXPECT_NE(json.find("\"svc.window_occupancy\""), std::string::npos);
+    EXPECT_NE(json.find("\"svc.stats\""), std::string::npos);
+
+    // The snapshot was served mid-flood, and the flood really builds a
+    // backlog: while the flooder keeps pumping, the server must be
+    // observable with queued-but-unanswered requests (sampling
+    // svc.requests before the answer counters biases the comparison
+    // toward equality, so a hit is genuine backlog, not sampling skew).
+    bool saw_backlog = false;
+    for (int i = 0; i < 20000 && !saw_backlog; ++i) {
+        const CounterBag mid = server.stats();
+        const uint64_t received = mid.get("svc.requests");
+        const uint64_t answered = mid.get("svc.verdict.commit") +
+                                  mid.get("svc.verdict.abort-cycle") +
+                                  mid.get("svc.verdict.window-overflow") +
+                                  mid.get("svc.timeout") +
+                                  mid.get("svc.rejected");
+        saw_backlog = answered < received;
+        if (!saw_backlog) {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+    }
+    EXPECT_TRUE(saw_backlog) << "flood never built a request backlog";
+
+    close(stats_fd);
+    stop_flooding.store(true, std::memory_order_relaxed);
+    flooder.join();
+    // Every sent byte is in the kernel; the server will read them all,
+    // decoding exactly floor(sent / frame) complete requests (a short
+    // final send may leave a fragment parked in its FrameReader). Wait
+    // for that count so the final accounting is deterministic.
+    const uint64_t total_flooded =
+        sent_bytes.load(std::memory_order_relaxed) / frame_bytes;
+    const auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.stats().get("svc.requests") < total_flooded &&
+           std::chrono::steady_clock::now() < drain_deadline) {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    close(flood_fd);
+    server.stop();
+
+    // Stats ops never enter the request accounting — the invariant
+    // holds exactly, and the poll is visible only under svc.stats.
+    const CounterBag stats = server.stats();
+    EXPECT_EQ(stats.get("svc.stats"), 1u);
+    EXPECT_EQ(stats.get("svc.requests"), total_flooded);
+    const uint64_t accounted = stats.get("svc.verdict.commit") +
+                               stats.get("svc.verdict.abort-cycle") +
+                               stats.get("svc.verdict.window-overflow") +
+                               stats.get("svc.timeout") +
+                               stats.get("svc.rejected");
+    EXPECT_EQ(accounted, stats.get("svc.requests"));
+}
+
+/// v2 responses carry the server's stage breakdown; the client folds it
+/// into svc.stage.* histograms whose wall-clock stages sum to the
+/// measured round trip by construction (wire is the residual).
+TEST(SvcClient, RecordsStageBreakdownFromV2Responses)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("stages");
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    ClientConfig client_config;
+    client_config.socket_path = config.socket_path;
+    ValidationClient client(client_config);
+    ASSERT_TRUE(client.connected());
+
+    constexpr uint64_t kRequests = 64;
+    for (uint64_t i = 0; i < kRequests; ++i) {
+        auto result = client.validate({{}, {100 + i}, i});
+        ASSERT_EQ(result.verdict, core::Verdict::kCommit);
+    }
+
+    obs::Registry exported;
+    client.export_metrics(exported);
+    const char* kStages[] = {"client_queue", "wire", "server_queue",
+                             "batch_wait", "engine", "link"};
+    for (const char* stage : kStages) {
+        EXPECT_EQ(exported.histogram("svc.stage." + std::string(stage))
+                      .count(),
+                  kRequests)
+            << stage;
+    }
+    // The modeled link cost is never zero for a non-empty request.
+    EXPECT_GT(exported.histogram("svc.stage.link").mean(), 0.0);
+
+    // Wall-clock stages (link excluded: it is modeled, not measured)
+    // sum to the measured end-to-end mean.
+    const double stage_sum =
+        exported.histogram("svc.stage.client_queue").mean() +
+        exported.histogram("svc.stage.wire").mean() +
+        exported.histogram("svc.stage.server_queue").mean() +
+        exported.histogram("svc.stage.batch_wait").mean() +
+        exported.histogram("svc.stage.engine").mean();
+    const double e2e = exported.histogram("svc.client.rpc_ns").mean();
+    EXPECT_GT(e2e, 0.0);
+    EXPECT_NEAR(stage_sum, e2e, 0.05 * e2e);
+
+    // The server kept its own (authoritative) copies of its stages.
+    obs::Registry server_metrics;
+    client.stop();
+    server.stop();
+    server.export_metrics(server_metrics);
+    EXPECT_EQ(server_metrics.histogram("svc.stage.server_queue").count(),
+              kRequests);
+    EXPECT_EQ(server_metrics.histogram("svc.stage.engine").count(),
+              kRequests);
+}
+
+#if ROCOCO_TRACE_ENABLED
+/// Trace-context propagation end to end (in-process edition): every
+/// validated request yields a client span + flow-start and a server
+/// span + flow-end sharing the same id, which is what lets a merged
+/// multi-process trace draw one causal arrow per validation.
+TEST(SvcTrace, FlowEventsLinkClientAndServerSpans)
+{
+    auto& tracer = obs::Tracer::instance();
+    tracer.reset();
+    tracer.start();
+
+    constexpr uint64_t kRequests = 8;
+    {
+        ServerConfig config;
+        config.socket_path = test_socket_path("flows");
+        Server server(config);
+        ASSERT_TRUE(server.start());
+        ClientConfig client_config;
+        client_config.socket_path = config.socket_path;
+        ValidationClient client(client_config);
+        ASSERT_TRUE(client.connected());
+        for (uint64_t i = 0; i < kRequests; ++i) {
+            ASSERT_EQ(client.validate({{}, {i}, i}).verdict,
+                      core::Verdict::kCommit);
+        }
+        client.stop();
+        server.stop();
+    }
+    tracer.stop();
+
+    std::set<uint64_t> starts, ends;
+    uint64_t client_spans = 0, server_spans = 0;
+    for (const auto& event : tracer.snapshot()) {
+        if (event.name == nullptr) continue;
+        const std::string name = event.name;
+        if (event.phase == obs::EventPhase::kFlowStart &&
+            name == "svc.validate_flow") {
+            starts.insert(event.arg_value);
+        } else if (event.phase == obs::EventPhase::kFlowEnd &&
+                   name == "svc.validate_flow") {
+            ends.insert(event.arg_value);
+        } else if (name == "svc.rpc") {
+            ++client_spans;
+        } else if (name == "svc.server.validate") {
+            ++server_spans;
+        }
+    }
+    EXPECT_EQ(client_spans, kRequests);
+    EXPECT_EQ(server_spans, kRequests);
+    EXPECT_EQ(starts.size(), kRequests);
+    // Every arrow head has its tail: the ids the server finished are
+    // exactly the ids the client started.
+    EXPECT_EQ(ends, starts);
+    tracer.reset();
+}
+#endif // ROCOCO_TRACE_ENABLED
 
 // ---------------------------------------------------------------------
 // RococoTm backend switch

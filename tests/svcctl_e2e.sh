@@ -1,0 +1,67 @@
+#!/bin/sh
+# Live-introspection smoke test: svcctl against a server under load.
+#
+#   $1 = path to svc_loadgen   $2 = path to svcctl
+#
+# svc_loadgen runs a single long (clients=2, batch=8) cell in the
+# background; while its clients are pumping requests we hit the server
+# with every svcctl command. The loadgen's own exit status is the
+# accounting check — it verifies svc.requests == sum(answers) after the
+# sweep and exits 1 on imbalance, so a stats op that perturbed the
+# ledger fails this test.
+set -u
+
+LOADGEN="$1"
+SVCCTL="$2"
+SOCK="/tmp/svcctl_e2e_$$.sock"
+
+"$LOADGEN" --clients=2 --batch=8 --requests=300000 --socket="$SOCK" \
+    > /dev/null 2>&1 &
+LOADGEN_PID=$!
+trap 'kill "$LOADGEN_PID" 2>/dev/null; rm -f "$SOCK"' EXIT
+
+# The server binds before the clients fork; wait for the socket.
+tries=0
+while [ ! -S "$SOCK" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "svcctl_e2e: server socket never appeared" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+
+"$SVCCTL" --socket="$SOCK" stats | grep -q '"svc.requests"' || {
+    echo "svcctl_e2e: stats lacks svc.requests" >&2
+    exit 1
+}
+"$SVCCTL" --socket="$SOCK" hist svc.batch_size | grep -q '"count"' || {
+    echo "svcctl_e2e: hist svc.batch_size failed" >&2
+    exit 1
+}
+"$SVCCTL" --socket="$SOCK" watch --interval-ms=50 --count=3 \
+    | grep -q 'requests' || {
+    echo "svcctl_e2e: watch produced no samples" >&2
+    exit 1
+}
+
+# Unknown histogram and usage errors must fail loudly, not silently.
+if "$SVCCTL" --socket="$SOCK" hist no.such.histogram 2>/dev/null; then
+    echo "svcctl_e2e: hist accepted an unknown name" >&2
+    exit 1
+fi
+if "$SVCCTL" frobnicate 2>/dev/null; then
+    echo "svcctl_e2e: unknown command did not fail" >&2
+    exit 1
+fi
+
+# The accounting cross-check happens inside svc_loadgen at sweep end.
+wait "$LOADGEN_PID"
+status=$?
+trap - EXIT
+rm -f "$SOCK"
+if [ "$status" -ne 0 ]; then
+    echo "svcctl_e2e: svc_loadgen accounting check failed" >&2
+    exit 1
+fi
+echo "svcctl_e2e: OK"

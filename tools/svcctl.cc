@@ -1,0 +1,284 @@
+/// svcctl — live introspection CLI for a running validation service
+/// (src/svc). Speaks the kStats wire op: the server answers with a
+/// metrics-snapshot JSON without an engine pass and without counting
+/// against the pending-request queue, so poking a loaded — even
+/// saturated — server is always safe (tests/svc_test.cc pins that
+/// down).
+///
+/// Usage:
+///   svcctl [--socket=PATH] stats
+///       Print the server's full metrics snapshot (JSON: counters,
+///       gauges, histograms) to stdout.
+///   svcctl [--socket=PATH] hist NAME
+///       Print one histogram's summary line (count/mean/max/p50/p90/
+///       p99), e.g. NAME = svc.stage.engine or svc.batch.rpc_ns.
+///   svcctl [--socket=PATH] watch [--interval-ms=500] [--count=0]
+///       Periodically print a one-line load summary (requests,
+///       queue depth, window occupancy, open connections). count=0
+///       runs until interrupted.
+///
+/// Exit status: 0 on success, 1 on connection/protocol failure, 2 on
+/// usage errors. (common/cli.h rejects positional arguments, so this
+/// tool parses argv by hand.)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/wire.h"
+
+namespace {
+
+using rococo::svc::FrameReader;
+using rococo::svc::MsgType;
+
+void
+usage(FILE* out)
+{
+    std::fprintf(out,
+                 "usage: svcctl [--socket=PATH] stats\n"
+                 "       svcctl [--socket=PATH] hist NAME\n"
+                 "       svcctl [--socket=PATH] watch [--interval-ms=N]"
+                 " [--count=N]\n");
+}
+
+int
+connect_server(const std::string& path)
+{
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        close(fd);
+        return -1;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/// One kStats round trip on an established connection. Returns false on
+/// any transport or protocol failure.
+bool
+fetch_stats(int fd, std::string& json_out)
+{
+    std::vector<uint8_t> frame;
+    rococo::svc::encode_stats_request(frame);
+    size_t off = 0;
+    while (off < frame.size()) {
+        const ssize_t n =
+            send(fd, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return false;
+        off += static_cast<size_t>(n);
+    }
+    FrameReader reader;
+    uint8_t buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return false;
+        reader.append(buf, static_cast<size_t>(n));
+        bool malformed = false;
+        while (auto got = reader.next(&malformed)) {
+            if (got->type != MsgType::kStatsReply) continue;
+            json_out.assign(reinterpret_cast<const char*>(got->payload),
+                            got->size);
+            return true;
+        }
+        if (malformed) return false;
+    }
+}
+
+/// Extract `"name": <value-or-object>` from the snapshot JSON. Good
+/// enough for the exporter's fixed, non-nested format (registry.cc);
+/// not a general JSON parser.
+bool
+extract_value(const std::string& json, const std::string& name,
+              std::string& out)
+{
+    const std::string key = "\"" + name + "\":";
+    const size_t at = json.find(key);
+    if (at == std::string::npos) return false;
+    size_t pos = at + key.size();
+    while (pos < json.size() && json[pos] == ' ') ++pos;
+    if (pos >= json.size()) return false;
+    if (json[pos] == '{') {
+        const size_t end = json.find('}', pos);
+        if (end == std::string::npos) return false;
+        out = json.substr(pos, end - pos + 1);
+        return true;
+    }
+    size_t end = pos;
+    while (end < json.size() && json[end] != ',' && json[end] != '\n' &&
+           json[end] != '}') {
+        ++end;
+    }
+    out = json.substr(pos, end - pos);
+    return true;
+}
+
+double
+extract_number(const std::string& json, const std::string& name)
+{
+    std::string text;
+    if (!extract_value(json, name, text)) return 0.0;
+    // Gauges nest the value: {"last": X, ...}.
+    if (!text.empty() && text[0] == '{') {
+        const size_t at = text.find("\"last\":");
+        if (at == std::string::npos) return 0.0;
+        return std::atof(text.c_str() + at + 7);
+    }
+    return std::atof(text.c_str());
+}
+
+int
+cmd_stats(const std::string& socket_path)
+{
+    const int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::string json;
+    const bool ok = fetch_stats(fd, json);
+    close(fd);
+    if (!ok) {
+        std::fprintf(stderr, "svcctl: stats request failed\n");
+        return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+}
+
+int
+cmd_hist(const std::string& socket_path, const std::string& name)
+{
+    const int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::string json;
+    const bool ok = fetch_stats(fd, json);
+    close(fd);
+    if (!ok) {
+        std::fprintf(stderr, "svcctl: stats request failed\n");
+        return 1;
+    }
+    std::string value;
+    if (!extract_value(json, name, value) || value.empty() ||
+        value[0] != '{') {
+        std::fprintf(stderr, "svcctl: no histogram named %s\n",
+                     name.c_str());
+        return 1;
+    }
+    std::printf("%s: %s\n", name.c_str(), value.c_str());
+    return 0;
+}
+
+int
+cmd_watch(const std::string& socket_path, unsigned interval_ms,
+          unsigned count)
+{
+    // One persistent connection: watch must observe the server, not
+    // perturb it with a connect/close churn per sample.
+    const int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::printf("%12s %12s %12s %12s %12s\n", "requests", "queue", "window",
+                "conns", "stats");
+    for (unsigned i = 0; count == 0 || i < count; ++i) {
+        std::string json;
+        if (!fetch_stats(fd, json)) {
+            close(fd);
+            std::fprintf(stderr, "svcctl: stats request failed\n");
+            return 1;
+        }
+        std::printf("%12.0f %12.0f %12.0f %12.0f %12.0f\n",
+                    extract_number(json, "svc.requests"),
+                    extract_number(json, "svc.queue_depth"),
+                    extract_number(json, "svc.window_occupancy"),
+                    extract_number(json, "svc.connections_open"),
+                    extract_number(json, "svc.stats"));
+        std::fflush(stdout);
+        if (count == 0 || i + 1 < count) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+        }
+    }
+    close(fd);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string socket_path = "/tmp/rococo_svc.sock";
+    unsigned interval_ms = 500;
+    unsigned count = 0;
+    std::string command;
+    std::vector<std::string> operands;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value_of = [&](const char* flag) -> const char* {
+            const size_t len = std::strlen(flag);
+            if (arg.compare(0, len, flag) != 0) return nullptr;
+            if (arg.size() > len && arg[len] == '=') {
+                return arg.c_str() + len + 1;
+            }
+            return nullptr;
+        };
+        if (const char* v = value_of("--socket")) {
+            socket_path = v;
+        } else if (const char* v = value_of("--interval-ms")) {
+            interval_ms = static_cast<unsigned>(std::atoi(v));
+        } else if (const char* v = value_of("--count")) {
+            count = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "svcctl: unknown flag %s\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            operands.push_back(arg);
+        }
+    }
+
+    if (command == "stats" && operands.empty()) {
+        return cmd_stats(socket_path);
+    }
+    if (command == "hist" && operands.size() == 1) {
+        return cmd_hist(socket_path, operands[0]);
+    }
+    if (command == "watch" && operands.empty()) {
+        if (interval_ms == 0) interval_ms = 1;
+        return cmd_watch(socket_path, interval_ms, count);
+    }
+    usage(stderr);
+    return 2;
+}
