@@ -1,0 +1,218 @@
+/// Ablation of the sharded validation tier (src/shard): validation
+/// throughput of the ShardRouter swept over the shard count S x the
+/// cross-shard transaction fraction. This is the scaling axis the tier
+/// exists for: every shard is an independent engine (its own window,
+/// its own lock), so single-shard traffic validates in parallel across
+/// engines, while cross-shard traffic pays the two-phase coordinator
+/// (it occupies every touched shard for its whole reserve+commit, plus
+/// the conservative CS1 no-forward-dependency rule — docs/SHARDING.md).
+///
+/// Methodology. Like the rest of the bench suite, the parallelism is
+/// *modelled*, not scheduled: the host the suite must run on can be a
+/// single core, where S engines cannot be observed running
+/// concurrently by wall clock. The bench drives the router from one
+/// thread, times every validation, and attributes the elapsed service
+/// time to each shard the request occupied (all touched shards for a
+/// cross-shard transaction — they hold their locks for the whole
+/// coordinated pass). S engines run slices in parallel, so the modelled
+/// makespan of the run is the *busiest single shard's* total service
+/// time, and modelled throughput = requests / makespan. For S = 1 this
+/// degenerates to exactly the measured serial throughput.
+///
+/// Expected shape: at a 0-1% cross fraction throughput rises with S
+/// (near-ideal split of the busy time, minus hash imbalance); as the
+/// cross fraction grows, each cross transaction bills its full latency
+/// to several shards at once and the speedup flattens — by 50% cross
+/// traffic sharding buys little. The committed numbers live in
+/// BENCH_shard.json (scripts/bench_summary.py) and docs/SHARDING.md.
+///
+/// Usage: ablation_shards [--requests=40000] [--pool=256] [--seed=1]
+///                        [--csv=PATH]
+///   --requests is the total per sweep cell. --csv writes one header
+///   row then one row per cell — the input scripts/bench_summary.py
+///   distills.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "shard/router.h"
+
+using namespace rococo;
+
+namespace {
+
+/// Per-shard address pools under an S-shard partitioner: pool[s] holds
+/// @p per_shard addresses owned by shard s, so workloads can dial the
+/// cross-shard fraction exactly instead of relying on hash luck.
+std::vector<std::vector<uint64_t>>
+build_pools(const shard::Partitioner& partitioner, size_t per_shard)
+{
+    std::vector<std::vector<uint64_t>> pools(partitioner.shards());
+    size_t filled = 0;
+    for (uint64_t address = 0; filled < pools.size(); ++address) {
+        auto& pool = pools[partitioner.shard_of(address)];
+        if (pool.size() >= per_shard) continue;
+        pool.push_back(address);
+        if (pool.size() == per_shard) ++filled;
+    }
+    return pools;
+}
+
+struct CellResult
+{
+    double serial_seconds = 0;  ///< sum of per-request service times
+    double modeled_seconds = 0; ///< busiest shard's total service time
+    uint64_t requests = 0;
+    uint64_t commits = 0;
+    uint64_t cross = 0;
+    double imbalance = 0;
+};
+
+CellResult
+run_cell(uint32_t shards, double cross_fraction, uint64_t requests,
+         size_t pool_size, uint64_t seed)
+{
+    shard::ShardConfig config;
+    config.shards = shards;
+    shard::ShardRouter router(config);
+    const auto pools = build_pools(router.partitioner(), pool_size);
+
+    std::vector<uint64_t> busy_ns(shards, 0);
+    std::vector<uint32_t> touched; // touched shards of this request
+    Xoshiro256 rng(seed);
+    for (uint64_t i = 0; i < requests; ++i) {
+        fpga::OffloadRequest request;
+        touched.clear();
+        if (shards > 1 && rng.chance(cross_fraction)) {
+            // Deliberately cross-shard: one read + one write on each
+            // of two distinct shards (same total work as the
+            // single-shard shape below).
+            const uint32_t a = uint32_t(rng.below(shards));
+            const uint32_t b =
+                (a + 1 + uint32_t(rng.below(shards - 1))) % shards;
+            for (uint32_t s : {a, b}) {
+                request.reads.push_back(pools[s][rng.below(pool_size)]);
+                request.writes.push_back(pools[s][rng.below(pool_size)]);
+            }
+            touched.assign({a, b});
+        } else {
+            // Single-shard: all accesses from one shard's pool.
+            const uint32_t s = uint32_t(rng.below(shards));
+            const auto& pool = pools[s];
+            for (int r = 0; r < 2; ++r) {
+                request.reads.push_back(pool[rng.below(pool_size)]);
+            }
+            for (int w = 0; w < 2; ++w) {
+                request.writes.push_back(pool[rng.below(pool_size)]);
+            }
+            touched.assign({s});
+        }
+        request.snapshot_cid = router.global_commits();
+        const auto start = std::chrono::steady_clock::now();
+        (void)router.validate(std::move(request));
+        const auto stop = std::chrono::steady_clock::now();
+        const uint64_t ns = uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                 start)
+                .count());
+        // The request occupied every touched shard for its whole pass.
+        for (uint32_t s : touched) busy_ns[s] += ns;
+    }
+
+    const CounterBag stats = router.stats();
+    obs::Registry exported;
+    router.export_metrics(exported);
+    CellResult result;
+    uint64_t total_ns = 0, max_ns = 0;
+    for (uint64_t ns : busy_ns) {
+        total_ns += ns;
+        if (ns > max_ns) max_ns = ns;
+    }
+    result.serial_seconds = double(total_ns) * 1e-9;
+    result.modeled_seconds = double(max_ns) * 1e-9;
+    result.requests = requests;
+    result.commits = stats.get("commit");
+    result.cross = stats.get("shard.cross");
+    result.imbalance = exported.gauge("shard.imbalance").value();
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    Cli cli(argc, argv, {"requests", "pool", "seed", "csv"});
+    const uint64_t requests =
+        static_cast<uint64_t>(cli.get_int("requests", 40000));
+    const size_t pool_size =
+        static_cast<size_t>(cli.get_int("pool", 256));
+    const uint64_t seed = static_cast<uint64_t>(cli.get_int("seed", 1));
+    const std::string csv_path = cli.get("csv", "");
+
+    std::printf("Sharded-validation ablation: %llu requests per cell, "
+                "%zu addresses per shard pool. Modelled parallel "
+                "engines: makespan = busiest shard's service time.\n\n",
+                static_cast<unsigned long long>(requests), pool_size);
+
+    std::ofstream csv;
+    if (!csv_path.empty()) {
+        csv.open(csv_path);
+        csv << "shards,cross_fraction,requests,serial_seconds,"
+               "modeled_seconds,modeled_throughput_per_s,speedup_vs_1,"
+               "commit_fraction,cross_observed,imbalance\n";
+    }
+
+    Table table({"shards", "cross %", "Mvalidations/s", "speedup",
+                 "commit %", "cross observed %", "imbalance"});
+    double base_throughput = 0; // S=1 at the current cross fraction
+    for (double cross : {0.0, 0.01, 0.10, 0.50}) {
+        for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+            const CellResult cell =
+                run_cell(shards, cross, requests, pool_size, seed);
+            const double throughput =
+                cell.modeled_seconds > 0
+                    ? double(cell.requests) / cell.modeled_seconds
+                    : 0;
+            if (shards == 1) base_throughput = throughput;
+            const double speedup =
+                base_throughput > 0 ? throughput / base_throughput : 0;
+            table.row()
+                .num(shards, 0)
+                .num(cross * 100, 0)
+                .num(throughput / 1e6, 2)
+                .num(speedup, 2)
+                .num(100.0 * double(cell.commits) /
+                         double(cell.requests),
+                     1)
+                .num(100.0 * double(cell.cross) / double(cell.requests),
+                     1)
+                .num(cell.imbalance, 2);
+            if (csv.is_open()) {
+                csv << shards << ',' << cross << ',' << cell.requests
+                    << ',' << cell.serial_seconds << ','
+                    << cell.modeled_seconds << ',' << throughput << ','
+                    << speedup << ','
+                    << double(cell.commits) / double(cell.requests)
+                    << ','
+                    << double(cell.cross) / double(cell.requests) << ','
+                    << cell.imbalance << '\n';
+            }
+        }
+    }
+    table.print();
+    std::printf("\nSingle-shard traffic splits the busy time across "
+                "independent engines (speedup tracks S minus hash "
+                "imbalance); a cross-shard transaction occupies every "
+                "touched shard for its whole two-phase pass, so the "
+                "speedup flattens as the cross fraction grows.\n");
+    if (csv.is_open()) {
+        std::printf("CSV written to %s\n", csv_path.c_str());
+    }
+    return 0;
+}

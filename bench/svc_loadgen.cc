@@ -38,7 +38,7 @@
 /// causal trace for Perfetto / scripts/check_trace_json.py.
 ///
 /// Usage:
-///   svc_loadgen [--clients=1,2,4,8] [--batch=1,8,32]
+///   svc_loadgen [--clients=1,2,4,8] [--batch=1,8,32] [--shards=1]
 ///               [--requests=20000] [--outstanding=16] [--reads=4]
 ///               [--writes=2] [--keys=4096] [--stages=1]
 ///               [--tm-threads=N]
@@ -113,6 +113,7 @@ struct LoadConfig
     unsigned writes = 2;
     uint64_t keys = 4096;
     unsigned tm_threads = 0; ///< 0 = raw validation RPCs
+    uint32_t shards = 1;     ///< server-side validation shards
 };
 
 void
@@ -309,6 +310,7 @@ run_one(const LoadConfig& load, size_t clients, size_t batch,
     svc::ServerConfig server_config;
     server_config.socket_path = load.socket_path;
     server_config.max_batch = batch;
+    server_config.shards = load.shards;
     svc::Server server(server_config);
     if (!server.start()) {
         std::fprintf(stderr, "svc_loadgen: cannot bind %s\n",
@@ -459,9 +461,9 @@ main(int argc, char** argv)
     using namespace rococo;
 
     Cli cli(argc, argv,
-            {"clients", "batch", "requests", "outstanding", "reads",
-             "writes", "keys", "socket", "csv", "stages", "tm-threads",
-             "telemetry-server", "telemetry-client"});
+            {"clients", "batch", "shards", "requests", "outstanding",
+             "reads", "writes", "keys", "socket", "csv", "stages",
+             "tm-threads", "telemetry-server", "telemetry-client"});
     LoadConfig load;
     load.socket_path = cli.get("socket", "/tmp/rococo_loadgen_" +
                                              std::to_string(getpid()) +
@@ -474,6 +476,8 @@ main(int argc, char** argv)
     load.keys = static_cast<uint64_t>(cli.get_int("keys", 4096));
     load.tm_threads =
         static_cast<unsigned>(cli.get_int("tm-threads", 0));
+    load.shards = static_cast<uint32_t>(
+        std::max<int64_t>(1, cli.get_int("shards", 1)));
     const bool stages = cli.get_bool("stages", false);
     const std::string telemetry_server = cli.get("telemetry-server", "");
     const std::string telemetry_client = cli.get("telemetry-client", "");

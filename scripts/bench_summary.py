@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Distill sharding bench outputs into one committed JSON summary.
+
+Inputs:
+  * the CSV written by `bench/ablation_shards --csv=...` (required):
+    one row per (shards, cross_fraction) sweep cell with modelled
+    throughput and speedup;
+  * optionally, a server-side telemetry file written by
+    `bench/svc_loadgen --shards=N --telemetry-server=...`, from which
+    the service-level shard counters and stage histograms are lifted.
+
+Output: a small stable JSON document (BENCH_shard.json at the repo
+root) recording the sweep, the headline scaling numbers the issue's
+acceptance criterion tracks (S=4 vs S=1 at <= 1% cross-shard traffic),
+and — when available — the sharded service's accounting counters.
+
+Usage:
+  bench_summary.py --shards-csv CSV [--loadgen-json FILE] --out FILE
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+
+def load_sweep(path):
+    cells = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            cells.append(
+                {
+                    "shards": int(row["shards"]),
+                    "cross_fraction": float(row["cross_fraction"]),
+                    "requests": int(row["requests"]),
+                    "modeled_throughput_per_s": float(
+                        row["modeled_throughput_per_s"]
+                    ),
+                    "speedup_vs_1": float(row["speedup_vs_1"]),
+                    "commit_fraction": float(row["commit_fraction"]),
+                    "cross_observed": float(row["cross_observed"]),
+                    "imbalance": float(row["imbalance"]),
+                }
+            )
+    if not cells:
+        raise SystemExit(f"{path}: no sweep rows")
+    return cells
+
+
+def headline(cells):
+    """The acceptance numbers: S=4 vs S=1 at <= 1% cross traffic."""
+
+    def cell(shards, max_cross):
+        best = None
+        for c in cells:
+            if c["shards"] == shards and c["cross_fraction"] <= max_cross:
+                if best is None or c["cross_fraction"] > best["cross_fraction"]:
+                    best = c
+        return best
+
+    s1 = cell(1, 0.01)
+    s4 = cell(4, 0.01)
+    if s1 is None or s4 is None:
+        raise SystemExit("sweep lacks S=1 / S=4 cells at <= 1% cross")
+    return {
+        "cross_fraction": s4["cross_fraction"],
+        "s1_throughput_per_s": s1["modeled_throughput_per_s"],
+        "s4_throughput_per_s": s4["modeled_throughput_per_s"],
+        "s4_speedup": s4["speedup_vs_1"],
+        "s4_beats_s1": s4["modeled_throughput_per_s"]
+        > s1["modeled_throughput_per_s"],
+    }
+
+
+def find_section(doc, key):
+    """Depth-first search for the first dict holding `key` (the
+    telemetry envelope nests the registry export)."""
+    if isinstance(doc, dict):
+        if key in doc and isinstance(doc[key], dict):
+            return doc[key]
+        for value in doc.values():
+            found = find_section(value, key)
+            if found is not None:
+                return found
+    elif isinstance(doc, list):
+        for value in doc:
+            found = find_section(value, key)
+            if found is not None:
+                return found
+    return None
+
+
+def load_service(path):
+    with open(path) as f:
+        doc = json.load(f)
+    counters = find_section(doc, "counters") or {}
+    histograms = find_section(doc, "histograms") or {}
+    picked = {
+        name: int(value)
+        for name, value in sorted(counters.items())
+        if name.startswith(("svc.", "shard."))
+    }
+    stages = {
+        name: histograms[name]
+        for name in ("svc.stage.shard_route", "svc.stage.shard_coord")
+        if name in histograms
+    }
+    answered = (
+        sum(v for k, v in picked.items() if k.startswith("svc.verdict."))
+        + picked.get("svc.timeout", 0)
+        + picked.get("svc.rejected", 0)
+    )
+    return {
+        "counters": picked,
+        "stage_histograms": stages,
+        "accounting_balanced": picked.get("svc.requests", -1) == answered,
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards-csv", required=True)
+    parser.add_argument("--loadgen-json")
+    parser.add_argument("--out", required=True)
+    args = parser.parse_args()
+
+    cells = load_sweep(args.shards_csv)
+    summary = {
+        "bench": "sharded-validation-tier",
+        "tool": "scripts/bench_summary.py",
+        "sweep": cells,
+        "headline": headline(cells),
+    }
+    if args.loadgen_json:
+        summary["service"] = load_service(args.loadgen_json)
+
+    with open(args.out, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=False)
+        f.write("\n")
+
+    h = summary["headline"]
+    print(
+        f"S=4 vs S=1 at cross={h['cross_fraction']:.2%}: "
+        f"{h['s4_speedup']:.2f}x "
+        f"({'OK' if h['s4_beats_s1'] else 'REGRESSION'})"
+    )
+    if not h["s4_beats_s1"]:
+        return 1
+    service = summary.get("service")
+    if service is not None and not service["accounting_balanced"]:
+        print("service accounting unbalanced", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

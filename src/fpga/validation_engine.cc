@@ -27,7 +27,26 @@ ValidationEngine::process(const OffloadRequest& request)
                 obs::AbortReason::kWindowEviction};
     }
 
-    const core::ValidationRequest classified = detector_.classify(request);
+    return commit_classified(detector_.classify(request), request);
+}
+
+core::ValidationRequest
+ValidationEngine::classify(const OffloadRequest& request) const
+{
+    return detector_.classify(request);
+}
+
+core::Verdict
+ValidationEngine::validate_only(
+    const core::ValidationRequest& classified) const
+{
+    return manager_.validator().validate_only(classified);
+}
+
+core::ValidationResult
+ValidationEngine::commit_classified(
+    const core::ValidationRequest& classified, const OffloadRequest& request)
+{
     const core::ValidationResult result = manager_.decide(classified);
     if (result.verdict == core::Verdict::kCommit) {
         detector_.record_commit(result.cid, request);

@@ -50,6 +50,24 @@ class ValidationEngine
     /// check + bookkeeping on commit).
     core::ValidationResult process(const OffloadRequest& request);
 
+    /// The Detector half of process(): classify @p request against the
+    /// current history without touching state.
+    core::ValidationRequest classify(const OffloadRequest& request) const;
+
+    /// Validate @p classified without committing — no window mutation,
+    /// no verdict counters. The reserve phase of the cross-shard
+    /// two-phase coordinator (src/shard) holds the shard lock between
+    /// this and commit_classified(), so the verdict cannot go stale.
+    core::Verdict validate_only(const core::ValidationRequest& classified)
+        const;
+
+    /// The Manager half of process(): decide-and-commit a request
+    /// previously built by classify(); records the commit's signatures
+    /// on kCommit.
+    core::ValidationResult commit_classified(
+        const core::ValidationRequest& classified,
+        const OffloadRequest& request);
+
     /// Modelled end-to-end latency of @p request when the pipeline is
     /// otherwise idle, in ns.
     double isolated_latency_ns(const OffloadRequest& request) const;

@@ -31,6 +31,8 @@ constexpr ReasonNames kNames[kAbortReasonCount] = {
     {"conflict", "tm.abort.conflict", "tm.retry_ns.conflict"},
     {"timeout", "tm.abort.timeout", "tm.retry_ns.timeout"},
     {"backpressure", "tm.abort.backpressure", "tm.retry_ns.backpressure"},
+    {"cross-shard-fence", "tm.abort.cross-shard-fence",
+     "tm.retry_ns.cross-shard-fence"},
     {"unknown", "tm.abort.unknown", "tm.retry_ns.unknown"},
 };
 

@@ -59,6 +59,14 @@ enum class AbortReason : uint8_t
     /// retry-later verdict instead of growing the queue (svc/server.h
     /// backpressure contract).
     kBackpressure,
+    /// Sharded validation (src/shard): the transaction tried to
+    /// serialize before a cross-shard commit — either a cross-shard
+    /// transaction with a forward dependency, or a single-shard
+    /// transaction with a forward dependency behind its shard's fence.
+    /// Conservative, not a proven cycle: the coordination rule that
+    /// keeps the union of per-shard reachability graphs acyclic
+    /// (docs/SHARDING.md).
+    kCrossShardFence,
     /// The runtime did not attribute the abort.
     kUnknown,
 };

@@ -1,0 +1,66 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+
+namespace rococo::shard {
+
+Partitioner::Partitioner(uint32_t shards, uint64_t seed)
+    : shards_(shards), hasher_(1, uint64_t{1} << 32, seed)
+{
+    ROCOCO_CHECK(shards >= 1);
+}
+
+std::vector<SubRequest>
+Partitioner::split(const fpga::OffloadRequest& request) const
+{
+    std::vector<SubRequest> subs;
+    if (shards_ == 1) {
+        subs.push_back({0, {request.reads, request.writes, 0}});
+        return subs;
+    }
+    // slot[s] = 1 + index of shard s in subs, 0 while untouched.
+    std::vector<uint32_t> slot(shards_, 0);
+    auto sub_for = [&](uint64_t address) -> fpga::OffloadRequest& {
+        const uint32_t s = shard_of(address);
+        if (slot[s] == 0) {
+            subs.push_back({s, {}});
+            slot[s] = static_cast<uint32_t>(subs.size());
+        }
+        return subs[slot[s] - 1].offload;
+    };
+    for (uint64_t address : request.reads) {
+        sub_for(address).reads.push_back(address);
+    }
+    for (uint64_t address : request.writes) {
+        sub_for(address).writes.push_back(address);
+    }
+    std::sort(subs.begin(), subs.end(),
+              [](const SubRequest& a, const SubRequest& b) {
+                  return a.shard < b.shard;
+              });
+    return subs;
+}
+
+uint32_t
+Partitioner::touched(std::span<const uint64_t> reads,
+                     std::span<const uint64_t> writes) const
+{
+    if (shards_ == 1) return reads.empty() && writes.empty() ? 0 : 1;
+    uint64_t mask = 0; // shards_ > 64 falls back to split() size
+    if (shards_ <= 64) {
+        for (uint64_t address : reads) mask |= uint64_t{1} << shard_of(address);
+        for (uint64_t address : writes) {
+            mask |= uint64_t{1} << shard_of(address);
+        }
+        return static_cast<uint32_t>(std::popcount(mask));
+    }
+    fpga::OffloadRequest request;
+    request.reads.assign(reads.begin(), reads.end());
+    request.writes.assign(writes.begin(), writes.end());
+    return static_cast<uint32_t>(split(request).size());
+}
+
+} // namespace rococo::shard

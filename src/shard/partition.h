@@ -1,0 +1,72 @@
+/// @file
+/// Address-space partitioning for the sharded validation tier.
+///
+/// Each 64-bit address is owned by exactly one of S shards, chosen by a
+/// multiply-shift hash (sig/hash.h — the same family the paper picks
+/// for the signature path, §5.2), so ownership is stateless, uniform,
+/// and identically computable by every layer that needs it: the router,
+/// the benches that construct shard-local or deliberately cross-shard
+/// workloads, and the tests that force coordinator paths.
+///
+/// The partitioner also splits an OffloadRequest into per-shard
+/// sub-requests: shard s sees only the addresses it owns, so its
+/// Detector signatures and reachability window cover exactly its slice
+/// of the address space. An edge between two transactions always lives
+/// in exactly one shard (it needs a shared address, and every address
+/// has one owner) — the property the cross-shard coordination argument
+/// in docs/SHARDING.md rests on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpga/detector.h"
+#include "sig/hash.h"
+
+namespace rococo::shard {
+
+/// One shard's slice of an OffloadRequest, tagged with its shard index.
+struct SubRequest
+{
+    uint32_t shard = 0;
+    fpga::OffloadRequest offload; ///< snapshot_cid filled by the router
+};
+
+/// Stateless hash partitioner over [0, shards).
+class Partitioner
+{
+  public:
+    /// @param shards number of shards S (>= 1)
+    /// @param seed hash seed; must agree wherever ownership is computed
+    explicit Partitioner(uint32_t shards, uint64_t seed = 42);
+
+    uint32_t shards() const { return shards_; }
+
+    /// Owning shard of @p address.
+    uint32_t
+    shard_of(uint64_t address) const
+    {
+        // One multiply-shift draw into a power-of-two range, folded to
+        // S by fixed-point scaling (unbiased for S << 2^32).
+        return static_cast<uint32_t>(
+            (hasher_.hash(address, 0) * uint64_t{shards_}) >> 32);
+    }
+
+    /// Split @p request into per-shard sub-requests, one entry per
+    /// *touched* shard, ordered by ascending shard index — the
+    /// deterministic lock order the coordinator relies on. Sub-request
+    /// snapshot_cids are left zero (the router translates them).
+    std::vector<SubRequest> split(const fpga::OffloadRequest& request) const;
+
+    /// Number of distinct shards @p request touches (cheaper than
+    /// split() when only the single-vs-cross classification matters).
+    uint32_t touched(std::span<const uint64_t> reads,
+                     std::span<const uint64_t> writes) const;
+
+  private:
+    uint32_t shards_;
+    sig::MultiplyShiftHasher hasher_;
+};
+
+} // namespace rococo::shard

@@ -1,0 +1,347 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/clock.h"
+
+namespace rococo::shard {
+namespace {
+
+core::ValidationResult
+make_result(core::Verdict verdict, uint64_t cid = 0)
+{
+    return {verdict, cid, core::abort_reason(verdict)};
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(const ShardConfig& config)
+    : config_(config), partitioner_(config.shards, config.partition_seed)
+{
+    ROCOCO_CHECK(config_.shards >= 1);
+    shards_.reserve(config_.shards);
+    for (uint32_t s = 0; s < config_.shards; ++s) {
+        auto shard = std::make_unique<Shard>(config_.engine);
+        const std::string prefix = "shard." + std::to_string(s);
+        shard->validations = &registry_.counter(prefix + ".validations");
+        shard->aborts = &registry_.counter(prefix + ".aborts");
+        shards_.push_back(std::move(shard));
+    }
+    submitted_ = &registry_.counter("submitted");
+    cross_ = &registry_.counter("shard.cross");
+    total_ = &registry_.counter("shard.validations");
+    route_ns_ = &registry_.histogram("shard.route_ns");
+    coord_ns_ = &registry_.histogram("shard.coord_ns");
+}
+
+ShardRouter::~ShardRouter() = default;
+
+bool
+ShardRouter::translate_snapshot(const Shard& shard, uint64_t g, uint64_t* out)
+{
+    const auto& tracked = shard.commit_globals;
+    const auto first_unobserved =
+        std::lower_bound(tracked.begin(), tracked.end(), g);
+    const uint64_t observed =
+        static_cast<uint64_t>(first_unobserved - tracked.begin());
+    if (observed == 0 && shard.evicted > 0) {
+        // Every tracked commit is unobserved and some commits left the
+        // deque: we cannot prove the reader observed the evicted ones.
+        return false;
+    }
+    // observed > 0 implies every evicted global number is below
+    // tracked.front() < g, so all evicted commits were observed.
+    *out = shard.evicted + observed;
+    return true;
+}
+
+core::ValidationResult
+ShardRouter::prepare_slice(Shard& shard, SubRequest& sub,
+                           uint64_t global_snapshot, bool cross,
+                           core::ValidationRequest* classified)
+{
+    uint64_t snapshot = 0;
+    if (!translate_snapshot(shard, global_snapshot, &snapshot)) {
+        if (!sub.offload.reads.empty()) {
+            return make_result(core::Verdict::kWindowOverflow);
+        }
+        // The snapshot only decides how W_c ∩ R edges split into
+        // forward/backward; with no reads the slice classifies the same
+        // under any snapshot, so an in-window placeholder keeps the
+        // write-only commit the single-engine deployment would allow.
+        snapshot = shard.engine.window_start();
+    }
+    if (snapshot < shard.engine.window_start() &&
+        !sub.offload.reads.empty()) {
+        return make_result(core::Verdict::kWindowOverflow);
+    }
+    sub.offload.snapshot_cid = snapshot;
+    *classified = shard.engine.classify(sub.offload);
+    // A cross-shard transaction may not serialize before anything
+    // (fence = next_cid rejects every forward edge); a single-shard one
+    // may not serialize before the latest cross-shard commit.
+    const uint64_t fence = cross ? shard.engine.next_cid() : shard.fence;
+    for (uint64_t cid : classified->forward) {
+        if (cid < fence) {
+            return {core::Verdict::kAbortCycle, 0,
+                    obs::AbortReason::kCrossShardFence};
+        }
+    }
+    return make_result(core::Verdict::kCommit);
+}
+
+void
+ShardRouter::commit_slice(Shard& shard, const SubRequest& sub,
+                          const core::ValidationRequest& classified,
+                          uint64_t global, bool cross)
+{
+    const core::ValidationResult local =
+        shard.engine.commit_classified(classified, sub.offload);
+    // The caller holds the shard lock since validate_only/prepare said
+    // kCommit, and decide() is deterministic on unchanged state.
+    ROCOCO_CHECK(local.verdict == core::Verdict::kCommit);
+    shard.commit_globals.push_back(global);
+    if (shard.commit_globals.size() > shard.engine.config().window) {
+        shard.commit_globals.pop_front();
+        ++shard.evicted;
+    }
+    if (cross) {
+        shard.fence = local.cid + 1;
+    }
+}
+
+void
+ShardRouter::count_verdict(Shard& shard, const core::ValidationResult& result)
+{
+    shard.validations->add();
+    if (result.verdict != core::Verdict::kCommit) {
+        shard.aborts->add();
+    }
+}
+
+core::ValidationResult
+ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
+{
+    submitted_->add();
+    if (stopped_.load(std::memory_order_acquire)) {
+        const auto result = make_result(core::Verdict::kRejected);
+        registry_.bump(core::to_string(result.verdict));
+        return result;
+    }
+    total_->add();
+    // Read-only fast path (§5.3): identical to the single-engine
+    // deployment, no shard is consulted.
+    if (request.writes.empty() && !config_.engine.strict_read_only) {
+        if (info != nullptr) {
+            *info = RouteInfo{};
+        }
+        registry_.bump(core::to_string(core::Verdict::kCommit));
+        return make_result(core::Verdict::kCommit);
+    }
+
+    const uint64_t t_route = obs::now_ns();
+    std::vector<SubRequest> subs = partitioner_.split(request);
+    ROCOCO_CHECK(!subs.empty());
+    const bool cross = subs.size() > 1;
+    core::ValidationResult result = make_result(core::Verdict::kAbortCycle);
+
+    if (!cross) {
+        Shard& shard = *shards_[subs[0].shard];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const uint64_t t_locked = obs::now_ns();
+        route_ns_->record(t_locked - t_route);
+        core::ValidationRequest classified;
+        result = prepare_slice(shard, subs[0], request.snapshot_cid,
+                               /*cross=*/false, &classified);
+        if (result.verdict == core::Verdict::kCommit) {
+            result = shard.engine.commit_classified(classified,
+                                                    subs[0].offload);
+            if (result.verdict == core::Verdict::kCommit) {
+                const uint64_t global = global_commits_.fetch_add(
+                    1, std::memory_order_acq_rel);
+                shard.commit_globals.push_back(global);
+                if (shard.commit_globals.size() >
+                    shard.engine.config().window) {
+                    shard.commit_globals.pop_front();
+                    ++shard.evicted;
+                }
+                result.cid = global;
+            }
+        }
+        count_verdict(shard, result);
+        if (info != nullptr) {
+            *info = RouteInfo{1, t_locked - t_route, 0};
+        }
+    } else {
+        cross_->add();
+        // Reserve: all touched shard locks, ascending shard index
+        // (split() orders subs), so concurrent coordinators cannot
+        // deadlock.
+        std::vector<std::unique_lock<std::mutex>> locks;
+        locks.reserve(subs.size());
+        for (const SubRequest& sub : subs) {
+            locks.emplace_back(shards_[sub.shard]->mutex);
+        }
+        const uint64_t t_locked = obs::now_ns();
+        route_ns_->record(t_locked - t_route);
+
+        std::vector<core::ValidationRequest> classified(subs.size());
+        result = make_result(core::Verdict::kCommit);
+        size_t examined = 0;
+        for (size_t i = 0; i < subs.size(); ++i) {
+            Shard& shard = *shards_[subs[i].shard];
+            examined = i + 1;
+            result = prepare_slice(shard, subs[i], request.snapshot_cid,
+                                   /*cross=*/true, &classified[i]);
+            if (result.verdict != core::Verdict::kCommit) {
+                break;
+            }
+            const core::Verdict verdict =
+                shard.engine.validate_only(classified[i]);
+            if (verdict != core::Verdict::kCommit) {
+                result = make_result(verdict);
+                break;
+            }
+        }
+        if (result.verdict == core::Verdict::kCommit) {
+            // Commit: one atomic position in the global order for every
+            // slice, taken while all the locks are still held.
+            const uint64_t global =
+                global_commits_.fetch_add(1, std::memory_order_acq_rel);
+            for (size_t i = 0; i < subs.size(); ++i) {
+                commit_slice(*shards_[subs[i].shard], subs[i],
+                             classified[i], global, /*cross=*/true);
+            }
+            result = make_result(core::Verdict::kCommit, global);
+            for (const SubRequest& sub : subs) {
+                count_verdict(*shards_[sub.shard], result);
+            }
+        } else {
+            // Release: nothing was committed; attribute the abort to
+            // the shard that rejected, the validation work to every
+            // shard examined.
+            for (size_t i = 0; i + 1 < examined; ++i) {
+                shards_[subs[i].shard]->validations->add();
+            }
+            if (examined > 0) {
+                count_verdict(*shards_[subs[examined - 1].shard], result);
+            }
+        }
+        const uint64_t t_done = obs::now_ns();
+        coord_ns_->record(t_done - t_locked);
+        if (info != nullptr) {
+            *info = RouteInfo{static_cast<uint32_t>(subs.size()),
+                              t_locked - t_route, t_done - t_locked};
+        }
+    }
+    registry_.bump(core::to_string(result.verdict));
+    return result;
+}
+
+size_t
+ShardRouter::occupancy() const
+{
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->engine.manager().validator().occupancy();
+    }
+    return total;
+}
+
+double
+ShardRouter::isolated_latency_ns(const fpga::OffloadRequest& request) const
+{
+    return shards_[0]->engine.isolated_latency_ns(request);
+}
+
+const fpga::ValidationEngine&
+ShardRouter::engine(uint32_t s) const
+{
+    ROCOCO_CHECK(s < shards_.size());
+    return shards_[s]->engine;
+}
+
+std::future<core::ValidationResult>
+ShardRouter::submit(fpga::OffloadRequest request)
+{
+    std::promise<core::ValidationResult> promise;
+    promise.set_value(process(request));
+    return promise.get_future();
+}
+
+core::ValidationResult
+ShardRouter::validate(fpga::OffloadRequest request)
+{
+    return process(request);
+}
+
+core::ValidationResult
+ShardRouter::validate(fpga::OffloadRequest request,
+                      std::chrono::nanoseconds timeout)
+{
+    // The router has no queue: the only wait is lock acquisition, which
+    // is bounded by engine passes. Honor an already-expired deadline
+    // (the pipeline contract) without instrumenting the lock path.
+    if (timeout <= std::chrono::nanoseconds::zero()) {
+        submitted_->add();
+        registry_.bump(core::to_string(core::Verdict::kTimeout));
+        return make_result(core::Verdict::kTimeout);
+    }
+    return process(request);
+}
+
+CounterBag
+ShardRouter::stats() const
+{
+    return registry_.to_counter_bag();
+}
+
+void
+ShardRouter::export_metrics(obs::Registry& registry) const
+{
+    uint64_t max_validations = 0;
+    uint64_t sum_validations = 0;
+    for (uint32_t s = 0; s < config_.shards; ++s) {
+        Shard& shard = *shards_[s];
+        size_t occupancy = 0;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            occupancy = shard.engine.manager().validator().occupancy();
+        }
+        registry_.gauge("shard." + std::to_string(s) + ".occupancy")
+            .set(static_cast<double>(occupancy));
+        const uint64_t v = shard.validations->value();
+        max_validations = std::max(max_validations, v);
+        sum_validations += v;
+    }
+    const uint64_t total = total_->value();
+    registry_.gauge("shard.cross_fraction")
+        .set(total > 0
+                 ? static_cast<double>(cross_->value()) /
+                       static_cast<double>(total)
+                 : 0.0);
+    const double mean = static_cast<double>(sum_validations) /
+                        static_cast<double>(config_.shards);
+    registry_.gauge("shard.imbalance")
+        .set(mean > 0.0 ? static_cast<double>(max_validations) / mean : 0.0);
+    registry.merge(registry_);
+}
+
+std::shared_ptr<const sig::SignatureConfig>
+ShardRouter::signature_config() const
+{
+    return shards_[0]->engine.signature_config();
+}
+
+void
+ShardRouter::stop()
+{
+    stopped_.store(true, std::memory_order_release);
+}
+
+} // namespace rococo::shard

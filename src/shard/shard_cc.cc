@@ -1,0 +1,35 @@
+#include "shard/shard_cc.h"
+
+namespace rococo::shard {
+
+ShardCc::ShardCc(ShardConfig config)
+    : config_(config)
+{
+    // Replay counts every commit as a cid, so read-only transactions
+    // must be validated strictly for the accounting to stay aligned.
+    config_.engine.strict_read_only = true;
+}
+
+void
+ShardCc::reset(const cc::ReplayContext& context)
+{
+    router_ = std::make_unique<ShardRouter>(config_);
+    cid_prefix_.assign(context.trace().size() + 1, 0);
+}
+
+bool
+ShardCc::decide(const cc::ReplayContext& context, size_t i)
+{
+    const cc::TraceTxn& txn = context.trace().txns[i];
+    fpga::OffloadRequest request;
+    request.reads = txn.reads;
+    request.writes = txn.writes;
+    // The global snapshot: every commit that had happened when the
+    // earliest transaction concurrent with i started.
+    request.snapshot_cid = cid_prefix_[context.first_concurrent(i)];
+    const auto result = router_->process(request);
+    cid_prefix_[i + 1] = router_->global_commits();
+    return result.verdict == core::Verdict::kCommit;
+}
+
+} // namespace rococo::shard

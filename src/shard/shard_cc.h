@@ -1,0 +1,39 @@
+/// @file
+/// Trace-replay adapter driving the sharded validation tier, so the
+/// cross-shard coordination rules can be checked against the exact
+/// serializability oracle (graph/serializability.h) on the same traces
+/// every other CC algorithm replays. Strictly more conservative than
+/// EngineCc (same signatures per shard, plus the cross-shard fence
+/// rules) but must never admit a non-serializable history — the
+/// property tests/shard_test.cc hammers with forced cross-shard
+/// conflicts.
+#pragma once
+
+#include <memory>
+
+#include "cc/replay.h"
+#include "shard/router.h"
+
+namespace rococo::shard {
+
+class ShardCc final : public cc::CcAlgorithm
+{
+  public:
+    explicit ShardCc(ShardConfig config = {});
+
+    std::string name() const override
+    {
+        return "ROCoCo-shard" + std::to_string(config_.shards);
+    }
+    void reset(const cc::ReplayContext& context) override;
+    bool decide(const cc::ReplayContext& context, size_t i) override;
+
+    const ShardRouter& router() const { return *router_; }
+
+  private:
+    ShardConfig config_;
+    std::unique_ptr<ShardRouter> router_;
+    std::vector<uint64_t> cid_prefix_;
+};
+
+} // namespace rococo::shard

@@ -25,10 +25,19 @@ set_nonblocking(int fd)
     return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+shard::ShardConfig
+router_config(const ServerConfig& config)
+{
+    shard::ShardConfig sharded;
+    sharded.shards = std::max<uint32_t>(1, config.shards);
+    sharded.engine = config.engine;
+    return sharded;
+}
+
 } // namespace
 
 Server::Server(const ServerConfig& config)
-    : config_(config), engine_(config.engine)
+    : config_(config), router_(router_config(config))
 {
     if (config_.max_batch == 0) config_.max_batch = 1;
     if (config_.max_out_bytes == 0) config_.max_out_bytes = 1 << 20;
@@ -104,6 +113,7 @@ Server::stop()
 
     if (obs::telemetry_active()) {
         obs::Registry::global().merge(registry_);
+        router_.export_metrics(obs::Registry::global());
     }
 }
 
@@ -261,12 +271,17 @@ Server::handle_stats(int fd)
     registry_.gauge("svc.queue_depth")
         .set(static_cast<double>(pending_.size()));
     registry_.gauge("svc.window_occupancy")
-        .set(static_cast<double>(engine_.next_cid() -
-                                 engine_.window_start()));
+        .set(static_cast<double>(router_.occupancy()));
     registry_.gauge("svc.connections_open")
         .set(static_cast<double>(connections_.size()));
+    // Snapshot service and shard metrics together, so svcctl sees the
+    // shard.* keys next to the svc.* keys (merging the router into
+    // registry_ itself would double-count counters on every poll).
+    obs::Registry snapshot;
+    snapshot.merge(registry_);
+    router_.export_metrics(snapshot);
     std::ostringstream json;
-    registry_.to_json(json);
+    snapshot.to_json(json);
     encode_stats_reply(conn.out, json.str());
     if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
         registry_.bump("svc.overflow");
@@ -333,7 +348,8 @@ Server::process_batch()
             registry_.bump("svc.timeout");
         } else {
             const uint64_t engine_start = obs::now_ns();
-            result = engine_.process(pending.offload);
+            shard::RouteInfo route;
+            result = router_.process(pending.offload, &route);
             const uint64_t engine_end = obs::now_ns();
             stages.batch_wait_ns = engine_start - pass_start;
             stages.engine_ns = engine_end - engine_start;
@@ -341,7 +357,15 @@ Server::process_batch()
             // modeled, reported next to the measured stages, never part
             // of the wall-clock sum.
             stages.link_ns = static_cast<uint64_t>(
-                engine_.isolated_latency_ns(pending.offload));
+                router_.isolated_latency_ns(pending.offload));
+            if (config_.shards > 1) {
+                registry_.histogram("svc.stage.shard_route")
+                    .record(route.route_ns);
+                if (route.shards_touched > 1) {
+                    registry_.histogram("svc.stage.shard_coord")
+                        .record(route.coord_ns);
+                }
+            }
             registry_.bump(std::string("svc.verdict.") +
                            core::to_string(result.verdict));
             registry_.histogram("svc.stage.server_queue")
@@ -381,8 +405,7 @@ Server::process_batch()
     if (engine_passes > 0) {
         registry_.histogram("svc.batch_size").record(engine_passes);
         registry_.gauge("svc.window_occupancy")
-            .set(static_cast<double>(engine_.next_cid() -
-                                     engine_.window_start()));
+            .set(static_cast<double>(router_.occupancy()));
     }
 }
 
@@ -410,13 +433,16 @@ Server::flush(int fd)
 CounterBag
 Server::stats() const
 {
-    return registry_.to_counter_bag();
+    CounterBag bag = registry_.to_counter_bag();
+    bag.add(router_.stats());
+    return bag;
 }
 
 void
 Server::export_metrics(obs::Registry& registry) const
 {
     registry.merge(registry_);
+    router_.export_metrics(registry);
 }
 
 } // namespace rococo::svc

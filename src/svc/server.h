@@ -1,8 +1,12 @@
 /// @file
-/// The networked validation service: one server-owned ValidationEngine
-/// (and therefore one sliding window, one cid space) shared by every
-/// connected client process — the deployment shape of the paper's
-/// Fig. 6 (b) with the CCI link replaced by a local socket. Where the
+/// The networked validation service: a server-owned validation tier
+/// (one cid space) shared by every connected client process — the
+/// deployment shape of the paper's Fig. 6 (b) with the CCI link
+/// replaced by a local socket. With ServerConfig::shards == 1 that
+/// tier is a single ValidationEngine (one sliding window); with more,
+/// a shard::ShardRouter spreads the address space across several
+/// engines while keeping the wire contract and the global cid space
+/// unchanged (src/shard/router.h). Where the
 /// hardware amortizes link latency by packing requests into cacheline
 /// writes (§5.3), the server amortizes syscall cost by *adaptive
 /// batching*: each pass over the engine drains whatever requests
@@ -65,8 +69,8 @@
 #include <thread>
 #include <vector>
 
-#include "fpga/validation_engine.h"
 #include "obs/registry.h"
+#include "shard/router.h"
 #include "svc/wire.h"
 
 namespace rococo::svc {
@@ -79,6 +83,13 @@ struct ServerConfig
     /// Engine geometry; clients must be configured identically so their
     /// locally derived SignatureConfig agrees with the server's.
     fpga::EngineConfig engine;
+    /// Validation shards (>= 1). 1 keeps the single-engine service;
+    /// > 1 hash-partitions the address space across that many engines
+    /// behind a shard::ShardRouter (each with its own window and the
+    /// cross-shard two-phase coordinator), multiplying window capacity.
+    /// Clients are unaffected: the wire contract and the global cid
+    /// space are identical either way.
+    uint32_t shards = 1;
     /// Max requests per engine pass (>= 1). 1 disables batching.
     size_t max_batch = 16;
     /// Bound on requests waiting for the engine; overflow is answered
@@ -162,7 +173,7 @@ class Server
     void flush(int fd);
 
     ServerConfig config_;
-    fpga::ValidationEngine engine_;
+    shard::ShardRouter router_;
 
     int listen_fd_ = -1;
     int wake_fds_[2] = {-1, -1}; ///< self-pipe: stop() wakes poll()

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "obs/telemetry.h"
 #include "obs/tracer.h"
+#include "shard/router.h"
 #include "svc/client.h"
 
 namespace rococo::tm {
@@ -20,11 +21,18 @@ cell_key(const TmCell& cell)
 }
 
 /// Config-selected validation backend: in-process pipeline by default,
-/// service client when a socket path is configured.
+/// a sharded router when validation_shards > 1, service client when a
+/// socket path is configured.
 std::unique_ptr<fpga::ValidationBackend>
 make_backend(const RococoTmConfig& config)
 {
     if (config.validation_service.empty()) {
+        if (config.validation_shards > 1) {
+            shard::ShardConfig sharded;
+            sharded.shards = config.validation_shards;
+            sharded.engine = config.engine;
+            return std::make_unique<shard::ShardRouter>(sharded);
+        }
         return std::make_unique<fpga::ValidationPipeline>(config.engine);
     }
     svc::ClientConfig client;

@@ -56,6 +56,14 @@ struct RococoTmConfig
     /// (ROCOCO_CHECK aborts otherwise: a disconnected backend would
     /// reject every validation and retry silently forever).
     std::string validation_service;
+    /// Number of validation shards for the in-process deployment. 1
+    /// (the default) keeps the single-engine ValidationPipeline; > 1
+    /// swaps in a shard::ShardRouter that hash-partitions the address
+    /// space across that many engines with cross-shard two-phase
+    /// coordination (src/shard/router.h). Ignored when
+    /// validation_service is set — the service server owns the shard
+    /// count there (svc::ServerConfig::shards).
+    uint32_t validation_shards = 1;
     /// Per-validation deadline in ns; 0 waits indefinitely. On expiry
     /// the attempt aborts with obs::AbortReason::kTimeout and retries —
     /// the verdict the backend eventually produces is discarded, which

@@ -15,7 +15,14 @@
 ///   svcctl [--socket=PATH] watch [--interval-ms=500] [--count=0]
 ///       Periodically print a one-line load summary (requests,
 ///       queue depth, window occupancy, open connections). count=0
-///       runs until interrupted.
+///       runs until interrupted. A lost connection (server restart)
+///       is survived: watch reconnects with bounded exponential
+///       backoff and resumes, only giving up when the server stays
+///       unreachable through the whole backoff budget.
+///   svcctl [--socket=PATH] shards
+///       Print the per-shard breakdown of a sharded server
+///       (validations, aborts, window occupancy per shard, plus the
+///       cross-shard fraction and the load-imbalance factor).
 ///
 /// Exit status: 0 on success, 1 on connection/protocol failure, 2 on
 /// usage errors. (common/cli.h rejects positional arguments, so this
@@ -24,6 +31,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -47,7 +55,8 @@ usage(FILE* out)
                  "usage: svcctl [--socket=PATH] stats\n"
                  "       svcctl [--socket=PATH] hist NAME\n"
                  "       svcctl [--socket=PATH] watch [--interval-ms=N]"
-                 " [--count=N]\n");
+                 " [--count=N]\n"
+                 "       svcctl [--socket=PATH] shards\n");
 }
 
 int
@@ -192,25 +201,92 @@ cmd_hist(const std::string& socket_path, const std::string& name)
 }
 
 int
-cmd_watch(const std::string& socket_path, unsigned interval_ms,
-          unsigned count)
+cmd_shards(const std::string& socket_path)
 {
-    // One persistent connection: watch must observe the server, not
-    // perturb it with a connect/close churn per sample.
     const int fd = connect_server(socket_path);
     if (fd < 0) {
         std::fprintf(stderr, "svcctl: cannot connect to %s\n",
                      socket_path.c_str());
         return 1;
     }
+    std::string json;
+    const bool ok = fetch_stats(fd, json);
+    close(fd);
+    if (!ok) {
+        std::fprintf(stderr, "svcctl: stats request failed\n");
+        return 1;
+    }
+    std::string probe;
+    if (!extract_value(json, "shard.0.validations", probe)) {
+        std::fprintf(stderr, "svcctl: server exports no shard metrics\n");
+        return 1;
+    }
+    std::printf("%8s %14s %12s %12s\n", "shard", "validations", "aborts",
+                "window");
+    for (unsigned s = 0;; ++s) {
+        const std::string prefix = "shard." + std::to_string(s);
+        if (!extract_value(json, prefix + ".validations", probe)) break;
+        std::printf("%8u %14.0f %12.0f %12.0f\n", s,
+                    extract_number(json, prefix + ".validations"),
+                    extract_number(json, prefix + ".aborts"),
+                    extract_number(json, prefix + ".occupancy"));
+    }
+    std::printf("cross-shard: %.0f of %.0f (fraction %.4f), imbalance %.3f\n",
+                extract_number(json, "shard.cross"),
+                extract_number(json, "shard.validations"),
+                extract_number(json, "shard.cross_fraction"),
+                extract_number(json, "shard.imbalance"));
+    return 0;
+}
+
+int
+cmd_watch(const std::string& socket_path, unsigned interval_ms,
+          unsigned count)
+{
+    // One persistent connection: watch must observe the server, not
+    // perturb it with a connect/close churn per sample. A failed round
+    // trip means the server went away (restart, crash); instead of
+    // dying with it, reconnect with bounded exponential backoff and
+    // retry the same sample — only a server that stays down through
+    // the whole backoff budget ends the watch.
+    constexpr unsigned kBackoffStartMs = 50;
+    constexpr unsigned kBackoffCapMs = 2000;
+    constexpr unsigned kMaxAttempts = 60;
+    auto reconnect = [&]() -> int {
+        unsigned backoff_ms = kBackoffStartMs;
+        for (unsigned attempt = 0; attempt < kMaxAttempts; ++attempt) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+            const int fd = connect_server(socket_path);
+            if (fd >= 0) return fd;
+            backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
+        }
+        return -1;
+    };
+    int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: waiting for %s\n",
+                     socket_path.c_str());
+        fd = reconnect();
+        if (fd < 0) {
+            std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                         socket_path.c_str());
+            return 1;
+        }
+    }
     std::printf("%12s %12s %12s %12s %12s\n", "requests", "queue", "window",
                 "conns", "stats");
-    for (unsigned i = 0; count == 0 || i < count; ++i) {
+    for (unsigned i = 0; count == 0 || i < count;) {
         std::string json;
         if (!fetch_stats(fd, json)) {
             close(fd);
-            std::fprintf(stderr, "svcctl: stats request failed\n");
-            return 1;
+            std::fprintf(stderr, "svcctl: connection lost, reconnecting\n");
+            fd = reconnect();
+            if (fd < 0) {
+                std::fprintf(stderr, "svcctl: server did not come back\n");
+                return 1;
+            }
+            continue; // retry this sample on the fresh connection
         }
         std::printf("%12.0f %12.0f %12.0f %12.0f %12.0f\n",
                     extract_number(json, "svc.requests"),
@@ -219,7 +295,8 @@ cmd_watch(const std::string& socket_path, unsigned interval_ms,
                     extract_number(json, "svc.connections_open"),
                     extract_number(json, "svc.stats"));
         std::fflush(stdout);
-        if (count == 0 || i + 1 < count) {
+        ++i;
+        if (count == 0 || i < count) {
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(interval_ms));
         }
@@ -278,6 +355,9 @@ main(int argc, char** argv)
     if (command == "watch" && operands.empty()) {
         if (interval_ms == 0) interval_ms = 1;
         return cmd_watch(socket_path, interval_ms, count);
+    }
+    if (command == "shards" && operands.empty()) {
+        return cmd_shards(socket_path);
     }
     usage(stderr);
     return 2;
