@@ -1,21 +1,30 @@
 #!/usr/bin/env python3
-"""Distill sharding bench outputs into one committed JSON summary.
+"""Distill bench outputs into one committed JSON summary.
 
-Inputs:
-  * the CSV written by `bench/ablation_shards --csv=...` (required):
-    one row per (shards, cross_fraction) sweep cell with modelled
-    throughput and speedup;
-  * optionally, a server-side telemetry file written by
-    `bench/svc_loadgen --shards=N --telemetry-server=...`, from which
-    the service-level shard counters and stage histograms are lifted.
+Two modes, selected by which input CSV is given (exactly one):
 
-Output: a small stable JSON document (BENCH_shard.json at the repo
-root) recording the sweep, the headline scaling numbers the issue's
-acceptance criterion tracks (S=4 vs S=1 at <= 1% cross-shard traffic),
-and — when available — the sharded service's accounting counters.
+  * --shards-csv: the CSV written by `bench/ablation_shards --csv=...`
+    — one row per (shards, cross_fraction) sweep cell with modelled
+    throughput and speedup. Optionally --loadgen-json adds a
+    server-side telemetry file written by `bench/svc_loadgen
+    --shards=N --telemetry-server=...`, from which the service-level
+    shard counters and stage histograms are lifted. Output:
+    BENCH_shard.json. Exits nonzero if S=4 stops beating S=1 at <= 1%
+    cross-shard traffic (the scaling canary).
+
+  * --hotpath-csv: the CSV written by `bench/micro_validate --csv=...`
+    — one row per signature/window geometry with the bit-sliced vs
+    scalar classify latency and the steady-state pipeline
+    allocations/validation. Output: BENCH_hotpath.json. Exits nonzero
+    if, on the paper geometry (W=64, 512-bit), the bit-sliced kernel's
+    speedup falls below --min-speedup (default 2.0) or
+    allocations/validation exceed --max-allocs (default 0.0) — the
+    hot-path perf canary ctest runs on every build.
 
 Usage:
   bench_summary.py --shards-csv CSV [--loadgen-json FILE] --out FILE
+  bench_summary.py --hotpath-csv CSV [--min-speedup X] [--max-allocs N]
+                   --out FILE
 """
 
 import argparse
@@ -117,12 +126,95 @@ def load_service(path):
     }
 
 
+def load_hotpath(path):
+    rows = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            rows.append(
+                {
+                    "window": int(row["window"]),
+                    "sig_bits": int(row["sig_bits"]),
+                    "hashes": int(row["hashes"]),
+                    "reads": int(row["reads"]),
+                    "writes": int(row["writes"]),
+                    "iters": int(row["iters"]),
+                    "sliced_ns": float(row["sliced_ns"]),
+                    "scalar_ns": float(row["scalar_ns"]),
+                    "speedup": float(row["speedup"]),
+                    "pipeline_validate_ns": float(
+                        row["pipeline_validate_ns"]
+                    ),
+                    "allocs_per_validation": float(
+                        row["allocs_per_validation"]
+                    ),
+                }
+            )
+    if not rows:
+        raise SystemExit(f"{path}: no hot-path rows")
+    return rows
+
+
+def hotpath_headline(rows, min_speedup, max_allocs):
+    """The acceptance numbers: the paper geometry W=64 / 512-bit."""
+    canary = None
+    for row in rows:
+        if row["window"] == 64 and row["sig_bits"] == 512:
+            canary = row
+    if canary is None:
+        raise SystemExit("hot-path sweep lacks the W=64 / 512-bit row")
+    worst_allocs = max(r["allocs_per_validation"] for r in rows)
+    return {
+        "window": canary["window"],
+        "sig_bits": canary["sig_bits"],
+        "sliced_ns": canary["sliced_ns"],
+        "scalar_ns": canary["scalar_ns"],
+        "speedup": canary["speedup"],
+        "pipeline_validate_ns": canary["pipeline_validate_ns"],
+        "allocs_per_validation": worst_allocs,
+        "speedup_ok": canary["speedup"] >= min_speedup,
+        "allocs_ok": worst_allocs <= max_allocs,
+    }
+
+
+def run_hotpath(args):
+    rows = load_hotpath(args.hotpath_csv)
+    summary = {
+        "bench": "validation-hot-path",
+        "tool": "scripts/bench_summary.py",
+        "sweep": rows,
+        "headline": hotpath_headline(rows, args.min_speedup,
+                                     args.max_allocs),
+    }
+    with open(args.out, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=False)
+        f.write("\n")
+
+    h = summary["headline"]
+    print(
+        f"W={h['window']} m={h['sig_bits']}: bit-sliced "
+        f"{h['sliced_ns']:.1f} ns vs scalar {h['scalar_ns']:.1f} ns "
+        f"({h['speedup']:.2f}x, floor {args.min_speedup:.2f}x) "
+        f"{'OK' if h['speedup_ok'] else 'REGRESSION'}; "
+        f"allocs/validation {h['allocs_per_validation']:.3f} "
+        f"{'OK' if h['allocs_ok'] else 'REGRESSION'}"
+    )
+    return 0 if h["speedup_ok"] and h["allocs_ok"] else 1
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--shards-csv", required=True)
+    parser.add_argument("--shards-csv")
+    parser.add_argument("--hotpath-csv")
     parser.add_argument("--loadgen-json")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument("--max-allocs", type=float, default=0.0)
     parser.add_argument("--out", required=True)
     args = parser.parse_args()
+
+    if bool(args.shards_csv) == bool(args.hotpath_csv):
+        parser.error("give exactly one of --shards-csv / --hotpath-csv")
+    if args.hotpath_csv:
+        return run_hotpath(args)
 
     cells = load_sweep(args.shards_csv)
     summary = {

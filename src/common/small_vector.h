@@ -1,0 +1,236 @@
+/// @file
+/// Small-size-optimized vector for the validation hot path.
+///
+/// OffloadRequest address sets are typically a handful of words (the
+/// paper's workloads average < 10 accesses per transaction), yet every
+/// request used to carry two std::vector heap blocks through the
+/// submit queue. SmallVector keeps up to N elements inline — a request
+/// whose sets fit is built, moved through the pipeline and recycled
+/// without touching the heap — and degrades to a heap buffer beyond N
+/// with the usual doubling growth.
+///
+/// Move semantics are tuned for slot reuse (fpga/validation_pipeline.h
+/// keeps a slab of request slots): move-assignment from an inline
+/// source *copies into the destination's existing storage* instead of
+/// discarding it, so a warm slot keeps whatever capacity it has already
+/// grown; only a heap-backed source transfers its buffer.
+///
+/// Restricted to trivially copyable element types — everything the data
+/// path ships is raw 64-bit words.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace rococo {
+
+template <typename T, size_t N>
+class SmallVector
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVector is for POD payloads (addresses, words)");
+    static_assert(N > 0);
+
+  public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+
+    SmallVector() = default;
+
+    SmallVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+    /// Implicit on purpose: OffloadRequest stays aggregate-initializable
+    /// from the std::vector address sets the layers above produce.
+    SmallVector(const std::vector<T>& other)
+    {
+        assign(other.begin(), other.end());
+    }
+
+    SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+
+    SmallVector(SmallVector&& other) noexcept { steal(std::move(other)); }
+
+    SmallVector&
+    operator=(const SmallVector& other)
+    {
+        if (this != &other) assign(other.begin(), other.end());
+        return *this;
+    }
+
+    SmallVector&
+    operator=(SmallVector&& other) noexcept
+    {
+        if (this == &other) return *this;
+        if (other.on_heap()) {
+            // Take the buffer; large sets move by pointer swap.
+            release();
+            data_ = other.data_;
+            size_ = other.size_;
+            capacity_ = other.capacity_;
+            other.reset_to_inline();
+        } else {
+            // Inline source: copy into whatever storage this already
+            // owns — a warm slot keeps its grown capacity.
+            assign(other.begin(), other.end());
+            other.size_ = 0;
+        }
+        return *this;
+    }
+
+    SmallVector&
+    operator=(const std::vector<T>& other)
+    {
+        assign(other.begin(), other.end());
+        return *this;
+    }
+
+    SmallVector&
+    operator=(std::initializer_list<T> init)
+    {
+        assign(init.begin(), init.end());
+        return *this;
+    }
+
+    ~SmallVector() { release(); }
+
+    size_t size() const { return size_; }
+    size_t capacity() const { return capacity_; }
+    bool empty() const { return size_ == 0; }
+
+    T* data() { return data_; }
+    const T* data() const { return data_; }
+
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+    const_iterator cbegin() const { return data_; }
+    const_iterator cend() const { return data_ + size_; }
+
+    T& operator[](size_t i) { return data_[i]; }
+    const T& operator[](size_t i) const { return data_[i]; }
+    T& front() { return data_[0]; }
+    const T& front() const { return data_[0]; }
+    T& back() { return data_[size_ - 1]; }
+    const T& back() const { return data_[size_ - 1]; }
+
+    void clear() { size_ = 0; }
+
+    void
+    reserve(size_t capacity)
+    {
+        if (capacity > capacity_) grow(capacity);
+    }
+
+    void
+    push_back(const T& value)
+    {
+        if (size_ == capacity_) grow(capacity_ * 2);
+        data_[size_++] = value;
+    }
+
+    void
+    resize(size_t size, const T& value = T{})
+    {
+        reserve(size);
+        for (size_t i = size_; i < size; ++i) data_[i] = value;
+        size_ = size;
+    }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        size_ = 0;
+        const size_t count = static_cast<size_t>(std::distance(first, last));
+        reserve(count);
+        for (; first != last; ++first) data_[size_++] = *first;
+    }
+
+    void
+    assign(size_t count, const T& value)
+    {
+        size_ = 0;
+        reserve(count);
+        for (size_t i = 0; i < count; ++i) data_[i] = value;
+        size_ = count;
+    }
+
+    operator std::span<const T>() const { return {data_, size_}; }
+
+    friend bool
+    operator==(const SmallVector& a, const SmallVector& b)
+    {
+        return a.size_ == b.size_ &&
+               std::equal(a.begin(), a.end(), b.begin());
+    }
+
+    friend bool
+    operator==(const SmallVector& a, const std::vector<T>& b)
+    {
+        return a.size_ == b.size() && std::equal(a.begin(), a.end(), b.begin());
+    }
+
+    friend bool
+    operator==(const std::vector<T>& a, const SmallVector& b)
+    {
+        return b == a;
+    }
+
+  private:
+    bool on_heap() const { return data_ != inline_; }
+
+    void
+    release()
+    {
+        if (on_heap()) delete[] data_;
+    }
+
+    void
+    reset_to_inline()
+    {
+        data_ = inline_;
+        size_ = 0;
+        capacity_ = N;
+    }
+
+    void
+    steal(SmallVector&& other) noexcept
+    {
+        if (other.on_heap()) {
+            data_ = other.data_;
+            size_ = other.size_;
+            capacity_ = other.capacity_;
+            other.reset_to_inline();
+        } else {
+            std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+            size_ = other.size_;
+            other.size_ = 0;
+        }
+    }
+
+    void
+    grow(size_t capacity)
+    {
+        capacity = std::max(capacity, capacity_ * 2);
+        T* heap = new T[capacity];
+        std::memcpy(heap, data_, size_ * sizeof(T));
+        release();
+        data_ = heap;
+        capacity_ = capacity;
+    }
+
+    T inline_[N];
+    T* data_ = inline_;
+    size_t size_ = 0;
+    size_t capacity_ = N;
+};
+
+} // namespace rococo

@@ -7,7 +7,7 @@
 namespace rococo::core {
 
 ReachabilityMatrix::ReachabilityMatrix(size_t window)
-    : occupied_(window), reaches_evicted_(window)
+    : occupied_(window), reaches_evicted_(window), evict_scratch_(window)
 {
     ROCOCO_CHECK(window > 0);
     reach_.reserve(window);
@@ -28,9 +28,18 @@ ReachabilityMatrix::reaches(size_t i, size_t j) const
 ProbeResult
 ReachabilityMatrix::probe(const BitVector& f, const BitVector& b) const
 {
+    ProbeResult result;
+    probe_into(f, b, &result);
+    return result;
+}
+
+void
+ReachabilityMatrix::probe_into(const BitVector& f, const BitVector& b,
+                               ProbeResult* out) const
+{
     ROCOCO_DCHECK(f.size() == window() && b.size() == window());
 
-    ProbeResult result;
+    ProbeResult& result = *out;
     result.proceeding = f;
     result.succeeding = b;
 
@@ -52,7 +61,6 @@ ReachabilityMatrix::probe(const BitVector& f, const BitVector& b) const
     // are serialized before everything that validates from now on.
     result.cyclic = result.proceeding.intersects(result.succeeding) ||
                     result.proceeding.intersects(reaches_evicted_);
-    return result;
 }
 
 void
@@ -100,7 +108,8 @@ ReachabilityMatrix::clear_slot(size_t slot)
     ROCOCO_CHECK(occupied_.test(slot));
 
     // Remember who still precedes the transaction being evicted.
-    BitVector precedes_evicted = reached_[slot];
+    BitVector& precedes_evicted = evict_scratch_;
+    precedes_evicted = reached_[slot]; // same size: reuses capacity
     precedes_evicted.reset(slot);
     precedes_evicted &= occupied_;
     reaches_evicted_ |= precedes_evicted;

@@ -55,6 +55,12 @@ class ReachabilityMatrix
     /// occupied slots) and detect cycles. Does not modify the matrix.
     ProbeResult probe(const BitVector& f, const BitVector& b) const;
 
+    /// probe() into caller-owned storage: @p out's vectors are
+    /// overwritten in place (no allocation once they are window-sized),
+    /// the scratch-reuse form the validation hot path uses.
+    void probe_into(const BitVector& f, const BitVector& b,
+                    ProbeResult* out) const;
+
     /// Commit the probed transaction into @p slot (must be free):
     /// updates all closure entries (r[i][j] |= s[i] & p[j]) and installs
     /// p/s as the new slot's row/column.
@@ -101,6 +107,10 @@ class ReachabilityMatrix
     std::vector<BitVector> reached_; ///< reached_[j] = {i : t_i |> t_j}
     BitVector occupied_;
     BitVector reaches_evicted_;
+    /// clear_slot() scratch, window-sized at construction: a full
+    /// window evicts on every commit, so the eviction path must not
+    /// allocate (tests/hotpath_alloc_test.cc).
+    BitVector evict_scratch_;
 };
 
 } // namespace rococo::core

@@ -31,8 +31,10 @@ abort_reason(Verdict verdict)
 }
 
 SlidingWindowValidator::SlidingWindowValidator(size_t window)
-    : matrix_(window)
+    : matrix_(window), f_scratch_(window), b_scratch_(window)
 {
+    probe_scratch_.proceeding = BitVector(window);
+    probe_scratch_.succeeding = BitVector(window);
 }
 
 uint64_t
@@ -69,13 +71,17 @@ SlidingWindowValidator::build_vectors(const ValidationRequest& request,
 ValidationResult
 SlidingWindowValidator::validate_and_commit(const ValidationRequest& request)
 {
-    BitVector f(window()), b(window());
+    BitVector& f = f_scratch_;
+    BitVector& b = b_scratch_;
+    f.clear();
+    b.clear();
     if (!build_vectors(request, f, b)) {
         return {Verdict::kWindowOverflow, 0,
                 obs::AbortReason::kWindowEviction};
     }
 
-    ProbeResult probe = matrix_.probe(f, b);
+    ProbeResult& probe = probe_scratch_;
+    matrix_.probe_into(f, b, &probe);
     if (probe.cyclic) {
         return {Verdict::kAbortCycle, 0, obs::AbortReason::kValidationCycle};
     }
@@ -103,12 +109,15 @@ SlidingWindowValidator::validate_and_commit(const ValidationRequest& request)
 Verdict
 SlidingWindowValidator::validate_only(const ValidationRequest& request) const
 {
-    BitVector f(window()), b(window());
+    BitVector& f = f_scratch_;
+    BitVector& b = b_scratch_;
+    f.clear();
+    b.clear();
     if (!build_vectors(request, f, b)) {
         return Verdict::kWindowOverflow;
     }
-    return matrix_.probe(f, b).cyclic ? Verdict::kAbortCycle
-                                      : Verdict::kCommit;
+    matrix_.probe_into(f, b, &probe_scratch_);
+    return probe_scratch_.cyclic ? Verdict::kAbortCycle : Verdict::kCommit;
 }
 
 bool

@@ -32,6 +32,11 @@ enum class Verdict : uint8_t
 
 const char* to_string(Verdict verdict);
 
+/// Number of Verdict values — sized for per-verdict counter arrays on
+/// hot paths that must not build counter-name strings per request.
+inline constexpr size_t kVerdictCount =
+    static_cast<size_t>(Verdict::kRejected) + 1;
+
 /// Typed abort cause for a rejecting verdict (obs::AbortReason::kNone
 /// for kCommit), so telemetry attributes validator aborts without
 /// re-deriving the mapping at every call site.
@@ -104,6 +109,14 @@ class SlidingWindowValidator
 
     ReachabilityMatrix matrix_;
     uint64_t next_cid_ = 0;
+    /// Per-call scratch (edge vectors + probe result), window-sized at
+    /// construction so steady-state validation allocates nothing.
+    /// Mutable because validate_only() is logically const; the class is
+    /// single-threaded by contract (see the class comment), so the
+    /// scratch needs no further synchronization.
+    mutable BitVector f_scratch_;
+    mutable BitVector b_scratch_;
+    mutable ProbeResult probe_scratch_;
 };
 
 } // namespace rococo::core

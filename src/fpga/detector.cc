@@ -1,25 +1,17 @@
 #include "fpga/detector.h"
 
+#include <bit>
+#include <cstring>
+
 #include "common/check.h"
 
 namespace rococo::fpga {
-namespace {
-
-bool
-any_query(const sig::BloomSignature& signature,
-          std::span<const uint64_t> addrs)
-{
-    for (uint64_t addr : addrs) {
-        if (signature.query(addr)) return true;
-    }
-    return false;
-}
-
-} // namespace
 
 ConflictDetector::ConflictDetector(
     size_t window, std::shared_ptr<const sig::SignatureConfig> config)
-    : window_(window), config_(std::move(config))
+    : window_(window), config_(std::move(config)),
+      read_plane_(window, config_), write_plane_(window, config_),
+      cids_(window, 0), scratch_(2 * read_plane_.mask_words(), 0)
 {
     ROCOCO_CHECK(window_ > 0);
 }
@@ -28,16 +20,96 @@ core::ValidationRequest
 ConflictDetector::classify(const OffloadRequest& request) const
 {
     core::ValidationRequest out;
-    for (const Entry& entry : history_) {
-        const bool read_overlap = any_query(entry.write_sig, request.reads);
-        const bool waw = any_query(entry.write_sig, request.writes);
-        const bool war = any_query(entry.read_sig, request.writes);
-        if (entry.cid >= request.snapshot_cid && read_overlap) {
-            out.forward.push_back(entry.cid);
+    classify_into(request, &out);
+    return out;
+}
+
+void
+ConflictDetector::classify_into(const OffloadRequest& request,
+                                core::ValidationRequest* out) const
+{
+    // Worst case emits every slot into one vector, so a window-sized
+    // reserve (no-op once satisfied) makes the steady state exactly
+    // allocation-free — not just amortized: a late bloom coincidence
+    // can otherwise push the emission count past any observed
+    // high-water and grow capacity mid-flight.
+    out->forward.reserve(window_);
+    out->backward.reserve(window_);
+    out->forward.clear();
+    out->backward.clear();
+    if (size_ == 0) return;
+
+    // One pass over the address sets builds the full W-bit dependency
+    // vectors — k column loads + ANDs per address (Fig. 5's comparator
+    // array), instead of re-querying every history signature:
+    //   rd: slots whose committed write set may intersect our reads
+    //       (W_c ∩ R — the forward-or-RAW edge, split by snapshot)
+    //   wr: slots whose committed write or read set may intersect our
+    //       writes (WAW | WAR — always backward)
+    const size_t mask_words = read_plane_.mask_words();
+    uint64_t* rd = scratch_.data();
+    uint64_t* wr = scratch_.data() + mask_words;
+    std::memset(rd, 0, 2 * mask_words * sizeof(uint64_t));
+    write_plane_.match_any(request.reads, rd);
+    write_plane_.match_any(request.writes, wr);
+    read_plane_.match_any(request.writes, wr);
+
+    size_t hits = 0;
+    for (size_t w = 0; w < mask_words; ++w) {
+        hits += static_cast<size_t>(std::popcount(rd[w] | wr[w]));
+    }
+    if (hits == 0) return;
+
+    // Emit cids oldest-first (the order the row-major walk produced) by
+    // following the ring, not the slot numbering.
+    size_t slot = head_;
+    for (size_t i = 0; i < size_ && hits > 0; ++i) {
+        const uint64_t slot_mask = uint64_t{1} << (slot & 63);
+        const bool read_overlap = (rd[slot >> 6] & slot_mask) != 0;
+        const bool write_overlap = (wr[slot >> 6] & slot_mask) != 0;
+        if (read_overlap || write_overlap) {
+            --hits;
+            const uint64_t cid = cids_[slot];
+            if (read_overlap && cid >= request.snapshot_cid) {
+                out->forward.push_back(cid);
+            }
+            if (write_overlap ||
+                (read_overlap && cid < request.snapshot_cid)) {
+                out->backward.push_back(cid);
+            }
         }
-        if (waw || war || (entry.cid < request.snapshot_cid && read_overlap)) {
-            out.backward.push_back(entry.cid);
+        if (++slot == window_) slot = 0;
+    }
+}
+
+core::ValidationRequest
+ConflictDetector::classify_scalar(const OffloadRequest& request) const
+{
+    // The seed implementation's loop, verbatim against the row-major
+    // shadow: for every history entry (oldest first), query each
+    // address with early exit.
+    auto any_query = [](const sig::SlicedSignatureHistory& plane,
+                        size_t slot, std::span<const uint64_t> addrs) {
+        for (uint64_t addr : addrs) {
+            if (plane.query(slot, addr)) return true;
         }
+        return false;
+    };
+
+    core::ValidationRequest out;
+    size_t slot = head_;
+    for (size_t i = 0; i < size_; ++i) {
+        const uint64_t cid = cids_[slot];
+        const bool read_overlap = any_query(write_plane_, slot, request.reads);
+        const bool waw = any_query(write_plane_, slot, request.writes);
+        const bool war = any_query(read_plane_, slot, request.writes);
+        if (cid >= request.snapshot_cid && read_overlap) {
+            out.forward.push_back(cid);
+        }
+        if (waw || war || (cid < request.snapshot_cid && read_overlap)) {
+            out.backward.push_back(cid);
+        }
+        if (++slot == window_) slot = 0;
     }
     return out;
 }
@@ -45,19 +117,30 @@ ConflictDetector::classify(const OffloadRequest& request) const
 void
 ConflictDetector::record_commit(uint64_t cid, const OffloadRequest& request)
 {
-    Entry entry{cid, sig::BloomSignature(config_),
-                sig::BloomSignature(config_)};
-    for (uint64_t addr : request.reads) entry.read_sig.insert(addr);
-    for (uint64_t addr : request.writes) entry.write_sig.insert(addr);
-    ROCOCO_DCHECK(history_.empty() || history_.back().cid < cid);
-    history_.push_back(std::move(entry));
-    if (history_.size() > window_) history_.pop_front();
+    ROCOCO_DCHECK(size_ == 0 ||
+                  cids_[(head_ + size_ - 1) % window_] < cid);
+    size_t slot;
+    if (size_ == window_) {
+        // Full: evict the oldest — clear only the bits its signatures
+        // set (the row image remembers them) and reuse its slot.
+        slot = head_;
+        read_plane_.clear_slot(slot);
+        write_plane_.clear_slot(slot);
+        if (++head_ == window_) head_ = 0;
+    } else {
+        slot = head_ + size_;
+        if (slot >= window_) slot -= window_;
+        ++size_;
+    }
+    cids_[slot] = cid;
+    for (uint64_t addr : request.reads) read_plane_.insert(slot, addr);
+    for (uint64_t addr : request.writes) write_plane_.insert(slot, addr);
 }
 
 uint64_t
 ConflictDetector::history_start() const
 {
-    return history_.empty() ? 0 : history_.front().cid;
+    return size_ == 0 ? 0 : cids_[head_];
 }
 
 } // namespace rococo::fpga

@@ -9,6 +9,15 @@
 /// addresses, not signatures, so the more precise per-address *query*
 /// operation can be used, §5.3).
 ///
+/// The history is stored *bit-sliced* (sig/sliced_history.h): per
+/// signature bit position a W-bit occupancy column, so one address
+/// yields its full W-bit match vector in k word ops — the comparator
+/// array of the RTL, instead of a loop over W signatures. classify()
+/// uses the bit-sliced kernel; classify_scalar() walks the row-major
+/// shadow exactly like the original per-entry loop and serves as the
+/// decision-identical oracle (tests/detector_equivalence_test.cc,
+/// bench/micro_validate.cc).
+///
 /// Bloom false positives can only add spurious edges, i.e. make the
 /// detector conservative: it may abort more than the exact classifier
 /// (core/rococo_validator.h) but never misses a real dependency — a
@@ -16,21 +25,26 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <span>
 
+#include "common/small_vector.h"
 #include "core/sliding_window.h"
-#include "sig/bloom_signature.h"
+#include "sig/sliced_history.h"
 
 namespace rococo::fpga {
+
+/// Inline capacity of an OffloadRequest address set: requests whose
+/// sets fit (the common case — paper workloads average < 10 accesses)
+/// travel the whole submit path without a heap allocation.
+inline constexpr size_t kInlineAddresses = 16;
 
 /// An offloaded validation request: what the CPU ships over the pull
 /// queue (§5.3).
 struct OffloadRequest
 {
-    std::vector<uint64_t> reads;
-    std::vector<uint64_t> writes;
+    SmallVector<uint64_t, kInlineAddresses> reads;
+    SmallVector<uint64_t, kInlineAddresses> writes;
     /// The transaction observed exactly commits with cid < snapshot_cid
     /// (its ValidTS).
     uint64_t snapshot_cid = 0;
@@ -48,10 +62,23 @@ class ConflictDetector
     size_t window() const { return window_; }
 
     /// Classify @p request against the current history into a
-    /// cid-addressed ValidationRequest. @p next_cid is the cid the
-    /// transaction would commit as (history entries hold cids in
-    /// [next_cid - size, next_cid)).
+    /// cid-addressed ValidationRequest, oldest cid first. Convenience
+    /// wrapper over classify_into() that returns fresh vectors.
     core::ValidationRequest classify(const OffloadRequest& request) const;
+
+    /// Bit-sliced classification into @p out, reusing its capacity (the
+    /// zero-allocation hot path). Uses mutable per-detector scratch:
+    /// callers must serialize classification per detector, which every
+    /// deployment already does (engine mutex / shard lock).
+    void classify_into(const OffloadRequest& request,
+                       core::ValidationRequest* out) const;
+
+    /// Row-major reference classification — the original per-entry
+    /// signature loop, kept as the oracle the bit-sliced kernel is
+    /// proven decision-identical against (and as the baseline
+    /// bench/micro_validate measures the speedup over).
+    core::ValidationRequest classify_scalar(
+        const OffloadRequest& request) const;
 
     /// Record the signatures of a transaction that just committed with
     /// @p cid; evicts the oldest entry when the window is full.
@@ -60,19 +87,19 @@ class ConflictDetector
     /// Oldest cid still tracked (== next expected cid when empty).
     uint64_t history_start() const;
 
-    size_t history_size() const { return history_.size(); }
+    size_t history_size() const { return size_; }
 
   private:
-    struct Entry
-    {
-        uint64_t cid;
-        sig::BloomSignature read_sig;
-        sig::BloomSignature write_sig;
-    };
-
     size_t window_;
     std::shared_ptr<const sig::SignatureConfig> config_;
-    std::deque<Entry> history_; ///< oldest first
+    sig::SlicedSignatureHistory read_plane_;  ///< committed read sets
+    sig::SlicedSignatureHistory write_plane_; ///< committed write sets
+    std::vector<uint64_t> cids_; ///< per-slot cid of the resident commit
+    size_t head_ = 0;            ///< slot of the oldest entry
+    size_t size_ = 0;            ///< occupied slots
+    /// Match accumulators (2 x mask_words), reused across classify
+    /// calls; mutable because classification is logically const.
+    mutable std::vector<uint64_t> scratch_;
 };
 
 } // namespace rococo::fpga

@@ -27,13 +27,21 @@ ValidationEngine::process(const OffloadRequest& request)
                 obs::AbortReason::kWindowEviction};
     }
 
-    return commit_classified(detector_.classify(request), request);
+    detector_.classify_into(request, &classify_scratch_);
+    return commit_classified(classify_scratch_, request);
 }
 
 core::ValidationRequest
 ValidationEngine::classify(const OffloadRequest& request) const
 {
     return detector_.classify(request);
+}
+
+void
+ValidationEngine::classify_into(const OffloadRequest& request,
+                                core::ValidationRequest* out) const
+{
+    detector_.classify_into(request, out);
 }
 
 core::Verdict

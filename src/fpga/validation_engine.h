@@ -54,6 +54,12 @@ class ValidationEngine
     /// current history without touching state.
     core::ValidationRequest classify(const OffloadRequest& request) const;
 
+    /// classify() into caller-owned storage, reusing @p out's capacity
+    /// (the zero-allocation hot path). Callers must serialize per
+    /// engine, as they already do for process().
+    void classify_into(const OffloadRequest& request,
+                       core::ValidationRequest* out) const;
+
     /// Validate @p classified without committing — no window mutation,
     /// no verdict counters. The reserve phase of the cross-shard
     /// two-phase coordinator (src/shard) holds the shard lock between
@@ -87,6 +93,9 @@ class ValidationEngine
     std::shared_ptr<const sig::SignatureConfig> sig_config_;
     ConflictDetector detector_;
     Manager manager_;
+    /// Classification scratch for process(); capacity reaches the
+    /// window high-water once and is reused per request.
+    core::ValidationRequest classify_scratch_;
 };
 
 } // namespace rococo::fpga

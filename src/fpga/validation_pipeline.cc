@@ -1,6 +1,7 @@
 #include "fpga/validation_pipeline.h"
 
-#include "core/sliding_window.h"
+#include <algorithm>
+
 #include "obs/clock.h"
 #include "obs/telemetry.h"
 #include "obs/tracer.h"
@@ -8,7 +9,17 @@
 namespace rococo::fpga {
 
 ValidationPipeline::ValidationPipeline(const EngineConfig& config)
-    : config_(config), engine_(config)
+    : config_(config), engine_(config),
+      queue_depth_gauge_(obs::Registry::global().gauge("fpga.queue_depth")),
+      window_occupancy_gauge_(
+          obs::Registry::global().gauge("fpga.window_occupancy")),
+      validate_ns_hist_(
+          obs::Registry::global().histogram("fpga.validate_ns")),
+      stage_queue_hist_(
+          obs::Registry::global().histogram("fpga.stage.queue")),
+      stage_engine_hist_(
+          obs::Registry::global().histogram("fpga.stage.engine")),
+      stage_link_hist_(obs::Registry::global().histogram("fpga.stage.link"))
 {
     worker_ = std::thread([this] { worker_loop(); });
 }
@@ -18,110 +29,226 @@ ValidationPipeline::~ValidationPipeline()
     stop();
 }
 
+ValidationPipeline::Slot*
+ValidationPipeline::acquire_slot_locked()
+{
+    if (!free_.empty()) {
+        Slot* slot = free_.back();
+        free_.pop_back();
+        return slot;
+    }
+    slab_.emplace_back();
+    return &slab_.back();
+}
+
+void
+ValidationPipeline::release_slot_locked(Slot* slot)
+{
+    slot->state = Slot::State::kFree;
+    slot->promised = false;
+    free_.push_back(slot);
+}
+
+void
+ValidationPipeline::push_ring_locked(Slot* slot)
+{
+    if (ring_size_ == ring_.size()) {
+        // Re-linearize into a larger ring. Happens only until the ring
+        // reaches the backlog high-water, then never again.
+        std::vector<Slot*> grown(std::max<size_t>(ring_.size() * 2, 16));
+        for (size_t i = 0; i < ring_size_; ++i) {
+            grown[i] = ring_[(ring_head_ + i) % ring_.size()];
+        }
+        ring_ = std::move(grown);
+        ring_head_ = 0;
+    }
+    ring_[(ring_head_ + ring_size_) % ring_.size()] = slot;
+    ++ring_size_;
+}
+
+ValidationPipeline::Slot*
+ValidationPipeline::pop_ring_locked()
+{
+    Slot* slot = ring_[ring_head_];
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+    --ring_size_;
+    return slot;
+}
+
+ValidationPipeline::Slot*
+ValidationPipeline::enqueue_locked(OffloadRequest&& request)
+{
+    ++submitted_;
+    if (closed_) return nullptr;
+    Slot* slot = acquire_slot_locked();
+    slot->request = std::move(request);
+    slot->result = {};
+    slot->submit_ns = obs::now_ns();
+    slot->state = Slot::State::kQueued;
+    push_ring_locked(slot);
+    if (ring_size_ > high_water_) high_water_ = ring_size_;
+    return slot;
+}
+
 void
 ValidationPipeline::worker_loop()
 {
-    while (auto item = queue_.pop()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        queue_cv_.wait(lock, [this] { return closed_ || ring_size_ > 0; });
+        if (ring_size_ == 0) break; // closed and drained
+        Slot* slot = pop_ring_locked();
+        const uint64_t submit_ns = slot->submit_ns;
+        lock.unlock();
+
         core::ValidationResult result;
         double link_ns = 0.0;
         const uint64_t start = obs::now_ns();
         {
             obs::ScopedSpan span("fpga", "fpga.validate");
-            std::lock_guard<std::mutex> lock(engine_mutex_);
-            result = engine_.process(item->request);
+            std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+            result = engine_.process(slot->request);
             if (obs::telemetry_active()) {
-                link_ns = engine_.isolated_latency_ns(item->request);
+                link_ns = engine_.isolated_latency_ns(slot->request);
             }
             if (result.verdict == core::Verdict::kCommit) {
                 span.arg("cid", result.cid);
             }
         }
         const uint64_t elapsed = obs::now_ns() - start;
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            verdicts_.bump(core::to_string(result.verdict));
-            busy_ns_ += elapsed;
-        }
-        TRACE_COUNTER("fpga.queue_depth", queue_.size());
+
+        // Record per-request telemetry before the waiter is woken: the
+        // moment its validate() returns, the caller may export metrics,
+        // and every answered request must already be in the histograms.
         if (obs::telemetry_active()) {
-            auto& registry = obs::Registry::global();
-            registry.gauge("fpga.queue_depth")
-                .set(static_cast<double>(queue_.size()));
-            registry.histogram("fpga.validate_ns").record(elapsed);
+            validate_ns_hist_.record(elapsed);
             // Same decomposition axes as the remote backend's
-            // svc.stage.* (minus the stages a socket adds), so local vs.
-            // remote breakdowns compare column-for-column.
-            if (item->submit_ns != 0 && start >= item->submit_ns) {
-                registry.histogram("fpga.stage.queue")
-                    .record(start - item->submit_ns);
+            // svc.stage.* (minus the stages a socket adds), so local
+            // vs. remote breakdowns compare column-for-column.
+            if (submit_ns != 0 && start >= submit_ns) {
+                stage_queue_hist_.record(start - submit_ns);
             }
-            registry.histogram("fpga.stage.engine").record(elapsed);
-            registry.histogram("fpga.stage.link")
-                .record(static_cast<uint64_t>(link_ns));
+            stage_engine_hist_.record(elapsed);
+            stage_link_hist_.record(static_cast<uint64_t>(link_ns));
             {
-                std::lock_guard<std::mutex> lock(engine_mutex_);
-                registry.gauge("fpga.window_occupancy")
-                    .set(static_cast<double>(engine_.next_cid() -
-                                             engine_.window_start()));
+                std::lock_guard<std::mutex> engine_lock(engine_mutex_);
+                window_occupancy_gauge_.set(
+                    static_cast<double>(engine_.next_cid() -
+                                        engine_.window_start()));
             }
         }
-        item->promise.set_value(result);
+
+        lock.lock();
+        ++verdicts_[static_cast<size_t>(result.verdict)];
+        busy_ns_ += elapsed;
+        const size_t depth = ring_size_;
+        if (slot->promised) {
+            slot->promise.set_value(result);
+            release_slot_locked(slot);
+        } else if (slot->state == Slot::State::kAbandoned) {
+            // The sync waiter already left with kTimeout; discard the
+            // verdict (see the validate(timeout) caveat).
+            release_slot_locked(slot);
+        } else {
+            slot->result = result;
+            slot->state = Slot::State::kDone;
+            slot->cv.notify_one();
+        }
+        lock.unlock();
+
+        TRACE_COUNTER("fpga.queue_depth", depth);
+        if (obs::telemetry_active()) {
+            queue_depth_gauge_.set(static_cast<double>(depth));
+        }
+
+        lock.lock();
     }
 }
 
 std::future<core::ValidationResult>
 ValidationPipeline::submit(OffloadRequest request)
 {
-    Item item{std::move(request), {}, obs::now_ns()};
-    std::future<core::ValidationResult> future = item.promise.get_future();
+    std::future<core::ValidationResult> future;
     {
-        // Track occupancy before the push; the +1 accounts for the
-        // request being enqueued.
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++submitted_;
-        const size_t depth = queue_.size() + 1;
-        if (depth > high_water_) high_water_ = depth;
+        std::unique_lock<std::mutex> lock(mutex_);
+        Slot* slot = enqueue_locked(std::move(request));
+        if (slot == nullptr) {
+            // Pipeline stopped: resolve with an explicit retry-later
+            // verdict so callers retry or fall back rather than hang.
+            std::promise<core::ValidationResult> dead;
+            dead.set_value({core::Verdict::kRejected, 0,
+                            obs::AbortReason::kBackpressure});
+            return dead.get_future();
+        }
+        slot->promised = true;
+        slot->promise = std::promise<core::ValidationResult>{};
+        future = slot->promise.get_future();
     }
-    if (!queue_.push(std::move(item))) {
-        // Pipeline stopped: resolve with an explicit retry-later
-        // verdict so callers retry or fall back rather than hang.
-        std::promise<core::ValidationResult> dead;
-        dead.set_value({core::Verdict::kRejected, 0,
-                        obs::AbortReason::kBackpressure});
-        return dead.get_future();
-    }
+    queue_cv_.notify_one();
     return future;
 }
 
 core::ValidationResult
 ValidationPipeline::validate(OffloadRequest request)
 {
-    return submit(std::move(request)).get();
+    std::unique_lock<std::mutex> lock(mutex_);
+    Slot* slot = enqueue_locked(std::move(request));
+    if (slot == nullptr) {
+        return {core::Verdict::kRejected, 0,
+                obs::AbortReason::kBackpressure};
+    }
+    queue_cv_.notify_one();
+    slot->cv.wait(lock, [slot] { return slot->state == Slot::State::kDone; });
+    const core::ValidationResult result = slot->result;
+    release_slot_locked(slot);
+    return result;
 }
 
 core::ValidationResult
 ValidationPipeline::validate(OffloadRequest request,
                              std::chrono::nanoseconds timeout)
 {
-    std::future<core::ValidationResult> future = submit(std::move(request));
-    if (future.wait_for(timeout) != std::future_status::ready) {
-        // The worker stalled past the deadline. Abandon the future (the
-        // eventual verdict is discarded — see the header caveat) and
-        // surface a typed timeout abort.
-        {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++timeouts_;
-        }
-        return {core::Verdict::kTimeout, 0, obs::AbortReason::kTimeout};
+    std::unique_lock<std::mutex> lock(mutex_);
+    Slot* slot = enqueue_locked(std::move(request));
+    if (slot == nullptr) {
+        return {core::Verdict::kRejected, 0,
+                obs::AbortReason::kBackpressure};
     }
-    return future.get();
+    queue_cv_.notify_one();
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (slot->state != Slot::State::kDone) {
+        if (slot->cv.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+            // Deadline passed. The deadline is authoritative even if
+            // the verdict landed while this thread was re-acquiring
+            // the mutex: a verdict past the deadline is discarded (see
+            // the header caveat), keeping zero-deadline calls
+            // deterministic.
+            ++timeouts_;
+            if (slot->state == Slot::State::kDone) {
+                release_slot_locked(slot);
+            } else {
+                // The worker recycles the slot when it gets there.
+                slot->state = Slot::State::kAbandoned;
+            }
+            return {core::Verdict::kTimeout, 0, obs::AbortReason::kTimeout};
+        }
+    }
+    const core::ValidationResult result = slot->result;
+    release_slot_locked(slot);
+    return result;
 }
 
 CounterBag
 ValidationPipeline::stats() const
 {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    CounterBag bag = verdicts_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    CounterBag bag;
+    for (size_t i = 0; i < core::kVerdictCount; ++i) {
+        if (verdicts_[i] == 0) continue;
+        bag.bump(core::to_string(static_cast<core::Verdict>(i)),
+                 verdicts_[i]);
+    }
     bag.bump("queue_high_water", high_water_);
     bag.bump("submitted", submitted_);
     bag.bump("shutdown_aborts", shutdown_aborts_);
@@ -132,18 +259,22 @@ ValidationPipeline::stats() const
 void
 ValidationPipeline::export_metrics(obs::Registry& registry) const
 {
-    CounterBag verdicts;
+    std::array<uint64_t, core::kVerdictCount> verdicts;
     size_t high_water;
     uint64_t submitted, busy_ns;
     {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        std::lock_guard<std::mutex> lock(mutex_);
         verdicts = verdicts_;
         high_water = high_water_;
         submitted = submitted_;
         busy_ns = busy_ns_;
     }
-    for (const auto& [verdict, count] : verdicts.counters()) {
-        registry.counter("fpga.verdict." + verdict).add(count);
+    for (size_t i = 0; i < core::kVerdictCount; ++i) {
+        if (verdicts[i] == 0) continue;
+        registry
+            .counter(std::string("fpga.verdict.") +
+                     core::to_string(static_cast<core::Verdict>(i)))
+            .add(verdicts[i]);
     }
     registry.counter("fpga.submitted").add(submitted);
     registry.counter("fpga.busy_ns").add(busy_ns);
@@ -167,18 +298,30 @@ void
 ValidationPipeline::stop()
 {
     // Take the backlog away from the worker and resolve every pending
-    // promise with a typed retry-later abort: waiters must never see a
+    // waiter with a typed retry-later abort: waiters must never see a
     // broken promise, and destruction must not wait for the engine to
     // chew through a backlog.
-    std::deque<Item> pending = queue_.close_now();
-    for (Item& item : pending) {
-        item.promise.set_value({core::Verdict::kRejected, 0,
-                                obs::AbortReason::kBackpressure});
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        const core::ValidationResult rejected{
+            core::Verdict::kRejected, 0, obs::AbortReason::kBackpressure};
+        while (ring_size_ > 0) {
+            Slot* slot = pop_ring_locked();
+            ++shutdown_aborts_;
+            if (slot->promised) {
+                slot->promise.set_value(rejected);
+                release_slot_locked(slot);
+            } else if (slot->state == Slot::State::kAbandoned) {
+                release_slot_locked(slot);
+            } else {
+                slot->result = rejected;
+                slot->state = Slot::State::kDone;
+                slot->cv.notify_one();
+            }
+        }
     }
-    if (!pending.empty()) {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        shutdown_aborts_ += pending.size();
-    }
+    queue_cv_.notify_all();
     if (worker_.joinable()) worker_.join();
 }
 

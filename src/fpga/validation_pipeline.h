@@ -10,14 +10,27 @@
 /// the paper-shaped timing figures come from the discrete-event
 /// simulator (src/sim); this class provides the *functional* offload
 /// for the real runtime and its tests.
+///
+/// The request path is allocation-free in steady state: requests live
+/// in a slab of reusable completion slots (never freed, recycled
+/// through a free list), the queue is a ring of slot pointers, and
+/// synchronous validate() waits on the slot's own condition variable —
+/// no per-request promise/shared-state heap churn. submit() still
+/// hands out a std::future (allocating its shared state); callers on
+/// the hot path should prefer validate().
 #pragma once
 
-#include <atomic>
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
-#include "common/queue.h"
+#include "core/sliding_window.h"
 #include "fpga/validation_backend.h"
 #include "fpga/validation_engine.h"
 #include "obs/registry.h"
@@ -40,7 +53,9 @@ class ValidationPipeline final : public ValidationBackend
     std::future<core::ValidationResult> submit(
         OffloadRequest request) override;
 
-    /// submit() + wait.
+    /// submit() + wait, minus the future: the caller blocks on the
+    /// completion slot directly, so the steady-state round trip
+    /// performs no heap allocation.
     core::ValidationResult validate(OffloadRequest request) override;
 
     /// submit() + wait at most @p timeout. On expiry the caller gets a
@@ -95,29 +110,74 @@ class ValidationPipeline final : public ValidationBackend
     void stop() override;
 
   private:
-    struct Item
+    /// A reusable completion slot. Slots live in slab_ (a deque, so
+    /// addresses are stable), are handed out through free_ and recycled
+    /// forever — the steady-state request path never allocates.
+    struct Slot
     {
+        enum class State : uint8_t
+        {
+            kFree,      ///< on the free list
+            kQueued,    ///< in the ring, awaiting the worker
+            kDone,      ///< result ready; sync waiter will release
+            kAbandoned, ///< sync waiter timed out; worker releases
+        };
+
         OffloadRequest request;
-        std::promise<core::ValidationResult> promise;
+        core::ValidationResult result;
         uint64_t submit_ns = 0; ///< enqueue time, for stage attribution
+        State state = State::kFree;
+        /// True when a future was handed out (submit() path): the
+        /// worker resolves the promise and releases the slot itself.
+        bool promised = false;
+        std::promise<core::ValidationResult> promise;
+        std::condition_variable cv; ///< signals kDone to a sync waiter
     };
+
+    /// Slot and ring management; all *_locked helpers require mutex_.
+    Slot* acquire_slot_locked();
+    void release_slot_locked(Slot* slot);
+    void push_ring_locked(Slot* slot);
+    Slot* pop_ring_locked();
+    /// Enqueue a request into a fresh slot and update the accounting
+    /// ("submitted", high-water). Returns nullptr when closed.
+    Slot* enqueue_locked(OffloadRequest&& request);
 
     void worker_loop();
 
     EngineConfig config_;
     mutable std::mutex engine_mutex_;
     ValidationEngine engine_;
-    BlockingQueue<Item> queue_;
 
-    /// All externally visible pipeline statistics live under one mutex
-    /// so stats() snapshots are consistent (see stats()).
-    mutable std::mutex stats_mutex_;
-    CounterBag verdicts_;        ///< per-verdict counts, by worker
-    size_t high_water_ = 0;      ///< max observed queue depth
-    uint64_t submitted_ = 0;     ///< requests accepted by submit()
-    uint64_t busy_ns_ = 0;       ///< worker time spent inside the engine
+    /// One mutex guards the slab, the free list, the ring, closed_ and
+    /// every externally visible statistic, so stats() snapshots are
+    /// consistent (see stats()).
+    mutable std::mutex mutex_;
+    std::condition_variable queue_cv_; ///< wakes the worker
+    std::deque<Slot> slab_;            ///< all slots ever created
+    std::vector<Slot*> free_;          ///< recycled slots
+    std::vector<Slot*> ring_;          ///< FIFO of queued slots
+    size_t ring_head_ = 0;
+    size_t ring_size_ = 0;
+    bool closed_ = false;
+
+    std::array<uint64_t, core::kVerdictCount> verdicts_{}; ///< by worker
+    size_t high_water_ = 0;        ///< max observed queue depth
+    uint64_t submitted_ = 0;       ///< requests accepted by submit()
+    uint64_t busy_ns_ = 0;         ///< worker time spent inside the engine
     uint64_t shutdown_aborts_ = 0; ///< requests aborted by stop()
-    uint64_t timeouts_ = 0;      ///< validate() deadline expiries
+    uint64_t timeouts_ = 0;        ///< validate() deadline expiries
+
+    /// Telemetry handles hoisted out of the worker loop: Registry
+    /// lookup takes a mutex, and references stay valid for the
+    /// registry's lifetime (see obs/registry.h), so resolve them once
+    /// at construction instead of per request.
+    obs::Gauge& queue_depth_gauge_;
+    obs::Gauge& window_occupancy_gauge_;
+    obs::LatencyHistogram& validate_ns_hist_;
+    obs::LatencyHistogram& stage_queue_hist_;
+    obs::LatencyHistogram& stage_engine_hist_;
+    obs::LatencyHistogram& stage_link_hist_;
 
     std::thread worker_;
 };

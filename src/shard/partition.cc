@@ -16,20 +16,41 @@ Partitioner::Partitioner(uint32_t shards, uint64_t seed)
 std::vector<SubRequest>
 Partitioner::split(const fpga::OffloadRequest& request) const
 {
-    std::vector<SubRequest> subs;
+    SplitScratch scratch;
+    split_into(request, scratch);
+    scratch.entries.resize(scratch.count);
+    return std::move(scratch.entries);
+}
+
+void
+Partitioner::split_into(const fpga::OffloadRequest& request,
+                        SplitScratch& out) const
+{
+    out.count = 0;
+    auto next_entry = [&](uint32_t s) -> SubRequest& {
+        if (out.count == out.entries.size()) out.entries.emplace_back();
+        SubRequest& sub = out.entries[out.count++];
+        sub.shard = s;
+        sub.offload.reads.clear();
+        sub.offload.writes.clear();
+        sub.offload.snapshot_cid = 0;
+        return sub;
+    };
     if (shards_ == 1) {
-        subs.push_back({0, {request.reads, request.writes, 0}});
-        return subs;
+        SubRequest& sub = next_entry(0);
+        sub.offload.reads = request.reads;
+        sub.offload.writes = request.writes;
+        return;
     }
-    // slot[s] = 1 + index of shard s in subs, 0 while untouched.
-    std::vector<uint32_t> slot(shards_, 0);
+    // slot[s] = 1 + entry index of shard s, 0 while untouched.
+    out.slot.assign(shards_, 0);
     auto sub_for = [&](uint64_t address) -> fpga::OffloadRequest& {
         const uint32_t s = shard_of(address);
-        if (slot[s] == 0) {
-            subs.push_back({s, {}});
-            slot[s] = static_cast<uint32_t>(subs.size());
+        if (out.slot[s] == 0) {
+            next_entry(s);
+            out.slot[s] = static_cast<uint32_t>(out.count);
         }
-        return subs[slot[s] - 1].offload;
+        return out.entries[out.slot[s] - 1].offload;
     };
     for (uint64_t address : request.reads) {
         sub_for(address).reads.push_back(address);
@@ -37,11 +58,11 @@ Partitioner::split(const fpga::OffloadRequest& request) const
     for (uint64_t address : request.writes) {
         sub_for(address).writes.push_back(address);
     }
-    std::sort(subs.begin(), subs.end(),
+    std::sort(out.entries.begin(),
+              out.entries.begin() + static_cast<ptrdiff_t>(out.count),
               [](const SubRequest& a, const SubRequest& b) {
                   return a.shard < b.shard;
               });
-    return subs;
 }
 
 uint32_t

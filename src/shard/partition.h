@@ -33,6 +33,19 @@ struct SubRequest
     fpga::OffloadRequest offload; ///< snapshot_cid filled by the router
 };
 
+/// Reusable scratch for split_into(). The entry pool and the
+/// shard-to-entry table keep their capacity across calls, so a warm
+/// split allocates nothing — the router keeps one per thread.
+struct SplitScratch
+{
+    /// Entry pool; entries[0..count) are the result of the last
+    /// split_into(), ordered by ascending shard index.
+    std::vector<SubRequest> entries;
+    size_t count = 0;
+    /// shard -> 1 + entry index while splitting, 0 untouched.
+    std::vector<uint32_t> slot;
+};
+
 /// Stateless hash partitioner over [0, shards).
 class Partitioner
 {
@@ -58,6 +71,12 @@ class Partitioner
     /// deterministic lock order the coordinator relies on. Sub-request
     /// snapshot_cids are left zero (the router translates them).
     std::vector<SubRequest> split(const fpga::OffloadRequest& request) const;
+
+    /// split() into caller-owned scratch, reusing its capacity (the
+    /// zero-allocation hot path): @p out.entries[0..out.count) receive
+    /// the per-shard sub-requests in ascending shard order.
+    void split_into(const fpga::OffloadRequest& request,
+                    SplitScratch& out) const;
 
     /// Number of distinct shards @p request touches (cheaper than
     /// split() when only the single-vs-cross classification matters).

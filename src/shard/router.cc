@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -34,6 +35,10 @@ ShardRouter::ShardRouter(const ShardConfig& config)
     submitted_ = &registry_.counter("submitted");
     cross_ = &registry_.counter("shard.cross");
     total_ = &registry_.counter("shard.validations");
+    for (size_t i = 0; i < core::kVerdictCount; ++i) {
+        verdict_[i] = &registry_.counter(
+            core::to_string(static_cast<core::Verdict>(i)));
+    }
     route_ns_ = &registry_.histogram("shard.route_ns");
     coord_ns_ = &registry_.histogram("shard.coord_ns");
 }
@@ -80,7 +85,7 @@ ShardRouter::prepare_slice(Shard& shard, SubRequest& sub,
         return make_result(core::Verdict::kWindowOverflow);
     }
     sub.offload.snapshot_cid = snapshot;
-    *classified = shard.engine.classify(sub.offload);
+    shard.engine.classify_into(sub.offload, classified);
     // A cross-shard transaction may not serialize before anything
     // (fence = next_cid rejects every forward edge); a single-shard one
     // may not serialize before the latest cross-shard commit.
@@ -129,7 +134,7 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
     submitted_->add();
     if (stopped_.load(std::memory_order_acquire)) {
         const auto result = make_result(core::Verdict::kRejected);
-        registry_.bump(core::to_string(result.verdict));
+        verdict_[static_cast<size_t>(result.verdict)]->add();
         return result;
     }
     total_->add();
@@ -139,12 +144,19 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
         if (info != nullptr) {
             *info = RouteInfo{};
         }
-        registry_.bump(core::to_string(core::Verdict::kCommit));
+        verdict_[static_cast<size_t>(core::Verdict::kCommit)]->add();
         return make_result(core::Verdict::kCommit);
     }
 
     const uint64_t t_route = obs::now_ns();
-    std::vector<SubRequest> subs = partitioner_.split(request);
+    // Per-thread scratch: a warm steady-state validation reuses the
+    // split entries, the per-slice classification buffers and the lock
+    // array, so the routing path allocates nothing. Safe across router
+    // instances — the scratch carries no state between calls.
+    static thread_local SplitScratch split_scratch;
+    partitioner_.split_into(request, split_scratch);
+    std::span<SubRequest> subs(split_scratch.entries.data(),
+                               split_scratch.count);
     ROCOCO_CHECK(!subs.empty());
     const bool cross = subs.size() > 1;
     core::ValidationResult result = make_result(core::Verdict::kAbortCycle);
@@ -154,7 +166,7 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
         std::lock_guard<std::mutex> lock(shard.mutex);
         const uint64_t t_locked = obs::now_ns();
         route_ns_->record(t_locked - t_route);
-        core::ValidationRequest classified;
+        static thread_local core::ValidationRequest classified;
         result = prepare_slice(shard, subs[0], request.snapshot_cid,
                                /*cross=*/false, &classified);
         if (result.verdict == core::Verdict::kCommit) {
@@ -179,17 +191,20 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
     } else {
         cross_->add();
         // Reserve: all touched shard locks, ascending shard index
-        // (split() orders subs), so concurrent coordinators cannot
+        // (split_into() orders subs), so concurrent coordinators cannot
         // deadlock.
-        std::vector<std::unique_lock<std::mutex>> locks;
-        locks.reserve(subs.size());
+        static thread_local std::vector<std::unique_lock<std::mutex>> locks;
+        locks.clear();
         for (const SubRequest& sub : subs) {
             locks.emplace_back(shards_[sub.shard]->mutex);
         }
         const uint64_t t_locked = obs::now_ns();
         route_ns_->record(t_locked - t_route);
 
-        std::vector<core::ValidationRequest> classified(subs.size());
+        static thread_local std::vector<core::ValidationRequest> classified;
+        if (classified.size() < subs.size()) {
+            classified.resize(subs.size());
+        }
         result = make_result(core::Verdict::kCommit);
         size_t examined = 0;
         for (size_t i = 0; i < subs.size(); ++i) {
@@ -237,8 +252,9 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
             *info = RouteInfo{static_cast<uint32_t>(subs.size()),
                               t_locked - t_route, t_done - t_locked};
         }
+        locks.clear(); // release now — the vector is thread_local
     }
-    registry_.bump(core::to_string(result.verdict));
+    verdict_[static_cast<size_t>(result.verdict)]->add();
     return result;
 }
 
@@ -289,7 +305,7 @@ ShardRouter::validate(fpga::OffloadRequest request,
     // (the pipeline contract) without instrumenting the lock path.
     if (timeout <= std::chrono::nanoseconds::zero()) {
         submitted_->add();
-        registry_.bump(core::to_string(core::Verdict::kTimeout));
+        verdict_[static_cast<size_t>(core::Verdict::kTimeout)]->add();
         return make_result(core::Verdict::kTimeout);
     }
     return process(request);

@@ -217,6 +217,10 @@ class ShardRouter final : public fpga::ValidationBackend
     obs::Counter* submitted_ = nullptr;
     obs::Counter* cross_ = nullptr;
     obs::Counter* total_ = nullptr;
+    /// Per-verdict counters resolved once at construction: the hot path
+    /// must not build a name string and take the registry mutex per
+    /// request (Counter::add is lock-free, lookup is not).
+    obs::Counter* verdict_[core::kVerdictCount] = {};
     obs::LatencyHistogram* route_ns_ = nullptr;
     obs::LatencyHistogram* coord_ns_ = nullptr;
 };

@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/check.h"
 #include "obs/clock.h"
 #include "obs/tracer.h"
 
@@ -47,8 +48,25 @@ ValidationClient::ValidationClient(const ClientConfig& config)
     : config_(config),
       sig_config_(std::make_shared<const sig::SignatureConfig>(
           config.engine.signature_bits, config.engine.signature_hashes,
-          config.engine.hash_seed))
+          config.engine.hash_seed)),
+      submitted_(registry_.counter("svc.client.submitted")),
+      oversized_(registry_.counter("svc.client.oversized")),
+      rejected_(registry_.counter("svc.client.rejected")),
+      timeout_(registry_.counter("svc.client.timeout")),
+      late_(registry_.counter("svc.client.late")),
+      rpc_ns_(registry_.histogram("svc.client.rpc_ns")),
+      stage_client_queue_(registry_.histogram("svc.stage.client_queue")),
+      stage_wire_(registry_.histogram("svc.stage.wire")),
+      stage_server_queue_(registry_.histogram("svc.stage.server_queue")),
+      stage_batch_wait_(registry_.histogram("svc.stage.batch_wait")),
+      stage_engine_(registry_.histogram("svc.stage.engine")),
+      stage_link_(registry_.histogram("svc.stage.link"))
 {
+    for (size_t i = 0; i < core::kVerdictCount; ++i) {
+        verdict_[i] = &registry_.counter(
+            std::string("svc.client.verdict.") +
+            core::to_string(static_cast<core::Verdict>(i)));
+    }
     const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) {
         closed_ = true;
@@ -84,72 +102,87 @@ ValidationClient::connected() const
     return !closed_;
 }
 
-std::future<core::ValidationResult>
-ValidationClient::submit(fpga::OffloadRequest request)
+uint32_t
+ValidationClient::acquire_index_locked()
 {
-    return submit_with_deadline(std::move(request), 0, nullptr);
+    if (!free_.empty()) {
+        const uint32_t index = free_.back();
+        free_.pop_back();
+        return index;
+    }
+    ROCOCO_CHECK(slab_.size() < (size_t{1} << kSlotBits));
+    slab_.emplace_back();
+    return static_cast<uint32_t>(slab_.size() - 1);
 }
 
-std::future<core::ValidationResult>
-ValidationClient::submit_with_deadline(fpga::OffloadRequest request,
-                                       uint64_t deadline_ns,
-                                       uint64_t* id_out)
+void
+ValidationClient::release_slot_locked(Slot* slot)
 {
-    // client_queue starts before the lock: contention on the socket
-    // mutex between concurrent submitters is exactly what that stage is
-    // supposed to show.
-    const uint64_t enter_ns = obs::now_ns();
-    std::vector<uint8_t> frame;
-    std::unique_lock<std::mutex> lock(mutex_);
-    registry_.bump("svc.client.submitted");
+    slot->state = Slot::State::kFree;
+    slot->promised = false;
+    // Every acquired slot had its id assigned in send_locked() before
+    // any release path can run, so the id's low bits are the index.
+    free_.push_back(static_cast<uint32_t>(slot->id & kSlotMask));
+}
+
+ValidationClient::Slot*
+ValidationClient::send_locked(fpga::OffloadRequest&& request,
+                              uint64_t deadline_ns, uint64_t enter_ns)
+{
+    submitted_.add(1);
     if (request.reads.size() > kMaxAddresses ||
         request.writes.size() > kMaxAddresses) {
         // The server's decoder would treat the frame as malformed and
         // drop the whole connection; reject the one oversized request
         // locally instead of poisoning every outstanding one.
-        registry_.bump("svc.client.oversized");
-        registry_.bump("svc.client.rejected");
-        return resolved(rejected_result());
+        oversized_.add(1);
+        rejected_.add(1);
+        return nullptr;
     }
     if (closed_) {
-        registry_.bump("svc.client.rejected");
-        return resolved(rejected_result());
+        rejected_.add(1);
+        return nullptr;
     }
-    const uint64_t id = next_id_++;
+    const uint32_t index = acquire_index_locked();
+    Slot* slot = &slab_[index];
+    const uint64_t id = (next_seq_++ << kSlotBits) | index;
     uint64_t trace_id = 0;
 #if ROCOCO_TRACE_ENABLED
     if (obs::Tracer::instance().active()) trace_id = next_trace_id();
 #endif
-    encode_request(frame,
+    frame_.clear();
+    encode_request(frame_,
                    {id, deadline_ns, trace_id, trace_id,
                     std::move(request)});
 
-    Outstanding& entry = outstanding_[id];
-    entry.enter_ns = enter_ns;
-    std::future<core::ValidationResult> future = entry.promise.get_future();
-    if (id_out != nullptr) *id_out = id;
+    slot->state = Slot::State::kWaiting;
+    slot->id = id;
+    slot->enter_ns = enter_ns;
+    // Stamp before the first byte leaves: the client_queue stage must
+    // end before the server can possibly start its stages, or the
+    // per-stage durations overlap and their sum exceeds the measured
+    // round trip. Time spent blocked in send() lands in the wire
+    // residual instead.
+    const uint64_t sent_ns = obs::now_ns();
+    slot->sent_ns = sent_ns;
 
     // Write the whole frame under the lock: frames from concurrent
     // submitters must not interleave on the stream. The socket is
     // blocking, so a full send buffer throttles submitters here — the
     // transport-level half of the backpressure story.
     size_t off = 0;
-    while (off < frame.size()) {
-        const ssize_t n =
-            send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    while (off < frame_.size()) {
+        const ssize_t n = send(fd_, frame_.data() + off,
+                               frame_.size() - off, MSG_NOSIGNAL);
         if (n < 0 && errno == EINTR) continue;
         if (n <= 0) {
-            outstanding_.erase(id);
+            release_slot_locked(slot);
             closed_ = true;
-            registry_.bump("svc.client.rejected");
-            return resolved(rejected_result());
+            rejected_.add(1);
+            return nullptr;
         }
         off += static_cast<size_t>(n);
     }
-    // Still under the lock, so the reader cannot have resolved the
-    // entry yet.
-    const uint64_t sent_ns = obs::now_ns();
-    entry.sent_ns = sent_ns;
 #if ROCOCO_TRACE_ENABLED
     if (trace_id != 0) {
         // The local half of the distributed trace: the span the server
@@ -169,39 +202,62 @@ ValidationClient::submit_with_deadline(fpga::OffloadRequest request,
                                      enter_ns + (sent_ns - enter_ns) / 2);
     }
 #endif
-    return future;
+    return slot;
+}
+
+std::future<core::ValidationResult>
+ValidationClient::submit(fpga::OffloadRequest request)
+{
+    // client_queue starts before the lock: contention on the socket
+    // mutex between concurrent submitters is exactly what that stage is
+    // supposed to show.
+    const uint64_t enter_ns = obs::now_ns();
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot* slot = send_locked(std::move(request), 0, enter_ns);
+    if (slot == nullptr) return resolved(rejected_result());
+    slot->promised = true;
+    slot->promise = std::promise<core::ValidationResult>{};
+    return slot->promise.get_future();
 }
 
 core::ValidationResult
 ValidationClient::validate(fpga::OffloadRequest request)
 {
-    return submit(std::move(request)).get();
+    const uint64_t enter_ns = obs::now_ns();
+    std::unique_lock<std::mutex> lock(mutex_);
+    Slot* slot = send_locked(std::move(request), 0, enter_ns);
+    if (slot == nullptr) return rejected_result();
+    slot->cv.wait(lock, [slot] { return slot->state == Slot::State::kDone; });
+    const core::ValidationResult result = slot->result;
+    release_slot_locked(slot);
+    return result;
 }
 
 core::ValidationResult
 ValidationClient::validate(fpga::OffloadRequest request,
                            std::chrono::nanoseconds timeout)
 {
+    const uint64_t enter_ns = obs::now_ns();
     const uint64_t deadline_ns =
         static_cast<uint64_t>(std::max<int64_t>(timeout.count(), 1));
-    uint64_t id = 0;
-    std::future<core::ValidationResult> future =
-        submit_with_deadline(std::move(request), deadline_ns, &id);
-    if (future.wait_for(timeout) == std::future_status::ready) {
-        return future.get();
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::unique_lock<std::mutex> lock(mutex_);
+    Slot* slot = send_locked(std::move(request), deadline_ns, enter_ns);
+    if (slot == nullptr) return rejected_result();
+    while (slot->state != Slot::State::kDone) {
+        if (slot->cv.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+            if (slot->state == Slot::State::kDone) break; // verdict won
+            // Abandon the slot so the reader discards (and recycles)
+            // the late verdict.
+            slot->state = Slot::State::kAbandoned;
+            timeout_.add(1);
+            return {core::Verdict::kTimeout, 0, obs::AbortReason::kTimeout};
+        }
     }
-    {
-        // Abandon the entry so a late verdict is discarded; if the
-        // reader resolved it between wait_for and here, the future won.
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = outstanding_.find(id);
-        if (it == outstanding_.end()) return future.get();
-        it->second.promise.set_value(
-            {core::Verdict::kTimeout, 0, obs::AbortReason::kTimeout});
-        outstanding_.erase(it);
-        registry_.bump("svc.client.timeout");
-    }
-    return future.get();
+    const core::ValidationResult result = slot->result;
+    release_slot_locked(slot);
+    return result;
 }
 
 void
@@ -223,20 +279,35 @@ ValidationClient::reader_loop()
             auto response = decode_response(frame->type, frame->payload,
                                             frame->size);
             if (!response) continue;
+            const size_t index = response->request_id & kSlotMask;
             std::unique_lock<std::mutex> lock(mutex_);
-            auto it = outstanding_.find(response->request_id);
-            if (it == outstanding_.end()) {
-                // Caller already timed out locally; drop the verdict.
-                registry_.bump("svc.client.late");
+            if (index >= slab_.size()) {
+                late_.add(1);
                 continue;
             }
-            Outstanding entry = std::move(it->second);
-            outstanding_.erase(it);
-            lock.unlock();
-            registry_.bump(std::string("svc.client.verdict.") +
-                           core::to_string(response->result.verdict));
-            const uint64_t rtt_ns = obs::now_ns() - entry.enter_ns;
-            registry_.histogram("svc.client.rpc_ns").record(rtt_ns);
+            Slot* slot = &slab_[index];
+            if (slot->state == Slot::State::kFree ||
+                slot->id != response->request_id) {
+                // Stale response for a recycled or unknown slot.
+                late_.add(1);
+                continue;
+            }
+            if (slot->state == Slot::State::kAbandoned) {
+                // Caller already timed out locally; drop the verdict.
+                release_slot_locked(slot);
+                late_.add(1);
+                continue;
+            }
+            const uint64_t enter_ns = slot->enter_ns;
+            const uint64_t sent_ns = slot->sent_ns;
+            // Record metrics before the waiter can observe the verdict:
+            // the moment the last validate() returns, the caller may
+            // export_metrics(), and every answered request must already
+            // be in the histograms. The instruments are atomic, so the
+            // extra work under the mutex is a few counter bumps.
+            verdict_[static_cast<size_t>(response->result.verdict)]->add(1);
+            const uint64_t rtt_ns = obs::now_ns() - enter_ns;
+            rpc_ns_.record(rtt_ns);
             if (response->has_stages) {
                 // Stage attribution: client_queue is measured here,
                 // server stages travel in the response, and wire is the
@@ -244,25 +315,33 @@ ValidationClient::reader_loop()
                 // round trip by construction (link is modeled, never
                 // part of the sum).
                 const StageTimestamps& s = response->stages;
-                const uint64_t client_queue_ns =
-                    entry.sent_ns - entry.enter_ns;
+                const uint64_t client_queue_ns = sent_ns - enter_ns;
                 const uint64_t server_ns = s.server_queue_ns +
                                            s.batch_wait_ns + s.engine_ns;
                 const uint64_t wire_ns =
                     rtt_ns > client_queue_ns + server_ns
                         ? rtt_ns - client_queue_ns - server_ns
                         : 0;
-                registry_.histogram("svc.stage.client_queue")
-                    .record(client_queue_ns);
-                registry_.histogram("svc.stage.wire").record(wire_ns);
-                registry_.histogram("svc.stage.server_queue")
-                    .record(s.server_queue_ns);
-                registry_.histogram("svc.stage.batch_wait")
-                    .record(s.batch_wait_ns);
-                registry_.histogram("svc.stage.engine").record(s.engine_ns);
-                registry_.histogram("svc.stage.link").record(s.link_ns);
+                stage_client_queue_.record(client_queue_ns);
+                stage_wire_.record(wire_ns);
+                stage_server_queue_.record(s.server_queue_ns);
+                stage_batch_wait_.record(s.batch_wait_ns);
+                stage_engine_.record(s.engine_ns);
+                stage_link_.record(s.link_ns);
             }
-            entry.promise.set_value(response->result);
+            bool promised = false;
+            std::promise<core::ValidationResult> promise;
+            if (slot->promised) {
+                promised = true;
+                promise = std::move(slot->promise);
+                release_slot_locked(slot);
+            } else {
+                slot->result = response->result;
+                slot->state = Slot::State::kDone;
+                slot->cv.notify_one();
+            }
+            lock.unlock();
+            if (promised) promise.set_value(response->result);
         }
         if (malformed) break; // server speaking garbage: disconnect
     }
@@ -272,15 +351,28 @@ ValidationClient::reader_loop()
 void
 ValidationClient::fail_outstanding()
 {
-    std::unordered_map<uint64_t, Outstanding> orphans;
+    std::vector<std::promise<core::ValidationResult>> orphans;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         closed_ = true;
-        orphans.swap(outstanding_);
-        registry_.counter("svc.client.rejected").add(orphans.size());
+        for (Slot& slot : slab_) {
+            if (slot.state == Slot::State::kWaiting) {
+                rejected_.add(1);
+                if (slot.promised) {
+                    orphans.push_back(std::move(slot.promise));
+                    release_slot_locked(&slot);
+                } else {
+                    slot.result = rejected_result();
+                    slot.state = Slot::State::kDone;
+                    slot.cv.notify_one();
+                }
+            } else if (slot.state == Slot::State::kAbandoned) {
+                release_slot_locked(&slot);
+            }
+        }
     }
-    for (auto& [id, entry] : orphans) {
-        entry.promise.set_value(rejected_result());
+    for (auto& promise : orphans) {
+        promise.set_value(rejected_result());
     }
 }
 
@@ -311,6 +403,7 @@ ValidationClient::stats() const
     CounterBag bag;
     const CounterBag raw = registry_.to_counter_bag();
     for (const auto& [name, value] : raw.counters()) {
+        if (name.rfind(kPrefix, 0) != 0) continue;
         std::string key = name.substr(sizeof(kPrefix) - 1);
         if (key.rfind("verdict.", 0) == 0) key = key.substr(8);
         bag.bump(key, value);

@@ -7,10 +7,18 @@
 ///
 /// Concurrency model: submit() encodes and sends the request under one
 /// mutex (writes to a SOCK_STREAM socket must not interleave) and parks
-/// a promise in the outstanding map keyed by request id; a reader
-/// thread decodes responses and resolves promises in arrival order.
-/// Many TM threads can be in submit()/validate() at once — the service
+/// the request in a completion slot keyed by request id; a reader
+/// thread decodes responses and resolves slots in arrival order. Many
+/// TM threads can be in submit()/validate() at once — the service
 /// batches whatever they have in flight.
+///
+/// The request path is allocation-free in steady state: outstanding
+/// requests live in a slab of reusable slots (the slot index is packed
+/// into the low bits of the request id, so the reader resolves a
+/// response in O(1) with no map), the encode buffer is reused across
+/// calls, and synchronous validate() waits on the slot's condition
+/// variable instead of a heap-allocated promise. submit() still hands
+/// out a std::future (allocating its shared state).
 ///
 /// Failure contract (mirrors ValidationPipeline): no caller ever sees a
 /// broken promise. Disconnect or stop() resolves every outstanding
@@ -21,15 +29,17 @@
 /// would make the server drop the connection as malformed, taking every
 /// outstanding request down with it. validate(timeout) additionally
 /// ships the deadline on the wire (so the server can drop the request
-/// from its queue) and, on local expiry, abandons the outstanding entry
-/// — a late verdict is then discarded by the reader.
+/// from its queue) and, on local expiry, abandons the slot — a late
+/// verdict is then discarded by the reader.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
+#include <vector>
 
 #include "fpga/validation_backend.h"
 #include "fpga/validation_engine.h"
@@ -90,35 +100,79 @@ class ValidationClient final : public fpga::ValidationBackend
     void stop() override;
 
   private:
-    struct Outstanding
+    /// Low bits of a request id address the slot; high bits are a
+    /// sequence number, so a late response for a recycled slot never
+    /// matches the slot's current id.
+    static constexpr unsigned kSlotBits = 20;
+    static constexpr uint64_t kSlotMask = (uint64_t{1} << kSlotBits) - 1;
+
+    /// A reusable outstanding-request slot (see the file comment).
+    struct Slot
     {
+        enum class State : uint8_t
+        {
+            kFree,      ///< on the free list
+            kWaiting,   ///< sent; awaiting the server's response
+            kDone,      ///< result ready; sync waiter will release
+            kAbandoned, ///< sync waiter timed out; reader releases
+        };
+
+        State state = State::kFree;
+        /// True when a future was handed out (submit() path): the
+        /// reader resolves the promise and releases the slot itself.
+        bool promised = false;
         std::promise<core::ValidationResult> promise;
+        core::ValidationResult result;
+        uint64_t id = 0;       ///< full request id of the current use
         uint64_t enter_ns = 0; ///< submit() entry (rpc_ns starts here)
         uint64_t sent_ns = 0;  ///< last frame byte handed to the kernel
+        std::condition_variable cv; ///< signals kDone to a sync waiter
     };
 
-    /// Send with the wire deadline field set (0 = none).
-    std::future<core::ValidationResult> submit_with_deadline(
-        fpga::OffloadRequest request, uint64_t deadline_ns,
-        uint64_t* id_out);
+    /// Acquire a slot, encode and send the request; requires mutex_.
+    /// Returns nullptr when the request was rejected locally (closed,
+    /// oversized, send failure) — the caller resolves it rejected.
+    Slot* send_locked(fpga::OffloadRequest&& request, uint64_t deadline_ns,
+                      uint64_t enter_ns);
+    uint32_t acquire_index_locked();
+    void release_slot_locked(Slot* slot);
 
     void reader_loop();
 
-    /// Resolve every outstanding future as rejected (called on
+    /// Resolve every outstanding request as rejected (called on
     /// disconnect and from stop()).
     void fail_outstanding();
 
     ClientConfig config_;
     std::shared_ptr<const sig::SignatureConfig> sig_config_;
 
-    mutable std::mutex mutex_; ///< socket writes + outstanding_ + next_id_
+    mutable std::mutex mutex_; ///< socket writes + slab/free list + seq
     int fd_ = -1;
     bool closed_ = false;
-    uint64_t next_id_ = 1;
-    std::unordered_map<uint64_t, Outstanding> outstanding_;
+    uint64_t next_seq_ = 1;
+    std::deque<Slot> slab_;       ///< all slots ever created
+    std::vector<uint32_t> free_;  ///< recycled slot indices
+    std::vector<uint8_t> frame_;  ///< reused encode buffer
 
     std::thread reader_;
     obs::Registry registry_; ///< svc.client.* metrics
+
+    /// Metric handles hoisted out of the request path and reader loop:
+    /// Registry lookup takes a mutex and builds a name string; the
+    /// references stay valid for the registry's lifetime.
+    obs::Counter& submitted_;
+    obs::Counter& oversized_;
+    obs::Counter& rejected_;
+    obs::Counter& timeout_;
+    obs::Counter& late_;
+    obs::Counter* verdict_[core::kVerdictCount];
+    obs::LatencyHistogram& rpc_ns_;
+    obs::LatencyHistogram& stage_client_queue_;
+    obs::LatencyHistogram& stage_wire_;
+    obs::LatencyHistogram& stage_server_queue_;
+    obs::LatencyHistogram& stage_batch_wait_;
+    obs::LatencyHistogram& stage_engine_;
+    obs::LatencyHistogram& stage_link_;
 };
 
 } // namespace rococo::svc

@@ -37,8 +37,32 @@ router_config(const ServerConfig& config)
 } // namespace
 
 Server::Server(const ServerConfig& config)
-    : config_(config), router_(router_config(config))
+    : config_(config), router_(router_config(config)),
+      requests_(registry_.counter("svc.requests")),
+      rejected_(registry_.counter("svc.rejected")),
+      timeout_(registry_.counter("svc.timeout")),
+      stats_polls_(registry_.counter("svc.stats")),
+      overflow_(registry_.counter("svc.overflow")),
+      malformed_(registry_.counter("svc.malformed")),
+      disconnects_(registry_.counter("svc.disconnects")),
+      accepts_(registry_.counter("svc.connections")),
+      queue_depth_(registry_.gauge("svc.queue_depth")),
+      window_occupancy_(registry_.gauge("svc.window_occupancy")),
+      connections_open_(registry_.gauge("svc.connections_open")),
+      rpc_ns_(registry_.histogram("svc.rpc_ns")),
+      batch_size_(registry_.histogram("svc.batch_size")),
+      stage_server_queue_(registry_.histogram("svc.stage.server_queue")),
+      stage_batch_wait_(registry_.histogram("svc.stage.batch_wait")),
+      stage_engine_(registry_.histogram("svc.stage.engine")),
+      stage_link_(registry_.histogram("svc.stage.link")),
+      stage_shard_route_(registry_.histogram("svc.stage.shard_route")),
+      stage_shard_coord_(registry_.histogram("svc.stage.shard_coord"))
 {
+    for (size_t i = 0; i < core::kVerdictCount; ++i) {
+        verdict_[i] = &registry_.counter(
+            std::string("svc.verdict.") +
+            core::to_string(static_cast<core::Verdict>(i)));
+    }
     if (config_.max_batch == 0) config_.max_batch = 1;
     if (config_.max_out_bytes == 0) config_.max_out_bytes = 1 << 20;
     config_.max_out_bytes =
@@ -97,7 +121,7 @@ Server::stop()
     // Every still-queued request gets its answer for the accounting
     // invariant; the bytes die with the connections below.
     if (!pending_.empty()) {
-        registry_.counter("svc.rejected").add(pending_.size());
+        rejected_.add(pending_.size());
         pending_.clear();
     }
 
@@ -161,8 +185,7 @@ Server::loop()
             if (conn.out_off < conn.out.size()) unsent.push_back(fd);
         }
         for (int fd : unsent) flush(fd);
-        registry_.gauge("svc.queue_depth")
-            .set(static_cast<double>(pending_.size()));
+        queue_depth_.set(static_cast<double>(pending_.size()));
     }
 }
 
@@ -177,7 +200,7 @@ Server::accept_clients()
             continue;
         }
         connections_[fd].generation = ++next_generation_;
-        registry_.bump("svc.connections");
+        accepts_.add(1);
     }
 }
 
@@ -237,9 +260,9 @@ Server::read_client(int fd)
             break;
         }
         const bool v2 = frame->type == MsgType::kRequestV2;
-        registry_.bump("svc.requests");
+        requests_.add(1);
         if (pending_.size() >= config_.max_pending) {
-            registry_.bump("svc.rejected");
+            rejected_.add(1);
             if (!respond(fd, generation, request->request_id,
                          {core::Verdict::kRejected, 0,
                           obs::AbortReason::kBackpressure},
@@ -254,7 +277,7 @@ Server::read_client(int fd)
                             std::move(request->offload)});
     }
     if (malformed) {
-        registry_.bump("svc.malformed");
+        malformed_.add(1);
         close_client(fd);
     }
 }
@@ -265,15 +288,12 @@ Server::handle_stats(int fd)
     auto it = connections_.find(fd);
     if (it == connections_.end()) return false;
     Connection& conn = it->second;
-    registry_.bump("svc.stats");
+    stats_polls_.add(1);
     // Refresh the live gauges so the snapshot reflects *now*, not the
     // last engine pass.
-    registry_.gauge("svc.queue_depth")
-        .set(static_cast<double>(pending_.size()));
-    registry_.gauge("svc.window_occupancy")
-        .set(static_cast<double>(router_.occupancy()));
-    registry_.gauge("svc.connections_open")
-        .set(static_cast<double>(connections_.size()));
+    queue_depth_.set(static_cast<double>(pending_.size()));
+    window_occupancy_.set(static_cast<double>(router_.occupancy()));
+    connections_open_.set(static_cast<double>(connections_.size()));
     // Snapshot service and shard metrics together, so svcctl sees the
     // shard.* keys next to the svc.* keys (merging the router into
     // registry_ itself would double-count counters on every poll).
@@ -284,7 +304,7 @@ Server::handle_stats(int fd)
     snapshot.to_json(json);
     encode_stats_reply(conn.out, json.str());
     if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
-        registry_.bump("svc.overflow");
+        overflow_.add(1);
         close_client(fd);
         return false;
     }
@@ -300,7 +320,7 @@ Server::close_client(int fd)
     // that recycles this fd number.
     connections_.erase(fd);
     close(fd);
-    registry_.bump("svc.disconnects");
+    disconnects_.add(1);
 }
 
 bool
@@ -318,7 +338,7 @@ Server::respond(int fd, uint64_t generation, uint64_t request_id,
         // The peer keeps submitting but is not reading its responses;
         // disconnecting it is the only alternative to unbounded
         // buffering (the wire.h memory guarantee).
-        registry_.bump("svc.overflow");
+        overflow_.add(1);
         close_client(fd);
         return false;
     }
@@ -345,7 +365,7 @@ Server::process_batch()
             // nobody applies.
             result = {core::Verdict::kTimeout, 0,
                       obs::AbortReason::kTimeout};
-            registry_.bump("svc.timeout");
+            timeout_.add(1);
         } else {
             const uint64_t engine_start = obs::now_ns();
             shard::RouteInfo route;
@@ -359,21 +379,16 @@ Server::process_batch()
             stages.link_ns = static_cast<uint64_t>(
                 router_.isolated_latency_ns(pending.offload));
             if (config_.shards > 1) {
-                registry_.histogram("svc.stage.shard_route")
-                    .record(route.route_ns);
+                stage_shard_route_.record(route.route_ns);
                 if (route.shards_touched > 1) {
-                    registry_.histogram("svc.stage.shard_coord")
-                        .record(route.coord_ns);
+                    stage_shard_coord_.record(route.coord_ns);
                 }
             }
-            registry_.bump(std::string("svc.verdict.") +
-                           core::to_string(result.verdict));
-            registry_.histogram("svc.stage.server_queue")
-                .record(stages.server_queue_ns);
-            registry_.histogram("svc.stage.batch_wait")
-                .record(stages.batch_wait_ns);
-            registry_.histogram("svc.stage.engine").record(stages.engine_ns);
-            registry_.histogram("svc.stage.link").record(stages.link_ns);
+            verdict_[static_cast<size_t>(result.verdict)]->add(1);
+            stage_server_queue_.record(stages.server_queue_ns);
+            stage_batch_wait_.record(stages.batch_wait_ns);
+            stage_engine_.record(stages.engine_ns);
+            stage_link_.record(stages.link_ns);
             ++engine_passes;
 #if ROCOCO_TRACE_ENABLED
             // The remote half of the distributed trace: a server span
@@ -399,13 +414,11 @@ Server::process_batch()
         }
         respond(pending.fd, pending.generation, pending.request_id, result,
                 pending.v2, stages);
-        registry_.histogram("svc.rpc_ns")
-            .record(pass_start - pending.arrival_ns);
+        rpc_ns_.record(pass_start - pending.arrival_ns);
     }
     if (engine_passes > 0) {
-        registry_.histogram("svc.batch_size").record(engine_passes);
-        registry_.gauge("svc.window_occupancy")
-            .set(static_cast<double>(router_.occupancy()));
+        batch_size_.record(engine_passes);
+        window_occupancy_.set(static_cast<double>(router_.occupancy()));
     }
 }
 

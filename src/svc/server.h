@@ -185,6 +185,31 @@ class Server
     std::thread thread_;
 
     obs::Registry registry_; ///< svc.* metrics (thread-safe)
+
+    /// Metric handles hoisted out of the service loop: Registry lookup
+    /// takes a mutex and builds a name string per call; the references
+    /// stay valid for the registry's lifetime (obs/registry.h), so
+    /// resolve each metric once at construction.
+    obs::Counter& requests_;
+    obs::Counter& rejected_;
+    obs::Counter& timeout_;
+    obs::Counter& stats_polls_;
+    obs::Counter& overflow_;
+    obs::Counter& malformed_;
+    obs::Counter& disconnects_;
+    obs::Counter& accepts_;
+    obs::Counter* verdict_[core::kVerdictCount];
+    obs::Gauge& queue_depth_;
+    obs::Gauge& window_occupancy_;
+    obs::Gauge& connections_open_;
+    obs::LatencyHistogram& rpc_ns_;
+    obs::LatencyHistogram& batch_size_;
+    obs::LatencyHistogram& stage_server_queue_;
+    obs::LatencyHistogram& stage_batch_wait_;
+    obs::LatencyHistogram& stage_engine_;
+    obs::LatencyHistogram& stage_link_;
+    obs::LatencyHistogram& stage_shard_route_;
+    obs::LatencyHistogram& stage_shard_coord_;
 };
 
 } // namespace rococo::svc

@@ -97,6 +97,10 @@ get_address_sets(const uint8_t* p, size_t remaining,
 void
 encode_request(std::vector<uint8_t>& out, const WireRequest& request)
 {
+    out.reserve(out.size() + kFrameHeaderBytes + 5 * 8 + 8 +
+                (request.offload.reads.size() +
+                 request.offload.writes.size()) *
+                    8);
     const size_t at = begin_frame(out, MsgType::kRequestV2);
     put_u64(out, request.request_id);
     put_u64(out, request.offload.snapshot_cid);
@@ -110,6 +114,10 @@ encode_request(std::vector<uint8_t>& out, const WireRequest& request)
 void
 encode_request_v1(std::vector<uint8_t>& out, const WireRequest& request)
 {
+    out.reserve(out.size() + kFrameHeaderBytes + 3 * 8 + 8 +
+                (request.offload.reads.size() +
+                 request.offload.writes.size()) *
+                    8);
     const size_t at = begin_frame(out, MsgType::kRequest);
     put_u64(out, request.request_id);
     put_u64(out, request.offload.snapshot_cid);
@@ -122,6 +130,8 @@ void
 encode_response(std::vector<uint8_t>& out, const WireResponse& response,
                 bool v2)
 {
+    out.reserve(out.size() + kFrameHeaderBytes + 8 + 2 + 8 +
+                (v2 ? 4 * 8 : 0));
     const size_t at = begin_frame(
         out, v2 ? MsgType::kResponseV2 : MsgType::kResponse);
     put_u64(out, response.request_id);
