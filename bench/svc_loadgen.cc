@@ -37,11 +37,26 @@
 /// (child) process; scripts/merge_trace_json.py splices them into one
 /// causal trace for Perfetto / scripts/check_trace_json.py.
 ///
+/// Conflict forensics (docs/OBSERVABILITY.md):
+///   --zipf=THETA skews key choice to a Zipf(theta) distribution
+///   (inverse-CDF table per client, no pow() in the request loop), so
+///   the conflict hot set is a handful of planted keys — the workload
+///   `svcctl top` is meant to expose. --hot-keys=N forces an abort
+///   spike: every key is drawn from [0, N) and requests carry
+///   snapshot_cid=0 (a maximally stale snapshot), so nearly every
+///   validation collides with the window and aborts. --recorder-out=P
+///   arms the server's flight recorder (incident files P-<seq>.json)
+///   with --abort-rate-trigger=X as the firing threshold; the run then
+///   narrows to its first sweep cell and svc_loadgen exits 1 if the
+///   recorder was armed with a trigger but no incident fired — the
+///   contract the incident-dump ctest fixture pins down.
+///
 /// Usage:
 ///   svc_loadgen [--clients=1,2,4,8] [--batch=1,8,32] [--shards=1]
 ///               [--requests=20000] [--outstanding=16] [--reads=4]
 ///               [--writes=2] [--keys=4096] [--stages=1]
-///               [--tm-threads=N]
+///               [--tm-threads=N] [--zipf=THETA] [--hot-keys=N]
+///               [--recorder-out=PREFIX] [--abort-rate-trigger=X]
 ///               [--telemetry-server=FILE] [--telemetry-client=FILE]
 ///               [--socket=/tmp/rococo_loadgen.sock] [--csv=FILE]
 #include <sys/wait.h>
@@ -49,9 +64,11 @@
 #include <unistd.h>
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -114,6 +131,39 @@ struct LoadConfig
     uint64_t keys = 4096;
     unsigned tm_threads = 0; ///< 0 = raw validation RPCs
     uint32_t shards = 1;     ///< server-side validation shards
+    double zipf = 0;         ///< Zipf theta; 0 = uniform keys
+    uint64_t hot_keys = 0;   ///< > 0: abort spike over [0, hot_keys)
+    std::string recorder_out;        ///< arm the server flight recorder
+    double abort_rate_trigger = 0;   ///< recorder firing threshold
+};
+
+/// Zipf(theta) sampler over [0, n): one binary search per draw against
+/// a CDF table built once per client, so the skewed workload costs the
+/// request loop nothing extra.
+class ZipfSampler
+{
+  public:
+    ZipfSampler(uint64_t n, double theta)
+        : cdf_(n)
+    {
+        double sum = 0;
+        for (uint64_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(double(i + 1), theta);
+            cdf_[i] = sum;
+        }
+        for (double& c : cdf_) c /= sum;
+    }
+
+    uint64_t
+    draw(Xoshiro256& rng) const
+    {
+        const double u = rng.uniform();
+        return static_cast<uint64_t>(
+            std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    }
+
+  private:
+    std::vector<double> cdf_;
 };
 
 void
@@ -156,6 +206,15 @@ run_client(const LoadConfig& config, unsigned seed,
 
     Xoshiro256 rng(seed);
     obs::LatencyHistogram latency;
+    const std::unique_ptr<ZipfSampler> zipf =
+        config.zipf > 0
+            ? std::make_unique<ZipfSampler>(config.keys, config.zipf)
+            : nullptr;
+    auto draw_key = [&]() -> uint64_t {
+        if (config.hot_keys > 0) return rng.below(config.hot_keys);
+        if (zipf) return zipf->draw(rng);
+        return rng.below(config.keys);
+    };
 
     struct InFlight
     {
@@ -181,13 +240,18 @@ run_client(const LoadConfig& config, unsigned seed,
         fpga::OffloadRequest request;
         request.reads.reserve(config.reads);
         for (unsigned r = 0; r < config.reads; ++r) {
-            request.reads.push_back(rng.below(config.keys));
+            request.reads.push_back(draw_key());
         }
         for (unsigned w = 0; w < config.writes; ++w) {
-            request.writes.push_back(rng.below(config.keys));
+            request.writes.push_back(draw_key());
         }
         // "Current" snapshot: conflicts come from signature overlap.
-        request.snapshot_cid = ~uint64_t{0} >> 1;
+        // The hot-keys spike instead claims a maximally stale snapshot,
+        // so every overlap with the window is a forward/backward pair —
+        // a cycle abort — and the abort-rate trigger has something to
+        // fire on.
+        request.snapshot_cid =
+            config.hot_keys > 0 ? 0 : ~uint64_t{0} >> 1;
 
         const uint64_t sent = obs::now_ns();
         window.push_back({client.submit(std::move(request)), sent});
@@ -311,6 +375,16 @@ run_one(const LoadConfig& load, size_t clients, size_t batch,
     server_config.socket_path = load.socket_path;
     server_config.max_batch = batch;
     server_config.shards = load.shards;
+    if (!load.recorder_out.empty()) {
+        server_config.recorder.enabled = true;
+        server_config.recorder.output_prefix = load.recorder_out;
+        server_config.recorder.abort_rate_threshold =
+            load.abort_rate_trigger;
+        // Loadgen runs are short (hundreds of ms); sample fast enough
+        // that a spike is seen in several consecutive windows.
+        server_config.recorder.sample_period_ns = 2'000'000;
+        server_config.recorder.include_trace = obs::telemetry_active();
+    }
     svc::Server server(server_config);
     if (!server.start()) {
         std::fprintf(stderr, "svc_loadgen: cannot bind %s\n",
@@ -463,7 +537,8 @@ main(int argc, char** argv)
     Cli cli(argc, argv,
             {"clients", "batch", "shards", "requests", "outstanding",
              "reads", "writes", "keys", "socket", "csv", "stages",
-             "tm-threads", "telemetry-server", "telemetry-client"});
+             "tm-threads", "telemetry-server", "telemetry-client",
+             "zipf", "hot-keys", "recorder-out", "abort-rate-trigger"});
     LoadConfig load;
     load.socket_path = cli.get("socket", "/tmp/rococo_loadgen_" +
                                              std::to_string(getpid()) +
@@ -478,6 +553,11 @@ main(int argc, char** argv)
         static_cast<unsigned>(cli.get_int("tm-threads", 0));
     load.shards = static_cast<uint32_t>(
         std::max<int64_t>(1, cli.get_int("shards", 1)));
+    load.zipf = cli.get_double("zipf", 0.0);
+    load.hot_keys = static_cast<uint64_t>(
+        std::max<int64_t>(0, cli.get_int("hot-keys", 0)));
+    load.recorder_out = cli.get("recorder-out", "");
+    load.abort_rate_trigger = cli.get_double("abort-rate-trigger", 0.0);
     const bool stages = cli.get_bool("stages", false);
     const std::string telemetry_server = cli.get("telemetry-server", "");
     const std::string telemetry_client = cli.get("telemetry-client", "");
@@ -489,9 +569,11 @@ main(int argc, char** argv)
         // is per-process state (see docs/SERVICE.md § Limitations).
         client_counts = {1};
     }
-    if (!telemetry_server.empty() || !telemetry_client.empty()) {
-        // A telemetry capture wants one clean measured region, not a
-        // sweep: keep the first cell only.
+    if (!telemetry_server.empty() || !telemetry_client.empty() ||
+        !load.recorder_out.empty()) {
+        // A telemetry capture (or an armed flight recorder, whose
+        // incident files are numbered per server) wants one clean
+        // measured region, not a sweep: keep the first cell only.
         client_counts.resize(1);
         batches.resize(1);
     }
@@ -557,6 +639,21 @@ main(int argc, char** argv)
             }
             csv.write_row(cells);
         }
+    }
+
+    // An armed trigger that never fired is a failed run: the incident
+    // fixture (tests/) relies on this exit code, and interactively it
+    // catches a threshold set above the spike actually produced.
+    if (!load.recorder_out.empty() && load.abort_rate_trigger > 0) {
+        const std::string incident = load.recorder_out + "-1.json";
+        if (access(incident.c_str(), F_OK) != 0) {
+            std::fprintf(stderr,
+                         "svc_loadgen: recorder armed (threshold %.3f) but"
+                         " no incident was dumped (%s missing)\n",
+                         load.abort_rate_trigger, incident.c_str());
+            return 1;
+        }
+        std::printf("incident: %s\n", incident.c_str());
     }
     return 0;
 }

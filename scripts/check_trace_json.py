@@ -46,14 +46,26 @@ Checks, in order:
    failing single-process files where the other half is missing.
 
 The tracer's ring buffers drop oldest events silently; the session
-surfaces the total as the "obs.trace.dropped" counter, and this script
-prints a warning when it is non-zero (the tolerances above exist
-precisely because of it).
+surfaces the total as the "obs.trace.dropped" counter plus the
+always-exported "obs.trace.dropped_total" gauge, and this script prints
+a warning when they are non-zero (the tolerances above exist precisely
+because of it). With --strict that warning becomes a FAILURE — and so
+does a file without the gauge at all, since "nobody measured" must not
+pass as "no drops".
+
+--incident switches to validating a flight-recorder incident file
+(obs/flight_recorder.h) instead of a telemetry envelope: the "incident"
+header (trigger in {abort-rate, p99, manual}, pid, seq >= 1, t_ns), a
+non-empty "samples" ring with monotone timestamps and abort_rate in
+[0, 1], the "metrics" registry snapshot, the "topk" hot-key table
+(entries sorted by count, error <= count), and a "traceEvents" list
+(possibly empty) in the usual Chrome shape.
 
 Exit status 0 if all checks pass; 1 with a message on stderr otherwise.
 
 Usage: check_trace_json.py FILE [--no-chain] [--require-flows]
-                                [--max-orphans=N]
+                                [--max-orphans=N] [--strict]
+                                [--incident]
 """
 
 import json
@@ -67,12 +79,7 @@ def fail(message):
     sys.exit(1)
 
 
-def check_schema(doc):
-    if not isinstance(doc, dict):
-        fail("top level is not a JSON object")
-    events = doc.get("traceEvents")
-    if not isinstance(events, list):
-        fail('missing "traceEvents" array')
+def check_events(events):
     for i, event in enumerate(events):
         for key in ("name", "ph", "ts", "pid", "tid"):
             if key not in event:
@@ -89,13 +96,26 @@ def check_schema(doc):
                 )
         if event["ph"] not in ("X", "C", "i", "s", "f"):
             fail(f"traceEvents[{i}] has unknown phase {event['ph']!r}")
+
+
+def check_metrics_shape(doc):
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         fail('missing "metrics" object')
     for section in ("counters", "gauges", "histograms"):
         if not isinstance(metrics.get(section), dict):
             fail(f'metrics lacks the "{section}" object')
-    return events, metrics
+    return metrics
+
+
+def check_schema(doc):
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing "traceEvents" array')
+    check_events(events)
+    return events, check_metrics_shape(doc)
 
 
 def check_abort_sums(counters):
@@ -264,16 +284,120 @@ def check_flows(events, max_orphans, require):
     return linked
 
 
+INCIDENT_TRIGGERS = ("abort-rate", "p99", "manual")
+SAMPLE_KEYS = (
+    "t_ns", "aborts", "total", "abort_rate", "p99_ns", "queue_depth",
+    "imbalance",
+)
+
+
+def check_incident(doc):
+    """Validate a flight-recorder incident file (obs/flight_recorder.cc
+    dump_locked writes it; svcctl dump / the trigger rules produce it).
+    """
+    if not isinstance(doc, dict):
+        fail("top level is not a JSON object")
+    header = doc.get("incident")
+    if not isinstance(header, dict):
+        fail('missing "incident" header object')
+    trigger = header.get("trigger")
+    if trigger not in INCIDENT_TRIGGERS:
+        fail(f"incident.trigger {trigger!r} not in {INCIDENT_TRIGGERS}")
+    for key in ("pid", "seq", "t_ns"):
+        if not isinstance(header.get(key), int):
+            fail(f"incident.{key} missing or not an integer")
+    if header["seq"] < 1:
+        fail(f"incident.seq = {header['seq']} (numbered from 1)")
+
+    samples = doc.get("samples")
+    if not isinstance(samples, list) or not samples:
+        fail('missing or empty "samples" array (the recorder ring '
+             "always holds the triggering sample)")
+    last_t = None
+    for i, sample in enumerate(samples):
+        for key in SAMPLE_KEYS:
+            if key not in sample:
+                fail(f"samples[{i}] lacks required key {key!r}")
+        if not 0 <= sample["abort_rate"] <= 1:
+            fail(f"samples[{i}].abort_rate = {sample['abort_rate']} "
+                 f"outside [0, 1]")
+        if last_t is not None and sample["t_ns"] < last_t:
+            fail(f"samples[{i}].t_ns goes backwards (ring rotation "
+                 f"must preserve time order)")
+        last_t = sample["t_ns"]
+
+    check_metrics_shape(doc)
+
+    topk = doc.get("topk")
+    if not isinstance(topk, dict) or not isinstance(
+            topk.get("shards"), list):
+        fail('missing "topk" object with a "shards" array')
+    for s, shard in enumerate(topk["shards"]):
+        entries = shard.get("entries")
+        if "shard" not in shard or "offered" not in shard or not isinstance(
+                entries, list):
+            fail(f"topk.shards[{s}] lacks shard/offered/entries")
+        prev_count = None
+        for e, entry in enumerate(entries):
+            for key in ("key", "count", "error"):
+                if key not in entry:
+                    fail(f"topk.shards[{s}].entries[{e}] lacks {key!r}")
+            if entry["error"] > entry["count"]:
+                fail(f"topk.shards[{s}].entries[{e}]: error "
+                     f"{entry['error']} > count {entry['count']}")
+            if prev_count is not None and entry["count"] > prev_count:
+                fail(f"topk.shards[{s}].entries[{e}] not sorted by "
+                     f"descending count")
+            prev_count = entry["count"]
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('missing "traceEvents" array (empty is fine)')
+    check_events(events)
+
+    print(
+        f"check_trace_json: OK: incident ({trigger}, seq "
+        f"{header['seq']}), {len(samples)} samples, "
+        f"{sum(len(s.get('entries', [])) for s in topk['shards'])} "
+        f"hot keys, {len(events)} events"
+    )
+    return 0
+
+
+def dropped_events(metrics):
+    """Trace-ring overwrites, and whether they were measured at all.
+
+    The counter only appears when non-zero (historical shape); the
+    gauge is exported always, including the zero, so its absence means
+    the capture predates the measurement — which --strict refuses.
+    """
+    counters = metrics["counters"]
+    gauge = metrics["gauges"].get("obs.trace.dropped_total")
+    measured = gauge is not None
+    dropped = counters.get("obs.trace.dropped", 0)
+    if gauge is not None:
+        # Merged files: merge_gauge keeps the max across inputs, so a
+        # drop in any input stays visible even when the last one is 0.
+        dropped = max(dropped, gauge.get("max", 0), gauge.get("last", 0))
+    return dropped, measured
+
+
 def main(argv):
     path = None
     no_chain = False
     require_flows = False
+    strict = False
+    incident = False
     max_orphans = 2
     for arg in argv[1:]:
         if arg == "--no-chain":
             no_chain = True
         elif arg == "--require-flows":
             require_flows = True
+        elif arg == "--strict":
+            strict = True
+        elif arg == "--incident":
+            incident = True
         elif arg.startswith("--max-orphans="):
             max_orphans = int(arg.split("=", 1)[1])
         elif arg.startswith("--"):
@@ -292,10 +416,25 @@ def main(argv):
     except (OSError, json.JSONDecodeError) as error:
         fail(f"cannot load {path}: {error}")
 
+    if incident:
+        return check_incident(doc)
+
     events, metrics = check_schema(doc)
     counters = metrics["counters"]
-    dropped = counters.get("obs.trace.dropped", 0)
+    dropped, measured = dropped_events(metrics)
+    if strict and not measured:
+        fail(
+            'no "obs.trace.dropped_total" gauge in the file; --strict '
+            "requires a capture that measured ring overwrites "
+            "(re-capture with a current build)"
+        )
     if dropped:
+        if strict:
+            fail(
+                f"{dropped} trace events were overwritten in the ring "
+                f"buffers before export (--strict forbids a truncated "
+                f"trace; raise the ring capacity or shorten the capture)"
+            )
         print(
             f"check_trace_json: WARNING: {dropped} trace events were "
             f"overwritten in the ring buffers before export; span-chain "

@@ -4,7 +4,7 @@
 Each input is an envelope written by obs::TelemetrySession:
 
   { "traceEvents": [...], "metrics": {...},
-    "meta": {"pid": P, "base_time_ns": B} }
+    "meta": {"pid": P, "base_time_ns": B, "export_seq": S} }
 
 The exporter rebases every timestamp to the process's own first event
 and always writes pid 1, so files from different processes cannot be
@@ -25,6 +25,14 @@ trace:
     combine conservatively (counts sum, means weight by count, max and
     quantiles take the worst input — exact bucket merges would need the
     raw buckets, which the envelope does not carry).
+
+Inputs are sanity-checked before merging: each process stamps its
+envelopes with a strictly increasing "export_seq" (telemetry.cc), so
+two files from the same pid must carry distinct, in-order sequence
+numbers — a duplicate or out-of-order pair means a stale file from an
+earlier run (or the same capture passed twice) is about to be summed
+into the metrics, and the merge is refused. Files without the stamp
+(older captures) skip the check with a warning.
 
 The merged file keeps the envelope shape, so check_trace_json.py can
 validate it like any single-process capture; "meta" records the merged
@@ -110,6 +118,37 @@ def main(argv):
 
     docs = [load(path) for path in in_paths]
     base = min(doc["meta"]["base_time_ns"] for doc in docs)
+
+    # Per-pid export_seq must be unique and in order: anything else
+    # means a stale or duplicated per-process file.
+    last_seq = {}
+    for doc, path in zip(docs, in_paths):
+        meta = doc["meta"]
+        pid = meta.get("pid", 0)
+        seq = meta.get("export_seq")
+        if seq is None:
+            print(
+                f"merge_trace_json: WARNING: {path} carries no "
+                f"export_seq (older capture); duplicate detection "
+                f"skipped for it",
+                file=sys.stderr,
+            )
+            continue
+        if pid in last_seq:
+            prev_seq, prev_path = last_seq[pid]
+            if seq == prev_seq:
+                fail(
+                    f"{path} and {prev_path} are the same export "
+                    f"(pid {pid}, export_seq {seq}); remove the "
+                    f"duplicate"
+                )
+            if seq < prev_seq:
+                fail(
+                    f"{path} (pid {pid}, export_seq {seq}) is older "
+                    f"than {prev_path} (export_seq {prev_seq}); pass "
+                    f"per-process files in export order"
+                )
+        last_seq[pid] = (seq, path)
 
     events = []
     metrics = {"counters": {}, "gauges": {}, "histograms": {}}

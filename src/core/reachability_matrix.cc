@@ -61,6 +61,19 @@ ReachabilityMatrix::probe_into(const BitVector& f, const BitVector& b,
     // are serialized before everything that validates from now on.
     result.cyclic = result.proceeding.intersects(result.succeeding) ||
                     result.proceeding.intersects(reaches_evicted_);
+    result.conflict_slot = kNoConflictSlot;
+    if (result.cyclic) {
+        // Name a witness of the cycle for abort provenance. Only the
+        // abort path pays for this scan; commits take the branch above
+        // and return.
+        for (size_t j = result.proceeding.find_first(); j < window();
+             j = result.proceeding.find_next(j)) {
+            if (result.succeeding.test(j) || reaches_evicted_.test(j)) {
+                result.conflict_slot = j;
+                break;
+            }
+        }
+    }
 }
 
 void

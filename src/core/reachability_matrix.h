@@ -25,6 +25,10 @@
 
 namespace rococo::core {
 
+/// Sentinel for ProbeResult::conflict_slot: no conflicting slot
+/// identified (the probe found no cycle).
+inline constexpr size_t kNoConflictSlot = ~size_t{0};
+
 /// Result of probing the matrix with an incoming transaction's direct
 /// dependency vectors.
 struct ProbeResult
@@ -32,6 +36,12 @@ struct ProbeResult
     bool cyclic = false;
     BitVector proceeding; ///< p: slots the transaction precedes
     BitVector succeeding; ///< s: slots that precede the transaction
+    /// When cyclic: one slot witnessing the cycle — the first slot that
+    /// the transaction both precedes and succeeds (p AND s), or, for
+    /// eviction cycles, the first slot in p that reaches an evicted
+    /// transaction. kNoConflictSlot otherwise. Filled only on the abort
+    /// path, so the extra scan costs nothing on commits.
+    size_t conflict_slot = kNoConflictSlot;
 };
 
 /// Transitive-closure matrix over a fixed number of slots, maintained

@@ -50,6 +50,18 @@ SlidingWindowValidator::occupancy() const
     return matrix_.occupied().count();
 }
 
+uint64_t
+SlidingWindowValidator::conflict_cid_at(size_t slot) const
+{
+    if (slot == kNoConflictSlot) return kNoConflictCid;
+    // The occupant of slot s is the unique cid c in
+    // [window_start, next_cid) with c % W == s.
+    const uint64_t start = window_start();
+    const uint64_t w = window();
+    const uint64_t cid = start + ((slot + w - start % w) % w);
+    return cid < next_cid_ ? cid : kNoConflictCid;
+}
+
 bool
 SlidingWindowValidator::build_vectors(const ValidationRequest& request,
                                       BitVector& f, BitVector& b) const
@@ -83,7 +95,8 @@ SlidingWindowValidator::validate_and_commit(const ValidationRequest& request)
     ProbeResult& probe = probe_scratch_;
     matrix_.probe_into(f, b, &probe);
     if (probe.cyclic) {
-        return {Verdict::kAbortCycle, 0, obs::AbortReason::kValidationCycle};
+        return {Verdict::kAbortCycle, 0, obs::AbortReason::kValidationCycle,
+                conflict_cid_at(probe.conflict_slot)};
     }
 
     const uint64_t cid = next_cid_++;

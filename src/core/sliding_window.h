@@ -55,6 +55,10 @@ struct ValidationRequest
     std::vector<uint64_t> backward;
 };
 
+/// Sentinel for ValidationResult::conflict_cid: no conflicting commit
+/// was identified for this result.
+inline constexpr uint64_t kNoConflictCid = ~uint64_t{0};
+
 /// Outcome of a validation.
 struct ValidationResult
 {
@@ -64,6 +68,12 @@ struct ValidationResult
     /// Typed abort cause (kNone on kCommit); always consistent with
     /// verdict — set wherever a result is constructed.
     obs::AbortReason reason = obs::AbortReason::kNone;
+    /// Abort provenance: on kAbortCycle, the commit id of the committed
+    /// transaction this one collided with (a witness of the cycle —
+    /// cycles through several commits name the first found). Backends
+    /// that cannot attribute the abort (timeouts, rejections, window
+    /// overflows, v1 wire peers) leave kNoConflictCid.
+    uint64_t conflict_cid = kNoConflictCid;
 };
 
 /// cid-addressed wrapper around ReachabilityMatrix implementing the
@@ -102,6 +112,10 @@ class SlidingWindowValidator
     const ReachabilityMatrix& matrix() const { return matrix_; }
 
   private:
+    /// Commit id of the current occupant of @p slot, or kNoConflictCid
+    /// when @p slot is kNoConflictSlot or holds no live commit.
+    uint64_t conflict_cid_at(size_t slot) const;
+
     /// Translate a cid-based request into slot vectors; returns false if
     /// any cid is already evicted.
     bool build_vectors(const ValidationRequest& request, BitVector& f,

@@ -137,6 +137,30 @@ ConflictDetector::record_commit(uint64_t cid, const OffloadRequest& request)
     for (uint64_t addr : request.writes) write_plane_.insert(slot, addr);
 }
 
+size_t
+ConflictDetector::conflicting_addresses(const OffloadRequest& request,
+                                        uint64_t cid, uint64_t* out,
+                                        size_t capacity) const
+{
+    // cid c always lands in slot c % W (the ring starts at slot 0 and
+    // eviction reuses the evictee's slot, which is the same residue).
+    const size_t slot = static_cast<size_t>(cid % window_);
+    if (size_ == 0 || cids_[slot] != cid) return 0;
+    size_t n = 0;
+    for (uint64_t addr : request.reads) {
+        if (n == capacity) return n;
+        if (write_plane_.query(slot, addr)) out[n++] = addr;
+    }
+    for (uint64_t addr : request.writes) {
+        if (n == capacity) return n;
+        if (write_plane_.query(slot, addr) ||
+            read_plane_.query(slot, addr)) {
+            out[n++] = addr;
+        }
+    }
+    return n;
+}
+
 uint64_t
 ConflictDetector::history_start() const
 {

@@ -84,6 +84,16 @@ class ConflictDetector
     /// @p cid; evicts the oldest entry when the window is full.
     void record_commit(uint64_t cid, const OffloadRequest& request);
 
+    /// Abort forensics: which of @p request's addresses actually matched
+    /// committed @p cid's signatures (reads against its write set,
+    /// writes against both planes)? Fills @p out with up to @p capacity
+    /// addresses and returns the count — allocation-free, abort-path
+    /// only. Conservative like everything bloom-based: false positives
+    /// possible, misses impossible. Returns 0 when @p cid is no longer
+    /// resident.
+    size_t conflicting_addresses(const OffloadRequest& request, uint64_t cid,
+                                 uint64_t* out, size_t capacity) const;
+
     /// Oldest cid still tracked (== next expected cid when empty).
     uint64_t history_start() const;
 

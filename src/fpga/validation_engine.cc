@@ -59,6 +59,21 @@ ValidationEngine::commit_classified(
     if (result.verdict == core::Verdict::kCommit) {
         detector_.record_commit(result.cid, request);
     }
+#ifndef ROCOCO_FORENSICS_OFF
+    else if (result.verdict == core::Verdict::kAbortCycle &&
+             result.conflict_cid != core::kNoConflictCid &&
+             config_.forensics_sample != 0 &&
+             ++cycle_aborts_ % config_.forensics_sample == 0) {
+        // Hot-key attribution: ask the detector which of this request's
+        // addresses actually matched the conflicting commit's
+        // signatures, and feed them to the sketch. Fixed-size buffers
+        // throughout — the abort path stays allocation-free.
+        uint64_t addrs[obs::TopK::kCapacity];
+        const size_t n = detector_.conflicting_addresses(
+            request, result.conflict_cid, addrs, obs::TopK::kCapacity);
+        for (size_t i = 0; i < n; ++i) conflict_topk_.offer(addrs[i]);
+    }
+#endif
     return result;
 }
 

@@ -13,6 +13,7 @@
 #include "fpga/cci_link.h"
 #include "fpga/detector.h"
 #include "fpga/manager.h"
+#include "obs/topk.h"
 
 namespace rococo::fpga {
 
@@ -27,6 +28,10 @@ struct EngineConfig
     /// Validate read-only transactions through the full cycle check
     /// instead of the paper's direct-commit fast path.
     bool strict_read_only = false;
+    /// Hot-key forensics sampling: feed the conflict top-K sketch on
+    /// every Nth cycle abort (1 = every abort, 0 = never). Only the
+    /// abort path pays; compiled out entirely under ROCOCO_FORENSICS_OFF.
+    unsigned forensics_sample = 1;
     LinkParams link;
 };
 
@@ -87,6 +92,12 @@ class ValidationEngine
     const ConflictDetector& detector() const { return detector_; }
     const Manager& manager() const { return manager_; }
 
+    /// Hot-key attribution sketch: the addresses of conflicting
+    /// read/write-set entries, sampled on the cycle-abort path (see
+    /// EngineConfig::forensics_sample). Same serialization contract as
+    /// process() — read it under whatever lock serializes the engine.
+    const obs::TopK& conflict_topk() const { return conflict_topk_; }
+
   private:
     EngineConfig config_;
     CciLinkModel link_;
@@ -96,6 +107,8 @@ class ValidationEngine
     /// Classification scratch for process(); capacity reaches the
     /// window high-water once and is reused per request.
     core::ValidationRequest classify_scratch_;
+    obs::TopK conflict_topk_;
+    uint64_t cycle_aborts_ = 0; ///< forensics sampling counter
 };
 
 } // namespace rococo::fpga

@@ -13,6 +13,13 @@ namespace {
 
 std::atomic<int> g_active_sessions{0};
 
+/// Process-wide export sequence: every telemetry file a process writes
+/// is stamped with a strictly increasing number, so a merger can reject
+/// duplicate or out-of-order per-process files (stale leftovers from an
+/// earlier run in the same directory look exactly like fresh exports
+/// otherwise).
+std::atomic<uint64_t> g_export_seq{0};
+
 } // namespace
 
 bool
@@ -43,11 +50,17 @@ TelemetrySession::finish()
 
     // Ring overwrites are silent on the hot path (by design); account
     // for them here so a truncated trace is visible in the metrics and
-    // check_trace_json.py can warn about it.
+    // check_trace_json.py can flag it. The gauge is exported always —
+    // including the zero — so --strict can tell "no drops" apart from
+    // "nobody measured"; the counter keeps its historical
+    // only-when-nonzero shape for existing consumers.
     const uint64_t dropped = Tracer::instance().dropped_events();
     if (dropped > 0) {
         Registry::global().counter("obs.trace.dropped").add(dropped);
     }
+    Registry::global()
+        .gauge("obs.trace.dropped_total")
+        .set(static_cast<double>(dropped));
 
     std::ofstream out(out_path_);
     if (!out) {
@@ -64,7 +77,9 @@ TelemetrySession::finish()
     // uses pid + the monotonic-clock base to re-align files exported by
     // different processes of the same run into one causal trace.
     out << ",\n\"meta\": {\"pid\": " << getpid()
-        << ", \"base_time_ns\": " << base_ns << "}\n}\n";
+        << ", \"base_time_ns\": " << base_ns << ", \"export_seq\": "
+        << (g_export_seq.fetch_add(1, std::memory_order_relaxed) + 1)
+        << "}\n}\n";
     return out.good();
 }
 

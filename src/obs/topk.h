@@ -1,0 +1,111 @@
+/// @file
+/// Fixed-size space-saving top-K sketch (Metwally et al.'s
+/// stream-summary, linear-scan variant) for hot-key attribution on the
+/// validation hot path.
+///
+/// The sketch tracks at most K (key, count, error) entries in a flat
+/// array. offer(key) either bumps an existing entry, fills a free one,
+/// or — when full — replaces the minimum-count entry, inheriting its
+/// count as the new entry's over-estimation error. The classic
+/// guarantees hold:
+///
+///   * count(k)          >= true_count(k)   (never under-counts)
+///   * count(k) - error(k) <= true_count(k) (error bounds the slack)
+///   * any key with true_count > offered/ (K+1) is present
+///
+/// so under a skewed (zipf) stream the true hot set is guaranteed to
+/// surface, which tests/topk_test.cc pins against an exact-count
+/// oracle.
+///
+/// Everything is a fixed-capacity array scanned linearly: no heap, no
+/// hashing, no pointers — offer() is allocation-free by construction,
+/// so feeding it from the engine's abort path cannot disturb the
+/// zero-allocation envelope (tests/hotpath_alloc_test.cc). K stays
+/// small (the default 16 covers any plausible "hot set" display), so
+/// the linear scan is a few cache lines.
+///
+/// Not thread-safe: ownership follows the engine it instruments, which
+/// is already externally serialized (engine mutex / shard lock).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rococo::obs {
+
+class TopK
+{
+  public:
+    /// Entry capacity: fixed at compile time so the sketch embeds in
+    /// the engine with zero indirection.
+    static constexpr size_t kCapacity = 16;
+
+    struct Entry
+    {
+        uint64_t key = 0;
+        uint64_t count = 0; ///< estimated occurrences (never under)
+        uint64_t error = 0; ///< max over-estimation of count
+    };
+
+    /// Record one occurrence of @p key (weight @p weight).
+    void offer(uint64_t key, uint64_t weight = 1)
+    {
+        offered_ += weight;
+        size_t min_at = 0;
+        for (size_t i = 0; i < size_; ++i) {
+            if (entries_[i].key == key) {
+                entries_[i].count += weight;
+                return;
+            }
+            if (entries_[i].count < entries_[min_at].count) min_at = i;
+        }
+        if (size_ < kCapacity) {
+            entries_[size_++] = {key, weight, 0};
+            return;
+        }
+        // Full: evict the minimum, inheriting its count as error.
+        Entry& victim = entries_[min_at];
+        victim.error = victim.count;
+        victim.count += weight;
+        victim.key = key;
+    }
+
+    size_t size() const { return size_; }
+
+    /// Total weight offered since construction / reset().
+    uint64_t offered() const { return offered_; }
+
+    const Entry& entry(size_t i) const { return entries_[i]; }
+
+    /// Copy up to @p capacity entries into @p out, sorted by descending
+    /// count (insertion sort over at most kCapacity elements — no
+    /// allocation). Returns the number written.
+    size_t snapshot(Entry* out, size_t capacity) const
+    {
+        size_t n = 0;
+        for (size_t i = 0; i < size_; ++i) {
+            const Entry& e = entries_[i];
+            size_t at = n;
+            while (at > 0 && out[at - 1].count < e.count) --at;
+            if (at >= capacity) continue; // below everything kept
+            const size_t end = n < capacity ? n : capacity - 1;
+            for (size_t j = end; j > at; --j) out[j] = out[j - 1];
+            out[at] = e;
+            if (n < capacity) ++n;
+        }
+        return n;
+    }
+
+    void reset()
+    {
+        size_ = 0;
+        offered_ = 0;
+    }
+
+  private:
+    Entry entries_[kCapacity];
+    size_t size_ = 0;
+    uint64_t offered_ = 0;
+};
+
+} // namespace rococo::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <span>
 #include <string>
 #include <utility>
@@ -18,6 +20,10 @@ make_result(core::Verdict verdict, uint64_t cid = 0)
     return {verdict, cid, core::abort_reason(verdict)};
 }
 
+/// Hot-key ranks exported as gauges per shard (the full table travels
+/// through topk_json()).
+constexpr size_t kTopKExportRanks = 8;
+
 } // namespace
 
 ShardRouter::ShardRouter(const ShardConfig& config)
@@ -30,6 +36,10 @@ ShardRouter::ShardRouter(const ShardConfig& config)
         const std::string prefix = "shard." + std::to_string(s);
         shard->validations = &registry_.counter(prefix + ".validations");
         shard->aborts = &registry_.counter(prefix + ".aborts");
+        shard->conflict_victims =
+            &registry_.counter(prefix + ".conflict.victims");
+        shard->conflict_aggressors =
+            &registry_.counter(prefix + ".conflict.aggressors");
         shards_.push_back(std::move(shard));
     }
     submitted_ = &registry_.counter("submitted");
@@ -41,6 +51,8 @@ ShardRouter::ShardRouter(const ShardConfig& config)
     }
     route_ns_ = &registry_.histogram("shard.route_ns");
     coord_ns_ = &registry_.histogram("shard.coord_ns");
+    conflict_attributed_ = &registry_.counter("shard.conflict.attributed");
+    conflict_depth_ = &registry_.histogram("shard.conflict.depth");
 }
 
 ShardRouter::~ShardRouter() = default;
@@ -92,8 +104,10 @@ ShardRouter::prepare_slice(Shard& shard, SubRequest& sub,
     const uint64_t fence = cross ? shard.engine.next_cid() : shard.fence;
     for (uint64_t cid : classified->forward) {
         if (cid < fence) {
+            // Provenance: the fence-protected commit we would have had
+            // to serialize before is the conflicting transaction.
             return {core::Verdict::kAbortCycle, 0,
-                    obs::AbortReason::kCrossShardFence};
+                    obs::AbortReason::kCrossShardFence, cid};
         }
     }
     return make_result(core::Verdict::kCommit);
@@ -126,6 +140,30 @@ ShardRouter::count_verdict(Shard& shard, const core::ValidationResult& result)
     if (result.verdict != core::Verdict::kCommit) {
         shard.aborts->add();
     }
+}
+
+void
+ShardRouter::attribute_conflict(Shard& shard, core::ValidationResult* result)
+{
+    const uint64_t local = result->conflict_cid;
+    if (local == core::kNoConflictCid) return;
+    conflict_attributed_->add();
+    shard.conflict_victims->add();
+    shard.conflict_aggressors->add();
+    const uint64_t next = shard.engine.next_cid();
+    if (local < next) {
+        // Window-tuning signal: how far back the collision sits (1 =
+        // the latest commit).
+        conflict_depth_->record(next - local);
+    }
+    // Translate the engine-local cid into the global commit number the
+    // client-facing cid space uses. The deque tracks the last
+    // commit_globals.size() local cids, newest = next_cid - 1.
+    const uint64_t first = next - shard.commit_globals.size();
+    result->conflict_cid =
+        (local >= first && local < next)
+            ? shard.commit_globals[static_cast<size_t>(local - first)]
+            : core::kNoConflictCid;
 }
 
 core::ValidationResult
@@ -183,6 +221,9 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
                 }
                 result.cid = global;
             }
+        }
+        if (result.verdict != core::Verdict::kCommit) {
+            attribute_conflict(shard, &result);
         }
         count_verdict(shard, result);
         if (info != nullptr) {
@@ -243,7 +284,9 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
                 shards_[subs[i].shard]->validations->add();
             }
             if (examined > 0) {
-                count_verdict(*shards_[subs[examined - 1].shard], result);
+                Shard& rejecting = *shards_[subs[examined - 1].shard];
+                attribute_conflict(rejecting, &result);
+                count_verdict(rejecting, result);
             }
         }
         const uint64_t t_done = obs::now_ns();
@@ -325,11 +368,23 @@ ShardRouter::export_metrics(obs::Registry& registry) const
     for (uint32_t s = 0; s < config_.shards; ++s) {
         Shard& shard = *shards_[s];
         size_t occupancy = 0;
+        obs::TopK::Entry top[kTopKExportRanks];
+        size_t top_n = 0;
         {
             std::lock_guard<std::mutex> lock(shard.mutex);
             occupancy = shard.engine.manager().validator().occupancy();
+            top_n = shard.engine.conflict_topk().snapshot(
+                top, kTopKExportRanks);
         }
-        registry_.gauge("shard." + std::to_string(s) + ".occupancy")
+        const std::string prefix = "shard." + std::to_string(s);
+        for (size_t r = 0; r < top_n; ++r) {
+            const std::string rank = prefix + ".topk." + std::to_string(r);
+            registry_.gauge(rank + ".key")
+                .set(static_cast<double>(top[r].key));
+            registry_.gauge(rank + ".count")
+                .set(static_cast<double>(top[r].count));
+        }
+        registry_.gauge(prefix + ".occupancy")
             .set(static_cast<double>(occupancy));
         const uint64_t v = shard.validations->value();
         max_validations = std::max(max_validations, v);
@@ -346,6 +401,41 @@ ShardRouter::export_metrics(obs::Registry& registry) const
     registry_.gauge("shard.imbalance")
         .set(mean > 0.0 ? static_cast<double>(max_validations) / mean : 0.0);
     registry.merge(registry_);
+}
+
+void
+ShardRouter::topk_json(std::string* out) const
+{
+    char buf[128];
+    out->clear();
+    *out += "{\"shards\": [";
+    for (uint32_t s = 0; s < config_.shards; ++s) {
+        Shard& shard = *shards_[s];
+        obs::TopK::Entry top[obs::TopK::kCapacity];
+        size_t n = 0;
+        uint64_t offered = 0;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            const obs::TopK& sketch = shard.engine.conflict_topk();
+            offered = sketch.offered();
+            n = sketch.snapshot(top, obs::TopK::kCapacity);
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"shard\": %u, \"offered\": %" PRIu64
+                      ", \"entries\": [",
+                      s == 0 ? "" : ", ", s, offered);
+        *out += buf;
+        for (size_t i = 0; i < n; ++i) {
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"key\": %" PRIu64 ", \"count\": %" PRIu64
+                          ", \"error\": %" PRIu64 "}",
+                          i == 0 ? "" : ", ", top[i].key, top[i].count,
+                          top[i].error);
+            *out += buf;
+        }
+        *out += "]}";
+    }
+    *out += "]}";
 }
 
 std::shared_ptr<const sig::SignatureConfig>

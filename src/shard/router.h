@@ -67,6 +67,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "fpga/validation_backend.h"
@@ -150,9 +151,20 @@ class ShardRouter final : public fpga::ValidationBackend
     /// Merge router metrics into @p registry: the counters above plus
     /// shard.<i>.occupancy gauges, the shard.cross_fraction and
     /// shard.imbalance gauges (max/mean per-shard validations,
-    /// refreshed at export), and shard.route_ns / shard.coord_ns
-    /// histograms.
+    /// refreshed at export), shard.route_ns / shard.coord_ns
+    /// histograms, the conflict-forensics aggregates
+    /// (shard.<i>.conflict.{victims,aggressors}, shard.conflict.depth)
+    /// and the per-shard hot-key table
+    /// (shard.<i>.topk.<rank>.{key,count} gauges — note keys above 2^53
+    /// lose precision through the double-typed gauge; the kTopK wire op
+    /// / topk_json() carries them exactly).
     void export_metrics(obs::Registry& registry) const override;
+
+    /// Serialize every shard's conflict top-K table as JSON (the kTopK
+    /// wire-op payload): {"shards": [{"shard": s, "offered": n,
+    /// "entries": [{"key":..,"count":..,"error":..}, ...]}, ...]}.
+    /// Takes each shard lock in turn; exact u64 keys.
+    void topk_json(std::string* out) const;
 
     std::shared_ptr<const sig::SignatureConfig> signature_config()
         const override;
@@ -175,6 +187,14 @@ class ShardRouter final : public fpga::ValidationBackend
         uint64_t fence = 0;
         obs::Counter* validations = nullptr;
         obs::Counter* aborts = nullptr;
+        /// Conflict forensics: transactions aborted on this shard with
+        /// a named conflicting commit (victims), and times one of this
+        /// shard's commits was named as the collision target
+        /// (aggressors). They coincide today — a conflict never spans
+        /// engines — but the two roles are kept separate so the
+        /// scheduler work can consume either signal.
+        obs::Counter* conflict_victims = nullptr;
+        obs::Counter* conflict_aggressors = nullptr;
 
         explicit Shard(const fpga::EngineConfig& engine_config)
             : engine(engine_config)
@@ -205,6 +225,14 @@ class ShardRouter final : public fpga::ValidationBackend
 
     void count_verdict(Shard& shard, const core::ValidationResult& result);
 
+    /// Abort provenance bookkeeping for a non-commit @p result carrying
+    /// a shard-local conflict_cid: bump the victim/aggressor counters,
+    /// record the conflict depth (how far back in the window the
+    /// collision sits), and translate conflict_cid to the global commit
+    /// number in place (kNoConflictCid when the mapping was evicted).
+    /// Caller holds @p shard's lock.
+    void attribute_conflict(Shard& shard, core::ValidationResult* result);
+
     ShardConfig config_;
     Partitioner partitioner_;
     std::vector<std::unique_ptr<Shard>> shards_;
@@ -223,6 +251,9 @@ class ShardRouter final : public fpga::ValidationBackend
     obs::Counter* verdict_[core::kVerdictCount] = {};
     obs::LatencyHistogram* route_ns_ = nullptr;
     obs::LatencyHistogram* coord_ns_ = nullptr;
+    /// Conflict forensics aggregates (see attribute_conflict()).
+    obs::Counter* conflict_attributed_ = nullptr;
+    obs::LatencyHistogram* conflict_depth_ = nullptr;
 };
 
 } // namespace rococo::shard

@@ -54,6 +54,8 @@ ValidationClient::ValidationClient(const ClientConfig& config)
       rejected_(registry_.counter("svc.client.rejected")),
       timeout_(registry_.counter("svc.client.timeout")),
       late_(registry_.counter("svc.client.late")),
+      conflict_attributed_(
+          registry_.counter("svc.client.conflict.attributed")),
       rpc_ns_(registry_.histogram("svc.client.rpc_ns")),
       stage_client_queue_(registry_.histogram("svc.stage.client_queue")),
       stage_wire_(registry_.histogram("svc.stage.wire")),
@@ -306,6 +308,11 @@ ValidationClient::reader_loop()
             // be in the histograms. The instruments are atomic, so the
             // extra work under the mutex is a few counter bumps.
             verdict_[static_cast<size_t>(response->result.verdict)]->add(1);
+            if (response->result.conflict_cid != core::kNoConflictCid) {
+                // Abort provenance arrived over the wire: the verdict
+                // names the committed cid it collided with.
+                conflict_attributed_.add(1);
+            }
             const uint64_t rtt_ns = obs::now_ns() - enter_ns;
             rpc_ns_.record(rtt_ns);
             if (response->has_stages) {

@@ -165,6 +165,9 @@ class ValidationClient final : public fpga::ValidationBackend
     obs::Counter& rejected_;
     obs::Counter& timeout_;
     obs::Counter& late_;
+    /// Wire verdicts carrying abort provenance (a non-sentinel
+    /// conflict_cid in a v2 response).
+    obs::Counter& conflict_attributed_;
     obs::Counter* verdict_[core::kVerdictCount];
     obs::LatencyHistogram& rpc_ns_;
     obs::LatencyHistogram& stage_client_queue_;

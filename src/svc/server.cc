@@ -42,6 +42,8 @@ Server::Server(const ServerConfig& config)
       rejected_(registry_.counter("svc.rejected")),
       timeout_(registry_.counter("svc.timeout")),
       stats_polls_(registry_.counter("svc.stats")),
+      topk_polls_(registry_.counter("svc.topk")),
+      dump_requests_(registry_.counter("svc.dump")),
       overflow_(registry_.counter("svc.overflow")),
       malformed_(registry_.counter("svc.malformed")),
       disconnects_(registry_.counter("svc.disconnects")),
@@ -67,6 +69,27 @@ Server::Server(const ServerConfig& config)
     if (config_.max_out_bytes == 0) config_.max_out_bytes = 1 << 20;
     config_.max_out_bytes =
         std::max(config_.max_out_bytes, kResponseFrameBytes);
+
+    if (config_.recorder.enabled) {
+        // Empty watch lists default to the service series.
+        obs::FlightRecorderConfig rec = config_.recorder;
+        if (rec.abort_counters.empty()) {
+            rec.abort_counters = {"svc.verdict.abort-cycle"};
+        }
+        if (rec.total_counters.empty()) rec.total_counters = {"svc.requests"};
+        if (rec.watch_histogram.empty()) rec.watch_histogram = "svc.rpc_ns";
+        if (rec.queue_gauge.empty()) rec.queue_gauge = "svc.queue_depth";
+        if (rec.imbalance_gauge.empty()) {
+            rec.imbalance_gauge = "shard.imbalance";
+        }
+        recorder_ = std::make_unique<obs::FlightRecorder>(
+            std::move(rec), [this](obs::Registry& out) {
+                out.merge(registry_);
+                router_.export_metrics(out);
+            });
+        recorder_->set_topk_source(
+            [this](std::string* out) { router_.topk_json(out); });
+    }
 }
 
 Server::~Server()
@@ -158,8 +181,14 @@ Server::loop()
 
         // Block only when idle: with work queued, poll() is a
         // zero-timeout drain of whatever arrived during the last batch
-        // — that accumulation IS the adaptive batch.
-        const int timeout_ms = pending_.empty() ? -1 : 0;
+        // — that accumulation IS the adaptive batch. With a flight
+        // recorder attached the idle block is capped at its sampling
+        // period, so the ring keeps recording through traffic pauses.
+        int timeout_ms = pending_.empty() ? -1 : 0;
+        if (recorder_ && timeout_ms < 0) {
+            timeout_ms = static_cast<int>(std::clamp<uint64_t>(
+                recorder_->config().sample_period_ns / 1'000'000, 1, 1000));
+        }
         const int ready = poll(fds.data(), fds.size(), timeout_ms);
         if (!running_) break;
         if (ready < 0 && errno != EINTR) break;
@@ -186,6 +215,7 @@ Server::loop()
         }
         for (int fd : unsent) flush(fd);
         queue_depth_.set(static_cast<double>(pending_.size()));
+        if (recorder_) recorder_->tick(obs::now_ns());
     }
 }
 
@@ -248,6 +278,22 @@ Server::read_client(int fd)
             }
             continue;
         }
+        if (frame->type == MsgType::kTopK ||
+            frame->type == MsgType::kDump) {
+            // Same inline contract as kStats: answered from here, never
+            // queued, never an engine pass.
+            if (frame->size != 0) {
+                malformed = true;
+                break;
+            }
+            const bool ok = frame->type == MsgType::kTopK
+                                ? handle_topk(fd)
+                                : handle_dump(fd);
+            if (!ok) {
+                return; // connection closed (outbound cap); conn dangles
+            }
+            continue;
+        }
         if (frame->type != MsgType::kRequest &&
             frame->type != MsgType::kRequestV2) {
             malformed = true;
@@ -303,6 +349,53 @@ Server::handle_stats(int fd)
     std::ostringstream json;
     snapshot.to_json(json);
     encode_stats_reply(conn.out, json.str());
+    if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
+        overflow_.add(1);
+        close_client(fd);
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::handle_topk(int fd)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return false;
+    Connection& conn = it->second;
+    topk_polls_.add(1);
+    std::string json;
+    router_.topk_json(&json);
+    encode_topk_reply(conn.out, json);
+    if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
+        overflow_.add(1);
+        close_client(fd);
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::handle_dump(int fd)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return false;
+    Connection& conn = it->second;
+    dump_requests_.add(1);
+    std::string json;
+    if (recorder_ == nullptr) {
+        json = "{\"ok\": false, \"error\": \"recorder disabled\"}";
+    } else {
+        // Runs on the service thread — the sole server-side span
+        // writer, so a trace-including dump is race-free here.
+        const std::string path = recorder_->dump("manual");
+        if (path.empty()) {
+            json = "{\"ok\": false, \"error\": \"dump failed\"}";
+        } else {
+            json = "{\"ok\": true, \"path\": \"" + path + "\"}";
+        }
+    }
+    encode_dump_reply(conn.out, json);
     if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
         overflow_.add(1);
         close_client(fd);

@@ -49,7 +49,9 @@
 /// with a kStatsReply carrying a JSON snapshot of the service registry
 /// — no engine pass, never queued, never counted in svc.requests (it
 /// bumps svc.stats instead), so live inspection cannot perturb the
-/// accounting invariant or evict window slots. Per-stage latency is
+/// accounting invariant or evict window slots. kTopK (the conflict
+/// hot-key table, svc.topk) and kDump (manual flight-recorder incident,
+/// svc.dump) follow the same inline contract. Per-stage latency is
 /// attributed into svc.stage.{server_queue,batch_wait,engine,link}
 /// histograms and shipped back to v2 clients in every response
 /// (wire.h StageTimestamps); when a v2 request carries a trace id and
@@ -65,10 +67,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "shard/router.h"
 #include "svc/wire.h"
@@ -100,6 +104,13 @@ struct ServerConfig
     /// its buffer would exceed this (clamped to at least one response
     /// frame; 0 selects the default).
     size_t max_out_bytes = 1 << 20;
+    /// Flight recorder (obs/flight_recorder.h). recorder.enabled = true
+    /// turns it on; empty watch lists default to the service series
+    /// (svc.verdict.abort-cycle / svc.requests / svc.rpc_ns /
+    /// svc.queue_depth / shard.imbalance). The recorder ticks on the
+    /// service thread, which is also the sole server-side span writer,
+    /// so recorder.include_trace is safe here.
+    obs::FlightRecorderConfig recorder;
 };
 
 /// Single-accelerator validation server.
@@ -161,6 +172,13 @@ class Server
     /// Answer a kStats frame inline with a registry-snapshot JSON.
     /// False if the connection had to be closed (outbound cap).
     bool handle_stats(int fd);
+    /// Answer a kTopK frame inline with the router's conflict top-K
+    /// table. Same contract as handle_stats().
+    bool handle_topk(int fd);
+    /// Answer a kDump frame inline: trigger a manual flight-recorder
+    /// incident dump and reply with its path (or an error when the
+    /// recorder is disabled). Same contract as handle_stats().
+    bool handle_dump(int fd);
     /// Queue @p result on the connection currently at @p fd iff its
     /// generation matches. False if the answer was dropped (connection
     /// gone or fd recycled) or the connection was closed for exceeding
@@ -174,6 +192,9 @@ class Server
 
     ServerConfig config_;
     shard::ShardRouter router_;
+    /// Present iff config_.recorder.enabled; ticked from the service
+    /// loop, dumped from kDump handling (both on the service thread).
+    std::unique_ptr<obs::FlightRecorder> recorder_;
 
     int listen_fd_ = -1;
     int wake_fds_[2] = {-1, -1}; ///< self-pipe: stop() wakes poll()
@@ -194,6 +215,8 @@ class Server
     obs::Counter& rejected_;
     obs::Counter& timeout_;
     obs::Counter& stats_polls_;
+    obs::Counter& topk_polls_;
+    obs::Counter& dump_requests_;
     obs::Counter& overflow_;
     obs::Counter& malformed_;
     obs::Counter& disconnects_;

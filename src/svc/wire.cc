@@ -131,7 +131,7 @@ encode_response(std::vector<uint8_t>& out, const WireResponse& response,
                 bool v2)
 {
     out.reserve(out.size() + kFrameHeaderBytes + 8 + 2 + 8 +
-                (v2 ? 4 * 8 : 0));
+                (v2 ? 5 * 8 : 0));
     const size_t at = begin_frame(
         out, v2 ? MsgType::kResponseV2 : MsgType::kResponse);
     put_u64(out, response.request_id);
@@ -143,6 +143,7 @@ encode_response(std::vector<uint8_t>& out, const WireResponse& response,
         put_u64(out, response.stages.batch_wait_ns);
         put_u64(out, response.stages.engine_ns);
         put_u64(out, response.stages.link_ns);
+        put_u64(out, response.result.conflict_cid);
     }
     end_frame(out, at);
 }
@@ -158,6 +159,36 @@ void
 encode_stats_reply(std::vector<uint8_t>& out, std::string_view json)
 {
     const size_t at = begin_frame(out, MsgType::kStatsReply);
+    out.insert(out.end(), json.begin(), json.end());
+    end_frame(out, at);
+}
+
+void
+encode_topk_request(std::vector<uint8_t>& out)
+{
+    const size_t at = begin_frame(out, MsgType::kTopK);
+    end_frame(out, at);
+}
+
+void
+encode_topk_reply(std::vector<uint8_t>& out, std::string_view json)
+{
+    const size_t at = begin_frame(out, MsgType::kTopKReply);
+    out.insert(out.end(), json.begin(), json.end());
+    end_frame(out, at);
+}
+
+void
+encode_dump_request(std::vector<uint8_t>& out)
+{
+    const size_t at = begin_frame(out, MsgType::kDump);
+    end_frame(out, at);
+}
+
+void
+encode_dump_reply(std::vector<uint8_t>& out, std::string_view json)
+{
+    const size_t at = begin_frame(out, MsgType::kDumpReply);
     out.insert(out.end(), json.begin(), json.end());
     end_frame(out, at);
 }
@@ -189,7 +220,7 @@ decode_response(MsgType type, const uint8_t* payload, size_t size)
     const bool v2 = type == MsgType::kResponseV2;
     if (!v2 && type != MsgType::kResponse) return std::nullopt;
     constexpr size_t kV1Fixed = 8 + 1 + 1 + 8;
-    if (size != (v2 ? kV1Fixed + 4 * 8 : kV1Fixed)) return std::nullopt;
+    if (size != (v2 ? kV1Fixed + 5 * 8 : kV1Fixed)) return std::nullopt;
     WireResponse response;
     response.request_id = get_u64(payload);
     const uint8_t verdict = payload[8];
@@ -206,6 +237,7 @@ decode_response(MsgType type, const uint8_t* payload, size_t size)
         response.stages.batch_wait_ns = get_u64(payload + 26);
         response.stages.engine_ns = get_u64(payload + 34);
         response.stages.link_ns = get_u64(payload + 42);
+        response.result.conflict_cid = get_u64(payload + 50);
         response.has_stages = true;
     }
     return response;
@@ -235,7 +267,7 @@ FrameReader::next(bool* malformed)
     const uint8_t type = head[4];
     if (len > kMaxPayloadBytes ||
         type < static_cast<uint8_t>(MsgType::kRequest) ||
-        type > static_cast<uint8_t>(MsgType::kStatsReply)) {
+        type > static_cast<uint8_t>(MsgType::kDumpReply)) {
         if (malformed != nullptr) *malformed = true;
         return std::nullopt;
     }

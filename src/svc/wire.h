@@ -20,17 +20,24 @@
 ///                 | u64 reads[n_reads] | u64 writes[n_writes]
 ///   response   := u64 request_id | u8 verdict | u8 reason | u64 cid
 ///   response2  := response | u64 server_queue_ns | u64 batch_wait_ns
-///                 | u64 engine_ns | u64 link_ns
+///                 | u64 engine_ns | u64 link_ns | u64 conflict_cid
 ///   stats      := (empty)
 ///   statsreply := raw JSON bytes (a Registry snapshot)
+///   topk       := (empty)
+///   topkreply  := raw JSON bytes (the router's conflict top-K table)
+///   dump       := (empty)
+///   dumpreply  := raw JSON bytes ({"ok": bool, "path"|"error": str})
 ///
 /// Versioning: v1 frames (kRequest/kResponse) remain fully supported —
 /// a pre-trace-context client keeps working against a v2 server, which
 /// mirrors the request's version in its response so old decoders never
 /// see a frame type they don't know. v2 adds the trace context
 /// (trace_id/parent_span_id, 0 = none) used to flow-link client and
-/// server spans across the process boundary, and the per-stage
-/// server-side timing breakdown (StageTimestamps) in the response.
+/// server spans across the process boundary, the per-stage server-side
+/// timing breakdown (StageTimestamps) in the response, and the abort
+/// provenance field (conflict_cid — the committed transaction a
+/// kAbortCycle verdict collided with; core::kNoConflictCid when the
+/// abort names no commit or the frame is v1).
 ///
 /// deadline_ns is *relative* to server arrival (0 = none): processes on
 /// the same host share the monotonic clock, but a relative deadline
@@ -69,6 +76,10 @@ enum class MsgType : uint8_t
     kResponseV2 = 4, ///< response + StageTimestamps
     kStats = 5,      ///< metrics-snapshot request (empty payload)
     kStatsReply = 6, ///< metrics-snapshot reply (raw JSON payload)
+    kTopK = 7,       ///< conflict top-K request (empty payload)
+    kTopKReply = 8,  ///< conflict top-K reply (raw JSON payload)
+    kDump = 9,       ///< flight-recorder dump request (empty payload)
+    kDumpReply = 10, ///< dump reply (raw JSON: ok + path or error)
 };
 
 /// Fixed header preceding every payload.
@@ -104,7 +115,7 @@ struct StageTimestamps
 /// Encoded size of one v2 response frame (fixed-size payload + header)
 /// — the unit the server's outbound-buffer cap is expressed in.
 inline constexpr size_t kResponseFrameBytes =
-    kFrameHeaderBytes + 8 + 1 + 1 + 8 + 4 * 8;
+    kFrameHeaderBytes + 8 + 1 + 1 + 8 + 5 * 8;
 
 /// A decoded request frame.
 struct WireRequest
@@ -149,6 +160,18 @@ void encode_stats_request(std::vector<uint8_t>& out);
 
 /// Append one encoded kStatsReply frame carrying @p json to @p out.
 void encode_stats_reply(std::vector<uint8_t>& out, std::string_view json);
+
+/// Append one encoded kTopK frame (empty payload) to @p out.
+void encode_topk_request(std::vector<uint8_t>& out);
+
+/// Append one encoded kTopKReply frame carrying @p json to @p out.
+void encode_topk_reply(std::vector<uint8_t>& out, std::string_view json);
+
+/// Append one encoded kDump frame (empty payload) to @p out.
+void encode_dump_request(std::vector<uint8_t>& out);
+
+/// Append one encoded kDumpReply frame carrying @p json to @p out.
+void encode_dump_reply(std::vector<uint8_t>& out, std::string_view json);
 
 /// Decode a request payload (the bytes after the frame header).
 /// @p type selects the v1 or v2 layout; other types yield nullopt.

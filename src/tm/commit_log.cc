@@ -69,4 +69,29 @@ CommitLog::collect(uint64_t from, uint64_t to,
     return true;
 }
 
+uint64_t
+CommitLog::find_conflicting(uint64_t from, uint64_t to, uint64_t addr) const
+{
+    // Newest-first: with several candidate writers, the latest commit is
+    // the one whose update actually broke the snapshot. Entries whose
+    // ring slot was reused (tag mismatch) are skipped, which also
+    // bounds the scan to one ring revolution of live entries.
+    for (uint64_t ts = to; ts > from; --ts) {
+        const uint64_t cid = ts - 1;
+        const Entry& entry = entries_[cid & (entries_.size() - 1)];
+        if (entry.tag.load(std::memory_order_seq_cst) != cid) continue;
+        bool hit = true;
+        for (unsigned i = 0; i < config_->k() && hit; ++i) {
+            const uint64_t bit = config_->bit_index(addr, i);
+            const uint64_t word =
+                entry.words[bit / 64].load(std::memory_order_relaxed);
+            hit = (word >> (bit % 64)) & 1;
+        }
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (entry.tag.load(std::memory_order_seq_cst) != cid) continue;
+        if (hit) return cid;
+    }
+    return core::kNoConflictCid;
+}
+
 } // namespace rococo::tm

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/sliding_window.h"
 #include "sig/bloom_signature.h"
 
 namespace rococo::tm {
@@ -50,6 +51,14 @@ class CommitLog
     /// stale) — the caller must abort.
     bool collect(uint64_t from, uint64_t to,
                  sig::BloomSignature& out) const;
+
+    /// Abort provenance: the newest commit in [from, to) whose write
+    /// signature may contain @p addr, or core::kNoConflictCid when none
+    /// does (or the candidates were already overwritten). Best-effort —
+    /// bloom positives can misattribute within the range, and the scan
+    /// runs only on the abort path, never on loads that succeed.
+    uint64_t find_conflicting(uint64_t from, uint64_t to,
+                              uint64_t addr) const;
 
     size_t capacity() const { return entries_.size(); }
 

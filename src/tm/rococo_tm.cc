@@ -86,6 +86,7 @@ class RococoTm::TxImpl final : public Tx
 
             const uint64_t gts = rt_.commit_log_.global_ts();
             if (d_.local_ts < gts) {
+                const uint64_t prev_local = d_.local_ts;
                 // Snapshot extension (lines 9-13): union the write
                 // signatures of commits [LocalTS, GlobalTS).
                 d_.temp_set.clear();
@@ -113,8 +114,7 @@ class RococoTm::TxImpl final : public Tx
                     // vintage is ambiguous; re-read with the advanced
                     // snapshot (or abort if the snapshot is broken).
                     if (d_.miss_active && d_.miss_set.query(addr)) {
-                        abort_tx(stat::kEagerAborts,
-                                 obs::AbortReason::kEagerConflict);
+                        abort_eager_conflict(prev_local, gts, addr);
                     }
                     continue;
                 }
@@ -122,8 +122,7 @@ class RococoTm::TxImpl final : public Tx
             if (d_.miss_active && d_.miss_set.query(addr)) {
                 // Reading an address in the miss set: no consistent
                 // snapshot exists (Fig. 8 (d)).
-                abort_tx(stat::kEagerAborts,
-                         obs::AbortReason::kEagerConflict);
+                abort_eager_conflict(d_.valid_ts, d_.local_ts, addr);
             }
             break;
         }
@@ -155,6 +154,21 @@ class RococoTm::TxImpl final : public Tx
         throw TxAbortException{};
     }
 
+    /// kEagerConflict abort with provenance: name the commit in
+    /// [from, to) whose write signature covers @p addr (the update that
+    /// broke the snapshot). Abort path only — successful loads never
+    /// scan.
+    [[noreturn]] void
+    abort_eager_conflict(uint64_t from, uint64_t to, uint64_t addr)
+    {
+        d_.last_conflict_cid =
+            rt_.commit_log_.find_conflicting(from, to, addr);
+        if (d_.last_conflict_cid != core::kNoConflictCid) {
+            d_.stats.bump(stat::kConflictAttributed);
+        }
+        abort_tx(stat::kEagerAborts, obs::AbortReason::kEagerConflict);
+    }
+
     RococoTm& rt_;
     TxDescriptor& d_;
 };
@@ -166,6 +180,41 @@ RococoTm::RococoTm(const RococoTmConfig& config)
       update_set_(sig_config_, config.max_threads),
       descriptors_(config.max_threads)
 {
+    if (config_.recorder.enabled) {
+        obs::FlightRecorderConfig rec = config_.recorder;
+        if (rec.abort_counters.empty()) rec.abort_counters = {stat::kAborts};
+        if (rec.total_counters.empty()) {
+            rec.total_counters = {stat::kCommits, stat::kAborts};
+        }
+        // Every worker thread writes spans here — a trace-including
+        // dump would race the rings (see obs/flight_recorder.h).
+        rec.include_trace = false;
+        recorder_ = std::make_unique<obs::FlightRecorder>(
+            std::move(rec), [this](obs::Registry& out) {
+                out.merge(registry_);
+                {
+                    // Live view: fold in the per-thread registries that
+                    // have not reached thread_fini yet (their counters
+                    // are atomic; merge reads them concurrently).
+                    std::lock_guard<std::mutex> lock(descriptor_mutex_);
+                    for (const auto& d : descriptors_) {
+                        if (d) out.merge(d->stats);
+                    }
+                }
+                backend_->export_metrics(out);
+            });
+        if (auto* pipeline =
+                dynamic_cast<fpga::ValidationPipeline*>(backend_.get())) {
+            pipeline->attach_flight_recorder(recorder_.get());
+            recorder_->set_topk_source([pipeline](std::string* out) {
+                pipeline->topk_json(out);
+            });
+        } else if (auto* router =
+                       dynamic_cast<shard::ShardRouter*>(backend_.get())) {
+            recorder_->set_topk_source(
+                [router](std::string* out) { router->topk_json(out); });
+        }
+    }
 }
 
 RococoTm::~RococoTm()
@@ -182,9 +231,12 @@ void
 RococoTm::thread_init(unsigned thread_id)
 {
     ROCOCO_CHECK(thread_id < config_.max_threads);
-    if (!descriptors_[thread_id]) {
-        descriptors_[thread_id] =
-            std::make_unique<TxDescriptor>(sig_config_, thread_id);
+    {
+        std::lock_guard<std::mutex> lock(descriptor_mutex_);
+        if (!descriptors_[thread_id]) {
+            descriptors_[thread_id] =
+                std::make_unique<TxDescriptor>(sig_config_, thread_id);
+        }
     }
     tls_thread_id = thread_id;
 }
@@ -245,6 +297,9 @@ RococoTm::try_execute(const std::function<void(Tx&)>& body)
 bool
 RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
 {
+    // One recorder tick per attempt: cheap when no sample is due, and
+    // try_lock inside keeps concurrent workers from contending.
+    if (recorder_) recorder_->tick(obs::now_ns());
     d.reset(commit_log_.global_ts());
     TxImpl tx(*this, d);
 
@@ -295,6 +350,13 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
         d.last_abort = verdict.reason == obs::AbortReason::kNone
                            ? obs::AbortReason::kUnknown
                            : verdict.reason;
+        // Abort provenance shipped with the verdict: the committed cid
+        // this attempt collided with (engine-local, wire or sharded —
+        // all carry it in ValidationResult::conflict_cid).
+        d.last_conflict_cid = verdict.conflict_cid;
+        if (verdict.conflict_cid != core::kNoConflictCid) {
+            d.stats.bump(stat::kConflictAttributed);
+        }
         d.stats.bump(stat::kAborts);
         d.stats.bump(stat::kValidationAborts);
         switch (verdict.verdict) {
@@ -349,6 +411,15 @@ RococoTm::last_abort_reason() const
         return obs::AbortReason::kUnknown;
     }
     return descriptors_[tls_thread_id]->last_abort;
+}
+
+uint64_t
+RococoTm::last_conflict_cid() const
+{
+    if (tls_thread_id == ~0u || !descriptors_[tls_thread_id]) {
+        return core::kNoConflictCid;
+    }
+    return descriptors_[tls_thread_id]->last_conflict_cid;
 }
 
 } // namespace rococo::tm

@@ -28,6 +28,7 @@
 
 #include "fpga/validation_backend.h"
 #include "fpga/validation_pipeline.h"
+#include "obs/flight_recorder.h"
 #include "tm/commit_log.h"
 #include "tm/tm.h"
 #include "tm/tx_descriptor.h"
@@ -70,6 +71,13 @@ struct RococoTmConfig
     /// is safe precisely because the attempt aborts (never
     /// half-commits).
     uint64_t validation_timeout_ns = 0;
+    /// Flight recorder (obs/flight_recorder.h). recorder.enabled = true
+    /// makes the runtime own one, ticked once per finished attempt;
+    /// empty watch lists default to the TM series (aborts / commits +
+    /// aborts). recorder.include_trace stays unsafe here — every worker
+    /// thread writes spans, so leave it false (the runtime forces it
+    /// off).
+    obs::FlightRecorderConfig recorder;
 };
 
 class RococoTm final : public TmRuntime
@@ -87,6 +95,15 @@ class RococoTm final : public TmRuntime
 
     /// Typed cause of the calling thread's most recent abort.
     obs::AbortReason last_abort_reason() const override;
+
+    /// Abort provenance: the committed cid the calling thread's most
+    /// recent abort collided with, or core::kNoConflictCid. Meaningful
+    /// under the same contract as last_abort_reason().
+    uint64_t last_conflict_cid() const;
+
+    /// The runtime's flight recorder, or nullptr when
+    /// RococoTmConfig::recorder.enabled is false (manual dumps, tests).
+    obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
 
     /// Validation-backend verdict counters (the dotted line of
     /// Fig. 10); pipeline- or client-side depending on config.
@@ -120,7 +137,15 @@ class RococoTm final : public TmRuntime
     std::shared_mutex gate_;
 
     obs::Registry registry_; ///< merged per-thread metrics (thread-safe)
+    /// Guards descriptor creation vs. the recorder's collector, which
+    /// walks descriptors_ mid-run to fold in live per-thread counters.
+    mutable std::mutex descriptor_mutex_;
     std::vector<std::unique_ptr<TxDescriptor>> descriptors_;
+
+    /// Present iff config_.recorder.enabled; ticked per attempt by
+    /// whichever worker finishes one (try_lock inside keeps them from
+    /// contending).
+    std::unique_ptr<obs::FlightRecorder> recorder_;
 };
 
 } // namespace rococo::tm

@@ -163,6 +163,8 @@ inline constexpr const char* kFallbackCommits = "fallback_commits";
 inline constexpr const char* kStaleAborts = "stale_aborts";
 inline constexpr const char* kTimeoutAborts = "timeout_aborts";
 inline constexpr const char* kRejectedAborts = "rejected_aborts";
+/// Aborts whose conflicting commit was identified (provenance).
+inline constexpr const char* kConflictAttributed = "conflict_attributed";
 } // namespace stat
 
 /// Abstract TM runtime. Thread lifecycle: each worker thread calls

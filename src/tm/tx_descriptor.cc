@@ -22,6 +22,7 @@ TxDescriptor::reset(uint64_t now_ts)
     temp_set.clear();
     user_retry = false;
     last_abort = obs::AbortReason::kNone;
+    last_conflict_cid = core::kNoConflictCid;
 }
 
 } // namespace rococo::tm

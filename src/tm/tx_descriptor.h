@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/sliding_window.h"
 #include "obs/abort_reason.h"
 #include "obs/registry.h"
 #include "sig/bloom_signature.h"
@@ -57,6 +58,12 @@ struct TxDescriptor
     /// Typed cause of the most recent abort of this attempt (kNone
     /// after reset and on commit); drives the per-reason telemetry.
     obs::AbortReason last_abort = obs::AbortReason::kNone;
+
+    /// Abort provenance: the committed cid the most recent abort
+    /// collided with — from the validation verdict (kValidationCycle /
+    /// kCrossShardFence) or a commit-log scan (kEagerConflict).
+    /// core::kNoConflictCid when the abort names no commit.
+    uint64_t last_conflict_cid = core::kNoConflictCid;
 
     /// Thread-local metrics, merged into the runtime's registry at
     /// thread_fini (counters carry the legacy stat:: names so the

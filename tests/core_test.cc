@@ -191,6 +191,65 @@ TEST(SlidingWindowValidator, WindowOverflowAbortsStaleDependency)
     EXPECT_EQ(v.validate_and_commit(fresh).verdict, Verdict::kCommit);
 }
 
+TEST(SlidingWindowValidator, AttributesTheConflictingCommit)
+{
+    SlidingWindowValidator v(8);
+    for (uint64_t i = 0; i < 3; ++i) {
+        const auto r = v.validate_and_commit({});
+        ASSERT_EQ(r.verdict, Verdict::kCommit);
+        // Commits never name a conflict.
+        EXPECT_EQ(r.conflict_cid, kNoConflictCid);
+    }
+    // t both precedes and follows cid 1: a direct cycle whose witness
+    // is exactly that commit.
+    ValidationRequest cyc;
+    cyc.forward = {1};
+    cyc.backward = {1};
+    const ValidationResult r = v.validate_and_commit(cyc);
+    ASSERT_EQ(r.verdict, Verdict::kAbortCycle);
+    EXPECT_EQ(r.conflict_cid, 1u);
+    // The abort committed nothing; the window is unchanged.
+    EXPECT_EQ(v.next_cid(), 3u);
+}
+
+TEST(SlidingWindowValidator, AttributesTransitiveCycles)
+{
+    // Chain 0 -> 1 -> 2 inside the window, then close the loop
+    // transitively: t -> 0 and 2 -> t. The witness must be one of the
+    // commits on the cycle (the exact pick is the probe's first hit).
+    SlidingWindowValidator v(8);
+    ASSERT_EQ(v.validate_and_commit({}).verdict, Verdict::kCommit);
+    ValidationRequest after0;
+    after0.backward = {0};
+    ASSERT_EQ(v.validate_and_commit(after0).verdict, Verdict::kCommit);
+    ValidationRequest after1;
+    after1.backward = {1};
+    ASSERT_EQ(v.validate_and_commit(after1).verdict, Verdict::kCommit);
+
+    ValidationRequest loop;
+    loop.forward = {0};
+    loop.backward = {2};
+    const ValidationResult r = v.validate_and_commit(loop);
+    ASSERT_EQ(r.verdict, Verdict::kAbortCycle);
+    EXPECT_NE(r.conflict_cid, kNoConflictCid);
+    EXPECT_LT(r.conflict_cid, 3u);
+}
+
+TEST(SlidingWindowValidator, OverflowLeavesTheConflictSentinel)
+{
+    SlidingWindowValidator v(4);
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_EQ(v.validate_and_commit({}).verdict, Verdict::kCommit);
+    }
+    ValidationRequest stale;
+    stale.backward = {1}; // evicted
+    const ValidationResult r = v.validate_and_commit(stale);
+    ASSERT_EQ(r.verdict, Verdict::kWindowOverflow);
+    // Overflow cannot name the evicted commit it depends on — the
+    // window no longer knows it; provenance stays unattributed.
+    EXPECT_EQ(r.conflict_cid, kNoConflictCid);
+}
+
 TEST(SlidingWindowValidator, ValidateOnlyDoesNotCommit)
 {
     SlidingWindowValidator v(8);

@@ -13,6 +13,7 @@
 #include "fpga/resource_model.h"
 #include "fpga/validation_engine.h"
 #include "fpga/validation_pipeline.h"
+#include "obs/topk.h"
 
 namespace rococo::fpga {
 namespace {
@@ -147,6 +148,67 @@ TEST(Engine, EndToEndCommitAndAbort)
     EXPECT_EQ(engine.process(t2).verdict, core::Verdict::kCommit);
     EXPECT_EQ(engine.stats().get("commit"), 2u);
     EXPECT_EQ(engine.stats().get("abort-cycle"), 1u);
+}
+
+TEST(Engine, AttributesConflictCidOnCycleAbort)
+{
+    // The deterministic conflict trace of the provenance contract:
+    // cid 0 writes address 1; the victim read the old version of 1 and
+    // writes it back (lost update). The abort must name cid 0.
+    ValidationEngine engine;
+    OffloadRequest t0{{}, {1}, 0};
+    const core::ValidationResult committed = engine.process(t0);
+    ASSERT_EQ(committed.verdict, core::Verdict::kCommit);
+    ASSERT_EQ(committed.cid, 0u);
+    EXPECT_EQ(committed.conflict_cid, core::kNoConflictCid);
+
+    OffloadRequest victim{{1}, {1}, 0};
+    const core::ValidationResult aborted = engine.process(victim);
+    ASSERT_EQ(aborted.verdict, core::Verdict::kAbortCycle);
+    EXPECT_EQ(aborted.conflict_cid, 0u);
+
+    // An unrelated transaction keeps committing with the sentinel.
+    OffloadRequest t2{{1}, {2}, 1};
+    const core::ValidationResult after = engine.process(t2);
+    ASSERT_EQ(after.verdict, core::Verdict::kCommit);
+    EXPECT_EQ(after.conflict_cid, core::kNoConflictCid);
+}
+
+TEST(Engine, FeedsConflictTopKFromTheAbortPath)
+{
+    ValidationEngine engine;
+    OffloadRequest writer{{}, {7}, 0};
+    ASSERT_EQ(engine.process(writer).verdict, core::Verdict::kCommit);
+    for (int i = 0; i < 10; ++i) {
+        OffloadRequest victim{{7}, {7}, 0};
+        ASSERT_EQ(engine.process(victim).verdict,
+                  core::Verdict::kAbortCycle);
+    }
+#ifndef ROCOCO_FORENSICS_OFF
+    // Every sampled cycle abort offered its conflicting addresses; 7
+    // must dominate the sketch.
+    const obs::TopK& topk = engine.conflict_topk();
+    EXPECT_GT(topk.offered(), 0u);
+    obs::TopK::Entry top[obs::TopK::kCapacity];
+    const size_t n = topk.snapshot(top, obs::TopK::kCapacity);
+    ASSERT_GE(n, 1u);
+    EXPECT_EQ(top[0].key, 7u);
+#else
+    EXPECT_EQ(engine.conflict_topk().offered(), 0u);
+#endif
+}
+
+TEST(Engine, ForensicsSampleZeroDisablesTheTopKFeed)
+{
+    EngineConfig config;
+    config.forensics_sample = 0;
+    ValidationEngine engine(config);
+    OffloadRequest writer{{}, {7}, 0};
+    ASSERT_EQ(engine.process(writer).verdict, core::Verdict::kCommit);
+    OffloadRequest victim{{7}, {7}, 0};
+    ASSERT_EQ(engine.process(victim).verdict,
+              core::Verdict::kAbortCycle);
+    EXPECT_EQ(engine.conflict_topk().offered(), 0u);
 }
 
 TEST(Engine, ReadOnlyFastPath)

@@ -167,5 +167,59 @@ TEST(HotPathAllocation, PipelineValidateSteadyStateIsAllocationFree)
         << "pipeline.validate() allocated on the steady-state path";
 }
 
+/// Conflicting workload: each round a writer commits a hot key, then a
+/// victim re-reads and re-writes the same key behind a snapshot that
+/// does not see that commit — a guaranteed cycle abort, every round,
+/// that stays inside the sliding window forever. The abort path —
+/// conflict-cid attribution walking window slots plus the top-K
+/// forensics feed (at its default sample-every-abort rate, sketch
+/// saturated on the 8-key hot set) — must be as allocation-free as the
+/// commit path.
+TEST(HotPathAllocation, AbortPathWithForensicsIsAllocationFree)
+{
+    fpga::ValidationEngine engine;
+
+    // One writer-commit + victim-abort round on hot key (i % 8).
+    // Returns the abort's conflict_cid for provenance checks.
+    const auto round = [&engine](uint64_t i) -> uint64_t {
+        fpga::OffloadRequest writer;
+        writer.writes.push_back(i % 8);
+        writer.snapshot_cid = ~uint64_t{0} >> 1; // current: commits
+        const auto committed = engine.process(writer);
+        EXPECT_EQ(committed.verdict, core::Verdict::kCommit);
+
+        fpga::OffloadRequest victim;
+        victim.reads.push_back(i % 8);
+        victim.writes.push_back(i % 8);
+        victim.snapshot_cid = committed.cid; // does not see the writer
+        const auto aborted = engine.process(victim);
+        EXPECT_EQ(aborted.verdict, core::Verdict::kAbortCycle);
+        EXPECT_EQ(aborted.conflict_cid, committed.cid)
+            << "cycle abort lost its provenance";
+        return aborted.conflict_cid;
+    };
+
+    uint64_t i = 0;
+    // Warmup: window churned past capacity, top-K sketch saturated,
+    // abort-reason counters interned.
+    for (; i < 128; ++i) {
+        round(i);
+        if (testing::Test::HasFailure()) return;
+    }
+
+    const uint64_t before = allocations();
+    for (const uint64_t end = i + 500; i < end; ++i) {
+        round(i);
+        if (testing::Test::HasFailure()) return;
+    }
+    EXPECT_EQ(allocations() - before, 0u)
+        << "abort attribution or the top-K feed allocated on the "
+           "steady-state path";
+#ifndef ROCOCO_FORENSICS_OFF
+    EXPECT_GT(engine.conflict_topk().offered(), 0u)
+        << "forensics feed never ran despite aborts";
+#endif
+}
+
 } // namespace
 } // namespace rococo

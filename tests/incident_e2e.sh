@@ -1,0 +1,100 @@
+#!/bin/sh
+# Conflict-forensics end-to-end: a loadgen-hosted server with the
+# flight recorder armed, pumping a planted hot-key workload whose
+# near-total abort rate must fire the abort-rate trigger.
+#
+#   $1 = path to svc_loadgen   $2 = path to svcctl
+#   $3 = incident file prefix (files written as "$3-<seq>.json")
+#   $4... = optional checker command (python3 check_trace_json.py);
+#           when given, every incident file must validate --incident.
+#
+# While the sweep runs: `svcctl top` must surface the planted hot set,
+# and `svcctl dump` must write a manual incident and report its path.
+# The loadgen's own exit status then proves two more things: the
+# accounting ledger balanced AND the threshold trigger actually fired
+# (it fails when "<prefix>-1.json" never appeared).
+set -u
+
+LOADGEN="$1"
+SVCCTL="$2"
+PREFIX="$3"
+shift 3
+
+SOCK="/tmp/incident_e2e_$$.sock"
+rm -f "$PREFIX"-*.json
+
+"$LOADGEN" --clients=2 --batch=8 --requests=400000 --hot-keys=8 \
+    --socket="$SOCK" --recorder-out="$PREFIX" --abort-rate-trigger=0.5 \
+    > /dev/null 2>&1 &
+LOADGEN_PID=$!
+trap 'kill "$LOADGEN_PID" 2>/dev/null; rm -f "$SOCK"' EXIT
+
+tries=0
+while [ ! -S "$SOCK" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "incident_e2e: server socket never appeared" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+
+# The hot set is the 8 keys [0,8): the top-K sketch must surface them
+# once the first conflicts land (poll — the sweep just started).
+tries=0
+until "$SVCCTL" --socket="$SOCK" top --json | grep -q '"key": [0-7]'; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "incident_e2e: top never surfaced the planted hot keys" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+"$SVCCTL" --socket="$SOCK" top | grep -q 'key' || {
+    echo "incident_e2e: top table form failed" >&2
+    exit 1
+}
+
+# Manual dump against the armed recorder: ok + a real file.
+DUMP_REPLY=$("$SVCCTL" --socket="$SOCK" dump) || {
+    echo "incident_e2e: dump exited nonzero against an armed recorder" >&2
+    exit 1
+}
+echo "$DUMP_REPLY" | grep -q '"ok": true' || {
+    echo "incident_e2e: dump reply was not ok: $DUMP_REPLY" >&2
+    exit 1
+}
+
+# Sweep end: accounting balanced and the abort-rate trigger fired.
+wait "$LOADGEN_PID"
+status=$?
+trap - EXIT
+rm -f "$SOCK"
+if [ "$status" -ne 0 ]; then
+    echo "incident_e2e: loadgen failed (accounting or missing trigger dump)" >&2
+    exit 1
+fi
+
+# Both provenances must exist on disk: the threshold-triggered dump and
+# the manual one.
+TRIGGERED=$(grep -l '"trigger": "abort-rate"' "$PREFIX"-*.json | head -n 1)
+if [ -z "$TRIGGERED" ]; then
+    echo "incident_e2e: no abort-rate-triggered incident file" >&2
+    exit 1
+fi
+MANUAL=$(grep -l '"trigger": "manual"' "$PREFIX"-*.json | head -n 1)
+if [ -z "$MANUAL" ]; then
+    echo "incident_e2e: no manual incident file" >&2
+    exit 1
+fi
+
+# Schema-validate every incident the run produced.
+if [ "$#" -gt 0 ]; then
+    for file in "$PREFIX"-*.json; do
+        "$@" "$file" --incident || {
+            echo "incident_e2e: $file failed incident validation" >&2
+            exit 1
+        }
+    done
+fi
+echo "incident_e2e: OK ($TRIGGERED, $MANUAL)"

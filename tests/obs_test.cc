@@ -10,6 +10,7 @@
 /// tracer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "obs/abort_reason.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/telemetry.h"
 #include "obs/tracer.h"
@@ -189,6 +191,54 @@ TEST(Registry, CounterBagRoundTripSkipsZeros)
     EXPECT_EQ(out.get("aborts"), 3u);
     EXPECT_EQ(out.get("commits"), 5u);
     EXPECT_EQ(out.counters().count("untouched"), 0u);
+}
+
+TEST(Registry, ConcurrentExportWhileWritersActive)
+{
+    // The flight-recorder / kStats pattern: one thread repeatedly
+    // exports (to_json + merge into a scratch registry) while writer
+    // threads keep bumping counters, recording histograms and setting
+    // gauges. Nothing to assert beyond "no crash, no torn registry" —
+    // under TSan this is the data-race check for the registry's
+    // internal locking.
+    Registry registry;
+    std::atomic<bool> stop{false};
+    constexpr int kWriters = 4;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&, t] {
+            Counter& hits = registry.counter("stress.hits");
+            LatencyHistogram& lat = registry.histogram("stress.lat");
+            uint64_t i = 0;
+            // do-while: at least one write per thread even if the
+            // exporter finishes its rounds before we are scheduled.
+            do {
+                hits.add(1);
+                lat.record(64 + i % 4096);
+                registry.gauge("stress.depth")
+                    .set(static_cast<double>(t));
+                // New names mid-flight: the map itself is contended,
+                // not just the values.
+                if (i % 1024 == 0) {
+                    registry.counter("stress.dyn." +
+                                     std::to_string(i % 8));
+                }
+                ++i;
+            } while (!stop.load(std::memory_order_relaxed));
+        });
+    }
+    Registry scratch;
+    for (int round = 0; round < 200; ++round) {
+        std::ostringstream out;
+        registry.to_json(out);
+        EXPECT_TRUE(json_well_formed(out.str()));
+        scratch.reset();
+        scratch.merge(registry);
+        EXPECT_GE(scratch.get("stress.hits"), 0u);
+    }
+    stop.store(true);
+    for (auto& writer : writers) writer.join();
+    EXPECT_GT(registry.get("stress.hits"), 0u);
 }
 
 TEST(Registry, JsonAndCsvExportAreWellFormed)
@@ -434,6 +484,228 @@ TEST(TelemetrySession, WritesCombinedFileAndGatesGlobalState)
     EXPECT_NE(text.find("session.span"), std::string::npos);
 #endif
     std::remove(path.c_str());
+}
+
+std::string
+read_file(const std::string& path)
+{
+    std::ifstream in(path);
+    std::stringstream content;
+    content << in.rdbuf();
+    return content.str();
+}
+
+/// Count occurrences of @p needle in @p text.
+size_t
+count_of(const std::string& text, const std::string& needle)
+{
+    size_t n = 0;
+    for (size_t at = text.find(needle); at != std::string::npos;
+         at = text.find(needle, at + 1)) {
+        ++n;
+    }
+    return n;
+}
+
+TEST(FlightRecorder, ManualDumpWritesNumberedIncidentFiles)
+{
+    const std::string prefix = testing::TempDir() + "fr_manual";
+    Registry source;
+    source.bump("aborts", 3);
+    FlightRecorderConfig config;
+    config.output_prefix = prefix;
+    config.abort_counters = {"aborts"};
+    FlightRecorder recorder(config,
+                            [&](Registry& out) { out.merge(source); });
+
+    const std::string first = recorder.dump("manual");
+    EXPECT_EQ(first, prefix + "-1.json");
+    const std::string second = recorder.dump("manual");
+    EXPECT_EQ(second, prefix + "-2.json");
+    EXPECT_EQ(recorder.dumps(), 2u);
+    EXPECT_EQ(recorder.last_dump_path(), second);
+
+    const std::string text = read_file(first);
+    EXPECT_TRUE(json_well_formed(text)) << text;
+    EXPECT_NE(text.find("\"trigger\": \"manual\""), std::string::npos);
+    EXPECT_NE(text.find("\"seq\": 1"), std::string::npos);
+    EXPECT_NE(text.find("\"aborts\": 3"), std::string::npos);
+    // No topk source and no tracer: the stubs keep the schema whole.
+    EXPECT_NE(text.find("\"topk\": {\"shards\": []}"), std::string::npos);
+    EXPECT_NE(text.find("\"traceEvents\": []"), std::string::npos);
+    std::remove(first.c_str());
+    std::remove(second.c_str());
+}
+
+TEST(FlightRecorder, TickSamplesOnlyWhenDue)
+{
+    FlightRecorderConfig config;
+    config.sample_period_ns = 1000;
+    FlightRecorder recorder(config, {});
+    recorder.tick(500);
+    EXPECT_EQ(recorder.samples_taken(), 0u);
+    recorder.tick(1000);
+    EXPECT_EQ(recorder.samples_taken(), 1u);
+    recorder.tick(1500); // only 500 ns since the last sample
+    EXPECT_EQ(recorder.samples_taken(), 1u);
+    recorder.tick(2100);
+    EXPECT_EQ(recorder.samples_taken(), 2u);
+}
+
+TEST(FlightRecorder, AbortRateTriggerFiresOnDeltaAndCooldownHolds)
+{
+    const std::string prefix = testing::TempDir() + "fr_rate";
+    Registry source;
+    FlightRecorderConfig config;
+    config.output_prefix = prefix;
+    config.sample_period_ns = 1000;
+    config.abort_counters = {"aborts"};
+    config.total_counters = {"total"};
+    config.abort_rate_threshold = 0.5;
+    config.min_delta_total = 16;
+    config.cooldown_ns = ~uint64_t{0} >> 1;
+    FlightRecorder recorder(config,
+                            [&](Registry& out) { out.merge(source); });
+
+    recorder.tick(1000); // baseline sample: no previous, rate 0
+    EXPECT_EQ(recorder.dumps(), 0u);
+
+    // A genuine spike: 90 aborts out of 100 new requests.
+    source.bump("total", 100);
+    source.bump("aborts", 90);
+    recorder.tick(2000);
+    EXPECT_EQ(recorder.dumps(), 1u);
+    const std::string path = recorder.last_dump_path();
+    EXPECT_EQ(path, prefix + "-1.json");
+    const std::string text = read_file(path);
+    EXPECT_TRUE(json_well_formed(text)) << text;
+    EXPECT_NE(text.find("\"trigger\": \"abort-rate\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"abort_rate\": 0.9"), std::string::npos);
+
+    // Same spike again: the cooldown keeps the recorder from spamming
+    // incident files while the system is still on fire.
+    source.bump("total", 100);
+    source.bump("aborts", 90);
+    recorder.tick(3000);
+    EXPECT_EQ(recorder.dumps(), 1u);
+
+    // A delta below min_delta_total must never fire: one abort in two
+    // requests is 50% but not a spike.
+    std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, MinDeltaTotalGuardsAgainstIdleBlips)
+{
+    Registry source;
+    FlightRecorderConfig config;
+    config.output_prefix = testing::TempDir() + "fr_blip";
+    config.sample_period_ns = 1000;
+    config.abort_counters = {"aborts"};
+    config.total_counters = {"total"};
+    config.abort_rate_threshold = 0.5;
+    config.min_delta_total = 16;
+    FlightRecorder recorder(config,
+                            [&](Registry& out) { out.merge(source); });
+    recorder.tick(1000);
+    source.bump("total", 2);
+    source.bump("aborts", 2); // 100% of a 2-request delta
+    recorder.tick(2000);
+    EXPECT_EQ(recorder.dumps(), 0u);
+}
+
+TEST(FlightRecorder, P99TriggerAndBoundedRing)
+{
+    const std::string prefix = testing::TempDir() + "fr_p99";
+    Registry source;
+    for (int i = 0; i < 32; ++i) {
+        source.histogram("lat").record(1'000'000);
+    }
+    FlightRecorderConfig config;
+    config.output_prefix = prefix;
+    config.sample_period_ns = 1000;
+    config.ring_capacity = 3;
+    config.watch_histogram = "lat";
+    config.p99_threshold_ns = 10'000;
+    config.cooldown_ns = ~uint64_t{0} >> 1;
+    FlightRecorder recorder(config,
+                            [&](Registry& out) { out.merge(source); });
+
+    for (uint64_t t = 1; t <= 5; ++t) recorder.tick(t * 1000);
+    EXPECT_EQ(recorder.samples_taken(), 5u);
+    // The very first sample clears the p99 threshold.
+    EXPECT_EQ(recorder.dumps(), 1u);
+    std::string text = read_file(recorder.last_dump_path());
+    EXPECT_NE(text.find("\"trigger\": \"p99\""), std::string::npos);
+    std::remove(recorder.last_dump_path().c_str());
+
+    // After 5 samples into a 3-slot ring, a dump carries exactly the
+    // newest 3, in time order.
+    const std::string manual = recorder.dump("manual");
+    text = read_file(manual);
+    EXPECT_TRUE(json_well_formed(text)) << text;
+    EXPECT_EQ(count_of(text, "{\"t_ns\""), 3u) << text;
+    EXPECT_NE(text.find("\"t_ns\": 3000"), std::string::npos);
+    EXPECT_NE(text.find("\"t_ns\": 5000"), std::string::npos);
+    EXPECT_EQ(text.find("\"t_ns\": 1000"), std::string::npos);
+    std::remove(manual.c_str());
+}
+
+TEST(FlightRecorder, TopKSourceIsEmbeddedVerbatim)
+{
+    Registry source;
+    FlightRecorderConfig config;
+    config.output_prefix = testing::TempDir() + "fr_topk";
+    FlightRecorder recorder(config,
+                            [&](Registry& out) { out.merge(source); });
+    recorder.set_topk_source([](std::string* out) {
+        *out = "{\"shards\": [{\"shard\": 0, \"offered\": 7, "
+               "\"entries\": [{\"key\": 42, \"count\": 7, \"error\": "
+               "0}]}]}";
+    });
+    const std::string path = recorder.dump("manual");
+    ASSERT_FALSE(path.empty());
+    const std::string text = read_file(path);
+    EXPECT_TRUE(json_well_formed(text)) << text;
+    EXPECT_NE(text.find("\"key\": 42"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TelemetrySession, StampsMonotonicExportSeqAndDroppedGauge)
+{
+    TracerGuard guard;
+    const std::string path_a = testing::TempDir() + "obs_seq_a.json";
+    const std::string path_b = testing::TempDir() + "obs_seq_b.json";
+    {
+        TelemetrySession session(path_a);
+        EXPECT_TRUE(session.finish());
+    }
+    {
+        TelemetrySession session(path_b);
+        EXPECT_TRUE(session.finish());
+    }
+    auto export_seq = [](const std::string& text) -> long {
+        const size_t at = text.find("\"export_seq\": ");
+        EXPECT_NE(at, std::string::npos) << text;
+        return at == std::string::npos
+                   ? -1
+                   : std::atol(text.c_str() + at + 14);
+    };
+    const std::string text_a = read_file(path_a);
+    const std::string text_b = read_file(path_b);
+    // Strictly increasing within the process, numbered from 1 — the
+    // property merge_trace_json.py uses to reject stale duplicates.
+    const long seq_a = export_seq(text_a);
+    const long seq_b = export_seq(text_b);
+    EXPECT_GE(seq_a, 1);
+    EXPECT_GT(seq_b, seq_a);
+    // The dropped gauge is exported even when zero, so --strict can
+    // tell "no drops" from "nobody measured".
+    EXPECT_NE(text_a.find("\"obs.trace.dropped_total\""),
+              std::string::npos)
+        << text_a;
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
 }
 
 } // namespace

@@ -178,6 +178,7 @@ TEST(Wire, ResponseRoundTripAllVerdictsAndReasons)
             in.request_id = 99;
             in.result = {verdict, 0x123456789abcULL,
                          static_cast<obs::AbortReason>(r)};
+            in.result.conflict_cid = 0xfeedULL;
             in.stages = {11, 22, 33, 44};
             // Both versions must round-trip; only v2 carries the stages.
             for (bool v2 : {false, true}) {
@@ -202,6 +203,13 @@ TEST(Wire, ResponseRoundTripAllVerdictsAndReasons)
                     EXPECT_EQ(out->stages.batch_wait_ns, 22u);
                     EXPECT_EQ(out->stages.engine_ns, 33u);
                     EXPECT_EQ(out->stages.link_ns, 44u);
+                    // v2 carries the abort provenance verbatim...
+                    EXPECT_EQ(out->result.conflict_cid, 0xfeedULL);
+                } else {
+                    // ...v1 has no field for it: decoders must leave
+                    // the sentinel, never garbage.
+                    EXPECT_EQ(out->result.conflict_cid,
+                              core::kNoConflictCid);
                 }
             }
         }
@@ -398,6 +406,158 @@ TEST(SvcClient, CommitsThroughServer)
     EXPECT_EQ(server.stats().get("svc.requests"), 16u);
 }
 
+/// Abort provenance end-to-end: an engine-side cycle abort names the
+/// committed cid it collided with, the v2 wire field carries it to the
+/// client, and the client both surfaces it on the result and counts
+/// the attribution in its own registry.
+TEST(SvcClient, ReceivesConflictProvenanceOverTheWire)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("provenance");
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    ClientConfig client_config;
+    client_config.socket_path = config.socket_path;
+    ValidationClient client(client_config);
+    ASSERT_TRUE(client.connected());
+
+    // A writer of address 1 commits as cid 0; a stale reader+writer of
+    // the same address must abort *because of cid 0*, by name.
+    auto writer = client.validate({{}, {1}, /*snapshot_cid=*/0});
+    ASSERT_EQ(writer.verdict, core::Verdict::kCommit);
+    ASSERT_EQ(writer.cid, 0u);
+    EXPECT_EQ(writer.conflict_cid, core::kNoConflictCid);
+
+    auto victim = client.validate({{1}, {1}, /*snapshot_cid=*/0});
+    ASSERT_EQ(victim.verdict, core::Verdict::kAbortCycle);
+    EXPECT_EQ(victim.conflict_cid, 0u)
+        << "abort did not name the committed cid it collided with";
+
+    obs::Registry exported;
+    client.export_metrics(exported);
+    EXPECT_EQ(
+        exported.counter("svc.client.conflict.attributed").value(), 1u);
+
+    client.stop();
+    server.stop();
+    EXPECT_EQ(server.stats().get("svc.verdict.abort-cycle"), 1u);
+}
+
+/// kTopK is answered inline from the service thread — never queued,
+/// never an engine pass — and returns the per-shard hot-key table that
+/// the abort above fed. A kTopK frame with a payload is malformed.
+TEST(SvcServer, AnswersTopKInline)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("topk");
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    // Plant one conflict on address 1 so the sketch has an entry.
+    ClientConfig client_config;
+    client_config.socket_path = config.socket_path;
+    ValidationClient client(client_config);
+    ASSERT_TRUE(client.connected());
+    ASSERT_EQ(client.validate({{}, {1}, 0}).verdict,
+              core::Verdict::kCommit);
+    ASSERT_EQ(client.validate({{1}, {1}, 0}).verdict,
+              core::Verdict::kAbortCycle);
+    client.stop();
+
+    const int fd = connect_raw(config.socket_path);
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> frame;
+    encode_topk_request(frame);
+    ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+    auto payload = read_frame_of_type(fd, MsgType::kTopKReply);
+    ASSERT_TRUE(payload.has_value()) << "no kTopKReply frame";
+    const std::string json(payload->begin(), payload->end());
+    EXPECT_NE(json.find("\"shards\""), std::string::npos) << json;
+#ifndef ROCOCO_FORENSICS_OFF
+    EXPECT_NE(json.find("\"key\": 1"), std::string::npos) << json;
+#endif
+    close(fd);
+
+    // Payload-bearing kTopK: malformed, disconnect.
+    {
+        const int bad = connect_raw(config.socket_path);
+        ASSERT_GE(bad, 0);
+        const uint8_t junk[kFrameHeaderBytes + 1] = {
+            1, 0, 0, 0, static_cast<uint8_t>(MsgType::kTopK), 0xcc};
+        ASSERT_EQ(send(bad, junk, sizeof(junk), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(sizeof(junk)));
+        uint8_t buf[16];
+        EXPECT_EQ(recv(bad, buf, sizeof(buf), 0), 0)
+            << "not disconnected";
+        close(bad);
+    }
+
+    server.stop();
+    EXPECT_EQ(server.stats().get("svc.topk"), 1u);
+    EXPECT_EQ(server.stats().get("svc.malformed"), 1u);
+    // Introspection sits outside the request ledger.
+    EXPECT_EQ(server.stats().get("svc.requests"), 2u);
+}
+
+/// kDump without a recorder fails softly with a JSON error; with the
+/// recorder enabled it writes a schema-complete incident file and
+/// replies with its path.
+TEST(SvcServer, DumpAnswersInlineAndWritesIncidents)
+{
+    // Disabled recorder: {"ok": false}, connection stays usable.
+    {
+        ServerConfig config;
+        config.socket_path = test_socket_path("dumpoff");
+        Server server(config);
+        ASSERT_TRUE(server.start());
+        const int fd = connect_raw(config.socket_path);
+        ASSERT_GE(fd, 0);
+        std::vector<uint8_t> frame;
+        encode_dump_request(frame);
+        ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(frame.size()));
+        auto payload = read_frame_of_type(fd, MsgType::kDumpReply);
+        ASSERT_TRUE(payload.has_value()) << "no kDumpReply frame";
+        const std::string json(payload->begin(), payload->end());
+        EXPECT_NE(json.find("\"ok\": false"), std::string::npos) << json;
+        EXPECT_NE(json.find("recorder disabled"), std::string::npos)
+            << json;
+        close(fd);
+        server.stop();
+        EXPECT_EQ(server.stats().get("svc.dump"), 1u);
+    }
+    // Enabled recorder: {"ok": true, "path": ...} and the file exists.
+    {
+        const std::string prefix = "/tmp/rococo_svc_test_dump_" +
+                                   std::to_string(getpid());
+        ServerConfig config;
+        config.socket_path = test_socket_path("dumpon");
+        config.recorder.enabled = true;
+        config.recorder.output_prefix = prefix;
+        Server server(config);
+        ASSERT_TRUE(server.start());
+        const int fd = connect_raw(config.socket_path);
+        ASSERT_GE(fd, 0);
+        std::vector<uint8_t> frame;
+        encode_dump_request(frame);
+        ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(frame.size()));
+        auto payload = read_frame_of_type(fd, MsgType::kDumpReply);
+        ASSERT_TRUE(payload.has_value()) << "no kDumpReply frame";
+        const std::string json(payload->begin(), payload->end());
+        EXPECT_NE(json.find("\"ok\": true"), std::string::npos) << json;
+        const std::string expect_path = prefix + "-1.json";
+        EXPECT_NE(json.find(expect_path), std::string::npos) << json;
+        EXPECT_EQ(access(expect_path.c_str(), F_OK), 0)
+            << "incident file missing: " << expect_path;
+        close(fd);
+        server.stop();
+        unlink(expect_path.c_str());
+    }
+}
+
 TEST(SvcServer, ShedsLoadWhenQueueFull)
 {
     ServerConfig config;
@@ -546,12 +706,12 @@ TEST(SvcServer, DisconnectsUnknownOps)
     Server server(config);
     ASSERT_TRUE(server.start());
 
-    // A frame type outside the protocol entirely (7): flagged by the
-    // frame reader itself.
+    // A frame type outside the protocol entirely (11, one past
+    // kDumpReply): flagged by the frame reader itself.
     {
         const int fd = connect_raw(config.socket_path);
         ASSERT_GE(fd, 0);
-        const uint8_t unknown[kFrameHeaderBytes] = {0, 0, 0, 0, 7};
+        const uint8_t unknown[kFrameHeaderBytes] = {0, 0, 0, 0, 11};
         ASSERT_EQ(send(fd, unknown, sizeof(unknown), MSG_NOSIGNAL),
                   static_cast<ssize_t>(sizeof(unknown)));
         uint8_t buf[16];

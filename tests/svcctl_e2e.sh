@@ -45,6 +45,28 @@ done
     exit 1
 }
 
+# Forensics ops answer inline under load. This workload is
+# conflict-free, so top must succeed with the table header either way;
+# the raw JSON form must carry the fixed shards shape.
+"$SVCCTL" --socket="$SOCK" top > /dev/null || {
+    echo "svcctl_e2e: top failed against a live server" >&2
+    exit 1
+}
+"$SVCCTL" --socket="$SOCK" top --json | grep -q '"shards"' || {
+    echo "svcctl_e2e: top --json lacks shards" >&2
+    exit 1
+}
+# This server runs without a flight recorder: dump must fail loudly
+# (exit 1, JSON error) rather than pretend an incident was written.
+if "$SVCCTL" --socket="$SOCK" dump 2>/dev/null | grep -q '"ok": true'; then
+    echo "svcctl_e2e: dump claimed success without a recorder" >&2
+    exit 1
+fi
+if "$SVCCTL" --socket="$SOCK" dump > /dev/null 2>&1; then
+    echo "svcctl_e2e: dump exited 0 without a recorder" >&2
+    exit 1
+fi
+
 # Unknown histogram and usage errors must fail loudly, not silently.
 if "$SVCCTL" --socket="$SOCK" hist no.such.histogram 2>/dev/null; then
     echo "svcctl_e2e: hist accepted an unknown name" >&2

@@ -66,6 +66,14 @@ valid_frames()
     encode_stats_request(frames.back());
     frames.emplace_back();
     encode_stats_reply(frames.back(), "{\"counters\":{}}");
+    frames.emplace_back();
+    encode_topk_request(frames.back());
+    frames.emplace_back();
+    encode_topk_reply(frames.back(), "{\"shards\": []}");
+    frames.emplace_back();
+    encode_dump_request(frames.back());
+    frames.emplace_back();
+    encode_dump_reply(frames.back(), "{\"ok\": false}");
     return frames;
 }
 
@@ -108,6 +116,10 @@ drain(FrameReader& reader, size_t fed_bytes)
             break;
         case MsgType::kStats:
         case MsgType::kStatsReply:
+        case MsgType::kTopK:
+        case MsgType::kTopKReply:
+        case MsgType::kDump:
+        case MsgType::kDumpReply:
             break; // empty / raw JSON payloads; nothing to decode
         }
     }

@@ -23,6 +23,16 @@
 ///       Print the per-shard breakdown of a sharded server
 ///       (validations, aborts, window occupancy per shard, plus the
 ///       cross-shard fraction and the load-imbalance factor).
+///   svcctl [--socket=PATH] top [--json]
+///       Print the per-shard hot-key table (the space-saving top-K
+///       sketch fed from conflicting addresses; requires a server
+///       built with -DROCOCO_FORENSICS=ON and a nonzero
+///       forensics_sample). --json dumps the raw reply instead of the
+///       formatted table.
+///   svcctl [--socket=PATH] dump
+///       Ask the server's flight recorder for a manual incident dump;
+///       prints the server-side path of the incident file. Fails (exit
+///       1) when the server runs without a recorder.
 ///
 /// Exit status: 0 on success, 1 on connection/protocol failure, 2 on
 /// usage errors. (common/cli.h rejects positional arguments, so this
@@ -56,7 +66,9 @@ usage(FILE* out)
                  "       svcctl [--socket=PATH] hist NAME\n"
                  "       svcctl [--socket=PATH] watch [--interval-ms=N]"
                  " [--count=N]\n"
-                 "       svcctl [--socket=PATH] shards\n");
+                 "       svcctl [--socket=PATH] shards\n"
+                 "       svcctl [--socket=PATH] top [--json]\n"
+                 "       svcctl [--socket=PATH] dump\n");
 }
 
 int
@@ -78,13 +90,13 @@ connect_server(const std::string& path)
     return fd;
 }
 
-/// One kStats round trip on an established connection. Returns false on
-/// any transport or protocol failure.
+/// One request/reply round trip on an established connection: send
+/// @p frame, wait for the first frame of type @p reply_type, hand its
+/// payload back. Returns false on any transport or protocol failure.
 bool
-fetch_stats(int fd, std::string& json_out)
+round_trip(int fd, const std::vector<uint8_t>& frame, MsgType reply_type,
+           std::string& json_out)
 {
-    std::vector<uint8_t> frame;
-    rococo::svc::encode_stats_request(frame);
     size_t off = 0;
     while (off < frame.size()) {
         const ssize_t n =
@@ -102,13 +114,22 @@ fetch_stats(int fd, std::string& json_out)
         reader.append(buf, static_cast<size_t>(n));
         bool malformed = false;
         while (auto got = reader.next(&malformed)) {
-            if (got->type != MsgType::kStatsReply) continue;
+            if (got->type != reply_type) continue;
             json_out.assign(reinterpret_cast<const char*>(got->payload),
                             got->size);
             return true;
         }
         if (malformed) return false;
     }
+}
+
+/// One kStats round trip on an established connection.
+bool
+fetch_stats(int fd, std::string& json_out)
+{
+    std::vector<uint8_t> frame;
+    rococo::svc::encode_stats_request(frame);
+    return round_trip(fd, frame, MsgType::kStatsReply, json_out);
 }
 
 /// Extract `"name": <value-or-object>` from the snapshot JSON. Good
@@ -239,6 +260,98 @@ cmd_shards(const std::string& socket_path)
     return 0;
 }
 
+/// Formatted view of the kTopKReply JSON. The reply's shape is fixed
+/// by ShardRouter::topk_json / ValidationPipeline::topk_json —
+/// {"shards": [{"shard": S, "offered": N, "entries": [{"key": K,
+/// "count": C, "error": E}, ...]}, ...]} — so a linear scan is enough;
+/// this is not a general JSON parser.
+void
+print_topk_table(const std::string& json)
+{
+    std::printf("%8s %20s %12s %12s\n", "shard", "key", "count", "error");
+    size_t pos = 0;
+    size_t rows = 0;
+    long shard = -1;
+    for (;;) {
+        const size_t shard_at = json.find("\"shard\":", pos);
+        const size_t key_at = json.find("\"key\":", pos);
+        if (key_at == std::string::npos) break;
+        if (shard_at != std::string::npos && shard_at < key_at) {
+            shard = std::atol(json.c_str() + shard_at + 8);
+            pos = shard_at + 8;
+            continue;
+        }
+        const size_t count_at = json.find("\"count\":", key_at);
+        const size_t error_at = json.find("\"error\":", key_at);
+        if (count_at == std::string::npos || error_at == std::string::npos) {
+            break;
+        }
+        std::printf("%8ld %20llu %12llu %12llu\n", shard,
+                    static_cast<unsigned long long>(
+                        std::strtoull(json.c_str() + key_at + 6, nullptr, 10)),
+                    static_cast<unsigned long long>(std::strtoull(
+                        json.c_str() + count_at + 8, nullptr, 10)),
+                    static_cast<unsigned long long>(std::strtoull(
+                        json.c_str() + error_at + 8, nullptr, 10)));
+        ++rows;
+        pos = error_at + 8;
+    }
+    if (rows == 0) {
+        std::printf("(no hot keys recorded — forensics sampling off, or no"
+                    " conflicts yet)\n");
+    }
+}
+
+int
+cmd_top(const std::string& socket_path, bool raw_json)
+{
+    const int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::vector<uint8_t> frame;
+    rococo::svc::encode_topk_request(frame);
+    std::string json;
+    const bool ok = round_trip(fd, frame, MsgType::kTopKReply, json);
+    close(fd);
+    if (!ok) {
+        std::fprintf(stderr, "svcctl: top request failed\n");
+        return 1;
+    }
+    if (raw_json) {
+        std::printf("%s\n", json.c_str());
+    } else {
+        print_topk_table(json);
+    }
+    return 0;
+}
+
+int
+cmd_dump(const std::string& socket_path)
+{
+    const int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::vector<uint8_t> frame;
+    rococo::svc::encode_dump_request(frame);
+    std::string json;
+    const bool ok = round_trip(fd, frame, MsgType::kDumpReply, json);
+    close(fd);
+    if (!ok) {
+        std::fprintf(stderr, "svcctl: dump request failed\n");
+        return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    // {"ok": true, "path": "..."} on success; {"ok": false, ...} when
+    // the server has no recorder or the write failed.
+    return json.find("\"ok\": true") != std::string::npos ? 0 : 1;
+}
+
 int
 cmd_watch(const std::string& socket_path, unsigned interval_ms,
           unsigned count)
@@ -315,6 +428,7 @@ main(int argc, char** argv)
     unsigned count = 0;
     std::string command;
     std::vector<std::string> operands;
+    bool raw_json = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -332,6 +446,8 @@ main(int argc, char** argv)
             interval_ms = static_cast<unsigned>(std::atoi(v));
         } else if (const char* v = value_of("--count")) {
             count = static_cast<unsigned>(std::atoi(v));
+        } else if (arg == "--json") {
+            raw_json = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;
@@ -358,6 +474,12 @@ main(int argc, char** argv)
     }
     if (command == "shards" && operands.empty()) {
         return cmd_shards(socket_path);
+    }
+    if (command == "top" && operands.empty()) {
+        return cmd_top(socket_path, raw_json);
+    }
+    if (command == "dump" && operands.empty()) {
+        return cmd_dump(socket_path);
     }
     usage(stderr);
     return 2;
