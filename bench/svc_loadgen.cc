@@ -51,12 +51,25 @@
 ///   recorder was armed with a trigger but no incident fired — the
 ///   contract the incident-dump ctest fixture pins down.
 ///
+/// Continuous monitoring (docs/OBSERVABILITY.md § Continuous
+/// monitoring): the server's health monitor is on by default
+/// (--monitor=0 turns it off for A/B overhead runs). --slo-abort-rate=X
+/// overrides the abort-rate burn-rate threshold and --slo-fast-ms /
+/// --slo-slow-ms shrink the SLO windows so short runs can walk the
+/// ok -> warn -> critical ladder; with a recorder armed
+/// (--recorder-out) a critical SLO dumps an incident with trigger
+/// "slo:abort-rate". --prom-out=FILE writes the server's final metrics
+/// snapshot in Prometheus text exposition format (the node-exporter
+/// textfile-collector shape) and narrows the sweep to its first cell.
+///
 /// Usage:
 ///   svc_loadgen [--clients=1,2,4,8] [--batch=1,8,32] [--shards=1]
 ///               [--requests=20000] [--outstanding=16] [--reads=4]
 ///               [--writes=2] [--keys=4096] [--stages=1]
 ///               [--tm-threads=N] [--zipf=THETA] [--hot-keys=N]
 ///               [--recorder-out=PREFIX] [--abort-rate-trigger=X]
+///               [--monitor=1] [--prom-out=FILE] [--slo-abort-rate=X]
+///               [--slo-fast-ms=N] [--slo-slow-ms=N]
 ///               [--telemetry-server=FILE] [--telemetry-client=FILE]
 ///               [--socket=/tmp/rococo_loadgen.sock] [--csv=FILE]
 #include <sys/wait.h>
@@ -135,6 +148,11 @@ struct LoadConfig
     uint64_t hot_keys = 0;   ///< > 0: abort spike over [0, hot_keys)
     std::string recorder_out;        ///< arm the server flight recorder
     double abort_rate_trigger = 0;   ///< recorder firing threshold
+    bool monitor = true;             ///< server health monitor on/off
+    std::string prom_out;            ///< Prometheus textfile snapshot
+    double slo_abort_rate = 0;       ///< override abort-rate SLO threshold
+    uint64_t slo_fast_ms = 0;        ///< override SLO fast window
+    uint64_t slo_slow_ms = 0;        ///< override SLO slow window
 };
 
 /// Zipf(theta) sampler over [0, n): one binary search per draw against
@@ -385,6 +403,23 @@ run_one(const LoadConfig& load, size_t clients, size_t batch,
         server_config.recorder.sample_period_ns = 2'000'000;
         server_config.recorder.include_trace = obs::telemetry_active();
     }
+    server_config.monitor.enabled = load.monitor;
+    if (load.slo_abort_rate > 0) {
+        server_config.monitor.abort_rate_threshold = load.slo_abort_rate;
+    }
+    if (load.slo_fast_ms > 0) {
+        server_config.monitor.fast_window_ns = load.slo_fast_ms * 1'000'000;
+    }
+    if (load.slo_slow_ms > 0) {
+        server_config.monitor.slow_window_ns = load.slo_slow_ms * 1'000'000;
+    }
+    if (load.slo_fast_ms > 0 || load.slo_slow_ms > 0) {
+        // Shrunk windows mean a short run: sample fast enough that the
+        // fast window holds several points (otherwise one sample is the
+        // whole burn-rate estimate).
+        server_config.monitor.sample_period_ns = std::max<uint64_t>(
+            1'000'000, server_config.monitor.fast_window_ns / 8);
+    }
     svc::Server server(server_config);
     if (!server.start()) {
         std::fprintf(stderr, "svc_loadgen: cannot bind %s\n",
@@ -451,6 +486,19 @@ run_one(const LoadConfig& load, size_t clients, size_t batch,
         }
     }
     const uint64_t elapsed = obs::now_ns() - start_ns;
+
+    // Textfile-collector snapshot (Prometheus text exposition) of the
+    // server's final state, written before stop() so the gauges still
+    // show the live run, not the drained shutdown.
+    if (!load.prom_out.empty()) {
+        obs::Registry prom_registry;
+        server.export_metrics(prom_registry);
+        if (!prom_registry.export_prom_file(load.prom_out)) {
+            std::fprintf(stderr, "svc_loadgen: cannot write %s\n",
+                         load.prom_out.c_str());
+            std::exit(1);
+        }
+    }
     server.stop();
 
     // Accounting cross-check between the two sides of the wire.
@@ -538,7 +586,9 @@ main(int argc, char** argv)
             {"clients", "batch", "shards", "requests", "outstanding",
              "reads", "writes", "keys", "socket", "csv", "stages",
              "tm-threads", "telemetry-server", "telemetry-client",
-             "zipf", "hot-keys", "recorder-out", "abort-rate-trigger"});
+             "zipf", "hot-keys", "recorder-out", "abort-rate-trigger",
+             "monitor", "prom-out", "slo-abort-rate", "slo-fast-ms",
+             "slo-slow-ms"});
     LoadConfig load;
     load.socket_path = cli.get("socket", "/tmp/rococo_loadgen_" +
                                              std::to_string(getpid()) +
@@ -558,6 +608,13 @@ main(int argc, char** argv)
         std::max<int64_t>(0, cli.get_int("hot-keys", 0)));
     load.recorder_out = cli.get("recorder-out", "");
     load.abort_rate_trigger = cli.get_double("abort-rate-trigger", 0.0);
+    load.monitor = cli.get_bool("monitor", true);
+    load.prom_out = cli.get("prom-out", "");
+    load.slo_abort_rate = cli.get_double("slo-abort-rate", 0.0);
+    load.slo_fast_ms = static_cast<uint64_t>(
+        std::max<int64_t>(0, cli.get_int("slo-fast-ms", 0)));
+    load.slo_slow_ms = static_cast<uint64_t>(
+        std::max<int64_t>(0, cli.get_int("slo-slow-ms", 0)));
     const bool stages = cli.get_bool("stages", false);
     const std::string telemetry_server = cli.get("telemetry-server", "");
     const std::string telemetry_client = cli.get("telemetry-client", "");
@@ -570,9 +627,10 @@ main(int argc, char** argv)
         client_counts = {1};
     }
     if (!telemetry_server.empty() || !telemetry_client.empty() ||
-        !load.recorder_out.empty()) {
+        !load.recorder_out.empty() || !load.prom_out.empty()) {
         // A telemetry capture (or an armed flight recorder, whose
-        // incident files are numbered per server) wants one clean
+        // incident files are numbered per server; or a Prometheus
+        // snapshot, which is one file per server) wants one clean
         // measured region, not a sweep: keep the first cell only.
         client_counts.resize(1);
         batches.resize(1);

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (svcctl prom / --prom-out).
+
+Usage: check_prom.py SCRAPE1 [SCRAPE2]
+
+Single-scrape checks:
+
+1. Every non-comment line parses as `name{labels} value` or
+   `name value` with metric and label names matching the Prometheus
+   charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+2. Every sample belongs to a family announced by exactly one preceding
+   `# TYPE <family> <kind>` line with kind in {counter, gauge,
+   summary}. Companion samples of a summary (`_sum`, `_count`) bind to
+   their base family; exact-extreme companions (`_min`, `_max`) are
+   exported as their own gauge families.
+3. Counter samples end in `_total` and are non-negative; `quantile`
+   label values lie in [0, 1].
+
+Two-scrape check:
+
+4. Counters are monotone: for every counter family present in both
+   files, value(SCRAPE2) >= value(SCRAPE1). SCRAPE2 must be the later
+   scrape of the same process.
+
+Exit 0 and print a summary on success; exit 1 with a message naming
+the offending line otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[^{\s]+)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$")
+LABEL_RE = re.compile(r'^(?P<key>[^=]+)="(?P<val>[^"]*)"$')
+VALID_TYPES = ("counter", "gauge", "summary")
+
+
+def fail(msg):
+    print(f"check_prom: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_scrape(path):
+    """Return (types, values): family -> type, and sample name (with
+    sorted labels) -> float value. Fails on any lint violation."""
+    types = {}
+    values = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(f"{where}: malformed TYPE line: {line!r}")
+                family, kind = parts[2], parts[3]
+                if not NAME_RE.match(family):
+                    fail(f"{where}: bad family name {family!r}")
+                if kind not in VALID_TYPES:
+                    fail(f"{where}: TYPE {kind!r} not in {VALID_TYPES}")
+                if family in types:
+                    fail(f"{where}: duplicate TYPE for {family!r}")
+                types[family] = kind
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{where}: unparseable sample line: {line!r}")
+        name = m.group("name")
+        if not NAME_RE.match(name):
+            fail(f"{where}: bad metric name {name!r}")
+        labels = {}
+        if m.group("labels"):
+            for part in m.group("labels").split(","):
+                lm = LABEL_RE.match(part)
+                if not lm:
+                    fail(f"{where}: bad label pair {part!r}")
+                key = lm.group("key")
+                if not NAME_RE.match(key):
+                    fail(f"{where}: bad label name {key!r}")
+                labels[key] = lm.group("val")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            fail(f"{where}: non-numeric value {m.group('value')!r}")
+
+        # Bind the sample to its announcing family: exact name, or the
+        # base family for summary companions.
+        family = name
+        if family not in types:
+            for suffix in ("_sum", "_count"):
+                if name.endswith(suffix) and name[:-len(suffix)] in types:
+                    family = name[:-len(suffix)]
+                    break
+        kind = types.get(family)
+        if kind is None:
+            fail(f"{where}: sample {name!r} has no preceding # TYPE")
+        if kind == "counter":
+            if not name.endswith("_total"):
+                fail(f"{where}: counter sample {name!r} does not end "
+                     f"in _total")
+            if value < 0:
+                fail(f"{where}: counter {name!r} is negative ({value})")
+        if "quantile" in labels:
+            if kind != "summary":
+                fail(f"{where}: quantile label on non-summary {name!r}")
+            try:
+                q = float(labels["quantile"])
+            except ValueError:
+                fail(f"{where}: non-numeric quantile "
+                     f"{labels['quantile']!r}")
+            if not 0.0 <= q <= 1.0:
+                fail(f"{where}: quantile {q} outside [0, 1]")
+
+        key = name + "".join(
+            f'|{k}={v}' for k, v in sorted(labels.items()))
+        values[key] = (value, kind, family)
+    if not types:
+        fail(f"{path}: no # TYPE lines (empty exposition?)")
+    return types, values
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    types1, values1 = parse_scrape(sys.argv[1])
+    msg = (f"check_prom: OK: {sys.argv[1]}: {len(types1)} families, "
+           f"{len(values1)} samples")
+    if len(sys.argv) == 3:
+        _, values2 = parse_scrape(sys.argv[2])
+        checked = 0
+        for key, (v1, kind, family) in values1.items():
+            if kind != "counter" or key not in values2:
+                continue
+            v2 = values2[key][0]
+            if v2 < v1:
+                fail(f"counter {family!r} went backwards between "
+                     f"scrapes: {v1} -> {v2}")
+            checked += 1
+        if checked == 0:
+            fail("no counter family present in both scrapes — "
+                 "monotonicity unverifiable (wrong files?)")
+        msg += f"; {checked} counters monotone across scrapes"
+    print(msg)
+
+
+if __name__ == "__main__":
+    main()

@@ -285,6 +285,8 @@ def check_flows(events, max_orphans, require):
 
 
 INCIDENT_TRIGGERS = ("abort-rate", "p99", "manual")
+# SLO-triggered incidents (obs/health.cc) use "slo:<rule-name>".
+SLO_TRIGGER_PREFIX = "slo:"
 SAMPLE_KEYS = (
     "t_ns", "aborts", "total", "abort_rate", "p99_ns", "queue_depth",
     "imbalance",
@@ -301,8 +303,11 @@ def check_incident(doc):
     if not isinstance(header, dict):
         fail('missing "incident" header object')
     trigger = header.get("trigger")
-    if trigger not in INCIDENT_TRIGGERS:
-        fail(f"incident.trigger {trigger!r} not in {INCIDENT_TRIGGERS}")
+    is_slo = isinstance(trigger, str) and trigger.startswith(
+        SLO_TRIGGER_PREFIX) and len(trigger) > len(SLO_TRIGGER_PREFIX)
+    if trigger not in INCIDENT_TRIGGERS and not is_slo:
+        fail(f"incident.trigger {trigger!r} not in {INCIDENT_TRIGGERS} "
+             f"and not '{SLO_TRIGGER_PREFIX}<rule>'")
     for key in ("pid", "seq", "t_ns"):
         if not isinstance(header.get(key), int):
             fail(f"incident.{key} missing or not an integer")
@@ -349,6 +354,21 @@ def check_incident(doc):
                 fail(f"topk.shards[{s}].entries[{e}] not sorted by "
                      f"descending count")
             prev_count = entry["count"]
+
+    health = doc.get("health")
+    if not isinstance(health, dict):
+        fail('missing "health" object ({} when no monitor is attached)')
+    if is_slo:
+        # An SLO-triggered dump always comes from a live HealthMonitor,
+        # so the embedded status must carry the verdict that fired.
+        if health.get("enabled") is not True:
+            fail("slo-triggered incident lacks health.enabled: true")
+        verdict = health.get("health")
+        if not isinstance(verdict, dict) or "state" not in verdict:
+            fail("slo-triggered incident lacks health.health.state")
+        if not isinstance(health.get("samples"), dict):
+            fail("slo-triggered incident lacks health.samples (the "
+             "breaching series rings)")
 
     events = doc.get("traceEvents")
     if not isinstance(events, list):

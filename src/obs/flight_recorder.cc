@@ -26,6 +26,13 @@ FlightRecorder::set_topk_source(std::function<void(std::string*)> source)
 }
 
 void
+FlightRecorder::set_health_source(std::function<void(std::string*)> source)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    health_source_ = std::move(source);
+}
+
+void
 FlightRecorder::tick(uint64_t now_ns)
 {
     // Fast pre-check outside the lock: torn reads of last_sample_ns_
@@ -114,6 +121,15 @@ FlightRecorder::dump(const char* trigger)
 }
 
 std::string
+FlightRecorder::trigger(const char* name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t now_ns = obs::now_ns();
+    last_trigger_ns_ = now_ns;
+    return dump_locked(name, now_ns);
+}
+
+std::string
 FlightRecorder::dump_locked(const char* trigger, uint64_t now_ns)
 {
     const uint64_t seq = next_seq_++;
@@ -159,6 +175,15 @@ FlightRecorder::dump_locked(const char* trigger, uint64_t now_ns)
         out << topk;
     } else {
         out << "{\"shards\": []}";
+    }
+
+    out << ",\n\"health\": ";
+    if (health_source_) {
+        std::string health;
+        health_source_(&health);
+        out << health;
+    } else {
+        out << "{}";
     }
 
     out << ",\n\"traceEvents\": ";

@@ -116,6 +116,13 @@ class FlightRecorder
     /// topk_json). Called under the recorder lock at dump time.
     void set_topk_source(std::function<void(std::string*)> source);
 
+    /// Serialized health JSON embedded in every incident's "health"
+    /// section (the HealthMonitor's status_json: sampler rings + SLO
+    /// verdicts, so the offending series ships inside the incident
+    /// file). Called under the recorder lock at dump time — the source
+    /// must not call back into this recorder.
+    void set_health_source(std::function<void(std::string*)> source);
+
     /// Sample if due, evaluate triggers, dump if one fired. Cheap when
     /// not due; skips (rather than blocks) when another thread holds
     /// the recorder.
@@ -125,6 +132,13 @@ class FlightRecorder
     /// file ("manual", "abort-rate", "p99"). Returns the final path, or
     /// "" on I/O failure.
     std::string dump(const char* trigger);
+
+    /// External trigger source (the SloEngine's critical transitions,
+    /// trigger "slo:<rule>"): dump now like a threshold trigger —
+    /// unconditionally, but arming the cooldown so the recorder's own
+    /// threshold rules stay quiet for cooldown_ns afterwards. The
+    /// caller provides its own rate limiting (SLO hysteresis).
+    std::string trigger(const char* name);
 
     uint64_t samples_taken() const;
     uint64_t dumps() const;
@@ -138,6 +152,7 @@ class FlightRecorder
     FlightRecorderConfig config_;
     Collector collect_;
     std::function<void(std::string*)> topk_source_;
+    std::function<void(std::string*)> health_source_;
 
     mutable std::mutex mutex_;
     Registry scratch_;          ///< collector target, reset per sample

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <ostream>
 #include <vector>
 
@@ -108,6 +109,11 @@ LatencyHistogram::record(uint64_t value)
            !max_.compare_exchange_weak(seen, value,
                                        std::memory_order_relaxed)) {
     }
+    uint64_t low = min_.load(std::memory_order_relaxed);
+    while (value < low &&
+           !min_.compare_exchange_weak(low, value,
+                                       std::memory_order_relaxed)) {
+    }
 }
 
 double
@@ -138,7 +144,9 @@ LatencyHistogram::quantile(double q) const
             const double frac = (target - seen) / in_bucket;
             const uint64_t estimate =
                 static_cast<uint64_t>(lo + lo * std::max(frac, 0.0));
-            return std::min(estimate, max());
+            // Clamp into the exact observed range: a quantile can never
+            // fall below the smallest or above the largest sample.
+            return std::clamp(estimate, min(), max());
         }
         seen += in_bucket;
     }
@@ -160,6 +168,12 @@ LatencyHistogram::merge(const LatencyHistogram& other)
     while (o > seen &&
            !max_.compare_exchange_weak(seen, o, std::memory_order_relaxed)) {
     }
+    const uint64_t o_min = other.min_.load(std::memory_order_relaxed);
+    uint64_t low = min_.load(std::memory_order_relaxed);
+    while (o_min < low &&
+           !min_.compare_exchange_weak(low, o_min,
+                                       std::memory_order_relaxed)) {
+    }
 }
 
 void
@@ -169,6 +183,7 @@ LatencyHistogram::reset()
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
     max_.store(0, std::memory_order_relaxed);
+    min_.store(kNoMin, std::memory_order_relaxed);
 }
 
 Counter&
@@ -265,7 +280,7 @@ void
 Registry::to_json(std::ostream& out) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    char buf[192];
+    char buf[320]; // widest row: a histogram with seven u64-sized fields
     out << "{\n  \"counters\": {";
     bool first = true;
     for (const auto& [name, c] : counters_) {
@@ -291,11 +306,12 @@ Registry::to_json(std::ostream& out) const
     for (const auto& [name, h] : histograms_) {
         std::snprintf(buf, sizeof(buf),
                       "%s\n    \"%s\": {\"count\": %" PRIu64
-                      ", \"mean\": %g, \"max\": %" PRIu64
+                      ", \"mean\": %g, \"min\": %" PRIu64
+                      ", \"max\": %" PRIu64
                       ", \"p50\": %" PRIu64 ", \"p90\": %" PRIu64
                       ", \"p99\": %" PRIu64 "}",
                       first ? "" : ",", name.c_str(), h->count(), h->mean(),
-                      h->max(), h->quantile(0.5), h->quantile(0.9),
+                      h->min(), h->max(), h->quantile(0.5), h->quantile(0.9),
                       h->quantile(0.99));
         out << buf;
         first = false;
@@ -332,8 +348,78 @@ Registry::to_csv(std::ostream& out) const
         std::snprintf(buf, sizeof(buf), "histogram,%s,mean,%g\n",
                       name.c_str(), h->mean());
         out << buf;
+        std::snprintf(buf, sizeof(buf), "histogram,%s,min,%" PRIu64 "\n",
+                      name.c_str(), h->min());
+        out << buf;
+        std::snprintf(buf, sizeof(buf), "histogram,%s,max,%" PRIu64 "\n",
+                      name.c_str(), h->max());
+        out << buf;
         std::snprintf(buf, sizeof(buf), "histogram,%s,p99,%" PRIu64 "\n",
                       name.c_str(), h->quantile(0.99));
+        out << buf;
+    }
+}
+
+namespace {
+
+/// Sanitize a dotted metric name into the Prometheus charset.
+std::string
+prom_name(const std::string& name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9')) {
+        out.insert(out.begin(), '_');
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Registry::export_prom(std::ostream& out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    char buf[320];
+    for (const auto& [name, c] : counters_) {
+        const std::string n = prom_name(name) + "_total";
+        std::snprintf(buf, sizeof(buf),
+                      "# TYPE %s counter\n%s %" PRIu64 "\n", n.c_str(),
+                      n.c_str(), c->value());
+        out << buf;
+    }
+    for (const auto& [name, g] : gauges_) {
+        const std::string n = prom_name(name);
+        std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %g\n",
+                      n.c_str(), n.c_str(), g->value());
+        out << buf;
+    }
+    for (const auto& [name, h] : histograms_) {
+        const std::string n = prom_name(name);
+        std::snprintf(buf, sizeof(buf),
+                      "# TYPE %s summary\n"
+                      "%s{quantile=\"0.5\"} %" PRIu64 "\n"
+                      "%s{quantile=\"0.9\"} %" PRIu64 "\n"
+                      "%s{quantile=\"0.99\"} %" PRIu64 "\n",
+                      n.c_str(), n.c_str(), h->quantile(0.5), n.c_str(),
+                      h->quantile(0.9), n.c_str(), h->quantile(0.99));
+        out << buf;
+        std::snprintf(buf, sizeof(buf),
+                      "%s_sum %" PRIu64 "\n%s_count %" PRIu64 "\n",
+                      n.c_str(), h->sum(), n.c_str(), h->count());
+        out << buf;
+        // Exact extremes ride along as companion gauges — the summary
+        // type has no native min/max sample.
+        std::snprintf(buf, sizeof(buf),
+                      "# TYPE %s_min gauge\n%s_min %" PRIu64 "\n"
+                      "# TYPE %s_max gauge\n%s_max %" PRIu64 "\n",
+                      n.c_str(), n.c_str(), h->min(), n.c_str(), n.c_str(),
+                      h->max());
         out << buf;
     }
 }
@@ -343,6 +429,25 @@ Registry::global()
 {
     static Registry registry;
     return registry;
+}
+
+bool
+Registry::export_prom_file(const std::string& path) const
+{
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    export_prom(out);
+    out.close();
+    if (!out) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 } // namespace rococo::obs

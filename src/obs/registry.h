@@ -83,6 +83,15 @@ class LatencyHistogram
 
     uint64_t count() const { return count_.load(std::memory_order_relaxed); }
     uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+    /// Exact smallest recorded sample (0 with no samples) — the log2
+    /// buckets only bound quantiles to a power of two, so min/max are
+    /// tracked exactly alongside them.
+    uint64_t min() const
+    {
+        const uint64_t v = min_.load(std::memory_order_relaxed);
+        return v == kNoMin ? 0 : v;
+    }
+    uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
     double mean() const;
 
     /// Value below which fraction @p q (clamped to [0,1]) of samples
@@ -100,10 +109,14 @@ class LatencyHistogram
     void reset();
 
   private:
+    /// min_ sentinel before any sample (so recording 0 stays exact).
+    static constexpr uint64_t kNoMin = ~uint64_t{0};
+
     std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> sum_{0};
     std::atomic<uint64_t> max_{0};
+    std::atomic<uint64_t> min_{kNoMin};
 };
 
 /// Named metric store. Thread-safe: registration under a mutex, metric
@@ -142,15 +155,29 @@ class Registry
     void reset();
 
     /// JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}.
-    /// Histograms export count/mean/max and p50/p90/p99.
+    /// Histograms export count/mean/min/max and p50/p90/p99.
     void to_json(std::ostream& out) const;
 
     /// Flat CSV: kind,name,field,value — one row per exported scalar.
     void to_csv(std::ostream& out) const;
 
+    /// Prometheus text exposition (text/plain; version 0.0.4): counters
+    /// as "<name>_total" counter families, gauges as gauge families
+    /// (last sample), histograms as summary families (quantile samples
+    /// + _sum/_count) with exact extremes as companion _min/_max
+    /// gauges. Metric names are sanitized to the Prometheus charset
+    /// ([a-zA-Z_:][a-zA-Z0-9_:]*, '.' and '-' become '_').
+    /// scripts/check_prom.py lints this output in CI.
+    void export_prom(std::ostream& out) const;
+
     /// Process-wide registry the runtime-level telemetry records into
     /// while a TelemetrySession is active.
     static Registry& global();
+
+    /// Atomically (.tmp + rename) write export_prom() to @p path — the
+    /// node-exporter textfile-collector contract, so a scraper never
+    /// reads a half-written exposition. False on I/O failure.
+    bool export_prom_file(const std::string& path) const;
 
   private:
     mutable std::mutex mutex_;

@@ -313,6 +313,20 @@ ShardRouter::occupancy() const
 }
 
 double
+ShardRouter::imbalance() const
+{
+    uint64_t max_validations = 0, sum_validations = 0;
+    for (const auto& shard : shards_) {
+        const uint64_t v = shard->validations->value();
+        max_validations = std::max(max_validations, v);
+        sum_validations += v;
+    }
+    const double mean = static_cast<double>(sum_validations) /
+                        static_cast<double>(config_.shards);
+    return mean > 0.0 ? static_cast<double>(max_validations) / mean : 0.0;
+}
+
+double
 ShardRouter::isolated_latency_ns(const fpga::OffloadRequest& request) const
 {
     return shards_[0]->engine.isolated_latency_ns(request);

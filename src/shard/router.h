@@ -126,6 +126,13 @@ class ShardRouter final : public fpga::ValidationBackend
     /// Sum of per-shard window occupancies.
     size_t occupancy() const;
 
+    /// Live max/mean of the per-shard validation counts — the same
+    /// value export_metrics publishes as the shard.imbalance gauge,
+    /// readable without a snapshot (lock-free counter reads) so the
+    /// MetricSampler can track it as a series. 1.0 is perfectly
+    /// balanced; 0 before any validation.
+    double imbalance() const;
+
     /// Modeled isolated CCI latency of @p request on one engine (all
     /// shards share the link parameters).
     double isolated_latency_ns(const fpga::OffloadRequest& request) const;

@@ -44,6 +44,8 @@ Server::Server(const ServerConfig& config)
       stats_polls_(registry_.counter("svc.stats")),
       topk_polls_(registry_.counter("svc.topk")),
       dump_requests_(registry_.counter("svc.dump")),
+      series_polls_(registry_.counter("svc.series")),
+      prom_polls_(registry_.counter("svc.prom")),
       overflow_(registry_.counter("svc.overflow")),
       malformed_(registry_.counter("svc.malformed")),
       disconnects_(registry_.counter("svc.disconnects")),
@@ -89,6 +91,108 @@ Server::Server(const ServerConfig& config)
             });
         recorder_->set_topk_source(
             [this](std::string* out) { router_.topk_json(out); });
+    }
+
+    if (config_.monitor.enabled) {
+        const obs::MonitorConfig& mon = config_.monitor;
+        obs::MetricSamplerConfig sampler;
+        sampler.sample_period_ns = mon.sample_period_ns;
+        sampler.ring_capacity = mon.ring_capacity;
+
+        // The sampled service series. Sources are the hoisted handles
+        // above (counter reads are lock-free) plus callbacks into
+        // service-thread state — safe because the sampler only ever
+        // ticks on the service thread.
+        obs::SeriesSpec requests;
+        requests.name = "svc.requests";
+        requests.kind = obs::SeriesKind::kCounter;
+        requests.counters = {&requests_};
+        sampler.series.push_back(std::move(requests));
+
+        obs::SeriesSpec abort_rate;
+        abort_rate.name = "svc.abort_rate";
+        abort_rate.kind = obs::SeriesKind::kRatio;
+        abort_rate.counters = {
+            verdict_[static_cast<size_t>(core::Verdict::kAbortCycle)],
+            verdict_[static_cast<size_t>(core::Verdict::kWindowOverflow)]};
+        abort_rate.denominators = {&requests_};
+        sampler.series.push_back(std::move(abort_rate));
+
+        obs::SeriesSpec rpc_p99;
+        rpc_p99.name = "svc.rpc_p99_ns";
+        rpc_p99.kind = obs::SeriesKind::kQuantile;
+        rpc_p99.histogram = &rpc_ns_;
+        sampler.series.push_back(std::move(rpc_p99));
+
+        obs::SeriesSpec engine_p99;
+        engine_p99.name = "svc.stage.engine_p99_ns";
+        engine_p99.kind = obs::SeriesKind::kQuantile;
+        engine_p99.histogram = &stage_engine_;
+        sampler.series.push_back(std::move(engine_p99));
+
+        obs::SeriesSpec queue;
+        queue.name = "svc.queue_depth";
+        queue.kind = obs::SeriesKind::kCallback;
+        queue.callback = [this] {
+            return static_cast<double>(pending_.size());
+        };
+        sampler.series.push_back(std::move(queue));
+
+        obs::SeriesSpec occupancy;
+        occupancy.name = "svc.window_occupancy";
+        occupancy.kind = obs::SeriesKind::kCallback;
+        occupancy.callback = [this] {
+            return static_cast<double>(router_.occupancy());
+        };
+        sampler.series.push_back(std::move(occupancy));
+
+        obs::SeriesSpec conns;
+        conns.name = "svc.connections_open";
+        conns.kind = obs::SeriesKind::kCallback;
+        conns.callback = [this] {
+            return static_cast<double>(connections_.size());
+        };
+        sampler.series.push_back(std::move(conns));
+
+        obs::SeriesSpec imbalance;
+        imbalance.name = "shard.imbalance";
+        imbalance.kind = obs::SeriesKind::kCallback;
+        imbalance.callback = [this] { return router_.imbalance(); };
+        sampler.series.push_back(std::move(imbalance));
+
+        obs::SloEngineConfig slo;
+        const auto rule = [&mon](const char* name, const char* series,
+                                 double threshold, double min_weight) {
+            obs::SloRule r;
+            r.name = name;
+            r.series = series;
+            r.threshold = threshold;
+            r.fast_window_ns = mon.fast_window_ns;
+            r.slow_window_ns = mon.slow_window_ns;
+            r.min_weight = min_weight;
+            r.recovery_samples = mon.recovery_samples;
+            return r;
+        };
+        // Aborts need real traffic behind them (min 16 requests per
+        // fast window, matching the recorder's min_delta_total).
+        slo.rules.push_back(
+            rule("abort-rate", "svc.abort_rate",
+                 mon.abort_rate_threshold, 16.0));
+        slo.rules.push_back(
+            rule("engine-p99", "svc.stage.engine_p99_ns",
+                 static_cast<double>(mon.p99_threshold_ns), 1.0));
+        const double queue_threshold =
+            mon.queue_threshold > 0.0
+                ? mon.queue_threshold
+                : 0.9 * static_cast<double>(config_.max_pending);
+        slo.rules.push_back(
+            rule("queue-depth", "svc.queue_depth", queue_threshold, 1.0));
+        slo.rules.push_back(rule("shard-imbalance", "shard.imbalance",
+                                 mon.imbalance_threshold, 1.0));
+
+        monitor_ = std::make_unique<obs::HealthMonitor>(std::move(sampler),
+                                                        std::move(slo));
+        if (recorder_) monitor_->set_incident_recorder(recorder_.get());
     }
 }
 
@@ -189,6 +293,13 @@ Server::loop()
             timeout_ms = static_cast<int>(std::clamp<uint64_t>(
                 recorder_->config().sample_period_ns / 1'000'000, 1, 1000));
         }
+        if (monitor_ && timeout_ms < 0) {
+            // Same idle-wakeup cap for the sampler: the rings (and the
+            // SLO recovery path) keep moving through traffic pauses.
+            timeout_ms = static_cast<int>(std::clamp<uint64_t>(
+                monitor_->sampler().config().sample_period_ns / 1'000'000, 1,
+                1000));
+        }
         const int ready = poll(fds.data(), fds.size(), timeout_ms);
         if (!running_) break;
         if (ready < 0 && errno != EINTR) break;
@@ -215,7 +326,9 @@ Server::loop()
         }
         for (int fd : unsent) flush(fd);
         queue_depth_.set(static_cast<double>(pending_.size()));
-        if (recorder_) recorder_->tick(obs::now_ns());
+        const uint64_t tick_ns = obs::now_ns();
+        if (recorder_) recorder_->tick(tick_ns);
+        if (monitor_) monitor_->tick(tick_ns);
     }
 }
 
@@ -278,17 +391,22 @@ Server::read_client(int fd)
             }
             continue;
         }
-        if (frame->type == MsgType::kTopK ||
-            frame->type == MsgType::kDump) {
+        if (frame->type == MsgType::kTopK || frame->type == MsgType::kDump ||
+            frame->type == MsgType::kSeries ||
+            frame->type == MsgType::kProm) {
             // Same inline contract as kStats: answered from here, never
             // queued, never an engine pass.
             if (frame->size != 0) {
                 malformed = true;
                 break;
             }
-            const bool ok = frame->type == MsgType::kTopK
-                                ? handle_topk(fd)
-                                : handle_dump(fd);
+            bool ok = false;
+            switch (frame->type) {
+            case MsgType::kTopK: ok = handle_topk(fd); break;
+            case MsgType::kDump: ok = handle_dump(fd); break;
+            case MsgType::kSeries: ok = handle_series(fd); break;
+            default: ok = handle_prom(fd); break;
+            }
             if (!ok) {
                 return; // connection closed (outbound cap); conn dangles
             }
@@ -396,6 +514,59 @@ Server::handle_dump(int fd)
         }
     }
     encode_dump_reply(conn.out, json);
+    if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
+        overflow_.add(1);
+        close_client(fd);
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::handle_series(int fd)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return false;
+    Connection& conn = it->second;
+    series_polls_.add(1);
+    std::string json;
+    if (monitor_) {
+        // Refresh before reporting so a poll against an idle server
+        // reads "now", not the last traffic-driven sample; the regular
+        // cadence is unaffected (tick() keys off elapsed time).
+        monitor_->tick(obs::now_ns());
+        monitor_->status_json(&json);
+    } else {
+        json = "{\"enabled\": false, \"health\": {\"state\": \"ok\", "
+               "\"rules\": []}, \"samples\": {\"now_ns\": 0, "
+               "\"period_ns\": 0, \"series\": []}}";
+    }
+    encode_series_reply(conn.out, json);
+    if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
+        overflow_.add(1);
+        close_client(fd);
+        return false;
+    }
+    return true;
+}
+
+bool
+Server::handle_prom(int fd)
+{
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return false;
+    Connection& conn = it->second;
+    prom_polls_.add(1);
+    // Same snapshot the kStats path exposes, in exposition format.
+    queue_depth_.set(static_cast<double>(pending_.size()));
+    window_occupancy_.set(static_cast<double>(router_.occupancy()));
+    connections_open_.set(static_cast<double>(connections_.size()));
+    obs::Registry snapshot;
+    snapshot.merge(registry_);
+    router_.export_metrics(snapshot);
+    std::ostringstream text;
+    snapshot.export_prom(text);
+    encode_prom_reply(conn.out, text.str());
     if (conn.out.size() - conn.out_off > config_.max_out_bytes) {
         overflow_.add(1);
         close_client(fd);

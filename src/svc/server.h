@@ -73,6 +73,7 @@
 #include <vector>
 
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "obs/registry.h"
 #include "shard/router.h"
 #include "svc/wire.h"
@@ -111,6 +112,15 @@ struct ServerConfig
     /// service thread, which is also the sole server-side span writer,
     /// so recorder.include_trace is safe here.
     obs::FlightRecorderConfig recorder;
+    /// Continuous monitoring (obs/health.h): a MetricSampler over the
+    /// service series (request rate, abort ratio, engine p99, queue
+    /// depth, window occupancy, connections, shard.imbalance) plus the
+    /// SLO burn-rate rules, ticked on the service thread and served by
+    /// the kSeries wire op. On by default — turning the *service* on is
+    /// the opt-in. A queue_threshold of 0 defaults to 90% of
+    /// max_pending; SLO breaches dump incidents only when the flight
+    /// recorder is armed too.
+    obs::MonitorConfig monitor;
 };
 
 /// Single-accelerator validation server.
@@ -179,6 +189,13 @@ class Server
     /// incident dump and reply with its path (or an error when the
     /// recorder is disabled). Same contract as handle_stats().
     bool handle_dump(int fd);
+    /// Answer a kSeries frame inline with the monitor's rings + health
+    /// verdicts (or {"enabled": false} without a monitor). Same
+    /// contract as handle_stats().
+    bool handle_series(int fd);
+    /// Answer a kProm frame inline with the Prometheus exposition of a
+    /// fresh registry snapshot. Same contract as handle_stats().
+    bool handle_prom(int fd);
     /// Queue @p result on the connection currently at @p fd iff its
     /// generation matches. False if the answer was dropped (connection
     /// gone or fd recycled) or the connection was closed for exceeding
@@ -195,6 +212,11 @@ class Server
     /// Present iff config_.recorder.enabled; ticked from the service
     /// loop, dumped from kDump handling (both on the service thread).
     std::unique_ptr<obs::FlightRecorder> recorder_;
+    /// Present iff config_.monitor.enabled; ticked from the service
+    /// loop right after the recorder. Its gauge/callback series read
+    /// service-thread state (pending_, connections_, the router), which
+    /// is safe because every tick happens on the service thread.
+    std::unique_ptr<obs::HealthMonitor> monitor_;
 
     int listen_fd_ = -1;
     int wake_fds_[2] = {-1, -1}; ///< self-pipe: stop() wakes poll()
@@ -217,6 +239,8 @@ class Server
     obs::Counter& stats_polls_;
     obs::Counter& topk_polls_;
     obs::Counter& dump_requests_;
+    obs::Counter& series_polls_;
+    obs::Counter& prom_polls_;
     obs::Counter& overflow_;
     obs::Counter& malformed_;
     obs::Counter& disconnects_;

@@ -193,6 +193,36 @@ encode_dump_reply(std::vector<uint8_t>& out, std::string_view json)
     end_frame(out, at);
 }
 
+void
+encode_series_request(std::vector<uint8_t>& out)
+{
+    const size_t at = begin_frame(out, MsgType::kSeries);
+    end_frame(out, at);
+}
+
+void
+encode_series_reply(std::vector<uint8_t>& out, std::string_view json)
+{
+    const size_t at = begin_frame(out, MsgType::kSeriesReply);
+    out.insert(out.end(), json.begin(), json.end());
+    end_frame(out, at);
+}
+
+void
+encode_prom_request(std::vector<uint8_t>& out)
+{
+    const size_t at = begin_frame(out, MsgType::kProm);
+    end_frame(out, at);
+}
+
+void
+encode_prom_reply(std::vector<uint8_t>& out, std::string_view text)
+{
+    const size_t at = begin_frame(out, MsgType::kPromReply);
+    out.insert(out.end(), text.begin(), text.end());
+    end_frame(out, at);
+}
+
 std::optional<WireRequest>
 decode_request(MsgType type, const uint8_t* payload, size_t size)
 {
@@ -267,7 +297,7 @@ FrameReader::next(bool* malformed)
     const uint8_t type = head[4];
     if (len > kMaxPayloadBytes ||
         type < static_cast<uint8_t>(MsgType::kRequest) ||
-        type > static_cast<uint8_t>(MsgType::kDumpReply)) {
+        type > static_cast<uint8_t>(MsgType::kPromReply)) {
         if (malformed != nullptr) *malformed = true;
         return std::nullopt;
     }

@@ -27,11 +27,23 @@
 ///   topkreply  := raw JSON bytes (the router's conflict top-K table)
 ///   dump       := (empty)
 ///   dumpreply  := raw JSON bytes ({"ok": bool, "path"|"error": str})
+///   series     := (empty)
+///   seriesreply:= raw JSON bytes (HealthMonitor status: sampler rings
+///                 + SLO health verdicts; {"enabled": false, ...} when
+///                 the server runs without a monitor)
+///   prom       := (empty)
+///   promreply  := raw text bytes (Prometheus exposition format)
 ///
 /// Versioning: v1 frames (kRequest/kResponse) remain fully supported —
 /// a pre-trace-context client keeps working against a v2 server, which
 /// mirrors the request's version in its response so old decoders never
-/// see a frame type they don't know. v2 adds the trace context
+/// see a frame type they don't know. The introspection ops (kStats
+/// through kPromReply) are strictly opt-in request/reply pairs: a
+/// server only ever sends a reply type the peer just asked for, so a
+/// pre-series client never sees a kSeriesReply; a pre-series *server*
+/// treats an incoming kSeries as an unknown type and closes the
+/// connection cleanly (the standard malformed-frame path), which the
+/// tooling reports as "not supported" rather than wedging. v2 adds the trace context
 /// (trace_id/parent_span_id, 0 = none) used to flow-link client and
 /// server spans across the process boundary, the per-stage server-side
 /// timing breakdown (StageTimestamps) in the response, and the abort
@@ -80,6 +92,10 @@ enum class MsgType : uint8_t
     kTopKReply = 8,  ///< conflict top-K reply (raw JSON payload)
     kDump = 9,       ///< flight-recorder dump request (empty payload)
     kDumpReply = 10, ///< dump reply (raw JSON: ok + path or error)
+    kSeries = 11,    ///< time-series + health request (empty payload)
+    kSeriesReply = 12, ///< series reply (raw JSON: rings + verdicts)
+    kProm = 13,      ///< Prometheus exposition request (empty payload)
+    kPromReply = 14, ///< exposition reply (raw text payload)
 };
 
 /// Fixed header preceding every payload.
@@ -172,6 +188,18 @@ void encode_dump_request(std::vector<uint8_t>& out);
 
 /// Append one encoded kDumpReply frame carrying @p json to @p out.
 void encode_dump_reply(std::vector<uint8_t>& out, std::string_view json);
+
+/// Append one encoded kSeries frame (empty payload) to @p out.
+void encode_series_request(std::vector<uint8_t>& out);
+
+/// Append one encoded kSeriesReply frame carrying @p json to @p out.
+void encode_series_reply(std::vector<uint8_t>& out, std::string_view json);
+
+/// Append one encoded kProm frame (empty payload) to @p out.
+void encode_prom_request(std::vector<uint8_t>& out);
+
+/// Append one encoded kPromReply frame carrying @p text to @p out.
+void encode_prom_reply(std::vector<uint8_t>& out, std::string_view text);
 
 /// Decode a request payload (the bytes after the frame header).
 /// @p type selects the v1 or v2 layout; other types yield nullopt.

@@ -29,6 +29,7 @@
 #include "fpga/validation_backend.h"
 #include "fpga/validation_pipeline.h"
 #include "obs/flight_recorder.h"
+#include "obs/health.h"
 #include "tm/commit_log.h"
 #include "tm/tm.h"
 #include "tm/tx_descriptor.h"
@@ -78,6 +79,15 @@ struct RococoTmConfig
     /// thread writes spans, so leave it false (the runtime forces it
     /// off).
     obs::FlightRecorderConfig recorder;
+    /// Continuous monitoring (obs/health.h). Opt-in here (the default
+    /// below overrides MonitorConfig's service-side default of on),
+    /// like the recorder: an embedding application owns the choice.
+    /// When enabled, the sampler tracks tm.commit_rate (commits/s) and
+    /// tm.abort_rate (aborts per attempt, live across the per-thread
+    /// descriptor registries) off the same per-attempt tick the
+    /// recorder uses, and a critical abort-rate SLO dumps an incident
+    /// through the recorder when both are armed.
+    obs::MonitorConfig monitor{.enabled = false};
 };
 
 class RococoTm final : public TmRuntime
@@ -104,6 +114,11 @@ class RococoTm final : public TmRuntime
     /// The runtime's flight recorder, or nullptr when
     /// RococoTmConfig::recorder.enabled is false (manual dumps, tests).
     obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+
+    /// The runtime's health monitor, or nullptr when
+    /// RococoTmConfig::monitor.enabled is false (series inspection,
+    /// tests).
+    obs::HealthMonitor* health_monitor() { return monitor_.get(); }
 
     /// Validation-backend verdict counters (the dotted line of
     /// Fig. 10); pipeline- or client-side depending on config.
@@ -146,6 +161,11 @@ class RococoTm final : public TmRuntime
     /// whichever worker finishes one (try_lock inside keeps them from
     /// contending).
     std::unique_ptr<obs::FlightRecorder> recorder_;
+    /// Present iff config_.monitor.enabled; ticked per attempt next to
+    /// the recorder. Its series callbacks sum the merged registry plus
+    /// the live per-thread descriptor registries (under
+    /// descriptor_mutex_, like the recorder's collector).
+    std::unique_ptr<obs::HealthMonitor> monitor_;
 };
 
 } // namespace rococo::tm

@@ -19,6 +19,9 @@
 
 #include "fpga/validation_engine.h"
 #include "fpga/validation_pipeline.h"
+#include "obs/health.h"
+#include "obs/registry.h"
+#include "obs/timeseries.h"
 
 namespace {
 std::atomic<uint64_t> g_allocations{0};
@@ -219,6 +222,112 @@ TEST(HotPathAllocation, AbortPathWithForensicsIsAllocationFree)
     EXPECT_GT(engine.conflict_topk().offered(), 0u)
         << "forensics feed never ran despite aborts";
 #endif
+}
+
+/// Continuous monitoring armed over the validation loop: an engine
+/// processing requests while a MetricSampler + SloEngine (the
+/// HealthMonitor pair every monitored server runs) tick on every
+/// iteration, sampling a counter, a ratio, a gauge, a histogram
+/// quantile and a callback series, with a live burn-rate rule. After
+/// the rings have wrapped at least once, the combined loop — engine
+/// pass, sampler tick, SLO evaluation — must be exactly
+/// allocation-free: the monitoring substrate resolved its sources and
+/// sized its rings at construction, and a steady-state sample writes
+/// into preallocated storage only.
+TEST(HotPathAllocation, MonitoredSteadyStateIsAllocationFree)
+{
+    fpga::ValidationEngine engine;
+    obs::Registry registry;
+    obs::Counter& requests = registry.counter("requests");
+    obs::Counter& aborts = registry.counter("aborts");
+    obs::Gauge& depth = registry.gauge("depth");
+    obs::LatencyHistogram& latency = registry.histogram("latency");
+
+    obs::MetricSamplerConfig sampler_config;
+    sampler_config.sample_period_ns = 1; // sample on every tick
+    sampler_config.ring_capacity = 32;   // wraps fast
+    {
+        obs::SeriesSpec spec;
+        spec.name = "requests";
+        spec.kind = obs::SeriesKind::kCounter;
+        spec.counters = {&requests};
+        sampler_config.series.push_back(spec);
+    }
+    {
+        obs::SeriesSpec spec;
+        spec.name = "abort_rate";
+        spec.kind = obs::SeriesKind::kRatio;
+        spec.counters = {&aborts};
+        spec.denominators = {&requests};
+        sampler_config.series.push_back(spec);
+    }
+    {
+        obs::SeriesSpec spec;
+        spec.name = "depth";
+        spec.kind = obs::SeriesKind::kGauge;
+        spec.gauge = &depth;
+        sampler_config.series.push_back(spec);
+    }
+    {
+        obs::SeriesSpec spec;
+        spec.name = "p99";
+        spec.kind = obs::SeriesKind::kQuantile;
+        spec.histogram = &latency;
+        sampler_config.series.push_back(spec);
+    }
+    {
+        obs::SeriesSpec spec;
+        spec.name = "occupancy";
+        spec.kind = obs::SeriesKind::kCallback;
+        spec.callback = [&engine] {
+            return double(engine.next_cid() - engine.window_start());
+        };
+        sampler_config.series.push_back(spec);
+    }
+
+    obs::SloEngineConfig slo_config;
+    obs::SloRule rule;
+    rule.name = "abort-rate";
+    rule.series = "abort_rate";
+    rule.threshold = 0.9;
+    rule.fast_window_ns = 50;
+    rule.slow_window_ns = 400;
+    rule.min_weight = 1.0;
+    slo_config.rules.push_back(rule);
+
+    obs::HealthMonitor monitor(std::move(sampler_config),
+                               std::move(slo_config));
+
+    uint64_t now_ns = 1;
+    const auto iteration = [&](uint64_t i) {
+        const auto result = engine.process(workload_request(i));
+        EXPECT_EQ(result.verdict, core::Verdict::kCommit);
+        requests.add(1);
+        latency.record(100 + i % 700);
+        depth.set(double(i % 64));
+        monitor.tick(now_ns);
+        now_ns += 10;
+    };
+
+    uint64_t i = 0;
+    // Warmup: engine window churned AND every series ring wrapped
+    // (capacity 32, one sample per iteration), so ring pushes overwrite
+    // rather than grow and the SLO has full windows to aggregate.
+    for (; i < 256; ++i) {
+        iteration(i);
+        if (testing::Test::HasFailure()) return;
+    }
+    ASSERT_GT(monitor.sampler().samples_taken(), 64u);
+
+    const uint64_t before = allocations();
+    for (const uint64_t end = i + 1000; i < end; ++i) {
+        iteration(i);
+        if (testing::Test::HasFailure()) return;
+    }
+    EXPECT_EQ(allocations() - before, 0u)
+        << "the armed sampler/SLO tick allocated on the steady-state "
+           "path";
+    EXPECT_EQ(monitor.slo().overall(), obs::HealthState::kOk);
 }
 
 } // namespace

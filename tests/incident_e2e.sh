@@ -9,10 +9,12 @@
 #           when given, every incident file must validate --incident.
 #
 # While the sweep runs: `svcctl top` must surface the planted hot set,
-# and `svcctl dump` must write a manual incident and report its path.
-# The loadgen's own exit status then proves two more things: the
-# accounting ledger balanced AND the threshold trigger actually fired
-# (it fails when "<prefix>-1.json" never appeared).
+# `svcctl dump` must write a manual incident and report its path, and
+# the abort-rate burn-rate SLO must walk the storm to critical —
+# observable as `svcctl monitor --once` turning its exit status
+# non-zero. The loadgen's own exit status then proves two more things:
+# the accounting ledger balanced AND the threshold trigger actually
+# fired (it fails when "<prefix>-1.json" never appeared).
 set -u
 
 LOADGEN="$1"
@@ -23,8 +25,11 @@ shift 3
 SOCK="/tmp/incident_e2e_$$.sock"
 rm -f "$PREFIX"-*.json
 
+# The SLO windows are shrunk (200 ms fast / 1 s slow) so the burn-rate
+# ladder walks ok -> warn -> critical within the sweep, not in minutes.
 "$LOADGEN" --clients=2 --batch=8 --requests=400000 --hot-keys=8 \
     --socket="$SOCK" --recorder-out="$PREFIX" --abort-rate-trigger=0.5 \
+    --slo-abort-rate=0.5 --slo-fast-ms=200 --slo-slow-ms=1000 \
     > /dev/null 2>&1 &
 LOADGEN_PID=$!
 trap 'kill "$LOADGEN_PID" 2>/dev/null; rm -f "$SOCK"' EXIT
@@ -54,6 +59,18 @@ done
     echo "incident_e2e: top table form failed" >&2
     exit 1
 }
+
+# The storm must drive the abort-rate SLO to critical: poll the
+# dashboard's scriptable form until its exit status goes non-zero.
+tries=0
+while "$SVCCTL" --socket="$SOCK" monitor --once > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 200 ]; then
+        echo "incident_e2e: monitor --once never reported critical" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
 
 # Manual dump against the armed recorder: ok + a real file.
 DUMP_REPLY=$("$SVCCTL" --socket="$SOCK" dump) || {
@@ -88,6 +105,27 @@ if [ -z "$MANUAL" ]; then
     exit 1
 fi
 
+# Third provenance: the burn-rate SLO's own critical transition dumps
+# an incident that embeds the health verdicts and the breaching series
+# rings — the storm's full story in one file.
+SLO=$(grep -l '"trigger": "slo:abort-rate"' "$PREFIX"-*.json | head -n 1)
+if [ -z "$SLO" ]; then
+    echo "incident_e2e: no slo:abort-rate incident file" >&2
+    exit 1
+fi
+grep -q '"svc.abort_rate"' "$SLO" || {
+    echo "incident_e2e: SLO incident lacks the breaching series ring" >&2
+    exit 1
+}
+grep -q '"to": "warn"' "$SLO" || {
+    echo "incident_e2e: SLO incident records no ok->warn transition" >&2
+    exit 1
+}
+grep -q '"to": "critical"' "$SLO" || {
+    echo "incident_e2e: SLO incident records no warn->critical transition" >&2
+    exit 1
+}
+
 # Schema-validate every incident the run produced.
 if [ "$#" -gt 0 ]; then
     for file in "$PREFIX"-*.json; do
@@ -97,4 +135,4 @@ if [ "$#" -gt 0 ]; then
         }
     done
 fi
-echo "incident_e2e: OK ($TRIGGERED, $MANUAL)"
+echo "incident_e2e: OK ($TRIGGERED, $MANUAL, $SLO)"

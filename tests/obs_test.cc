@@ -133,6 +133,60 @@ TEST(LatencyHistogram, MergeAndReset)
     EXPECT_EQ(a.max(), 0u);
 }
 
+TEST(LatencyHistogram, TracksExactRunningMin)
+{
+    LatencyHistogram hist;
+    EXPECT_EQ(hist.min(), 0u); // empty histogram reads 0, like max()
+    for (uint64_t v : {500, 37, 10000, 37, 99}) hist.record(v);
+    EXPECT_EQ(hist.min(), 37u);
+    EXPECT_EQ(hist.sum(), 500u + 37 + 10000 + 37 + 99);
+    // The bottom quantile is clamped to the observed minimum, not the
+    // bucket lower bound (bucket of 37 starts at 32).
+    EXPECT_EQ(hist.quantile(0.0), 37u);
+    for (double q : {0.25, 0.5, 0.99}) {
+        EXPECT_GE(hist.quantile(q), 37u);
+        EXPECT_LE(hist.quantile(q), 10000u);
+    }
+
+    LatencyHistogram other;
+    other.record(12);
+    hist.merge(other);
+    EXPECT_EQ(hist.min(), 12u);
+    // Merging an empty histogram must not disturb the min (the
+    // sentinel is not a value).
+    LatencyHistogram empty;
+    hist.merge(empty);
+    EXPECT_EQ(hist.min(), 12u);
+
+    hist.reset();
+    EXPECT_EQ(hist.min(), 0u);
+}
+
+TEST(LatencyHistogram, MinMaxExactUnderConcurrentRecording)
+{
+    // Regression for the CAS-down min loop: with per-thread disjoint
+    // value ranges, the global min/max must be the exact extremes, not
+    // a torn or lost update. (Run under -DROCOCO_SANITIZE=thread this
+    // also proves record() stays data-race-free with min tracking.)
+    LatencyHistogram hist;
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist, t] {
+            // Thread t records in [1000*(t+1), 1000*(t+1) + kPerThread).
+            const uint64_t base = 1000 * (uint64_t(t) + 1);
+            for (uint64_t i = 0; i < kPerThread; ++i) {
+                hist.record(base + i);
+            }
+        });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(hist.count(), uint64_t(kThreads) * kPerThread);
+    EXPECT_EQ(hist.min(), 1000u);
+    EXPECT_EQ(hist.max(), 1000u * kThreads + kPerThread - 1);
+}
+
 TEST(Gauge, TracksLastMinMaxMean)
 {
     Gauge gauge;

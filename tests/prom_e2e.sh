@@ -1,0 +1,80 @@
+#!/bin/sh
+# Prometheus-exposition end-to-end: a loadgen-hosted server is scraped
+# twice over the wire (svcctl prom) while clients pump requests, and
+# also writes a textfile exposition at sweep end (--prom-out). Every
+# exposition must pass scripts/check_prom.py — charset, TYPE
+# discipline, counter naming/monotonicity, quantile ranges.
+#
+#   $1 = path to svc_loadgen   $2 = path to svcctl
+#   $3 = scratch prefix (scrapes written as "$3.<n>.prom")
+#   $4 = python interpreter    $5 = path to check_prom.py
+set -u
+
+LOADGEN="$1"
+SVCCTL="$2"
+PREFIX="$3"
+PYTHON="$4"
+CHECKER="$5"
+
+SOCK="/tmp/prom_e2e_$$.sock"
+rm -f "$PREFIX".*.prom
+
+"$LOADGEN" --clients=2 --batch=8 --requests=300000 --socket="$SOCK" \
+    --prom-out="$PREFIX.textfile.prom" > /dev/null 2>&1 &
+LOADGEN_PID=$!
+trap 'kill "$LOADGEN_PID" 2>/dev/null; rm -f "$SOCK"' EXIT
+
+tries=0
+while [ ! -S "$SOCK" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "prom_e2e: server socket never appeared" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+
+# Two live scrapes with traffic in between: the pair proves counter
+# monotonicity, not just a single well-formed snapshot.
+"$SVCCTL" --socket="$SOCK" prom > "$PREFIX.1.prom" || {
+    echo "prom_e2e: first svcctl prom scrape failed" >&2
+    exit 1
+}
+sleep 0.3
+"$SVCCTL" --socket="$SOCK" prom > "$PREFIX.2.prom" || {
+    echo "prom_e2e: second svcctl prom scrape failed" >&2
+    exit 1
+}
+grep -q '# TYPE svc_requests_total counter' "$PREFIX.1.prom" || {
+    echo "prom_e2e: scrape lacks the svc_requests_total family" >&2
+    exit 1
+}
+"$PYTHON" "$CHECKER" "$PREFIX.1.prom" "$PREFIX.2.prom" || {
+    echo "prom_e2e: live scrapes failed exposition lint" >&2
+    exit 1
+}
+
+# Sweep end: accounting check inside loadgen, then the textfile.
+wait "$LOADGEN_PID"
+status=$?
+trap - EXIT
+rm -f "$SOCK"
+if [ "$status" -ne 0 ]; then
+    echo "prom_e2e: svc_loadgen accounting check failed" >&2
+    exit 1
+fi
+if [ ! -s "$PREFIX.textfile.prom" ]; then
+    echo "prom_e2e: --prom-out wrote no textfile" >&2
+    exit 1
+fi
+"$PYTHON" "$CHECKER" "$PREFIX.textfile.prom" || {
+    echo "prom_e2e: --prom-out textfile failed exposition lint" >&2
+    exit 1
+}
+# The textfile is the sweep-end registry: it must be no earlier than
+# the second live scrape (counters monotone live -> textfile).
+"$PYTHON" "$CHECKER" "$PREFIX.2.prom" "$PREFIX.textfile.prom" || {
+    echo "prom_e2e: counters regressed between live scrape and textfile" >&2
+    exit 1
+}
+echo "prom_e2e: OK"

@@ -706,12 +706,12 @@ TEST(SvcServer, DisconnectsUnknownOps)
     Server server(config);
     ASSERT_TRUE(server.start());
 
-    // A frame type outside the protocol entirely (11, one past
-    // kDumpReply): flagged by the frame reader itself.
+    // A frame type outside the protocol entirely (15, one past
+    // kPromReply): flagged by the frame reader itself.
     {
         const int fd = connect_raw(config.socket_path);
         ASSERT_GE(fd, 0);
-        const uint8_t unknown[kFrameHeaderBytes] = {0, 0, 0, 0, 11};
+        const uint8_t unknown[kFrameHeaderBytes] = {0, 0, 0, 0, 15};
         ASSERT_EQ(send(fd, unknown, sizeof(unknown), MSG_NOSIGNAL),
                   static_cast<ssize_t>(sizeof(unknown)));
         uint8_t buf[16];
@@ -1209,6 +1209,175 @@ TEST(SvcStats, SnapshotSucceedsUnderSaturatedQueueWithoutPerturbation)
     const CounterBag stats = server.stats();
     EXPECT_EQ(stats.get("svc.stats"), 1u);
     EXPECT_EQ(stats.get("svc.requests"), total_flooded);
+    const uint64_t accounted = stats.get("svc.verdict.commit") +
+                               stats.get("svc.verdict.abort-cycle") +
+                               stats.get("svc.verdict.window-overflow") +
+                               stats.get("svc.timeout") +
+                               stats.get("svc.rejected");
+    EXPECT_EQ(accounted, stats.get("svc.requests"));
+}
+
+/// kSeries and kProm follow the same inline introspection contract as
+/// kStats: answered from read_client() without an engine pass, counted
+/// under their own counters, never in svc.requests. The kSeries reply
+/// carries the monitor's rings + health verdicts; kProm carries the
+/// Prometheus text exposition of a fresh registry snapshot.
+TEST(SvcServer, AnswersSeriesAndPromInline)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("series");
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    // Some traffic so the exposition has non-trivial counters.
+    ClientConfig client_config;
+    client_config.socket_path = config.socket_path;
+    ValidationClient client(client_config);
+    ASSERT_TRUE(client.connected());
+    for (uint64_t i = 0; i < 8; ++i) {
+        ASSERT_EQ(client.validate({{}, {100 + i}, i}).verdict,
+                  core::Verdict::kCommit);
+    }
+    client.stop();
+
+    const int fd = connect_raw(config.socket_path);
+    ASSERT_GE(fd, 0);
+    {
+        std::vector<uint8_t> frame;
+        encode_series_request(frame);
+        ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(frame.size()));
+        auto payload = read_frame_of_type(fd, MsgType::kSeriesReply);
+        ASSERT_TRUE(payload.has_value()) << "no kSeriesReply frame";
+        const std::string json(payload->begin(), payload->end());
+        EXPECT_NE(json.find("\"enabled\": true"), std::string::npos)
+            << json;
+        EXPECT_NE(json.find("\"svc.requests\""), std::string::npos);
+        EXPECT_NE(json.find("\"svc.abort_rate\""), std::string::npos);
+        EXPECT_NE(json.find("\"abort-rate\""), std::string::npos)
+            << "default SLO rule missing: " << json;
+        EXPECT_NE(json.find("\"state\": \"ok\""), std::string::npos);
+    }
+    {
+        std::vector<uint8_t> frame;
+        encode_prom_request(frame);
+        ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(frame.size()));
+        auto payload = read_frame_of_type(fd, MsgType::kPromReply);
+        ASSERT_TRUE(payload.has_value()) << "no kPromReply frame";
+        const std::string text(payload->begin(), payload->end());
+        EXPECT_NE(text.find("# TYPE svc_requests_total counter"),
+                  std::string::npos)
+            << text;
+        EXPECT_NE(text.find("svc_requests_total 8"), std::string::npos)
+            << text;
+        // Histograms ship as summaries with exact min/max companions.
+        EXPECT_NE(text.find("svc_rpc_ns{quantile=\"0.99\"}"),
+                  std::string::npos)
+            << text;
+        EXPECT_NE(text.find("svc_rpc_ns_min"), std::string::npos);
+    }
+    close(fd);
+
+    // Payload-bearing kSeries: malformed, disconnect.
+    {
+        const int bad = connect_raw(config.socket_path);
+        ASSERT_GE(bad, 0);
+        const uint8_t junk[kFrameHeaderBytes + 1] = {
+            1, 0, 0, 0, static_cast<uint8_t>(MsgType::kSeries), 0xcc};
+        ASSERT_EQ(send(bad, junk, sizeof(junk), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(sizeof(junk)));
+        uint8_t buf[16];
+        EXPECT_EQ(recv(bad, buf, sizeof(buf), 0), 0)
+            << "not disconnected";
+        close(bad);
+    }
+
+    server.stop();
+    EXPECT_EQ(server.stats().get("svc.series"), 1u);
+    EXPECT_EQ(server.stats().get("svc.prom"), 1u);
+    EXPECT_EQ(server.stats().get("svc.malformed"), 1u);
+    // Introspection sits outside the request ledger.
+    EXPECT_EQ(server.stats().get("svc.requests"), 8u);
+}
+
+/// A server running without a monitor still answers kSeries — with an
+/// explicit "enabled": false, so pollers (svcctl watch) can fall back
+/// to kStats instead of misreading an empty ring as idleness.
+TEST(SvcServer, SeriesReportsMonitorDisabled)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("seriesoff");
+    config.monitor.enabled = false;
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    const int fd = connect_raw(config.socket_path);
+    ASSERT_GE(fd, 0);
+    std::vector<uint8_t> frame;
+    encode_series_request(frame);
+    ASSERT_EQ(send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+    auto payload = read_frame_of_type(fd, MsgType::kSeriesReply);
+    ASSERT_TRUE(payload.has_value()) << "no kSeriesReply frame";
+    const std::string json(payload->begin(), payload->end());
+    EXPECT_NE(json.find("\"enabled\": false"), std::string::npos)
+        << json;
+    close(fd);
+    server.stop();
+}
+
+/// A kSeries flood — hundreds of polls interleaved with real traffic —
+/// must leave the accounting invariant untouched: introspection never
+/// enters svc.requests, and every real request still gets exactly one
+/// verdict.
+TEST(SvcStats, SeriesFloodDoesNotPerturbAccounting)
+{
+    ServerConfig config;
+    config.socket_path = test_socket_path("seriesflood");
+    Server server(config);
+    ASSERT_TRUE(server.start());
+
+    ClientConfig client_config;
+    client_config.socket_path = config.socket_path;
+    ValidationClient client(client_config);
+    ASSERT_TRUE(client.connected());
+
+    const int poll_fd = connect_raw(config.socket_path);
+    ASSERT_GE(poll_fd, 0);
+    std::vector<uint8_t> poll_frame;
+    encode_series_request(poll_frame);
+
+    constexpr uint64_t kPolls = 200;
+    constexpr uint64_t kRequests = 200;
+    std::atomic<bool> poller_ok{true};
+    std::thread poller([&] {
+        for (uint64_t i = 0; i < kPolls; ++i) {
+            if (send(poll_fd, poll_frame.data(), poll_frame.size(),
+                     MSG_NOSIGNAL) !=
+                static_cast<ssize_t>(poll_frame.size())) {
+                poller_ok = false;
+                return;
+            }
+            if (!read_frame_of_type(poll_fd, MsgType::kSeriesReply)) {
+                poller_ok = false;
+                return;
+            }
+        }
+    });
+    for (uint64_t i = 0; i < kRequests; ++i) {
+        const auto result = client.validate({{}, {1000 + i}, i});
+        ASSERT_EQ(result.verdict, core::Verdict::kCommit);
+    }
+    poller.join();
+    EXPECT_TRUE(poller_ok) << "kSeries poll failed mid-flood";
+    close(poll_fd);
+    client.stop();
+    server.stop();
+
+    const CounterBag stats = server.stats();
+    EXPECT_EQ(stats.get("svc.series"), kPolls);
+    EXPECT_EQ(stats.get("svc.requests"), kRequests);
     const uint64_t accounted = stats.get("svc.verdict.commit") +
                                stats.get("svc.verdict.abort-cycle") +
                                stats.get("svc.verdict.window-overflow") +

@@ -40,8 +40,36 @@ done
     exit 1
 }
 "$SVCCTL" --socket="$SOCK" watch --interval-ms=50 --count=3 \
-    | grep -q 'requests' || {
+    | grep -q 'req/s' || {
     echo "svcctl_e2e: watch produced no samples" >&2
+    exit 1
+}
+
+# Continuous-monitoring ops against the default-on health monitor.
+"$SVCCTL" --socket="$SOCK" series | grep -q '"enabled": true' || {
+    echo "svcctl_e2e: series lacks an enabled monitor" >&2
+    exit 1
+}
+"$SVCCTL" --socket="$SOCK" series | grep -q '"svc.abort_rate"' || {
+    echo "svcctl_e2e: series lacks the svc.abort_rate ring" >&2
+    exit 1
+}
+"$SVCCTL" --socket="$SOCK" prom | grep -q '# TYPE svc_requests_total counter' || {
+    echo "svcctl_e2e: prom exposition lacks svc_requests_total" >&2
+    exit 1
+}
+# Conflict-free workload: the dashboard's scriptable form must report
+# health and exit 0 (it exits 3 on critical).
+MONITOR_OUT=$("$SVCCTL" --socket="$SOCK" monitor --once) || {
+    echo "svcctl_e2e: monitor --once exited non-zero on a healthy server" >&2
+    exit 1
+}
+echo "$MONITOR_OUT" | grep -q 'health:' || {
+    echo "svcctl_e2e: monitor output lacks the health banner" >&2
+    exit 1
+}
+echo "$MONITOR_OUT" | grep -q 'abort-rate' || {
+    echo "svcctl_e2e: monitor output lacks the abort-rate rule row" >&2
     exit 1
 }
 

@@ -74,6 +74,19 @@ valid_frames()
     encode_dump_request(frames.back());
     frames.emplace_back();
     encode_dump_reply(frames.back(), "{\"ok\": false}");
+    frames.emplace_back();
+    encode_series_request(frames.back());
+    frames.emplace_back();
+    encode_series_reply(frames.back(),
+                        "{\"enabled\": true, \"health\": {\"state\": "
+                        "\"ok\", \"rules\": []}, \"samples\": "
+                        "{\"series\": []}}");
+    frames.emplace_back();
+    encode_prom_request(frames.back());
+    frames.emplace_back();
+    encode_prom_reply(frames.back(),
+                      "# TYPE svc_requests_total counter\n"
+                      "svc_requests_total 7\n");
     return frames;
 }
 
@@ -120,7 +133,11 @@ drain(FrameReader& reader, size_t fed_bytes)
         case MsgType::kTopKReply:
         case MsgType::kDump:
         case MsgType::kDumpReply:
-            break; // empty / raw JSON payloads; nothing to decode
+        case MsgType::kSeries:
+        case MsgType::kSeriesReply:
+        case MsgType::kProm:
+        case MsgType::kPromReply:
+            break; // empty / raw text payloads; nothing to decode
         }
     }
 }

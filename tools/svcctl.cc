@@ -33,10 +33,25 @@
 ///       Ask the server's flight recorder for a manual incident dump;
 ///       prints the server-side path of the incident file. Fails (exit
 ///       1) when the server runs without a recorder.
+///   svcctl [--socket=PATH] series
+///       Dump the server's monitoring time-series + SLO health verdicts
+///       as raw JSON (the kSeries reply).
+///   svcctl [--socket=PATH] prom
+///       Print the server's metrics in Prometheus text exposition
+///       format (the kProm reply) — pipe into a textfile collector or
+///       curl-replacement scrape job.
+///   svcctl [--socket=PATH] monitor [--interval-ms=1000] [--once]
+///       Live terminal dashboard: overall health badge, per-rule SLO
+///       burn-rate table, per-series last/rate plus a sparkline over
+///       the sampler ring, and the conflict hot-key line. Refreshes in
+///       place on a tty; --once prints a single frame and exits 3 when
+///       any SLO rule is critical (0 otherwise) so scripts can use it
+///       as a health probe.
 ///
 /// Exit status: 0 on success, 1 on connection/protocol failure, 2 on
-/// usage errors. (common/cli.h rejects positional arguments, so this
-/// tool parses argv by hand.)
+/// usage errors, 3 for `monitor --once` observing a critical health
+/// state. (common/cli.h rejects positional arguments, so this tool
+/// parses argv by hand.)
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -44,9 +59,11 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,7 +85,11 @@ usage(FILE* out)
                  " [--count=N]\n"
                  "       svcctl [--socket=PATH] shards\n"
                  "       svcctl [--socket=PATH] top [--json]\n"
-                 "       svcctl [--socket=PATH] dump\n");
+                 "       svcctl [--socket=PATH] dump\n"
+                 "       svcctl [--socket=PATH] series\n"
+                 "       svcctl [--socket=PATH] prom\n"
+                 "       svcctl [--socket=PATH] monitor [--interval-ms=N]"
+                 " [--once]\n");
 }
 
 int
@@ -172,6 +193,152 @@ extract_number(const std::string& json, const std::string& name)
         return std::atof(text.c_str() + at + 7);
     }
     return std::atof(text.c_str());
+}
+
+// ---- kSeries reply parsing ---------------------------------------------
+//
+// The reply is {"enabled": B, "health": {...}, "samples": {...}} with
+// fixed key order (obs/health.cc, obs/timeseries.cc): every rule and
+// every series object starts on its own line with {"name": "..." and
+// ends at the first "]}" after it (the transitions / points array
+// close). A linear scan is enough; this is not a general JSON parser.
+
+/// Split the reply into the health and samples sections so rule and
+/// series objects (which share the {"name": ... shape) don't mix.
+void
+split_series_reply(const std::string& json, std::string& health,
+                   std::string& samples)
+{
+    const size_t at = json.find("\"samples\":");
+    if (at == std::string::npos) {
+        health = json;
+        samples.clear();
+        return;
+    }
+    health = json.substr(0, at);
+    samples = json.substr(at);
+}
+
+/// All {"name": ...}-objects in a section, one per entry.
+std::vector<std::string>
+split_named_objects(const std::string& section)
+{
+    std::vector<std::string> out;
+    size_t pos = 0;
+    while ((pos = section.find("\n{\"name\": \"", pos)) !=
+           std::string::npos) {
+        const size_t end = section.find("]}", pos);
+        if (end == std::string::npos) break;
+        out.push_back(section.substr(pos + 1, end + 2 - (pos + 1)));
+        pos = end;
+    }
+    return out;
+}
+
+/// `"name": <number>` from one object; false when missing or null
+/// (a counter/ratio series has rate null until two samples exist).
+bool
+extract_opt_number(const std::string& obj, const std::string& name,
+                   double* out)
+{
+    std::string text;
+    if (!extract_value(obj, name, text)) return false;
+    if (text.compare(0, 4, "null") == 0) return false;
+    *out = std::atof(text.c_str());
+    return true;
+}
+
+std::string
+extract_string(const std::string& obj, const std::string& name)
+{
+    std::string text;
+    if (!extract_value(obj, name, text)) return "";
+    // Strip the quotes: extract_value hands back "value" verbatim.
+    if (text.size() >= 2 && text.front() == '"') {
+        const size_t close = text.find('"', 1);
+        if (close != std::string::npos) return text.substr(1, close - 1);
+    }
+    return text;
+}
+
+/// The per-point values of one series object's ring ([t, raw, value]
+/// triples; null values — unprimed deltas — are skipped).
+std::vector<double>
+parse_point_values(const std::string& obj)
+{
+    std::vector<double> values;
+    const size_t at = obj.find("\"points\": [");
+    if (at == std::string::npos) return values;
+    size_t pos = at + 11;
+    while ((pos = obj.find('[', pos)) != std::string::npos) {
+        const size_t close = obj.find(']', pos);
+        if (close == std::string::npos) break;
+        const std::string triple = obj.substr(pos + 1, close - pos - 1);
+        const size_t c1 = triple.find(',');
+        const size_t c2 =
+            c1 == std::string::npos ? c1 : triple.find(',', c1 + 1);
+        if (c2 != std::string::npos &&
+            triple.find("null", c2) == std::string::npos) {
+            values.push_back(std::atof(triple.c_str() + c2 + 1));
+        }
+        pos = close + 1;
+    }
+    return values;
+}
+
+/// Render up to the last @p width point values as a unicode sparkline.
+std::string
+sparkline(const std::vector<double>& values, size_t width)
+{
+    static const char* kBars[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+    if (values.empty()) return "";
+    const size_t first = values.size() > width ? values.size() - width : 0;
+    double lo = values[first];
+    double hi = values[first];
+    for (size_t i = first; i < values.size(); ++i) {
+        lo = std::min(lo, values[i]);
+        hi = std::max(hi, values[i]);
+    }
+    std::string out;
+    for (size_t i = first; i < values.size(); ++i) {
+        const double span = hi - lo;
+        const int level =
+            span <= 0.0 ? 0
+                        : static_cast<int>((values[i] - lo) / span * 7.0);
+        out += kBars[std::clamp(level, 0, 7)];
+    }
+    return out;
+}
+
+/// Humanize a sample value: large magnitudes collapse to k/M/G so the
+/// dashboard columns stay aligned (latencies arrive in nanoseconds).
+std::string
+format_value(double v)
+{
+    char buf[32];
+    const double a = std::fabs(v);
+    if (a >= 1e9) {
+        std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+    } else if (a >= 1e6) {
+        std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+    } else if (a >= 1e4) {
+        std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+    } else if (a == std::floor(a)) {
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    } else {
+        std::snprintf(buf, sizeof buf, "%.3f", v);
+    }
+    return buf;
+}
+
+/// One kSeries round trip on an established connection.
+bool
+fetch_series(int fd, std::string& json_out)
+{
+    std::vector<uint8_t> frame;
+    rococo::svc::encode_series_request(frame);
+    return round_trip(fd, frame, MsgType::kSeriesReply, json_out);
 }
 
 int
@@ -353,6 +520,186 @@ cmd_dump(const std::string& socket_path)
 }
 
 int
+cmd_series(const std::string& socket_path)
+{
+    const int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::string json;
+    const bool ok = fetch_series(fd, json);
+    close(fd);
+    if (!ok) {
+        std::fprintf(stderr, "svcctl: series request failed\n");
+        return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+}
+
+int
+cmd_prom(const std::string& socket_path)
+{
+    const int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    std::vector<uint8_t> frame;
+    rococo::svc::encode_prom_request(frame);
+    std::string text;
+    const bool ok = round_trip(fd, frame, MsgType::kPromReply, text);
+    close(fd);
+    if (!ok) {
+        std::fprintf(stderr, "svcctl: prom request failed\n");
+        return 1;
+    }
+    // The payload is already the text exposition, newline-terminated.
+    std::fputs(text.c_str(), stdout);
+    return 0;
+}
+
+/// Render one monitor frame from a kSeries reply (plus the optional
+/// kTopK reply for the hot-key line). Returns the overall health state
+/// string so the caller can derive the --once exit status.
+std::string
+print_monitor_frame(const std::string& series_json,
+                    const std::string& topk_json)
+{
+    std::string health;
+    std::string samples;
+    split_series_reply(series_json, health, samples);
+    const std::string overall = extract_string(health, "state");
+
+    char clock[32] = "";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+    if (localtime_r(&now, &tm_buf) != nullptr) {
+        std::strftime(clock, sizeof clock, "%H:%M:%S", &tm_buf);
+    }
+    std::printf("rococo monitor  %s   health: %s\n", clock,
+                overall.empty() ? "?" : overall.c_str());
+
+    const std::vector<std::string> rules = split_named_objects(health);
+    if (!rules.empty()) {
+        std::printf("\n%-16s %-24s %-9s %10s %10s %10s\n", "rule", "series",
+                    "state", "threshold", "fast", "slow");
+        for (const std::string& rule : rules) {
+            double threshold = 0.0;
+            double fast = 0.0;
+            double slow = 0.0;
+            extract_opt_number(rule, "threshold", &threshold);
+            extract_opt_number(rule, "fast", &fast);
+            extract_opt_number(rule, "slow", &slow);
+            std::printf("%-16s %-24s %-9s %10s %10s %10s\n",
+                        extract_string(rule, "name").c_str(),
+                        extract_string(rule, "series").c_str(),
+                        extract_string(rule, "state").c_str(),
+                        format_value(threshold).c_str(),
+                        format_value(fast).c_str(),
+                        format_value(slow).c_str());
+        }
+    }
+
+    const std::vector<std::string> series = split_named_objects(samples);
+    std::printf("\n%-24s %10s %12s  %s\n", "series", "last", "rate",
+                "trend");
+    for (const std::string& s : series) {
+        double last = 0.0;
+        double rate = 0.0;
+        const bool has_last = extract_opt_number(s, "last", &last);
+        const bool has_rate = extract_opt_number(s, "rate", &rate);
+        const std::string kind = extract_string(s, "kind");
+        // Rate is per-second only for counter series; for the sampled
+        // kinds (gauge/quantile/callback/ratio) the windowed value is
+        // the level itself, which "last" already shows.
+        std::string rate_text = "-";
+        if (has_rate && kind == "counter") {
+            rate_text = format_value(rate) + "/s";
+        } else if (has_rate && kind == "ratio") {
+            rate_text = format_value(rate);
+        }
+        std::printf("%-24s %10s %12s  %s\n",
+                    extract_string(s, "name").c_str(),
+                    has_last ? format_value(last).c_str() : "-",
+                    rate_text.c_str(),
+                    sparkline(parse_point_values(s), 32).c_str());
+    }
+    if (series.empty()) {
+        std::printf("(server runs without a monitor — start it with"
+                    " monitor.enabled)\n");
+    }
+
+    // Hot keys, compressed to one line (full table: svcctl top).
+    std::printf("\nhot keys:");
+    size_t shown = 0;
+    size_t pos = 0;
+    while (shown < 6) {
+        const size_t key_at = topk_json.find("\"key\":", pos);
+        if (key_at == std::string::npos) break;
+        const size_t count_at = topk_json.find("\"count\":", key_at);
+        if (count_at == std::string::npos) break;
+        std::printf(" %llu(%llu)",
+                    static_cast<unsigned long long>(std::strtoull(
+                        topk_json.c_str() + key_at + 6, nullptr, 10)),
+                    static_cast<unsigned long long>(std::strtoull(
+                        topk_json.c_str() + count_at + 8, nullptr, 10)));
+        ++shown;
+        pos = count_at + 8;
+    }
+    std::printf("%s\n", shown == 0 ? " (none)" : "");
+    return overall;
+}
+
+int
+cmd_monitor(const std::string& socket_path, unsigned interval_ms,
+            unsigned count, bool once)
+{
+    const int fd = connect_server(socket_path);
+    if (fd < 0) {
+        std::fprintf(stderr, "svcctl: cannot connect to %s\n",
+                     socket_path.c_str());
+        return 1;
+    }
+    const bool tty = isatty(STDOUT_FILENO) != 0;
+    int status = 0;
+    for (unsigned i = 0; once || count == 0 || i < count;) {
+        std::string series_json;
+        if (!fetch_series(fd, series_json)) {
+            close(fd);
+            std::fprintf(stderr, "svcctl: series request failed\n");
+            return 1;
+        }
+        std::vector<uint8_t> frame;
+        rococo::svc::encode_topk_request(frame);
+        std::string topk_json;
+        if (!round_trip(fd, frame, MsgType::kTopKReply, topk_json)) {
+            close(fd);
+            std::fprintf(stderr, "svcctl: top request failed\n");
+            return 1;
+        }
+        if (tty && !once) {
+            std::printf("\033[H\033[J"); // home + clear: redraw in place
+        }
+        const std::string overall =
+            print_monitor_frame(series_json, topk_json);
+        std::fflush(stdout);
+        status = overall == "critical" ? 3 : 0;
+        if (once) break;
+        ++i;
+        if (count == 0 || i < count) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(interval_ms));
+        }
+    }
+    close(fd);
+    return once ? status : 0;
+}
+
+int
 cmd_watch(const std::string& socket_path, unsigned interval_ms,
           unsigned count)
 {
@@ -387,11 +734,17 @@ cmd_watch(const std::string& socket_path, unsigned interval_ms,
             return 1;
         }
     }
-    std::printf("%12s %12s %12s %12s %12s\n", "requests", "queue", "window",
-                "conns", "stats");
+    // Watch rides the kSeries op so its request rate is the *server's*
+    // windowed rate (the same number monitor and the SLO rules see),
+    // not a client-side delta between two kStats snapshots. A server
+    // without a monitor ("enabled": false) falls back to raw kStats
+    // totals; a rate column shows '-' until the sampler has two points.
+    std::printf("%12s %12s %12s %12s %10s\n", "req/s", "queue", "window",
+                "conns", "health");
+    bool legacy_noted = false;
     for (unsigned i = 0; count == 0 || i < count;) {
         std::string json;
-        if (!fetch_stats(fd, json)) {
+        if (!fetch_series(fd, json)) {
             close(fd);
             std::fprintf(stderr, "svcctl: connection lost, reconnecting\n");
             fd = reconnect();
@@ -401,12 +754,57 @@ cmd_watch(const std::string& socket_path, unsigned interval_ms,
             }
             continue; // retry this sample on the fresh connection
         }
-        std::printf("%12.0f %12.0f %12.0f %12.0f %12.0f\n",
-                    extract_number(json, "svc.requests"),
-                    extract_number(json, "svc.queue_depth"),
-                    extract_number(json, "svc.window_occupancy"),
-                    extract_number(json, "svc.connections_open"),
-                    extract_number(json, "svc.stats"));
+        if (json.find("\"enabled\": false") != std::string::npos) {
+            if (!legacy_noted) {
+                std::fprintf(stderr, "svcctl: server runs without a"
+                                     " monitor; showing kStats totals\n");
+                legacy_noted = true;
+            }
+            if (!fetch_stats(fd, json)) {
+                close(fd);
+                std::fprintf(stderr,
+                             "svcctl: connection lost, reconnecting\n");
+                fd = reconnect();
+                if (fd < 0) {
+                    std::fprintf(stderr,
+                                 "svcctl: server did not come back\n");
+                    return 1;
+                }
+                continue;
+            }
+            std::printf("%12.0f %12.0f %12.0f %12.0f %10s\n",
+                        extract_number(json, "svc.requests"),
+                        extract_number(json, "svc.queue_depth"),
+                        extract_number(json, "svc.window_occupancy"),
+                        extract_number(json, "svc.connections_open"), "-");
+        } else {
+            std::string health;
+            std::string samples;
+            split_series_reply(json, health, samples);
+            auto series_field = [&](const char* name, const char* field,
+                                    std::string& out) {
+                for (const std::string& s : split_named_objects(samples)) {
+                    if (extract_string(s, "name") != name) continue;
+                    double v = 0.0;
+                    if (extract_opt_number(s, field, &v)) {
+                        out = format_value(v);
+                    }
+                    return;
+                }
+            };
+            std::string rate = "-";
+            std::string queue = "-";
+            std::string window = "-";
+            std::string conns = "-";
+            series_field("svc.requests", "rate", rate);
+            series_field("svc.queue_depth", "last", queue);
+            series_field("svc.window_occupancy", "last", window);
+            series_field("svc.connections_open", "last", conns);
+            const std::string overall = extract_string(health, "state");
+            std::printf("%12s %12s %12s %12s %10s\n", rate.c_str(),
+                        queue.c_str(), window.c_str(), conns.c_str(),
+                        overall.empty() ? "-" : overall.c_str());
+        }
         std::fflush(stdout);
         ++i;
         if (count == 0 || i < count) {
@@ -429,6 +827,8 @@ main(int argc, char** argv)
     std::string command;
     std::vector<std::string> operands;
     bool raw_json = false;
+    bool once = false;
+    bool interval_set = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -444,10 +844,13 @@ main(int argc, char** argv)
             socket_path = v;
         } else if (const char* v = value_of("--interval-ms")) {
             interval_ms = static_cast<unsigned>(std::atoi(v));
+            interval_set = true;
         } else if (const char* v = value_of("--count")) {
             count = static_cast<unsigned>(std::atoi(v));
         } else if (arg == "--json") {
             raw_json = true;
+        } else if (arg == "--once") {
+            once = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(stdout);
             return 0;
@@ -480,6 +883,17 @@ main(int argc, char** argv)
     }
     if (command == "dump" && operands.empty()) {
         return cmd_dump(socket_path);
+    }
+    if (command == "series" && operands.empty()) {
+        return cmd_series(socket_path);
+    }
+    if (command == "prom" && operands.empty()) {
+        return cmd_prom(socket_path);
+    }
+    if (command == "monitor" && operands.empty()) {
+        if (!interval_set) interval_ms = 1000; // calmer monitor default
+        if (interval_ms == 0) interval_ms = 1;
+        return cmd_monitor(socket_path, interval_ms, count, once);
     }
     usage(stderr);
     return 2;
