@@ -90,6 +90,7 @@
 #include "common/csv.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/zipf.h"
 #include "obs/clock.h"
 #include "obs/registry.h"
 #include "obs/telemetry.h"
@@ -153,35 +154,6 @@ struct LoadConfig
     double slo_abort_rate = 0;       ///< override abort-rate SLO threshold
     uint64_t slo_fast_ms = 0;        ///< override SLO fast window
     uint64_t slo_slow_ms = 0;        ///< override SLO slow window
-};
-
-/// Zipf(theta) sampler over [0, n): one binary search per draw against
-/// a CDF table built once per client, so the skewed workload costs the
-/// request loop nothing extra.
-class ZipfSampler
-{
-  public:
-    ZipfSampler(uint64_t n, double theta)
-        : cdf_(n)
-    {
-        double sum = 0;
-        for (uint64_t i = 0; i < n; ++i) {
-            sum += 1.0 / std::pow(double(i + 1), theta);
-            cdf_[i] = sum;
-        }
-        for (double& c : cdf_) c /= sum;
-    }
-
-    uint64_t
-    draw(Xoshiro256& rng) const
-    {
-        const double u = rng.uniform();
-        return static_cast<uint64_t>(
-            std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
-    }
-
-  private:
-    std::vector<double> cdf_;
 };
 
 void

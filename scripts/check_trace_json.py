@@ -16,7 +16,14 @@ Checks, in order:
    the same attribution site, so any mismatch means a code path lost
    its typed AbortReason.
 
-3. Validation-service accounting: when the file carries "svc.*"
+3. KV-layer accounting: when the file carries "kv.ops.*" counters (a
+   trace from a process hosting a kv::KvStore / KvStore2pl), every
+   operation is exactly one committed transaction —
+   sum(kv.ops.*) == kv.txn.commits — and each "kv.latency.<op>"
+   histogram holds exactly kv.ops.<op> samples (the histogram is
+   recorded at the same site that bumps the counter).
+
+4. Validation-service accounting: when the file carries "svc.*"
    counters (a trace from a process hosting svc::Server), every
    well-formed request must be answered exactly once:
    svc.requests == sum(svc.verdict.*) + svc.timeout + svc.rejected.
@@ -25,7 +32,7 @@ Checks, in order:
    ("svc.stats") are answered outside the request path and excluded by
    design.
 
-4. Span chains (skippable with --no-chain, for metrics-only files from
+5. Span chains (skippable with --no-chain, for metrics-only files from
    replay/simulator benches): every "tx.commit" span must sit inside a
    "tx.attempt" span on the same (pid, tid) that also contains a
    "tx.validate" span — the begin -> validate -> commit lifecycle of a
@@ -34,7 +41,7 @@ Checks, in order:
    so up to --max-orphans (default 2) broken chains per thread are
    tolerated at the wraparound boundary.
 
-5. Distributed-trace linkage (runs when the file contains
+6. Distributed-trace linkage (runs when the file contains
    "svc.server.validate" spans; mandatory with --require-flows): every
    server validation span carries args.parent_span_id, and — in a
    merged client+server file — that id must name the trace_id of a
@@ -160,6 +167,41 @@ def check_svc_accounting(counters):
             f"svc answer counters sum to {answered}, but "
             f"svc.requests = {counters['svc.requests']}"
         )
+    return True
+
+
+def check_kv_accounting(counters, histograms):
+    """sum(kv.ops.*) == kv.txn.commits, and each kv.latency.<op>
+    histogram holds exactly kv.ops.<op> samples.
+
+    kv::HotMetrics::finish_op bumps the op counter, the commit counter
+    and the latency histogram at one site, so any mismatch means an
+    operation path skipped its accounting (or double-counted).
+    """
+    ops = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("kv.ops.")
+    }
+    if not ops:
+        return False
+    total = sum(ops.values())
+    commits = counters.get("kv.txn.commits")
+    if commits != total:
+        fail(
+            f"kv.ops.* counters sum to {total}, but kv.txn.commits = "
+            f"{commits}"
+        )
+    for name, value in sorted(ops.items()):
+        op = name[len("kv.ops."):]
+        hist = histograms.get(f"kv.latency.{op}")
+        if hist is None:
+            fail(f"{name} = {value} but no kv.latency.{op} histogram")
+        if hist.get("count") != value:
+            fail(
+                f"kv.latency.{op} holds {hist.get('count')} samples, "
+                f"but {name} = {value}"
+            )
     return True
 
 
@@ -464,6 +506,7 @@ def main(argv):
             file=sys.stderr,
         )
     layers = check_abort_sums(counters)
+    kv_checked = check_kv_accounting(counters, metrics["histograms"])
     svc_checked = check_svc_accounting(counters)
     chains = 0 if no_chain else check_span_chains(events, max_orphans)
     flows = check_flows(events, max_orphans, require_flows)
@@ -471,7 +514,9 @@ def main(argv):
     print(
         f"check_trace_json: OK: {len(events)} events, "
         f"{len(counters)} counters "
-        f"({layers} abort layer(s) consistent, svc accounting "
+        f"({layers} abort layer(s) consistent, "
+        + ("kv accounting balanced, " if kv_checked else "")
+        + "svc accounting "
         + ("balanced), " if svc_checked else "absent), ")
         + (f"{chains} complete span chains" if not no_chain
            else "chain check skipped")

@@ -1,0 +1,52 @@
+/// @file
+/// FunctionRef: a non-owning, trivially copyable reference to a
+/// callable — two words, no allocation, no virtual dispatch. The KV
+/// hot path takes read-modify-write bodies through this instead of
+/// std::function so arbitrarily large closures never force a heap
+/// allocation inside a transaction (std::function's small-buffer
+/// optimisation only covers trivially-copyable captures of at most
+/// two words on libstdc++).
+///
+/// The referenced callable must outlive every call — like
+/// std::string_view, FunctionRef is a parameter type, not a storage
+/// type.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rococo {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    template <typename F>
+        requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                 std::is_invocable_r_v<R, F&, Args...>)
+    FunctionRef(F&& f) noexcept // NOLINT(google-explicit-constructor)
+        : obj_(const_cast<void*>(
+              static_cast<const void*>(std::addressof(f)))),
+          call_([](void* obj, Args... args) -> R {
+              return (*static_cast<std::remove_reference_t<F>*>(obj))(
+                  std::forward<Args>(args)...);
+          })
+    {
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    void* obj_;
+    R (*call_)(void*, Args...);
+};
+
+} // namespace rococo

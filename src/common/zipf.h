@@ -1,0 +1,77 @@
+/// @file
+/// Shared Zipf(theta) key sampler for the skewed-workload drivers
+/// (bench/svc_loadgen, bench/ycsb_run, tests).
+///
+/// Inverse-CDF sampling: the normalized CDF over ranks [0, n) is built
+/// once (the only place pow() runs), and every draw is one uniform
+/// double plus a binary search — so a skewed workload costs the request
+/// loop nothing beyond the RNG it already pays for. theta = 0
+/// degenerates to the uniform distribution exactly (every rank weight
+/// 1), and YCSB's canonical skew is theta = 0.99.
+///
+/// Ranks are popularity order: rank 0 is the hottest key. Drivers that
+/// want hot keys scattered over the key space should permute the rank
+/// with a fixed bijection (e.g. multiply by an odd constant mod n);
+/// the YCSB drivers here deliberately keep rank == key id so hot sets
+/// are recognizable in top-K output.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace rococo {
+
+/// Zipf(theta) sampler over [0, n): one binary search per draw against
+/// a CDF table built once, so the skewed workload costs the request
+/// loop nothing extra.
+class ZipfSampler
+{
+  public:
+    /// @param n key-space size (>= 1)
+    /// @param theta skew exponent (>= 0; 0 = uniform, 0.99 = YCSB)
+    ZipfSampler(uint64_t n, double theta)
+        : cdf_(n)
+    {
+        ROCOCO_CHECK(n >= 1 && "ZipfSampler needs a non-empty key space");
+        ROCOCO_CHECK(theta >= 0.0 && "negative skew is not a distribution");
+        double sum = 0;
+        for (uint64_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(double(i + 1), theta);
+            cdf_[i] = sum;
+        }
+        for (double& c : cdf_) c /= sum;
+        // Guard against floating-point shortfall: the last CDF entry is
+        // 1 by construction, so every uniform draw lands in range.
+        cdf_.back() = 1.0;
+    }
+
+    uint64_t n() const { return cdf_.size(); }
+
+    /// Rank in [0, n()); rank 0 is the most popular.
+    uint64_t
+    draw(Xoshiro256& rng) const
+    {
+        const double u = rng.uniform();
+        return static_cast<uint64_t>(
+            std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    }
+
+    /// P[rank < k]: the head mass of the k hottest ranks (diagnostics
+    /// and distribution tests).
+    double
+    head_mass(uint64_t k) const
+    {
+        if (k == 0) return 0.0;
+        return cdf_[std::min<uint64_t>(k, cdf_.size()) - 1];
+    }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace rococo

@@ -58,23 +58,32 @@ ValidationEngine::commit_classified(
     const core::ValidationResult result = manager_.decide(classified);
     if (result.verdict == core::Verdict::kCommit) {
         detector_.record_commit(result.cid, request);
+    } else if (result.verdict == core::Verdict::kAbortCycle &&
+               result.conflict_cid != core::kNoConflictCid) {
+        record_conflict(request, result.conflict_cid);
     }
-#ifndef ROCOCO_FORENSICS_OFF
-    else if (result.verdict == core::Verdict::kAbortCycle &&
-             result.conflict_cid != core::kNoConflictCid &&
-             config_.forensics_sample != 0 &&
-             ++cycle_aborts_ % config_.forensics_sample == 0) {
-        // Hot-key attribution: ask the detector which of this request's
-        // addresses actually matched the conflicting commit's
-        // signatures, and feed them to the sketch. Fixed-size buffers
-        // throughout — the abort path stays allocation-free.
-        uint64_t addrs[obs::TopK::kCapacity];
-        const size_t n = detector_.conflicting_addresses(
-            request, result.conflict_cid, addrs, obs::TopK::kCapacity);
-        for (size_t i = 0; i < n; ++i) conflict_topk_.offer(addrs[i]);
-    }
-#endif
     return result;
+}
+
+void
+ValidationEngine::record_conflict([[maybe_unused]] const OffloadRequest&
+                                      request,
+                                  [[maybe_unused]] uint64_t conflict_cid)
+{
+#ifndef ROCOCO_FORENSICS_OFF
+    if (config_.forensics_sample == 0 ||
+        ++cycle_aborts_ % config_.forensics_sample != 0) {
+        return;
+    }
+    // Hot-key attribution: ask the detector which of this request's
+    // addresses actually matched the conflicting commit's
+    // signatures, and feed them to the sketch. Fixed-size buffers
+    // throughout — the abort path stays allocation-free.
+    uint64_t addrs[obs::TopK::kCapacity];
+    const size_t n = detector_.conflicting_addresses(
+        request, conflict_cid, addrs, obs::TopK::kCapacity);
+    for (size_t i = 0; i < n; ++i) conflict_topk_.offer(addrs[i]);
+#endif
 }
 
 double

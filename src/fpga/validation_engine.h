@@ -79,6 +79,18 @@ class ValidationEngine
         const core::ValidationRequest& classified,
         const OffloadRequest& request);
 
+    /// Feed the hot-key forensics sketch for an abort attributed to
+    /// engine-local commit @p conflict_cid: the addresses of
+    /// @p request that actually matched that commit's signatures.
+    /// commit_classified() calls this on its own cycle aborts; the
+    /// shard router calls it for aborts its coordinator raises before
+    /// reaching the manager (fence rejections, reserve-phase cycles),
+    /// which would otherwise never reach the sketch. Sampled per
+    /// EngineConfig::forensics_sample; same serialization contract as
+    /// process().
+    void record_conflict(const OffloadRequest& request,
+                         uint64_t conflict_cid);
+
     /// Modelled end-to-end latency of @p request when the pipeline is
     /// otherwise idle, in ns.
     double isolated_latency_ns(const OffloadRequest& request) const;

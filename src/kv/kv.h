@@ -1,0 +1,98 @@
+/// @file
+/// The transactional key-value interface both engines implement: the
+/// OCC store over tm::RococoTm (kv_store.h) and the conservative
+/// two-phase-locking baseline (kv_2pl.h), so the YCSB driver races
+/// them under identical traffic (docs/KV.md).
+///
+/// Operations are single atomic transactions over string keys and
+/// 64-bit values:
+///
+///   * get / put / erase — point operations.
+///   * scan — one consistent multi-read: every value returned belongs
+///     to the same serializable snapshot. The hashed key→address
+///     mapping (key_mapper.h) has no global key order, so a scan is
+///     driven by an explicit key list, not a range.
+///   * rmw — a multi-key read-modify-write transaction: the body sees
+///     all current values atomically and marks which to write back.
+///
+/// Every implementation exports the same metric families into its
+/// registry — kv.ops.{get,put,delete,scan,rmw}, kv.txn.{commits,
+/// aborts,retries}, kv.key_collisions and the kv.latency.* per-op
+/// histograms — with the invariant sum(kv.ops.*) == kv.txn.commits
+/// (each operation is exactly one committed transaction), which
+/// scripts/check_trace_json.py enforces on telemetry captures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/function_ref.h"
+#include "obs/registry.h"
+
+namespace rococo::kv {
+
+enum class KvStatus
+{
+    kOk,
+    kNotFound, ///< get/erase of an absent key
+    kNoSpace,  ///< the bounded probe window is full (table overloaded)
+};
+
+const char* to_string(KvStatus status);
+
+/// Fan-in bound of one rmw transaction. Eight keys keep the offloaded
+/// address sets (two cells per key) within fpga::kInlineAddresses, so
+/// a maximal rmw still travels the validation path allocation-free.
+inline constexpr size_t kMaxTxnKeys = 8;
+
+/// One key's slice of a scan or rmw transaction.
+struct RmwEntry
+{
+    uint64_t value = 0; ///< in: current value if found; out: new value
+    bool found = false; ///< key was present at transaction time
+    bool write = false; ///< out (rmw only): write `value` back
+};
+
+/// A read-modify-write body: sees one RmwEntry per requested key (same
+/// order), mutates values and sets `write` on the entries to update.
+/// The body may run several times (OCC retries) — it must be pure in
+/// everything but its entries.
+using RmwFn = FunctionRef<void(std::span<RmwEntry>)>;
+
+class KvInterface
+{
+  public:
+    virtual ~KvInterface() = default;
+
+    virtual std::string name() const = 0;
+
+    /// Worker-thread lifecycle, mirroring tm::TmRuntime: call
+    /// thread_init(tid) before a thread's first operation and
+    /// thread_fini() before it joins.
+    virtual void thread_init(unsigned thread_id) = 0;
+    virtual void thread_fini() = 0;
+
+    virtual KvStatus get(std::string_view key, uint64_t& value_out) = 0;
+    virtual KvStatus put(std::string_view key, uint64_t value) = 0;
+    virtual KvStatus erase(std::string_view key) = 0;
+
+    /// Consistent multi-read of @p keys into @p out (same length).
+    /// Always kOk; per-key presence lands in RmwEntry::found.
+    virtual KvStatus scan(std::span<const std::string_view> keys,
+                          std::span<RmwEntry> out) = 0;
+
+    /// Multi-key read-modify-write; at most kMaxTxnKeys *distinct*
+    /// keys (a repeated key may be inserted into two slots). Written
+    /// entries for absent keys are inserted. kNoSpace if any insert
+    /// cannot find a free slot (nothing is written then).
+    virtual KvStatus rmw(std::span<const std::string_view> keys,
+                         RmwFn fn) = 0;
+
+    /// The kv.* metric registry (see the file comment for the
+    /// families and their invariants).
+    virtual const obs::Registry& metrics() const = 0;
+};
+
+} // namespace rococo::kv

@@ -1,0 +1,286 @@
+#include "kv/kv_2pl.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.h"
+#include "common/small_vector.h"
+
+namespace rococo::kv {
+namespace {
+
+/// Sort + dedupe a gathered stripe set in place (no allocation).
+template <typename Vec>
+void
+normalize(Vec& stripes)
+{
+    std::sort(stripes.begin(), stripes.end());
+    size_t out = 0;
+    for (size_t i = 0; i < stripes.size(); ++i) {
+        if (out == 0 || stripes[i] != stripes[out - 1]) {
+            stripes[out++] = stripes[i];
+        }
+    }
+    stripes.resize(out);
+}
+
+/// Scoped conservative lock set: acquires the (sorted, deduplicated)
+/// stripes in ascending order, releases in reverse.
+template <typename Vec>
+class StripeGuard
+{
+  public:
+    StripeGuard(std::mutex* stripes, const Vec& order)
+        : stripes_(stripes), order_(order)
+    {
+        for (size_t i = 0; i < order_.size(); ++i) {
+            stripes_[order_[i]].lock();
+        }
+    }
+    ~StripeGuard()
+    {
+        for (size_t i = order_.size(); i > 0; --i) {
+            stripes_[order_[i - 1]].unlock();
+        }
+    }
+    StripeGuard(const StripeGuard&) = delete;
+    StripeGuard& operator=(const StripeGuard&) = delete;
+
+  private:
+    std::mutex* stripes_ = nullptr;
+    const Vec& order_;
+};
+
+} // namespace
+
+KvStore2pl::KvStore2pl(const Kv2plConfig& config)
+    : mapper_(config.capacity), meta_(mapper_.capacity(), 0),
+      value_(mapper_.capacity(), 0)
+{
+    // Each stripe must cover at least one probe window so any key's
+    // window touches at most two stripes.
+    const size_t max_stripes =
+        std::max<size_t>(1, mapper_.capacity() / KeyMapper::kMaxProbe);
+    stripe_count_ = std::bit_floor(
+        std::clamp<size_t>(config.lock_stripes, 1, max_stripes));
+    const size_t slots_per_stripe = mapper_.capacity() / stripe_count_;
+    stripe_shift_ =
+        static_cast<unsigned>(std::countr_zero(slots_per_stripe));
+    stripes_ = std::make_unique<std::mutex[]>(stripe_count_);
+    hot_.resolve(metrics_);
+}
+
+template <typename Vec>
+void
+KvStore2pl::gather_stripes(std::string_view key, Vec& stripes) const
+{
+    const KeyMapper::Ref ref = mapper_.map(key);
+    const uint32_t first = stripe_of(ref.home);
+    const uint32_t last =
+        stripe_of(mapper_.slot_at(ref.home, KeyMapper::kMaxProbe - 1));
+    stripes.push_back(first);
+    if (last != first) stripes.push_back(last);
+}
+
+KvStore2pl::Probe
+KvStore2pl::probe(const KeyMapper::Ref& ref, uint64_t& collisions) const
+{
+    Probe result;
+    for (size_t step = 0; step < KeyMapper::kMaxProbe; ++step) {
+        const size_t s = mapper_.slot_at(ref.home, step);
+        const uint64_t meta = meta_[s];
+        if (meta == KeyMapper::kEmpty) {
+            if (result.insert == KeyMapper::kNpos) result.insert = s;
+            return result;
+        }
+        if (meta == KeyMapper::kTombstone) {
+            if (result.insert == KeyMapper::kNpos) result.insert = s;
+            continue;
+        }
+        if (meta == ref.fingerprint) {
+            result.slot = s;
+            return result;
+        }
+        ++collisions;
+    }
+    return result;
+}
+
+KvStatus
+KvStore2pl::get(std::string_view key, uint64_t& value_out)
+{
+    const uint64_t start = obs::now_ns();
+    const KeyMapper::Ref ref = mapper_.map(key);
+    SmallVector<uint32_t, 2> stripes;
+    gather_stripes(key, stripes);
+    normalize(stripes);
+    uint64_t collisions = 0;
+    bool found = false;
+    {
+        StripeGuard guard(stripes_.get(), stripes);
+        const Probe p = probe(ref, collisions);
+        if (p.slot != KeyMapper::kNpos) {
+            found = true;
+            value_out = value_[p.slot];
+        }
+    }
+    hot_.finish_op(kOpGet, start, 1, collisions);
+    return found ? KvStatus::kOk : KvStatus::kNotFound;
+}
+
+KvStatus
+KvStore2pl::put(std::string_view key, uint64_t value)
+{
+    const uint64_t start = obs::now_ns();
+    const KeyMapper::Ref ref = mapper_.map(key);
+    SmallVector<uint32_t, 2> stripes;
+    gather_stripes(key, stripes);
+    normalize(stripes);
+    uint64_t collisions = 0;
+    bool no_space = false;
+    {
+        StripeGuard guard(stripes_.get(), stripes);
+        const Probe p = probe(ref, collisions);
+        if (p.slot != KeyMapper::kNpos) {
+            value_[p.slot] = value;
+        } else if (p.insert != KeyMapper::kNpos) {
+            meta_[p.insert] = ref.fingerprint;
+            value_[p.insert] = value;
+        } else {
+            no_space = true;
+        }
+    }
+    hot_.finish_op(kOpPut, start, 1, collisions);
+    return no_space ? KvStatus::kNoSpace : KvStatus::kOk;
+}
+
+KvStatus
+KvStore2pl::erase(std::string_view key)
+{
+    const uint64_t start = obs::now_ns();
+    const KeyMapper::Ref ref = mapper_.map(key);
+    SmallVector<uint32_t, 2> stripes;
+    gather_stripes(key, stripes);
+    normalize(stripes);
+    uint64_t collisions = 0;
+    bool found = false;
+    {
+        StripeGuard guard(stripes_.get(), stripes);
+        const Probe p = probe(ref, collisions);
+        if (p.slot != KeyMapper::kNpos) {
+            found = true;
+            meta_[p.slot] = KeyMapper::kTombstone;
+        }
+    }
+    hot_.finish_op(kOpDelete, start, 1, collisions);
+    return found ? KvStatus::kOk : KvStatus::kNotFound;
+}
+
+KvStatus
+KvStore2pl::scan(std::span<const std::string_view> keys,
+                 std::span<RmwEntry> out)
+{
+    ROCOCO_CHECK(keys.size() == out.size());
+    const uint64_t start = obs::now_ns();
+    SmallVector<uint32_t, kInlineStripes> stripes;
+    for (const std::string_view key : keys) {
+        gather_stripes(key, stripes);
+    }
+    normalize(stripes);
+    uint64_t collisions = 0;
+    {
+        StripeGuard guard(stripes_.get(), stripes);
+        for (size_t i = 0; i < keys.size(); ++i) {
+            const KeyMapper::Ref ref = mapper_.map(keys[i]);
+            const Probe p = probe(ref, collisions);
+            out[i].write = false;
+            out[i].found = p.slot != KeyMapper::kNpos;
+            out[i].value = out[i].found ? value_[p.slot] : 0;
+        }
+    }
+    hot_.finish_op(kOpScan, start, 1, collisions);
+    return KvStatus::kOk;
+}
+
+KvStatus
+KvStore2pl::rmw(std::span<const std::string_view> keys, RmwFn fn)
+{
+    ROCOCO_CHECK(keys.size() <= kMaxTxnKeys);
+    const uint64_t start = obs::now_ns();
+    SmallVector<uint32_t, kInlineStripes> stripes;
+    for (const std::string_view key : keys) {
+        gather_stripes(key, stripes);
+    }
+    normalize(stripes);
+    uint64_t collisions = 0;
+    bool no_space = false;
+    RmwEntry entries[kMaxTxnKeys];
+    {
+        StripeGuard guard(stripes_.get(), stripes);
+        const size_t n = keys.size();
+        KeyMapper::Ref refs[kMaxTxnKeys];
+        size_t slot[kMaxTxnKeys];
+        for (size_t i = 0; i < n; ++i) {
+            refs[i] = mapper_.map(keys[i]);
+            const Probe p = probe(refs[i], collisions);
+            slot[i] = p.slot;
+            entries[i].write = false;
+            entries[i].found = p.slot != KeyMapper::kNpos;
+            entries[i].value =
+                entries[i].found ? value_[p.slot] : 0;
+        }
+        fn(std::span<RmwEntry>{entries, n});
+        // Assign insert targets before writing anything — same
+        // all-or-nothing and claimed-slot discipline as the OCC
+        // store's rmw (two inserts must not share one free slot).
+        size_t claimed[kMaxTxnKeys];
+        size_t n_claimed = 0;
+        for (size_t i = 0; i < n && !no_space; ++i) {
+            if (!entries[i].write || slot[i] != KeyMapper::kNpos) {
+                continue;
+            }
+            for (size_t step = 0;
+                 step < KeyMapper::kMaxProbe &&
+                 slot[i] == KeyMapper::kNpos;
+                 ++step) {
+                const size_t s = mapper_.slot_at(refs[i].home, step);
+                if (meta_[s] != KeyMapper::kEmpty &&
+                    meta_[s] != KeyMapper::kTombstone) {
+                    continue;
+                }
+                bool taken = false;
+                for (size_t c = 0; c < n_claimed && !taken; ++c) {
+                    taken = claimed[c] == s;
+                }
+                if (taken) continue;
+                slot[i] = s;
+                claimed[n_claimed++] = s;
+            }
+            no_space = slot[i] == KeyMapper::kNpos;
+        }
+        if (!no_space) {
+            for (size_t i = 0; i < n; ++i) {
+                if (!entries[i].write) continue;
+                if (!entries[i].found) {
+                    meta_[slot[i]] = refs[i].fingerprint;
+                }
+                value_[slot[i]] = entries[i].value;
+            }
+        }
+    }
+    hot_.finish_op(kOpRmw, start, 1, collisions);
+    return no_space ? KvStatus::kNoSpace : KvStatus::kOk;
+}
+
+std::vector<uint32_t>
+KvStore2pl::lock_order(std::span<const std::string_view> keys) const
+{
+    std::vector<uint32_t> stripes;
+    for (const std::string_view key : keys) {
+        gather_stripes(key, stripes);
+    }
+    normalize(stripes);
+    return stripes;
+}
+
+} // namespace rococo::kv

@@ -1,0 +1,102 @@
+/// @file
+/// Conservative two-phase-locking baseline behind the same
+/// KvInterface as the OCC store, so both engines race under identical
+/// traffic (docs/KV.md, the comparison "On the Cost of Concurrency in
+/// Hybrid Transactional Memory" motivates).
+///
+/// Deadlock freedom by construction: the slot table is covered by
+/// contiguous lock stripes sized at least one probe window, so each
+/// key's window spans at most two stripes. An operation computes the
+/// stripe set of *all* its keys up front (conservative 2PL — no lock
+/// is acquired after the first data access), sorts it, and acquires
+/// in ascending stripe order; every transaction observes one global
+/// lock order, so no cycle of waiters can form and operations never
+/// retry (kv.txn.{aborts,retries} stay 0 — tests/kv_test.cc pins this
+/// under forced cyclic workloads and TSan).
+///
+/// The price is pessimism: readers serialize on their stripes even
+/// when no conflict exists, which is exactly the effect the YCSB
+/// read-heavy mixes measure against OCC's invisible readers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kv/kv.h"
+#include "kv/kv_metrics.h"
+#include "kv/key_mapper.h"
+
+namespace rococo::kv {
+
+struct Kv2plConfig
+{
+    /// Slot count; same sizing advice as KvStoreConfig::capacity.
+    size_t capacity = size_t{1} << 16;
+    /// Upper bound on lock stripes; clamped so each stripe covers at
+    /// least one probe window (then rounded to a power of two).
+    size_t lock_stripes = 1024;
+};
+
+class KvStore2pl final : public KvInterface
+{
+  public:
+    explicit KvStore2pl(const Kv2plConfig& config = {});
+
+    std::string name() const override { return "kv/2pl"; }
+
+    void thread_init(unsigned) override {}
+    void thread_fini() override {}
+
+    KvStatus get(std::string_view key, uint64_t& value_out) override;
+    KvStatus put(std::string_view key, uint64_t value) override;
+    KvStatus erase(std::string_view key) override;
+    KvStatus scan(std::span<const std::string_view> keys,
+                  std::span<RmwEntry> out) override;
+    KvStatus rmw(std::span<const std::string_view> keys,
+                 RmwFn fn) override;
+
+    const obs::Registry& metrics() const override { return metrics_; }
+
+    const KeyMapper& mapper() const { return mapper_; }
+    size_t lock_stripes() const { return stripe_count_; }
+
+    /// The ascending stripe-lock order an operation over @p keys
+    /// acquires — exposed so tests can assert the global order that
+    /// makes the baseline deadlock-free.
+    std::vector<uint32_t> lock_order(
+        std::span<const std::string_view> keys) const;
+
+  private:
+    /// Inline capacity of a stripe set: 2 stripes per key covers a
+    /// full-fan-in rmw without allocation.
+    static constexpr size_t kInlineStripes = 2 * kMaxTxnKeys;
+
+    uint32_t stripe_of(size_t slot) const
+    {
+        return static_cast<uint32_t>(slot >> stripe_shift_);
+    }
+
+    /// Append @p key's (deduplicated) stripes to @p stripes.
+    template <typename Vec>
+    void gather_stripes(std::string_view key, Vec& stripes) const;
+
+    struct Probe
+    {
+        size_t slot = KeyMapper::kNpos;
+        size_t insert = KeyMapper::kNpos;
+    };
+    Probe probe(const KeyMapper::Ref& ref, uint64_t& collisions) const;
+
+    KeyMapper mapper_;
+    std::vector<uint64_t> meta_;
+    std::vector<uint64_t> value_;
+    size_t stripe_count_;
+    unsigned stripe_shift_;
+    std::unique_ptr<std::mutex[]> stripes_;
+    obs::Registry metrics_;
+    HotMetrics hot_;
+};
+
+} // namespace rococo::kv

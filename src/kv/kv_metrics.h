@@ -1,0 +1,78 @@
+/// @file
+/// The kv.* metric plumbing shared by the OCC store and the 2PL
+/// baseline: one counter per operation kind, transaction-outcome
+/// counters, the collision counter, and per-op latency histograms —
+/// all resolved once at store construction so the operation hot path
+/// never takes the registry's name-lookup mutex (or allocates the
+/// lookup string: several family names exceed std::string's inline
+/// buffer).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/clock.h"
+#include "obs/registry.h"
+
+namespace rococo::kv {
+
+enum Op
+{
+    kOpGet,
+    kOpPut,
+    kOpDelete,
+    kOpScan,
+    kOpRmw,
+    kOpCount,
+};
+
+inline constexpr const char* kOpNames[kOpCount] = {
+    "get", "put", "delete", "scan", "rmw",
+};
+
+/// Pre-resolved kv.* metric handles. Invariants exported to
+/// scripts/check_trace_json.py: sum over ops of kv.ops.<op> equals
+/// kv.txn.commits (every operation is one committed transaction), and
+/// each kv.latency.<op> histogram holds exactly kv.ops.<op> samples.
+struct HotMetrics
+{
+    obs::Counter* ops[kOpCount];
+    obs::LatencyHistogram* latency[kOpCount];
+    obs::Counter* commits;
+    obs::Counter* aborts;
+    obs::Counter* retries;
+    obs::Counter* collisions;
+
+    void
+    resolve(obs::Registry& registry)
+    {
+        for (int op = 0; op < kOpCount; ++op) {
+            ops[op] = &registry.counter(std::string("kv.ops.") +
+                                        kOpNames[op]);
+            latency[op] = &registry.histogram(
+                std::string("kv.latency.") + kOpNames[op]);
+        }
+        commits = &registry.counter("kv.txn.commits");
+        aborts = &registry.counter("kv.txn.aborts");
+        retries = &registry.counter("kv.txn.retries");
+        collisions = &registry.counter("kv.key_collisions");
+    }
+
+    /// Account one finished (committed) operation: @p attempts is the
+    /// number of body executions (1 = first-try commit), @p collided
+    /// the committed attempt's foreign-slot probe encounters.
+    void
+    finish_op(Op op, uint64_t start_ns, unsigned attempts,
+              uint64_t collided)
+    {
+        ops[op]->add(1);
+        commits->add(1);
+        if (attempts > 1) {
+            retries->add(1);
+            aborts->add(attempts - 1);
+        }
+        if (collided > 0) collisions->add(collided);
+        latency[op]->record(obs::now_ns() - start_ns);
+    }
+};
+
+} // namespace rococo::kv

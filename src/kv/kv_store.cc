@@ -1,0 +1,285 @@
+#include "kv/kv_store.h"
+
+#include "common/check.h"
+
+namespace rococo::kv {
+
+const char*
+to_string(KvStatus status)
+{
+    switch (status) {
+      case KvStatus::kOk: return "ok";
+      case KvStatus::kNotFound: return "not-found";
+      case KvStatus::kNoSpace: return "no-space";
+    }
+    return "?";
+}
+
+KvStore::KvStore(const KvStoreConfig& config)
+    : mapper_(config.capacity), slots_(mapper_.capacity()),
+      runtime_(config.tm)
+{
+    hot_.resolve(metrics_);
+}
+
+KvStore::Probe
+KvStore::probe(tm::Tx& tx, const KeyMapper::Ref& ref,
+               uint64_t& collisions) const
+{
+    Probe result;
+    for (size_t step = 0; step < KeyMapper::kMaxProbe; ++step) {
+        const size_t s = mapper_.slot_at(ref.home, step);
+        const tm::Word meta = tx.load(slots_[s].meta);
+        if (meta == KeyMapper::kEmpty) {
+            // End of the probe chain: the key is absent, and this is
+            // the insert candidate unless a tombstone came earlier.
+            if (result.insert == KeyMapper::kNpos) result.insert = s;
+            return result;
+        }
+        if (meta == KeyMapper::kTombstone) {
+            if (result.insert == KeyMapper::kNpos) result.insert = s;
+            continue;
+        }
+        if (meta == ref.fingerprint) {
+            result.slot = s;
+            return result;
+        }
+        ++collisions; // a live slot owned by a different key
+    }
+    return result;
+}
+
+KvStatus
+KvStore::get(std::string_view key, uint64_t& value_out)
+{
+    struct Ctx
+    {
+        KvStore* self;
+        KeyMapper::Ref ref;
+        uint64_t value = 0;
+        bool found = false;
+        uint64_t collisions = 0;
+        unsigned attempts = 0;
+    };
+    Ctx ctx{this, mapper_.map(key)};
+    const uint64_t start = obs::now_ns();
+    runtime_.execute([&ctx](tm::Tx& tx) {
+        ++ctx.attempts;
+        ctx.collisions = 0;
+        ctx.found = false;
+        const Probe p = ctx.self->probe(tx, ctx.ref, ctx.collisions);
+        if (p.slot != KeyMapper::kNpos) {
+            ctx.found = true;
+            ctx.value = tx.load(ctx.self->slots_[p.slot].value);
+        }
+    });
+    hot_.finish_op(kOpGet, start, ctx.attempts, ctx.collisions);
+    if (!ctx.found) return KvStatus::kNotFound;
+    value_out = ctx.value;
+    return KvStatus::kOk;
+}
+
+KvStatus
+KvStore::put(std::string_view key, uint64_t value)
+{
+    struct Ctx
+    {
+        KvStore* self;
+        KeyMapper::Ref ref;
+        uint64_t value;
+        bool no_space = false;
+        uint64_t collisions = 0;
+        unsigned attempts = 0;
+    };
+    Ctx ctx{this, mapper_.map(key), value};
+    const uint64_t start = obs::now_ns();
+    runtime_.execute([&ctx](tm::Tx& tx) {
+        ++ctx.attempts;
+        ctx.collisions = 0;
+        ctx.no_space = false;
+        const Probe p = ctx.self->probe(tx, ctx.ref, ctx.collisions);
+        if (p.slot != KeyMapper::kNpos) {
+            tx.store(ctx.self->slots_[p.slot].value, ctx.value);
+            return;
+        }
+        if (p.insert == KeyMapper::kNpos) {
+            // Probe window full: commit read-only and report failure.
+            ctx.no_space = true;
+            return;
+        }
+        Slot& slot = ctx.self->slots_[p.insert];
+        tx.store(slot.meta, ctx.ref.fingerprint);
+        tx.store(slot.value, ctx.value);
+    });
+    hot_.finish_op(kOpPut, start, ctx.attempts, ctx.collisions);
+    return ctx.no_space ? KvStatus::kNoSpace : KvStatus::kOk;
+}
+
+KvStatus
+KvStore::erase(std::string_view key)
+{
+    struct Ctx
+    {
+        KvStore* self;
+        KeyMapper::Ref ref;
+        bool found = false;
+        uint64_t collisions = 0;
+        unsigned attempts = 0;
+    };
+    Ctx ctx{this, mapper_.map(key)};
+    const uint64_t start = obs::now_ns();
+    runtime_.execute([&ctx](tm::Tx& tx) {
+        ++ctx.attempts;
+        ctx.collisions = 0;
+        ctx.found = false;
+        const Probe p = ctx.self->probe(tx, ctx.ref, ctx.collisions);
+        if (p.slot != KeyMapper::kNpos) {
+            ctx.found = true;
+            // Tombstone, not empty: later keys of this probe chain
+            // must stay reachable.
+            tx.store(ctx.self->slots_[p.slot].meta,
+                     KeyMapper::kTombstone);
+        }
+    });
+    hot_.finish_op(kOpDelete, start, ctx.attempts, ctx.collisions);
+    return ctx.found ? KvStatus::kOk : KvStatus::kNotFound;
+}
+
+KvStatus
+KvStore::scan(std::span<const std::string_view> keys,
+              std::span<RmwEntry> out)
+{
+    ROCOCO_CHECK(keys.size() == out.size());
+    struct Ctx
+    {
+        KvStore* self;
+        std::span<const std::string_view> keys;
+        std::span<RmwEntry> out;
+        uint64_t collisions = 0;
+        unsigned attempts = 0;
+    };
+    Ctx ctx{this, keys, out};
+    const uint64_t start = obs::now_ns();
+    runtime_.execute([&ctx](tm::Tx& tx) {
+        ++ctx.attempts;
+        ctx.collisions = 0;
+        for (size_t i = 0; i < ctx.keys.size(); ++i) {
+            const KeyMapper::Ref ref =
+                ctx.self->mapper_.map(ctx.keys[i]);
+            const Probe p = ctx.self->probe(tx, ref, ctx.collisions);
+            RmwEntry& entry = ctx.out[i];
+            entry.write = false;
+            entry.found = p.slot != KeyMapper::kNpos;
+            entry.value =
+                entry.found
+                    ? tx.load(ctx.self->slots_[p.slot].value)
+                    : 0;
+        }
+    });
+    hot_.finish_op(kOpScan, start, ctx.attempts, ctx.collisions);
+    return KvStatus::kOk;
+}
+
+KvStatus
+KvStore::rmw(std::span<const std::string_view> keys, RmwFn fn)
+{
+    ROCOCO_CHECK(keys.size() <= kMaxTxnKeys);
+    struct Ctx
+    {
+        KvStore* self;
+        std::span<const std::string_view> keys;
+        RmwFn* fn;
+        bool no_space = false;
+        uint64_t collisions = 0;
+        unsigned attempts = 0;
+        RmwEntry entries[kMaxTxnKeys];
+        KeyMapper::Ref refs[kMaxTxnKeys];
+        size_t slot[kMaxTxnKeys];
+    };
+    Ctx ctx{this, keys, &fn, false, 0, 0, {}, {}, {}};
+    const uint64_t start = obs::now_ns();
+    runtime_.execute([&ctx](tm::Tx& tx) {
+        ++ctx.attempts;
+        ctx.collisions = 0;
+        ctx.no_space = false;
+        const size_t n = ctx.keys.size();
+        for (size_t i = 0; i < n; ++i) {
+            ctx.refs[i] = ctx.self->mapper_.map(ctx.keys[i]);
+            const Probe p =
+                ctx.self->probe(tx, ctx.refs[i], ctx.collisions);
+            ctx.slot[i] = p.slot;
+            RmwEntry& entry = ctx.entries[i];
+            entry.write = false;
+            entry.found = p.slot != KeyMapper::kNpos;
+            entry.value =
+                entry.found
+                    ? tx.load(ctx.self->slots_[p.slot].value)
+                    : 0;
+        }
+        (*ctx.fn)(std::span<RmwEntry>{ctx.entries, n});
+        // Assign every written-but-absent key its insert slot before
+        // the first store — all-or-nothing on kNoSpace, and two
+        // inserts in one transaction must not claim the same free
+        // slot. A slot claimed by an earlier key of this transaction
+        // is skipped even when its metadata still reads empty; the
+        // skipped slot turns live at commit, so later lookups still
+        // terminate at the first *committed* empty slot.
+        size_t claimed[kMaxTxnKeys];
+        size_t n_claimed = 0;
+        for (size_t i = 0; i < n; ++i) {
+            if (!ctx.entries[i].write ||
+                ctx.slot[i] != KeyMapper::kNpos) {
+                continue;
+            }
+            for (size_t step = 0;
+                 step < KeyMapper::kMaxProbe &&
+                 ctx.slot[i] == KeyMapper::kNpos;
+                 ++step) {
+                const size_t s =
+                    ctx.self->mapper_.slot_at(ctx.refs[i].home, step);
+                const tm::Word meta =
+                    tx.load(ctx.self->slots_[s].meta);
+                if (meta != KeyMapper::kEmpty &&
+                    meta != KeyMapper::kTombstone) {
+                    continue;
+                }
+                bool taken = false;
+                for (size_t c = 0; c < n_claimed && !taken; ++c) {
+                    taken = claimed[c] == s;
+                }
+                if (taken) continue;
+                ctx.slot[i] = s;
+                claimed[n_claimed++] = s;
+            }
+            if (ctx.slot[i] == KeyMapper::kNpos) {
+                ctx.no_space = true;
+                return;
+            }
+        }
+        for (size_t i = 0; i < n; ++i) {
+            if (!ctx.entries[i].write) continue;
+            Slot& slot = ctx.self->slots_[ctx.slot[i]];
+            if (!ctx.entries[i].found) {
+                tx.store(slot.meta, ctx.refs[i].fingerprint);
+            }
+            tx.store(slot.value, ctx.entries[i].value);
+        }
+    });
+    hot_.finish_op(kOpRmw, start, ctx.attempts, ctx.collisions);
+    return ctx.no_space ? KvStatus::kNoSpace : KvStatus::kOk;
+}
+
+size_t
+KvStore::resolve_slot(std::string_view key) const
+{
+    const KeyMapper::Ref ref = mapper_.map(key);
+    for (size_t step = 0; step < KeyMapper::kMaxProbe; ++step) {
+        const size_t s = mapper_.slot_at(ref.home, step);
+        const tm::Word meta = slots_[s].meta.unsafe_load();
+        if (meta == KeyMapper::kEmpty) return KeyMapper::kNpos;
+        if (meta == ref.fingerprint) return s;
+    }
+    return KeyMapper::kNpos;
+}
+
+} // namespace rococo::kv

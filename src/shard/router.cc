@@ -143,7 +143,8 @@ ShardRouter::count_verdict(Shard& shard, const core::ValidationResult& result)
 }
 
 void
-ShardRouter::attribute_conflict(Shard& shard, core::ValidationResult* result)
+ShardRouter::attribute_conflict(Shard& shard, const SubRequest& sub,
+                                core::ValidationResult* result)
 {
     const uint64_t local = result->conflict_cid;
     if (local == core::kNoConflictCid) return;
@@ -155,6 +156,14 @@ ShardRouter::attribute_conflict(Shard& shard, core::ValidationResult* result)
         // Window-tuning signal: how far back the collision sits (1 =
         // the latest commit).
         conflict_depth_->record(next - local);
+        // Hot-key forensics: fence rejections are raised here in the
+        // coordinator, before the manager ever sees the request, so
+        // without this offer `svcctl top` stays empty on sharded
+        // deployments. Engine-raised cycle aborts already fed the
+        // sketch inside commit_classified — skip those.
+        if (result->reason == obs::AbortReason::kCrossShardFence) {
+            shard.engine.record_conflict(sub.offload, local);
+        }
     }
     // Translate the engine-local cid into the global commit number the
     // client-facing cid space uses. The deque tracks the last
@@ -223,7 +232,7 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
             }
         }
         if (result.verdict != core::Verdict::kCommit) {
-            attribute_conflict(shard, &result);
+            attribute_conflict(shard, subs[0], &result);
         }
         count_verdict(shard, result);
         if (info != nullptr) {
@@ -285,7 +294,7 @@ ShardRouter::process(const fpga::OffloadRequest& request, RouteInfo* info)
             }
             if (examined > 0) {
                 Shard& rejecting = *shards_[subs[examined - 1].shard];
-                attribute_conflict(rejecting, &result);
+                attribute_conflict(rejecting, subs[examined - 1], &result);
                 count_verdict(rejecting, result);
             }
         }

@@ -238,7 +238,8 @@ class ShardRouter final : public fpga::ValidationBackend
     /// collision sits), and translate conflict_cid to the global commit
     /// number in place (kNoConflictCid when the mapping was evicted).
     /// Caller holds @p shard's lock.
-    void attribute_conflict(Shard& shard, core::ValidationResult* result);
+    void attribute_conflict(Shard& shard, const SubRequest& sub,
+                            core::ValidationResult* result);
 
     ShardConfig config_;
     Partitioner partitioner_;

@@ -11,11 +11,18 @@ void
 AccessSet::insert(uintptr_t addr)
 {
     if (addrs_.size() % kSubsetSize == 0) {
-        subs_.emplace_back(config_);
+        // Open the next group: reuse a pooled signature (cleared lazily
+        // here, not in clear(), so an unused pool tail costs nothing).
+        if (sub_count_ == subs_.size()) {
+            subs_.emplace_back(config_);
+        } else {
+            subs_[sub_count_].clear();
+        }
+        ++sub_count_;
     }
     addrs_.push_back(addr);
     whole_.insert(addr);
-    subs_.back().insert(addr);
+    subs_[sub_count_ - 1].insert(addr);
 }
 
 bool
@@ -32,7 +39,7 @@ AccessSet::confirmed_intersect(const sig::BloomSignature& other) const
 {
     // Walk sub-signatures first (cheap dismissal of whole groups), then
     // per-address membership queries inside matching groups.
-    for (size_t g = 0; g < subs_.size(); ++g) {
+    for (size_t g = 0; g < sub_count_; ++g) {
         if (!subs_[g].intersects(other)) continue;
         const size_t begin = g * kSubsetSize;
         const size_t end = std::min(begin + kSubsetSize, addrs_.size());
@@ -48,7 +55,7 @@ AccessSet::clear()
 {
     addrs_.clear();
     whole_.clear();
-    subs_.clear();
+    sub_count_ = 0; // pool entries stay allocated for reuse
 }
 
 } // namespace rococo::tm

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "sig/bloom_signature.h"
@@ -46,9 +47,9 @@ class AccessSet
 
     /// Sub-signatures (one per eight inserted addresses), exposed for
     /// tests of the layered scheme.
-    const std::vector<sig::BloomSignature>& sub_signatures() const
+    std::span<const sig::BloomSignature> sub_signatures() const
     {
-        return subs_;
+        return {subs_.data(), sub_count_};
     }
 
     void clear();
@@ -57,7 +58,11 @@ class AccessSet
     std::shared_ptr<const sig::SignatureConfig> config_;
     std::vector<uintptr_t> addrs_;
     sig::BloomSignature whole_;
+    /// Sub-signature pool: grown to the high-water group count and kept
+    /// across clear() so a steady-state transaction never constructs a
+    /// signature; only the first sub_count_ entries are live.
     std::vector<sig::BloomSignature> subs_;
+    size_t sub_count_ = 0;
 };
 
 } // namespace rococo::tm

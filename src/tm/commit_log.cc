@@ -53,8 +53,11 @@ CommitLog::collect(uint64_t from, uint64_t to,
                    sig::BloomSignature& out) const
 {
     ROCOCO_DCHECK(out.config().words() == config_->words());
-    // Union one entry at a time with a seqlock read per entry.
-    std::vector<uint64_t> scratch(config_->words());
+    // Union one entry at a time with a seqlock read per entry. The
+    // scratch snapshot is thread-local so the validation hot path stays
+    // allocation-free after the first call on a thread.
+    static thread_local std::vector<uint64_t> scratch;
+    scratch.assign(config_->words(), 0);
     for (uint64_t ts = from; ts < to; ++ts) {
         const Entry& entry = entries_[ts & (entries_.size() - 1)];
         if (entry.tag.load(std::memory_order_seq_cst) != ts) return false;

@@ -77,7 +77,7 @@ class RococoTm::TxImpl final : public Tx
             // (line 5).
             if (rt_.update_set_.query(addr)) {
                 if (d_.miss_active) {
-                    abort_tx(stat::kEagerAborts,
+                    abort_tx(*d_.hot.eager_aborts,
                              obs::AbortReason::kLockedConflict);
                 }
                 std::this_thread::yield();
@@ -92,7 +92,7 @@ class RococoTm::TxImpl final : public Tx
                 d_.temp_set.clear();
                 if (!rt_.commit_log_.collect(d_.local_ts, gts,
                                              d_.temp_set)) {
-                    abort_tx(stat::kStaleAborts,
+                    abort_tx(*d_.hot.stale_aborts,
                              obs::AbortReason::kSnapshotStale);
                 }
                 d_.local_ts = gts;
@@ -142,14 +142,14 @@ class RococoTm::TxImpl final : public Tx
     retry() override
     {
         d_.user_retry = true;
-        abort_tx(stat::kEagerAborts, obs::AbortReason::kExplicitRetry);
+        abort_tx(*d_.hot.eager_aborts, obs::AbortReason::kExplicitRetry);
     }
 
   private:
     [[noreturn]] void
-    abort_tx(const char* counter, obs::AbortReason reason)
+    abort_tx(obs::Counter& counter, obs::AbortReason reason)
     {
-        d_.stats.bump(counter);
+        counter.add(1);
         d_.last_abort = reason;
         throw TxAbortException{};
     }
@@ -164,9 +164,9 @@ class RococoTm::TxImpl final : public Tx
         d_.last_conflict_cid =
             rt_.commit_log_.find_conflicting(from, to, addr);
         if (d_.last_conflict_cid != core::kNoConflictCid) {
-            d_.stats.bump(stat::kConflictAttributed);
+            d_.hot.conflict_attributed->add(1);
         }
-        abort_tx(stat::kEagerAborts, obs::AbortReason::kEagerConflict);
+        abort_tx(*d_.hot.eager_aborts, obs::AbortReason::kEagerConflict);
     }
 
     RococoTm& rt_;
@@ -333,7 +333,7 @@ RococoTm::try_execute(const std::function<void(Tx&)>& body)
             return false;
         }
         d.consecutive_aborts = 0;
-        d.stats.bump("irrevocable_commits");
+        d.hot.irrevocable_commits->add(1);
         return true;
     }
 
@@ -361,7 +361,7 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
         obs::ScopedSpan execute_span("tm", "tx.execute");
         body(tx);
     } catch (const TxAbortException&) {
-        d.stats.bump(stat::kAborts);
+        d.hot.aborts->add(1);
         return false;
     }
 
@@ -369,8 +369,8 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
         // Read-only fast path: the snapshot stayed consistent at
         // valid_ts, commit directly on the CPU (§5.3).
         TRACE_INSTANT("tm", "tx.readonly_commit");
-        d.stats.bump(stat::kCommits);
-        d.stats.bump(stat::kReadOnlyCommits);
+        d.hot.commits->add(1);
+        d.hot.read_only_commits->add(1);
         return true;
     }
 
@@ -409,22 +409,22 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
         // all carry it in ValidationResult::conflict_cid).
         d.last_conflict_cid = verdict.conflict_cid;
         if (verdict.conflict_cid != core::kNoConflictCid) {
-            d.stats.bump(stat::kConflictAttributed);
+            d.hot.conflict_attributed->add(1);
         }
-        d.stats.bump(stat::kAborts);
-        d.stats.bump(stat::kValidationAborts);
+        d.hot.aborts->add(1);
+        d.hot.validation_aborts->add(1);
         switch (verdict.verdict) {
           case core::Verdict::kAbortCycle:
-            d.stats.bump(stat::kCycleAborts);
+            d.hot.cycle_aborts->add(1);
             break;
           case core::Verdict::kWindowOverflow:
-            d.stats.bump(stat::kOverflowAborts);
+            d.hot.overflow_aborts->add(1);
             break;
           case core::Verdict::kTimeout:
-            d.stats.bump(stat::kTimeoutAborts);
+            d.hot.timeout_aborts->add(1);
             break;
           default:
-            d.stats.bump(stat::kRejectedAborts);
+            d.hot.rejected_aborts->add(1);
             break;
         }
         return false;
@@ -448,7 +448,7 @@ RococoTm::attempt(const std::function<void(Tx&)>& body, TxDescriptor& d)
         update_set_.clear(d.thread_id);
     }
 
-    d.stats.bump(stat::kCommits);
+    d.hot.commits->add(1);
     return true;
 }
 

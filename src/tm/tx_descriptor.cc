@@ -7,6 +7,18 @@ TxDescriptor::TxDescriptor(std::shared_ptr<const sig::SignatureConfig> config,
     : thread_id(thread_id_in), read_set(config), write_sig(config),
       redo(), miss_set(config), temp_set(config)
 {
+    hot.commits = &stats.counter(stat::kCommits);
+    hot.aborts = &stats.counter(stat::kAborts);
+    hot.read_only_commits = &stats.counter(stat::kReadOnlyCommits);
+    hot.eager_aborts = &stats.counter(stat::kEagerAborts);
+    hot.validation_aborts = &stats.counter(stat::kValidationAborts);
+    hot.cycle_aborts = &stats.counter(stat::kCycleAborts);
+    hot.overflow_aborts = &stats.counter(stat::kOverflowAborts);
+    hot.stale_aborts = &stats.counter(stat::kStaleAborts);
+    hot.timeout_aborts = &stats.counter(stat::kTimeoutAborts);
+    hot.rejected_aborts = &stats.counter(stat::kRejectedAborts);
+    hot.conflict_attributed = &stats.counter(stat::kConflictAttributed);
+    hot.irrevocable_commits = &stats.counter("irrevocable_commits");
 }
 
 void

@@ -69,6 +69,29 @@ struct TxDescriptor
     /// thread_fini (counters carry the legacy stat:: names so the
     /// CounterBag-returning stats() API is unchanged).
     obs::Registry stats;
+
+    /// Outcome counters resolved once at construction: the attempt path
+    /// bumps through these pointers instead of string-keyed registry
+    /// lookups (several stat:: names exceed std::string's SSO, so a
+    /// by-name bump would allocate on every committed transaction).
+    /// They point into `stats`, whose references stay valid across
+    /// reset()/merge().
+    struct HotCounters
+    {
+        obs::Counter* commits;
+        obs::Counter* aborts;
+        obs::Counter* read_only_commits;
+        obs::Counter* eager_aborts;
+        obs::Counter* validation_aborts;
+        obs::Counter* cycle_aborts;
+        obs::Counter* overflow_aborts;
+        obs::Counter* stale_aborts;
+        obs::Counter* timeout_aborts;
+        obs::Counter* rejected_aborts;
+        obs::Counter* conflict_attributed;
+        obs::Counter* irrevocable_commits;
+    };
+    HotCounters hot;
 };
 
 } // namespace rococo::tm

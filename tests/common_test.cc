@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "common/zipf.h"
 
 namespace rococo {
 namespace {
@@ -264,6 +265,70 @@ TEST(Rng, BelowInRangeAndUniform)
         EXPECT_GE(u, 0.0);
         EXPECT_LT(u, 1.0);
     }
+}
+
+TEST(Zipf, ThetaZeroIsExactlyUniform)
+{
+    // theta = 0 weights every rank 1, so the CDF is the uniform one and
+    // draw frequencies match rng.below to sampling noise.
+    const uint64_t n = 16;
+    ZipfSampler sampler(n, 0.0);
+    for (uint64_t k = 1; k <= n; ++k) {
+        EXPECT_DOUBLE_EQ(sampler.head_mass(k), double(k) / double(n));
+    }
+    Xoshiro256 rng(42);
+    std::vector<uint64_t> counts(n, 0);
+    const uint64_t draws = 160000;
+    for (uint64_t i = 0; i < draws; ++i) ++counts[sampler.draw(rng)];
+    for (uint64_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(double(counts[k]), double(draws) / double(n),
+                    0.05 * double(draws) / double(n))
+            << "rank " << k;
+    }
+}
+
+TEST(Zipf, SkewConcentratesHeadMass)
+{
+    // YCSB's canonical theta: the hottest 1% of a 10k key space carries
+    // far more than 1% of the mass, and empirical draw frequencies
+    // track the analytic head mass.
+    ZipfSampler sampler(10000, 0.99);
+    const double head = sampler.head_mass(100);
+    EXPECT_GT(head, 0.3);
+    EXPECT_LT(head, 1.0);
+
+    Xoshiro256 rng(7);
+    uint64_t in_head = 0;
+    const uint64_t draws = 100000;
+    for (uint64_t i = 0; i < draws; ++i) {
+        if (sampler.draw(rng) < 100) ++in_head;
+    }
+    EXPECT_NEAR(double(in_head) / double(draws), head, 0.02);
+    // Rank 0 strictly hotter than a mid-pack rank, by construction.
+    EXPECT_GT(sampler.head_mass(1),
+              sampler.head_mass(5001) - sampler.head_mass(5000));
+}
+
+TEST(Zipf, DrawsCoverRangeAndAreDeterministic)
+{
+    ZipfSampler sampler(8, 1.2);
+    Xoshiro256 a(123), b(123);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 4000; ++i) {
+        const uint64_t x = sampler.draw(a);
+        EXPECT_EQ(x, sampler.draw(b)); // same seed, same stream
+        EXPECT_LT(x, 8u);
+        seen.insert(x);
+    }
+    EXPECT_EQ(seen.size(), 8u) << "4000 draws over 8 ranks missed one";
+}
+
+TEST(Zipf, SingleKeySpace)
+{
+    ZipfSampler sampler(1, 0.99);
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.draw(rng), 0u);
+    EXPECT_DOUBLE_EQ(sampler.head_mass(1), 1.0);
 }
 
 TEST(Barrier, SynchronizesPhases)

@@ -16,9 +16,15 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "fpga/validation_engine.h"
 #include "fpga/validation_pipeline.h"
+#include "kv/kv_2pl.h"
+#include "kv/kv_store.h"
 #include "obs/health.h"
 #include "obs/registry.h"
 #include "obs/timeseries.h"
@@ -328,6 +334,123 @@ TEST(HotPathAllocation, MonitoredSteadyStateIsAllocationFree)
         << "the armed sampler/SLO tick allocated on the steady-state "
            "path";
     EXPECT_EQ(monitor.slo().overall(), obs::HealthState::kOk);
+}
+
+/// Steady-state KV operations — get, put, scan and a 4-key rmw, the
+/// full transaction machinery under each one — must be
+/// allocation-free per committed transaction: key hashing is in
+/// place, op contexts live on the stack (the execute closure is two
+/// words, inside std::function's inline buffer), the descriptor's
+/// sets/signatures and the commit-log scratch reuse their high-water
+/// capacity, the offload address sets stay inline, and every kv.*
+/// metric handle was resolved at store construction.
+TEST(HotPathAllocation, KvOccSteadyStateIsAllocationFree)
+{
+    kv::KvStoreConfig config;
+    config.capacity = 1 << 12; // sparse: probe chains stay short
+    kv::KvStore store(config);
+    store.thread_init(0);
+
+    // Fixed key set, formatted once — the op path takes string_views.
+    constexpr size_t kKeys = 64;
+    std::vector<std::string> key_strings;
+    std::vector<std::string_view> keys;
+    for (size_t i = 0; i < kKeys; ++i) {
+        key_strings.push_back("user" + std::to_string(i));
+    }
+    for (const std::string& k : key_strings) keys.push_back(k);
+    for (size_t i = 0; i < kKeys; ++i) {
+        ASSERT_EQ(store.put(keys[i], i), kv::KvStatus::kOk);
+    }
+
+    const auto iteration = [&](uint64_t i) {
+        uint64_t value = 0;
+        EXPECT_EQ(store.get(keys[i % kKeys], value), kv::KvStatus::kOk);
+        EXPECT_EQ(store.put(keys[(i + 1) % kKeys], i), kv::KvStatus::kOk);
+        const std::string_view scan_keys[4] = {
+            keys[i % kKeys], keys[(i + 7) % kKeys],
+            keys[(i + 13) % kKeys], keys[(i + 21) % kKeys]};
+        kv::RmwEntry entries[4];
+        EXPECT_EQ(store.scan(scan_keys, entries), kv::KvStatus::kOk);
+        auto body = [](std::span<kv::RmwEntry> e) {
+            for (kv::RmwEntry& entry : e) {
+                entry.value += 1;
+                entry.write = true;
+            }
+        };
+        EXPECT_EQ(store.rmw(scan_keys, body), kv::KvStatus::kOk);
+    };
+
+    uint64_t i = 0;
+    // Warmup: descriptor sets/redo at high-water, commit log warm,
+    // every touched metric interned.
+    for (; i < 256; ++i) {
+        iteration(i);
+        if (testing::Test::HasFailure()) return;
+    }
+
+    const uint64_t before = allocations();
+    for (const uint64_t end = i + 1000; i < end; ++i) {
+        iteration(i);
+        if (testing::Test::HasFailure()) return;
+    }
+    EXPECT_EQ(allocations() - before, 0u)
+        << "a KV operation allocated on the steady-state path";
+    store.thread_fini();
+}
+
+/// The 2PL baseline's point ops and bounded multi-key transactions
+/// make the same promise (stripe sets live in inline SmallVectors).
+TEST(HotPathAllocation, Kv2plSteadyStateIsAllocationFree)
+{
+    kv::Kv2plConfig config;
+    config.capacity = 1 << 12;
+    kv::KvStore2pl store(config);
+    store.thread_init(0);
+
+    constexpr size_t kKeys = 64;
+    std::vector<std::string> key_strings;
+    std::vector<std::string_view> keys;
+    for (size_t i = 0; i < kKeys; ++i) {
+        key_strings.push_back("user" + std::to_string(i));
+    }
+    for (const std::string& k : key_strings) keys.push_back(k);
+    for (size_t i = 0; i < kKeys; ++i) {
+        ASSERT_EQ(store.put(keys[i], i), kv::KvStatus::kOk);
+    }
+
+    const auto iteration = [&](uint64_t i) {
+        uint64_t value = 0;
+        EXPECT_EQ(store.get(keys[i % kKeys], value), kv::KvStatus::kOk);
+        EXPECT_EQ(store.put(keys[(i + 1) % kKeys], i), kv::KvStatus::kOk);
+        const std::string_view txn_keys[4] = {
+            keys[i % kKeys], keys[(i + 7) % kKeys],
+            keys[(i + 13) % kKeys], keys[(i + 21) % kKeys]};
+        kv::RmwEntry entries[4];
+        EXPECT_EQ(store.scan(txn_keys, entries), kv::KvStatus::kOk);
+        auto body = [](std::span<kv::RmwEntry> e) {
+            for (kv::RmwEntry& entry : e) {
+                entry.value += 1;
+                entry.write = true;
+            }
+        };
+        EXPECT_EQ(store.rmw(txn_keys, body), kv::KvStatus::kOk);
+    };
+
+    uint64_t i = 0;
+    for (; i < 256; ++i) {
+        iteration(i);
+        if (testing::Test::HasFailure()) return;
+    }
+
+    const uint64_t before = allocations();
+    for (const uint64_t end = i + 1000; i < end; ++i) {
+        iteration(i);
+        if (testing::Test::HasFailure()) return;
+    }
+    EXPECT_EQ(allocations() - before, 0u)
+        << "a 2PL KV operation allocated on the steady-state path";
+    store.thread_fini();
 }
 
 } // namespace
