@@ -73,9 +73,17 @@ struct Geometry
     unsigned hashes;
 };
 
+struct KernelTiming
+{
+    sig::MatchKernel kernel;
+    double sliced_ns = 0;
+};
+
 struct Result
 {
-    double sliced_ns = 0;
+    /// One timing per runtime-available match kernel (scalar always
+    /// first), same history and request stream for each.
+    std::vector<KernelTiming> kernels;
     double scalar_ns = 0;
     double pipeline_ns = 0;
     double allocs_per_validation = 0;
@@ -140,26 +148,30 @@ run_geometry(const Geometry& geometry, uint64_t iters,
             1024, reads, writes, pool, geometry.window / 2, rng);
 
         core::ValidationRequest out; // reused: the zero-alloc hot path
-        for (const auto& request : requests) { // warm caches + capacity
-            detector.classify_into(request, &out);
-            sink += out.forward.size();
+        for (sig::MatchKernel kernel : sig::runtime_kernels()) {
+            detector.set_match_kernel(kernel);
+            for (const auto& request : requests) { // warm caches + capacity
+                detector.classify_into(request, &out);
+                sink += out.forward.size();
+            }
+            const uint64_t t0 = now_ns();
+            for (uint64_t i = 0; i < iters; ++i) {
+                detector.classify_into(requests[i % requests.size()], &out);
+                sink += out.backward.size();
+            }
+            const uint64_t t1 = now_ns();
+            result.kernels.push_back(
+                {kernel, double(t1 - t0) / double(iters)});
         }
+        detector.set_match_kernel(sig::best_kernel());
 
-        uint64_t t0 = now_ns();
-        for (uint64_t i = 0; i < iters; ++i) {
-            detector.classify_into(requests[i % requests.size()], &out);
-            sink += out.backward.size();
-        }
-        uint64_t t1 = now_ns();
-        result.sliced_ns = double(t1 - t0) / double(iters);
-
-        t0 = now_ns();
+        const uint64_t t0 = now_ns();
         for (uint64_t i = 0; i < iters; ++i) {
             const core::ValidationRequest scalar =
                 detector.classify_scalar(requests[i % requests.size()]);
             sink += scalar.backward.size();
         }
-        t1 = now_ns();
+        const uint64_t t1 = now_ns();
         result.scalar_ns = double(t1 - t0) / double(iters);
     }
 
@@ -225,37 +237,42 @@ main(int argc, char** argv)
     std::ofstream csv;
     if (!csv_path.empty()) {
         csv.open(csv_path);
-        csv << "window,sig_bits,hashes,reads,writes,iters,sliced_ns,"
-               "scalar_ns,speedup,pipeline_validate_ns,"
+        csv << "window,sig_bits,hashes,reads,writes,iters,kernel,"
+               "sliced_ns,scalar_ns,speedup,pipeline_validate_ns,"
                "allocs_per_validation\n";
     }
 
-    Table table({"W", "m", "k", "sliced ns", "scalar ns", "speedup",
-                 "pipeline ns", "allocs/val"});
+    Table table({"W", "m", "k", "kernel", "sliced ns", "scalar ns",
+                 "speedup", "pipeline ns", "allocs/val"});
     // W=64/512/4 is the paper deployment and the canary row; the other
-    // two vary one axis each (signature size, multi-word columns).
+    // two vary one axis each (signature size, multi-word columns). One
+    // output row per (geometry, runtime-available match kernel).
     for (const Geometry& geometry : {Geometry{64, 512, 4},
                                      Geometry{64, 256, 4},
                                      Geometry{128, 512, 4}}) {
         const Result r = run_geometry(geometry, iters, pipeline_iters,
                                       reads, writes, pool, seed);
-        const double speedup =
-            r.sliced_ns > 0 ? r.scalar_ns / r.sliced_ns : 0;
-        table.row()
-            .num(geometry.window, 0)
-            .num(geometry.sig_bits, 0)
-            .num(geometry.hashes, 0)
-            .num(r.sliced_ns, 1)
-            .num(r.scalar_ns, 1)
-            .num(speedup, 2)
-            .num(r.pipeline_ns, 0)
-            .num(r.allocs_per_validation, 3);
-        if (csv.is_open()) {
-            csv << geometry.window << ',' << geometry.sig_bits << ','
-                << geometry.hashes << ',' << reads << ',' << writes << ','
-                << iters << ',' << r.sliced_ns << ',' << r.scalar_ns
-                << ',' << speedup << ',' << r.pipeline_ns << ','
-                << r.allocs_per_validation << '\n';
+        for (const KernelTiming& t : r.kernels) {
+            const double speedup =
+                t.sliced_ns > 0 ? r.scalar_ns / t.sliced_ns : 0;
+            table.row()
+                .num(geometry.window, 0)
+                .num(geometry.sig_bits, 0)
+                .num(geometry.hashes, 0)
+                .cell(sig::to_string(t.kernel))
+                .num(t.sliced_ns, 1)
+                .num(r.scalar_ns, 1)
+                .num(speedup, 2)
+                .num(r.pipeline_ns, 0)
+                .num(r.allocs_per_validation, 3);
+            if (csv.is_open()) {
+                csv << geometry.window << ',' << geometry.sig_bits << ','
+                    << geometry.hashes << ',' << reads << ',' << writes
+                    << ',' << iters << ',' << sig::to_string(t.kernel)
+                    << ',' << t.sliced_ns << ',' << r.scalar_ns << ','
+                    << speedup << ',' << r.pipeline_ns << ','
+                    << r.allocs_per_validation << '\n';
+            }
         }
     }
     table.print();

@@ -11,7 +11,8 @@ ConflictDetector::ConflictDetector(
     size_t window, std::shared_ptr<const sig::SignatureConfig> config)
     : window_(window), config_(std::move(config)),
       read_plane_(window, config_), write_plane_(window, config_),
-      cids_(window, 0), scratch_(2 * read_plane_.mask_words(), 0)
+      cids_(window, 0), scratch_(2 * read_plane_.mask_words(), 0),
+      classify_fn_(sig::classify_kernel_fn(read_plane_.kernel()))
 {
     ROCOCO_CHECK(window_ > 0);
 }
@@ -50,35 +51,47 @@ ConflictDetector::classify_into(const OffloadRequest& request,
     uint64_t* rd = scratch_.data();
     uint64_t* wr = scratch_.data() + mask_words;
     std::memset(rd, 0, 2 * mask_words * sizeof(uint64_t));
-    write_plane_.match_any(request.reads, rd);
-    write_plane_.match_any(request.writes, wr);
-    read_plane_.match_any(request.writes, wr);
+    classify_fn_(read_plane_.view(), write_plane_.view(),
+                 request.reads.data(), request.reads.size(),
+                 request.writes.data(), request.writes.size(), rd, wr);
 
-    size_t hits = 0;
-    for (size_t w = 0; w < mask_words; ++w) {
-        hits += static_cast<size_t>(std::popcount(rd[w] | wr[w]));
-    }
-    if (hits == 0) return;
-
-    // Emit cids oldest-first (the order the row-major walk produced) by
-    // following the ring, not the slot numbering.
-    size_t slot = head_;
-    for (size_t i = 0; i < size_ && hits > 0; ++i) {
-        const uint64_t slot_mask = uint64_t{1} << (slot & 63);
-        const bool read_overlap = (rd[slot >> 6] & slot_mask) != 0;
-        const bool write_overlap = (wr[slot >> 6] & slot_mask) != 0;
-        if (read_overlap || write_overlap) {
-            --hits;
-            const uint64_t cid = cids_[slot];
-            if (read_overlap && cid >= request.snapshot_cid) {
-                out->forward.push_back(cid);
+    // Emit cids oldest-first (the order the row-major walk produced):
+    // the ring is two ascending slot ranges, and within each the set
+    // bits of rd|wr are scanned directly — O(hits) emission instead of
+    // a branch per window slot, which matters because the match vector
+    // is nearly always sparse.
+    auto emit = [&](size_t lo, size_t hi) { // slots [lo, hi), ascending
+        for (size_t w = lo >> 6; w < (hi + 63) >> 6; ++w) {
+            uint64_t combined = rd[w] | wr[w];
+            if (w == lo >> 6 && (lo & 63) != 0) {
+                combined &= ~uint64_t{0} << (lo & 63);
             }
-            if (write_overlap ||
-                (read_overlap && cid < request.snapshot_cid)) {
-                out->backward.push_back(cid);
+            if (w == (hi - 1) >> 6 && (hi & 63) != 0) {
+                combined &= (uint64_t{1} << (hi & 63)) - 1;
+            }
+            while (combined != 0) {
+                const unsigned b =
+                    static_cast<unsigned>(std::countr_zero(combined));
+                combined &= combined - 1;
+                const uint64_t slot_mask = uint64_t{1} << b;
+                const bool read_overlap = (rd[w] & slot_mask) != 0;
+                const bool write_overlap = (wr[w] & slot_mask) != 0;
+                const uint64_t cid = cids_[w * 64 + b];
+                if (read_overlap && cid >= request.snapshot_cid) {
+                    out->forward.push_back(cid);
+                }
+                if (write_overlap ||
+                    (read_overlap && cid < request.snapshot_cid)) {
+                    out->backward.push_back(cid);
+                }
             }
         }
-        if (++slot == window_) slot = 0;
+    };
+    if (head_ + size_ > window_) {
+        emit(head_, window_);
+        emit(0, head_ + size_ - window_);
+    } else {
+        emit(head_, head_ + size_);
     }
 }
 
@@ -165,6 +178,14 @@ uint64_t
 ConflictDetector::history_start() const
 {
     return size_ == 0 ? 0 : cids_[head_];
+}
+
+void
+ConflictDetector::set_match_kernel(sig::MatchKernel kernel)
+{
+    read_plane_.set_kernel(kernel);
+    write_plane_.set_kernel(kernel);
+    classify_fn_ = sig::classify_kernel_fn(kernel);
 }
 
 } // namespace rococo::fpga

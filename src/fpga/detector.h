@@ -99,6 +99,13 @@ class ConflictDetector
 
     size_t history_size() const { return size_; }
 
+    /// Force both planes onto a specific match kernel (tests force each
+    /// compiled kernel against the scalar oracle; benchmarks report a
+    /// row per kernel). Defaults to the widest the CPU supports.
+    void set_match_kernel(sig::MatchKernel kernel);
+
+    sig::MatchKernel match_kernel() const { return read_plane_.kernel(); }
+
   private:
     size_t window_;
     std::shared_ptr<const sig::SignatureConfig> config_;
@@ -110,6 +117,8 @@ class ConflictDetector
     /// Match accumulators (2 x mask_words), reused across classify
     /// calls; mutable because classification is logically const.
     mutable std::vector<uint64_t> scratch_;
+    /// Fused two-plane kernel for the selected MatchKernel.
+    sig::ClassifyFn classify_fn_;
 };
 
 } // namespace rococo::fpga

@@ -61,13 +61,10 @@ bool
 ShardRouter::translate_snapshot(const Shard& shard, uint64_t g, uint64_t* out)
 {
     const auto& tracked = shard.commit_globals;
-    const auto first_unobserved =
-        std::lower_bound(tracked.begin(), tracked.end(), g);
-    const uint64_t observed =
-        static_cast<uint64_t>(first_unobserved - tracked.begin());
+    const uint64_t observed = tracked.rank(g);
     if (observed == 0 && shard.evicted > 0) {
         // Every tracked commit is unobserved and some commits left the
-        // deque: we cannot prove the reader observed the evicted ones.
+        // ring: we cannot prove the reader observed the evicted ones.
         return false;
     }
     // observed > 0 implies every evicted global number is below
@@ -166,7 +163,7 @@ ShardRouter::attribute_conflict(Shard& shard, const SubRequest& sub,
         }
     }
     // Translate the engine-local cid into the global commit number the
-    // client-facing cid space uses. The deque tracks the last
+    // client-facing cid space uses. The ring tracks the last
     // commit_globals.size() local cids, newest = next_cid - 1.
     const uint64_t first = next - shard.commit_globals.size();
     result->conflict_cid =

@@ -59,12 +59,22 @@
 /// throughput multiplier bench/ablation_shards.cc measures. submit()
 /// returns an already-resolved future (never a broken promise;
 /// submissions after stop() resolve kRejected, mirroring
-/// ValidationPipeline).
+/// ValidationPipeline). Per-request scratch (the partition split, the
+/// classified ValidationRequest, the lock array) is thread_local, so
+/// any number of caller threads are safe. The multi-threaded server
+/// (svc::WorkerPool) layers an *affinity* discipline on top: it sends
+/// every single-shard request for shard s to one fixed worker, turning
+/// the per-shard mutex from a point of contention into a handoff —
+/// the worker is the only thread that ever takes shard s's lock for
+/// single-shard work, so the acquisition is always uncontended.
+/// Cross-shard requests ignore affinity and take their ascending
+/// unique_lock sets (deadlock-free by the total order on shard ids),
+/// contending with the owning workers; correctness never depends on
+/// the affinity, only the fast path does.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -97,6 +107,73 @@ struct RouteInfo
     uint32_t shards_touched = 0;
     uint64_t route_ns = 0; ///< partition + lock acquisition
     uint64_t coord_ns = 0; ///< cross-shard reserve+commit (0 single-shard)
+};
+
+/// Fixed-capacity FIFO of strictly increasing values — the shard's
+/// in-window commit ledger. A std::deque here allocates a fresh block
+/// every ~64 push/pop rotations, which is a per-commit heap hit on the
+/// hot path (tests/hotpath_alloc_test.cc pins the steady state at
+/// exactly zero); the ledger is bounded by the engine window, so a
+/// preallocated ring needs no growth ever. Monotonicity keeps rank
+/// queries a binary search.
+class MonotoneRing
+{
+  public:
+    /// Size the ring for @p capacity values. Existing contents are
+    /// discarded. Allocates; call once at construction time.
+    void
+    reset(size_t capacity)
+    {
+        buf_.assign(capacity, 0);
+        head_ = 0;
+        count_ = 0;
+    }
+
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    uint64_t front() const { return buf_[head_]; }
+    uint64_t
+    operator[](size_t i) const
+    {
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+    void
+    push_back(uint64_t value)
+    {
+        buf_[(head_ + count_) % buf_.size()] = value;
+        ++count_;
+    }
+
+    void
+    pop_front()
+    {
+        head_ = (head_ + 1) % buf_.size();
+        --count_;
+    }
+
+    /// Number of stored values < @p v (equivalently, the index of the
+    /// first value >= v): std::lower_bound over the logical order.
+    size_t
+    rank(uint64_t v) const
+    {
+        size_t lo = 0;
+        size_t hi = count_;
+        while (lo < hi) {
+            const size_t mid = lo + (hi - lo) / 2;
+            if ((*this)[mid] < v) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+  private:
+    std::vector<uint64_t> buf_;
+    size_t head_ = 0;
+    size_t count_ = 0;
 };
 
 class ShardRouter final : public fpga::ValidationBackend
@@ -186,9 +263,11 @@ class ShardRouter final : public fpga::ValidationBackend
         std::mutex mutex;
         fpga::ValidationEngine engine;
         /// Global commit number of each in-window commit, oldest first;
-        /// evicted in lockstep with the engine window.
-        std::deque<uint64_t> commit_globals;
-        uint64_t evicted = 0; ///< per-shard commits dropped from the deque
+        /// evicted in lockstep with the engine window. Sized to
+        /// window + 1 at construction (push precedes the conditional
+        /// evicting pop), so steady-state commits never allocate.
+        MonotoneRing commit_globals;
+        uint64_t evicted = 0; ///< per-shard commits dropped from the ring
         /// Per-shard cids < fence may not be forward-dependency targets
         /// (fence = latest cross-shard commit's cid + 1).
         uint64_t fence = 0;
@@ -206,6 +285,7 @@ class ShardRouter final : public fpga::ValidationBackend
         explicit Shard(const fpga::EngineConfig& engine_config)
             : engine(engine_config)
         {
+            commit_globals.reset(engine.config().window + 1);
         }
     };
 

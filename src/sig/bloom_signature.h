@@ -46,6 +46,10 @@ class SignatureConfig
                hasher_.hash(key, i);
     }
 
+    /// The shared hash family (multipliers + shift), for SIMD kernels
+    /// that recompute bit_index() lane-parallel.
+    const MultiplyShiftHasher& hasher() const { return hasher_; }
+
   private:
     unsigned m_;
     unsigned k_;

@@ -11,9 +11,18 @@ SlicedSignatureHistory::SlicedSignatureHistory(
     : config_(std::move(config)), slots_(slots),
       mask_words_((slots + 63) / 64),
       columns_(static_cast<size_t>(config_->m()) * mask_words_, 0),
-      rows_(slots * config_->words(), 0)
+      rows_(slots * config_->words(), 0), kernel_(best_kernel()),
+      match_fn_(kernel_fn(kernel_))
 {
     ROCOCO_CHECK(slots_ > 0);
+}
+
+void
+SlicedSignatureHistory::set_kernel(MatchKernel kernel)
+{
+    ROCOCO_CHECK(kernel_available(kernel));
+    kernel_ = kernel;
+    match_fn_ = kernel_fn(kernel);
 }
 
 void
@@ -88,7 +97,10 @@ void
 SlicedSignatureHistory::match_any(std::span<const uint64_t> keys,
                                   uint64_t* acc) const
 {
-    for (uint64_t key : keys) match(key, acc);
+    // The view is rebuilt per call (six scalar stores — noise next to
+    // the gathers) so moves/copies of the history can never leave a
+    // kernel reading a stale columns pointer.
+    match_fn_(view(), keys.data(), keys.size(), acc);
 }
 
 } // namespace rococo::sig

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sig/bloom_signature.h"
+#include "sig/sliced_kernels.h"
 
 namespace rococo::sig {
 
@@ -65,8 +66,30 @@ class SlicedSignatureHistory
     /// @p key into @p acc (mask_words() words).
     void match(uint64_t key, uint64_t* acc) const;
 
-    /// acc |= OR over keys of match(key).
+    /// acc |= OR over keys of match(key). Runs the selected SIMD kernel
+    /// (sig/sliced_kernels.h); defaults to the widest one this CPU
+    /// supports.
     void match_any(std::span<const uint64_t> keys, uint64_t* acc) const;
+
+    /// Force a specific match kernel (tests, benchmarks). Checks the
+    /// kernel is compiled in and executable on this CPU.
+    void set_kernel(MatchKernel kernel);
+
+    MatchKernel kernel() const { return kernel_; }
+
+    /// Borrowed kernel view of this plane (valid while the history
+    /// lives and is not reassigned) — what the fused two-plane
+    /// classification kernels consume (sig/sliced_kernels.h).
+    SlicedView
+    view() const
+    {
+        return {columns_.data(),
+                mask_words_,
+                config_->k(),
+                config_->partition_bits(),
+                config_->hasher().shift(),
+                config_->hasher().multiplier_data()};
+    }
 
     /// Raw word @p w of the occupancy column for signature bit @p bit
     /// (diagnostics / tests).
@@ -86,6 +109,8 @@ class SlicedSignatureHistory
     /// Row-major shadow: rows_[slot * config.words() + w] is word w of
     /// slot's signature — what BloomSignature::words() would hold.
     std::vector<uint64_t> rows_;
+    MatchKernel kernel_;
+    MatchAnyFn match_fn_;
 };
 
 } // namespace rococo::sig

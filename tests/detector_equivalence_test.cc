@@ -5,9 +5,13 @@
 /// BloomSignature pairs must agree bit for bit — same cids, same
 /// forward/backward split, same order — across geometries, key
 /// distributions (uniform and zipf), snapshot positions and forced
-/// window evictions. Runs under ASan/TSan/UBSan with the rest of the
-/// suite, so the kernel's index arithmetic is sanitizer-proven on the
-/// same inputs that prove its decisions.
+/// window evictions. Every runtime-available SIMD match kernel
+/// (sig/sliced_kernels.h) is forced in turn and held to the same
+/// bit-for-bit standard, so the AVX2/AVX-512 gather-and-AND paths are
+/// proven against the scalar oracle on every fuzz input. Runs under
+/// ASan/TSan/UBSan with the rest of the suite, so the kernels' index
+/// arithmetic is sanitizer-proven on the same inputs that prove their
+/// decisions.
 
 #include <gtest/gtest.h>
 
@@ -147,12 +151,17 @@ random_request(std::mt19937_64& rng, ZipfSampler& zipf,
 void
 expect_identical(const core::ValidationRequest& sliced,
                  const core::ValidationRequest& scalar,
-                 const core::ValidationRequest& reference, size_t iter)
+                 const core::ValidationRequest& reference, size_t iter,
+                 const char* kernel = "default")
 {
-    EXPECT_EQ(sliced.forward, scalar.forward) << "iter " << iter;
-    EXPECT_EQ(sliced.backward, scalar.backward) << "iter " << iter;
-    EXPECT_EQ(sliced.forward, reference.forward) << "iter " << iter;
-    EXPECT_EQ(sliced.backward, reference.backward) << "iter " << iter;
+    EXPECT_EQ(sliced.forward, scalar.forward)
+        << "iter " << iter << " kernel " << kernel;
+    EXPECT_EQ(sliced.backward, scalar.backward)
+        << "iter " << iter << " kernel " << kernel;
+    EXPECT_EQ(sliced.forward, reference.forward)
+        << "iter " << iter << " kernel " << kernel;
+    EXPECT_EQ(sliced.backward, reference.backward)
+        << "iter " << iter << " kernel " << kernel;
 }
 
 /// Drive a bare detector: every iteration classifies three ways and
@@ -182,9 +191,17 @@ fuzz_detector(const FuzzParams& params)
             detector.history_start() > 4 ? detector.history_start() - 4 : 0;
         request.snapshot_cid = lo + rng() % (next_cid - lo + 3);
 
-        expect_identical(detector.classify(request),
-                         detector.classify_scalar(request),
-                         reference.classify(request), iter);
+        // Every runtime-available kernel classifies the same request
+        // against the same history and must agree with the row-major
+        // oracle and the independent reference bit for bit.
+        const core::ValidationRequest scalar =
+            detector.classify_scalar(request);
+        const core::ValidationRequest ref = reference.classify(request);
+        for (sig::MatchKernel kernel : sig::runtime_kernels()) {
+            detector.set_match_kernel(kernel);
+            expect_identical(detector.classify(request), scalar, ref, iter,
+                             sig::to_string(kernel));
+        }
 
         if (rng() % 4 != 0) { // commit 3 of 4 — overruns W repeatedly
             next_cid += 1 + rng() % 3;
@@ -222,6 +239,14 @@ TEST(DetectorEquivalence, TinyWindowTinySignature)
 {
     // W=16, m=64, k=2: saturated signatures, constant eviction churn.
     fuzz_detector({16, 64, 2, 128, false, 5});
+}
+
+TEST(DetectorEquivalence, WideColumnsWindow300)
+{
+    // W=300: five-word occupancy columns — exercises the SIMD wide
+    // paths (full vector words plus a masked/scalar word tail) instead
+    // of the one-register batched path.
+    fuzz_detector({300, 256, 4, 2048, true, 6});
 }
 
 /// End-to-end: a live engine (bit-sliced classification inside
